@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the forecasting block: Holt-Winters fit,
+//! grid-search fit, and the orchestrator-facing `predict_next`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovnes_forecast::holt_winters::{HoltWinters, Seasonality};
+use ovnes_forecast::{predict_next, Forecaster};
+
+fn diurnal(n: usize, period: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            100.0
+                + 40.0
+                    * (std::f64::consts::TAU * (t % period) as f64 / period as f64).sin()
+        })
+        .collect()
+}
+
+fn bench_forecasting(c: &mut Criterion) {
+    let series = diurnal(24 * 7, 24);
+    c.bench_function("hw_fit_168_points", |b| {
+        b.iter(|| {
+            let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
+            hw.fit(&series);
+            hw.forecast(1)
+        })
+    });
+    c.bench_function("hw_grid_fit_168_points", |b| {
+        b.iter(|| {
+            let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
+            hw.fit_grid(&series);
+            hw.forecast(1)
+        })
+    });
+    c.bench_function("predict_next_168_points", |b| {
+        b.iter(|| predict_next(&series, 24, 0.05))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forecasting
+}
+criterion_main!(benches);

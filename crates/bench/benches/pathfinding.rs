@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks of the topology substrate: operator
+//! generation (including Yen path precomputation) and raw k-shortest paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovnes_topology::ksp::k_shortest;
+use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
+
+fn bench_pathfinding(c: &mut Criterion) {
+    c.bench_function("generate_romanian_scale_0.1", |b| {
+        b.iter(|| {
+            NetworkModel::generate(
+                Operator::Romanian,
+                &GeneratorConfig { scale: 0.1, seed: 18, k_paths: 8 },
+            )
+        })
+    });
+
+    let model = NetworkModel::generate(
+        Operator::Romanian,
+        &GeneratorConfig { scale: 0.1, seed: 18, k_paths: 8 },
+    );
+    let src = model.base_stations[0].node;
+    let dst = model.compute_units[0].node;
+    c.bench_function("yen_k8_single_pair", |b| {
+        b.iter(|| k_shortest(&model.graph, src, dst, 8))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pathfinding
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the AC-RR solvers: Benders decomposition,
+//! KAC, the one-shot MILP and the no-overbooking baseline on a fixed
+//! medium-size instance, plus the Benders slave LP alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovnes::problem::{AcrrInstance, PathPolicy, TenantInput};
+use ovnes::slice::{SliceClass, SliceTemplate};
+use ovnes::solver::slave::solve_slave;
+use ovnes::solver::{baseline, benders, kac, oneshot};
+use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
+
+fn instance(overbooking: bool, n_tenants: usize) -> AcrrInstance {
+    let model = NetworkModel::generate(
+        Operator::Romanian,
+        &GeneratorConfig { scale: 0.04, seed: 18, k_paths: 3 },
+    );
+    let n_bs = model.base_stations.len();
+    let classes = [SliceClass::Embb, SliceClass::Mmtc, SliceClass::Urllc];
+    let tenants: Vec<TenantInput> = (0..n_tenants)
+        .map(|i| {
+            let t = SliceTemplate::for_class(classes[i % 3]);
+            TenantInput {
+                tenant: i as u32,
+                sla_mbps: t.sla_mbps,
+                reward: t.reward,
+                penalty: t.reward,
+                delay_budget_us: t.delay_budget_us,
+                service: t.service,
+                forecast_mbps: vec![0.3 * t.sla_mbps; n_bs],
+                sigma: 0.2,
+                duration_weight: 1.0,
+                must_accept: false,
+                pinned_cu: None,
+            }
+        })
+        .collect();
+    AcrrInstance::build(&model, tenants, PathPolicy::Spread, overbooking, None)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let inst = instance(true, 6);
+    let inst_nov = instance(false, 6);
+
+    c.bench_function("slave_lp_6_tenants", |b| {
+        let assigned: Vec<Option<usize>> = vec![Some(0); 6];
+        b.iter(|| solve_slave(&inst, &assigned).unwrap())
+    });
+    c.bench_function("kac_6_tenants", |b| {
+        b.iter(|| kac::solve(&inst, &kac::KacOptions::default()).unwrap())
+    });
+    c.bench_function("benders_6_tenants", |b| {
+        b.iter(|| benders::solve(&inst, &benders::BendersOptions::default()).unwrap())
+    });
+    c.bench_function("oneshot_milp_6_tenants", |b| {
+        b.iter(|| oneshot::solve(&inst).unwrap())
+    });
+    c.bench_function("baseline_6_tenants", |b| {
+        b.iter(|| baseline::solve(&inst_nov).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers
+}
+criterion_main!(benches);

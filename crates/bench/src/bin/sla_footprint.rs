@@ -1,0 +1,87 @@
+//! §4.3.3 SLA-violation footprint — the paper's claim that overbooking
+//! gains come "at a negligible cost on the tenants": with the most
+//! aggressive configuration (σ = λ̄/2, m = 1) SLA violations occurred with
+//! probability below 0.0001% and dropped at most 10% of traffic; an even
+//! more aggressive sanity check (σ = 3λ̄/4, m = 0.01) stayed at 0.043% with
+//! at most 20% dropped.
+
+use ovnes::orchestrator::{Orchestrator, OrchestratorConfig};
+use ovnes::prelude::*;
+use ovnes_bench::{scale_arg, seed_arg};
+
+/// Runs 10 eMBB tenants at λ̄ = 0.2Λ with the given σ fraction and penalty
+/// factor m for `epochs` epochs; returns (violation rate, worst drop
+/// fraction, mean net revenue).
+fn cell(
+    model: &NetworkModel,
+    sigma_frac: f64,
+    m: f64,
+    epochs: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut orch = Orchestrator::new(
+        model.clone(),
+        OrchestratorConfig { solver: SolverKind::Kac, seed, ..Default::default() },
+    );
+    let template = SliceTemplate::embb();
+    let mean = 0.2 * template.sla_mbps;
+    for t in 0..10 {
+        orch.submit(SliceRequest::from_template(
+            t,
+            template.clone(),
+            0.2,
+            sigma_frac * mean,
+            m,
+        ));
+    }
+    let mut violated = 0usize;
+    let mut samples = 0usize;
+    let mut worst: f64 = 0.0;
+    let mut revenue = 0.0;
+    for e in 0..epochs {
+        let out = orch.step().expect("epoch");
+        if e >= 6 {
+            violated += out.violation_samples.0;
+            samples += out.violation_samples.1;
+            worst = worst.max(out.worst_drop_fraction);
+            revenue += out.net_revenue;
+        }
+    }
+    let rate = if samples > 0 { violated as f64 / samples as f64 } else { 0.0 };
+    (rate, worst, revenue / (epochs - 6) as f64)
+}
+
+fn main() {
+    let scale = scale_arg(0.04);
+    let seed = seed_arg();
+    let topo = GeneratorConfig { scale, seed, k_paths: 3 };
+    let model = NetworkModel::generate(Operator::Romanian, &topo);
+
+    println!("§4.3.3 — SLA-violation footprint (Romanian, 10 eMBB @ α = 0.2, 40 epochs)\n");
+    let header = format!(
+        "{:<30} {:>15} {:>14} {:>12}",
+        "configuration", "violation rate", "worst drop", "revenue"
+    );
+    println!("{header}");
+    ovnes_bench::rule(&header);
+
+    for (label, sigma_frac, m) in [
+        ("aggressive (σ=λ̄/2, m=1)", 0.5, 1.0),
+        ("sanity (σ=3λ̄/4, m=0.01)", 0.75, 0.01),
+        ("moderate (σ=λ̄/4, m=1)", 0.25, 1.0),
+        ("deterministic (σ=0, m=1)", 0.0, 1.0),
+    ] {
+        let (rate, worst, rev) = cell(&model, sigma_frac, m, 40, seed);
+        println!(
+            "{:<30} {:>14.5}% {:>14.2} {:>12.2}",
+            label,
+            100.0 * rate,
+            worst,
+            rev
+        );
+    }
+
+    println!("\nPaper reference: < 0.0001% violations / ≤ 10% drop (aggressive) and");
+    println!("0.043% / ≤ 20% (sanity). Shape to verify: rates rise as σ grows and as");
+    println!("m falls (cheap penalties ⇒ bolder overbooking); σ = 0 never violates.");
+}

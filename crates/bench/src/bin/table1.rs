@@ -1,0 +1,28 @@
+//! Table 1 — the end-to-end network slice templates.
+
+use ovnes::slice::{SliceClass, SliceTemplate};
+
+fn main() {
+    println!("Table 1 — End-to-end network slice templates\n");
+    let header = format!(
+        "{:<10} {:>6} {:>8} {:>10} {:>12} {:>16}",
+        "Slice type", "R", "∆ (ms)", "Λ (Mb/s)", "σ (Mb/s)", "s = {a, b} (CPUs)"
+    );
+    println!("{header}");
+    ovnes_bench::rule(&header);
+    for class in SliceClass::all() {
+        let t = SliceTemplate::for_class(class);
+        let sigma = if class == SliceClass::Mmtc { "0" } else { "variable" };
+        println!(
+            "{:<10} {:>6.1} {:>8.0} {:>10.0} {:>12} {:>16}",
+            t.class.label(),
+            t.reward,
+            t.delay_budget_us / 1000.0,
+            t.sla_mbps,
+            sigma,
+            format!("{{{}, {}}}", t.service.base_cores, t.service.cores_per_mbps),
+        );
+    }
+    println!("\nRewards follow the paper: eMBB R = 1, mMTC R = 1 + b = 3,");
+    println!("uRLLC R = 2 + b = 2.2; penalties are K = m·R per scenario.");
+}

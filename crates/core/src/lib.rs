@@ -1,0 +1,75 @@
+//! # ovnes — yield-driven end-to-end network-slice orchestration
+//!
+//! A from-scratch Rust reproduction of *"Overbooking Network Slices through
+//! Yield-driven End-to-End Orchestration"* (Salvat et al., CoNEXT 2018):
+//! a mobile operator admits **more slices than nominal capacity** because
+//! tenants rarely consume their full SLA, trading a small, penalised risk of
+//! SLA violations for substantially higher revenue — the same yield
+//! management airlines apply to seat overbooking.
+//!
+//! ## Architecture (paper §2)
+//!
+//! * [`mod@slice`] — slice templates (Table 1) and tenant requests `Φτ`,
+//! * [`problem`] — the AC-RR (admission control & resource reservation)
+//!   optimization instance: capacities, forecasts, risk coefficients,
+//! * [`solver`] — the paper's algorithms: optimal **Benders decomposition**
+//!   (Algorithm 1), the **KAC** knapsack heuristic (Algorithms 2–3), the
+//!   one-shot MILP (Problem 2) and the **no-overbooking** baseline,
+//! * [`orchestrator`] — the epoch loop: monitor → forecast → solve → enforce,
+//! * [`experiment`] — scenario runners regenerating Fig. 5/6 and the SLA
+//!   footprint numbers of §4.3.3,
+//! * [`testbed`] — the §5 proof-of-concept testbed scenario (Fig. 8).
+//!
+//! Substrates (each its own crate): `ovnes-lp` (simplex), `ovnes-milp`
+//! (branch & bound), `ovnes-forecast` (Holt-Winters), `ovnes-topology`
+//! (operator networks), `ovnes-netsim` (traffic + middlebox).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ovnes::prelude::*;
+//!
+//! // A small Romanian-style metro network.
+//! let model = NetworkModel::generate(
+//!     Operator::Romanian,
+//!     &GeneratorConfig { scale: 0.05, seed: 1, k_paths: 4 },
+//! );
+//! let mut orch = Orchestrator::new(model, OrchestratorConfig {
+//!     solver: SolverKind::Kac,
+//!     ..Default::default()
+//! });
+//! // Four eMBB tenants at 20% mean utilisation.
+//! for t in 0..4 {
+//!     orch.submit(SliceRequest::from_template(
+//!         t, SliceTemplate::embb(), 0.2, 2.5, 1.0,
+//!     ));
+//! }
+//! // The KAC heuristic admits once load patterns have been learnt.
+//! let mut admitted = 0;
+//! for _ in 0..6 {
+//!     admitted = orch.step().unwrap().admitted.len();
+//! }
+//! assert!(admitted > 0);
+//! ```
+
+pub mod experiment;
+pub mod orchestrator;
+pub mod problem;
+pub mod slice;
+pub mod solver;
+pub mod testbed;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::orchestrator::{EpochOutcome, Orchestrator, OrchestratorConfig};
+    pub use crate::problem::{AcrrInstance, Allocation, PathPolicy, TenantInput};
+    pub use crate::slice::{ServiceModel, SliceClass, SliceRequest, SliceTemplate};
+    pub use crate::solver::{AcrrError, SolverKind};
+    pub use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
+}
+
+#[cfg(test)]
+mod tests;
+
+#[cfg(test)]
+mod tests_more;

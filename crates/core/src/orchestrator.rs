@@ -1,0 +1,491 @@
+//! The end-to-end orchestrator (paper §2.2, "OVNES"): the epoch loop tying
+//! together monitoring, forecasting, AC-RR solving and the data plane.
+//!
+//! Each decision epoch the orchestrator:
+//!
+//! 1. collects newly arrived slice requests (the slice manager's queue),
+//! 2. forecasts every tenant's peak demand per BS from the monitoring
+//!    history (Holt-Winters, §2.2.2) — tenants without history get the
+//!    configurable operator prior,
+//! 3. builds and solves the AC-RR instance (active slices are forced to
+//!    remain admitted on their pinned CU, constraint (13), with the §3.4
+//!    deficit relaxation enabled),
+//! 4. pushes the reservations into the data plane and simulates one epoch of
+//!    traffic through the middlebox,
+//! 5. records monitoring peaks and accounts revenue: rewards for admitted
+//!    slices minus penalties `K·(worst SLA deficit)/Λ` for violations.
+
+use crate::problem::{AcrrInstance, PathPolicy, TenantInput};
+use crate::slice::SliceRequest;
+use crate::solver::{self, AcrrError, SolverKind};
+use ovnes_forecast::predict_next;
+use ovnes_netsim::{run_epoch, Flow, MonitorStore, TrafficGenerator};
+use ovnes_topology::operators::NetworkModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Orchestrator configuration.
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Which AC-RR algorithm to run each epoch.
+    pub solver: SolverKind,
+    /// Overbooking on/off (off ⇒ the no-overbooking baseline semantics).
+    pub overbooking: bool,
+    /// Monitoring samples per epoch (the paper's κ; testbed uses 12 × 5 min).
+    pub samples_per_epoch: usize,
+    /// Seasonal period for Holt-Winters, in epochs (e.g. 24 for hourly
+    /// epochs with diurnal traffic).
+    pub season_epochs: usize,
+    /// Floor for forecast uncertainty σ̂ (must be > 0).
+    pub min_sigma: f64,
+    /// Operator prior for tenants with fewer than `prior_history` epochs of
+    /// monitoring: forecast `λ̂ = prior_mean_factor·Λ` with `σ̂ = prior_sigma`.
+    pub prior_mean_factor: f64,
+    /// Prior σ̂ for unobserved tenants.
+    pub prior_sigma: f64,
+    /// History length (epochs) below which the prior is used.
+    pub prior_history: usize,
+    /// Whether the monitor also observes the demand of rejected tenants
+    /// (the paper's simulations learn every request's load pattern; set to
+    /// `false` for strict only-admitted-slices-are-observable semantics).
+    pub monitor_rejected: bool,
+    /// Safety margin on the reservation floor: `λ̂ = forecast·(1 +
+    /// headroom·σ̂)`. The paper reserves for *forecasted peak* loads
+    /// specifically to keep the violation footprint negligible (§3.1); the
+    /// uncertainty-scaled headroom is how we realise that: confident
+    /// forecasts get a thin margin, erratic ones a thick margin.
+    pub forecast_headroom: f64,
+    /// §2.1.3: "our overbooking mechanism adapts the reservation of
+    /// resources to the actual demand of each slice (or a prediction of
+    /// it)". When `true` (default), admitted slices are reserved their
+    /// head-roomed forecast `λ̂` rather than whatever slack the optimizer
+    /// filled up to — matching the adaptive reservations of Fig. 8. When
+    /// `false`, the solver's risk-optimal reservations (which grow to Λ
+    /// whenever capacity is free) are enforced as-is.
+    pub adaptive_reservations: bool,
+    /// Path pre-selection policy.
+    pub path_policy: PathPolicy,
+    /// Big-M cost of capacity deficit (paper §3.4).
+    pub deficit_cost: f64,
+    /// The `L` factor in `ξ = σ̂·L` (1.0 = per-epoch risk accounting, see
+    /// DESIGN.md).
+    pub duration_weight: f64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            solver: SolverKind::Benders,
+            overbooking: true,
+            samples_per_epoch: 12,
+            season_epochs: 6,
+            min_sigma: 0.01,
+            prior_mean_factor: 1.0,
+            prior_sigma: 0.5,
+            prior_history: 3,
+            monitor_rejected: true,
+            forecast_headroom: 2.5,
+            adaptive_reservations: false,
+            path_policy: PathPolicy::Spread,
+            deficit_cost: 1e4,
+            duration_weight: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// An admitted slice with its remaining lifetime and current reservations.
+#[derive(Debug, Clone)]
+struct ActiveSlice {
+    request: SliceRequest,
+    cu: usize,
+    remaining: u32,
+    /// Reservation per BS, Mb/s.
+    reservations: Vec<f64>,
+}
+
+/// Everything that happened in one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// Epoch index (0-based).
+    pub epoch: u32,
+    /// Tenants admitted this epoch (including continuing ones).
+    pub admitted: Vec<u32>,
+    /// Pending tenants rejected this epoch.
+    pub rejected: Vec<u32>,
+    /// Net revenue = rewards − penalties.
+    pub net_revenue: f64,
+    /// Gross rewards collected.
+    pub reward: f64,
+    /// Penalties paid for SLA violations.
+    pub penalty: f64,
+    /// (violated samples, total samples) across all admitted flows.
+    pub violation_samples: (usize, usize),
+    /// Worst single-sample traffic-drop fraction among violations.
+    pub worst_drop_fraction: f64,
+    /// Capacity deficit the big-M relaxation had to absorb.
+    pub deficit: (f64, f64, f64),
+    /// Reserved radio per BS, MHz.
+    pub bs_reserved_mhz: Vec<f64>,
+    /// Mean offered radio load per BS, MHz.
+    pub bs_load_mhz: Vec<f64>,
+    /// Reserved cores per CU.
+    pub cu_reserved_cores: Vec<f64>,
+    /// Mean carried-load cores per CU.
+    pub cu_load_cores: Vec<f64>,
+    /// Reserved Mb/s per graph link id (only links carrying slices).
+    pub link_reserved_mbps: HashMap<usize, f64>,
+    /// Mean offered Mb/s per graph link id.
+    pub link_load_mbps: HashMap<usize, f64>,
+    /// Solver diagnostics.
+    pub solver_stats: crate::problem::SolveStats,
+}
+
+/// The end-to-end orchestrator.
+#[derive(Debug)]
+pub struct Orchestrator {
+    model: NetworkModel,
+    config: OrchestratorConfig,
+    monitor: MonitorStore,
+    rng: StdRng,
+    epoch: u32,
+    sample_index: u64,
+    active: Vec<ActiveSlice>,
+    queue: Vec<SliceRequest>,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator over a network model.
+    pub fn new(model: NetworkModel, config: OrchestratorConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            model,
+            config,
+            monitor: MonitorStore::new(),
+            rng,
+            epoch: 0,
+            sample_index: 0,
+            active: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// Queues a slice request (takes effect from its `arrival_epoch`).
+    pub fn submit(&mut self, request: SliceRequest) {
+        self.queue.push(request);
+    }
+
+    /// Current epoch index.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Tenants currently admitted.
+    pub fn active_tenants(&self) -> Vec<u32> {
+        self.active.iter().map(|a| a.request.tenant).collect()
+    }
+
+    /// The underlying network model.
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// Forecast for a tenant: per-BS λ̂ plus σ̂ (max across BSs). Falls back
+    /// to the operator prior below `prior_history` epochs of monitoring.
+    fn forecast_for(&self, request: &SliceRequest) -> (Vec<f64>, f64) {
+        let n_bs = self.model.base_stations.len();
+        let lam = request.template.sla_mbps;
+        let mut lam_hat = vec![self.config.prior_mean_factor * lam; n_bs];
+        let mut sigma = self.config.prior_sigma;
+        let mut observed = false;
+        // Risk-averse margin: the costlier a violation (penalty factor
+        // m = K/R), the more peak headroom the reservation floor carries.
+        let m_factor = (request.penalty / request.template.reward.max(1e-9)).max(1.0);
+        let headroom = self.config.forecast_headroom * (1.0 + 0.5 * m_factor.ln());
+        for b in 0..n_bs {
+            let series = self.monitor.series((request.tenant, b as u32));
+            if series.len() >= self.config.prior_history {
+                let pred =
+                    predict_next(series, self.config.season_epochs, self.config.min_sigma);
+                // Never reserve below the recent observed peaks: a transient
+                // downward forecast dip must not trigger an avoidable
+                // violation (the paper's "max over monitoring samples"
+                // aggregation exists precisely to cover peaks).
+                let recent = series[series.len().saturating_sub(3)..]
+                    .iter()
+                    .cloned()
+                    .fold(0.0f64, f64::max);
+                lam_hat[b] = pred.value.max(recent) * (1.0 + headroom * pred.sigma);
+                sigma = if observed { sigma.max(pred.sigma) } else { pred.sigma };
+                observed = true;
+            }
+        }
+        (lam_hat, sigma.clamp(self.config.min_sigma, 1.0))
+    }
+
+    /// Advances one decision epoch; returns what happened.
+    pub fn step(&mut self) -> Result<EpochOutcome, AcrrError> {
+        let epoch = self.epoch;
+        let n_bs = self.model.base_stations.len();
+
+        // 1. Arrivals: requests whose time has come move into consideration.
+        let mut pending: Vec<SliceRequest> = Vec::new();
+        self.queue.retain(|r| {
+            if r.arrival_epoch <= epoch {
+                pending.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        // Previously rejected requests keep re-applying (they were returned
+        // to the queue with their original arrival epoch).
+
+        // 2. Assemble tenant inputs: active slices first (forced), then
+        // pending requests.
+        let mut tenants: Vec<TenantInput> = Vec::new();
+        let mut req_of: Vec<SliceRequest> = Vec::new();
+        for a in &self.active {
+            let (forecast, sigma) = self.forecast_for(&a.request);
+            tenants.push(TenantInput {
+                tenant: a.request.tenant,
+                sla_mbps: a.request.template.sla_mbps,
+                reward: a.request.template.reward,
+                penalty: a.request.penalty,
+                delay_budget_us: a.request.template.delay_budget_us,
+                service: a.request.template.service,
+                forecast_mbps: forecast,
+                sigma,
+                duration_weight: self.config.duration_weight,
+                must_accept: true,
+                pinned_cu: Some(a.cu),
+            });
+            req_of.push(a.request.clone());
+        }
+        for r in &pending {
+            let (forecast, sigma) = self.forecast_for(r);
+            tenants.push(TenantInput {
+                tenant: r.tenant,
+                sla_mbps: r.template.sla_mbps,
+                reward: r.template.reward,
+                penalty: r.penalty,
+                delay_budget_us: r.template.delay_budget_us,
+                service: r.template.service,
+                forecast_mbps: forecast,
+                sigma,
+                duration_weight: self.config.duration_weight,
+                must_accept: false,
+                pinned_cu: None,
+            });
+            req_of.push(r.clone());
+        }
+
+        // 3. Solve AC-RR.
+        let instance = AcrrInstance::build(
+            &self.model,
+            tenants,
+            self.config.path_policy,
+            self.config.overbooking,
+            Some(self.config.deficit_cost),
+        );
+        let kind = if self.config.overbooking {
+            self.config.solver
+        } else {
+            SolverKind::NoOverbooking
+        };
+        let allocation = solver::solve(&instance, kind)?;
+
+        // 4. Apply the decision: update active set, return rejects to queue.
+        // Under adaptive reservations the enforced z is trimmed down to the
+        // head-roomed forecast floor (always capacity-feasible since the
+        // solver's z is an upper envelope of it).
+        let effective_z = |ti: usize| -> Vec<f64> {
+            let z = &allocation.reservations[ti];
+            if !self.config.adaptive_reservations || !self.config.overbooking {
+                return z.clone();
+            }
+            let t = &instance.tenants[ti];
+            (0..n_bs)
+                .map(|b| {
+                    let floor = t.forecast_mbps[b].clamp(0.0, 0.999 * t.sla_mbps);
+                    z[b].min(floor)
+                })
+                .collect()
+        };
+        let n_active_before = self.active.len();
+        let mut admitted = Vec::new();
+        let mut rejected = Vec::new();
+        for (ti, cu) in allocation.assigned_cu.iter().enumerate() {
+            let req = &req_of[ti];
+            if ti < n_active_before {
+                // Forced slices must stay admitted.
+                debug_assert!(cu.is_some(), "active slice must remain admitted");
+                self.active[ti].reservations = effective_z(ti);
+                admitted.push(req.tenant);
+            } else {
+                match cu {
+                    Some(c) => {
+                        self.active.push(ActiveSlice {
+                            request: req.clone(),
+                            cu: *c,
+                            remaining: req.duration_epochs,
+                            reservations: effective_z(ti),
+                        });
+                        admitted.push(req.tenant);
+                    }
+                    None => {
+                        rejected.push(req.tenant);
+                        self.queue.push(req.clone());
+                    }
+                }
+            }
+        }
+
+        // 5. Simulate the epoch through the middlebox. When
+        // `monitor_rejected` is on (the paper's simulation semantics), the
+        // demand of rejected tenants is also sampled so their load patterns
+        // can be learnt — with reservation = SLA so they never register as
+        // violations and never enter utilisation/revenue accounting.
+        let mut flows = Vec::new();
+        let mk_gen = |req: &SliceRequest| {
+            let mut gen = TrafficGenerator::gaussian(req.true_mean_mbps, req.true_sigma_mbps);
+            if let Some((amp, period)) = req.diurnal {
+                gen = gen.with_diurnal(amp, period);
+            }
+            gen
+        };
+        for a in &self.active {
+            for b in 0..n_bs {
+                flows.push(Flow {
+                    key: (a.request.tenant, b as u32),
+                    sla_mbps: a.request.template.sla_mbps,
+                    reservation_mbps: a.reservations[b],
+                    generator: mk_gen(&a.request),
+                });
+            }
+        }
+        if self.config.monitor_rejected {
+            for req in req_of.iter().filter(|r| rejected.contains(&r.tenant)) {
+                for b in 0..n_bs {
+                    flows.push(Flow {
+                        key: (req.tenant, b as u32),
+                        sla_mbps: req.template.sla_mbps,
+                        reservation_mbps: req.template.sla_mbps,
+                        generator: mk_gen(req),
+                    });
+                }
+            }
+        }
+        let report = run_epoch(
+            &flows,
+            self.config.samples_per_epoch,
+            self.sample_index,
+            &mut self.rng,
+        );
+        self.sample_index = report.next_sample_index;
+
+        // 6. Monitoring feedback: record per-flow peaks.
+        for f in &report.flows {
+            self.monitor.record_peak(f.key, f.peak_offered);
+        }
+
+        // 7. Revenue accounting.
+        let mut reward = 0.0;
+        let mut penalty = 0.0;
+        let mut violated = 0usize;
+        let mut total_samples = 0usize;
+        let mut worst_drop = 0.0f64;
+        for a in &self.active {
+            reward += a.request.template.reward;
+            // Worst per-sample SLA deficit across this slice's BS legs.
+            let mut worst_fraction_of_sla = 0.0f64;
+            for f in report.flows.iter().filter(|f| f.key.0 == a.request.tenant) {
+                violated += f.violated_samples;
+                total_samples += f.samples;
+                worst_drop = worst_drop.max(f.worst_deficit_fraction);
+                if f.samples > 0 {
+                    let deficit_vs_sla =
+                        f.worst_deficit_mbps / a.request.template.sla_mbps.max(1e-9);
+                    worst_fraction_of_sla = worst_fraction_of_sla.max(deficit_vs_sla);
+                }
+            }
+            penalty += a.request.penalty * worst_fraction_of_sla;
+        }
+
+        // 8. Utilisation series (for Fig. 8-style reporting).
+        let mut bs_reserved = vec![0.0; n_bs];
+        let mut bs_load = vec![0.0; n_bs];
+        let mut cu_reserved = vec![0.0; instance.n_cu];
+        let mut cu_load = vec![0.0; instance.n_cu];
+        let mut link_reserved: HashMap<usize, f64> = HashMap::new();
+        let mut link_load: HashMap<usize, f64> = HashMap::new();
+        let mean_offered: HashMap<(u32, u32), f64> =
+            report.flows.iter().map(|f| (f.key, f.mean_offered)).collect();
+        for a in &self.active {
+            let t = &a.request.template;
+            let mut sum_res = 0.0;
+            let mut sum_load = 0.0;
+            for b in 0..n_bs {
+                let z = a.reservations[b];
+                let load = mean_offered
+                    .get(&(a.request.tenant, b as u32))
+                    .copied()
+                    .unwrap_or(0.0)
+                    .min(t.sla_mbps);
+                bs_reserved[b] += z / crate::problem::MBPS_PER_MHZ;
+                bs_load[b] += load / crate::problem::MBPS_PER_MHZ;
+                sum_res += z;
+                sum_load += load;
+                // Attribute transport to the selected leg's links.
+                if let Some(leg) = instance
+                    .legs
+                    .iter()
+                    .find(|l| {
+                        instance.tenants[l.tenant].tenant == a.request.tenant
+                            && l.bs == b
+                            && l.cu == a.cu
+                    })
+                {
+                    for &e in &leg.links {
+                        let gid = instance.link_graph_ids[e];
+                        *link_reserved.entry(gid).or_insert(0.0) += z;
+                        *link_load.entry(gid).or_insert(0.0) += load;
+                    }
+                }
+            }
+            cu_reserved[a.cu] += t.service.base_cores + t.service.cores_per_mbps * sum_res;
+            cu_load[a.cu] += t.service.base_cores + t.service.cores_per_mbps * sum_load;
+        }
+
+        // 9. Ageing: expire slices whose duration elapsed.
+        for a in self.active.iter_mut() {
+            if a.remaining != u32::MAX {
+                a.remaining -= 1;
+            }
+        }
+        self.active.retain(|a| a.remaining > 0);
+
+        self.epoch += 1;
+        Ok(EpochOutcome {
+            epoch,
+            admitted,
+            rejected,
+            net_revenue: reward - penalty,
+            reward,
+            penalty,
+            violation_samples: (violated, total_samples),
+            worst_drop_fraction: worst_drop,
+            deficit: allocation.deficit,
+            bs_reserved_mhz: bs_reserved,
+            bs_load_mhz: bs_load,
+            cu_reserved_cores: cu_reserved,
+            cu_load_cores: cu_load,
+            link_reserved_mbps: link_reserved,
+            link_load_mbps: link_load,
+            solver_stats: allocation.stats,
+        })
+    }
+}

@@ -1,0 +1,338 @@
+//! The AC-RR problem instance (paper §3).
+//!
+//! An [`AcrrInstance`] is the epoch-local optimization input assembled by the
+//! orchestrator: tenants with forecasts, the network model condensed into
+//! capacity rows, and one **leg** per (tenant, base station, compute unit)
+//! triple carrying the selected transport path.
+//!
+//! ## Path pre-selection
+//!
+//! The paper's full formulation has a binary per (τ, b, c, *path*). Since all
+//! paths of a pair share the same `Λ` and the per-(τ,b) choice is single-path
+//! (constraint (5)), we pre-select one path per (τ, b, c) triple among the
+//! delay-feasible ones (`D_p ≤ ∆_τ`, constraint (7), exact under
+//! single-path). The [`PathPolicy`] controls the choice; the default
+//! `Spread` rotates tenants across the k-shortest feasible paths, which is
+//! what a load-balancing operator does and keeps link constraints meaningful.
+//! The decision variable that remains binary is the paper's CU pinning
+//! `u_{τ,c}` (reformulated constraint (6), see DESIGN.md).
+//!
+//! ## Objective
+//!
+//! Minimise `Ψ = Σ_legs K_item·ρ(z)·u − Σ_τ R_τ·acc_τ` with
+//! `ρ(z) = ξ·(Λ−z)/(Λ−λ̂)`, `ξ = σ̂·L`, `K_item = K/|B|` (per-leg
+//! normalisation so a fully violated slice pays `K` once, matching the
+//! paper's revenue scale).
+
+use crate::slice::ServiceModel;
+use ovnes_topology::operators::NetworkModel;
+
+/// LTE-style spectral efficiency used to map bitrate to radio spectrum:
+/// 20 MHz ⇔ 150 Mb/s (the paper's `η_b = 20/150` with ideal 2×2 MIMO).
+pub const MBPS_PER_MHZ: f64 = 150.0 / 20.0;
+
+/// How the single path per (tenant, BS, CU) triple is pre-selected among the
+/// delay-feasible k-shortest paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathPolicy {
+    /// Always the minimum-delay feasible path.
+    MinDelay,
+    /// The feasible path with the largest bottleneck capacity.
+    MaxBottleneck,
+    /// Rotate tenants across feasible paths (deterministic round-robin on
+    /// tenant and BS index) — spreads transport load.
+    Spread,
+}
+
+/// Per-tenant solver input for one epoch.
+#[derive(Debug, Clone)]
+pub struct TenantInput {
+    /// Tenant identity (for reporting).
+    pub tenant: u32,
+    /// Contracted per-BS bitrate Λ (Mb/s).
+    pub sla_mbps: f64,
+    /// Reward R (per epoch).
+    pub reward: f64,
+    /// Penalty constant K.
+    pub penalty: f64,
+    /// Latency tolerance ∆ (µs).
+    pub delay_budget_us: f64,
+    /// Compute model s = {a, b}.
+    pub service: ServiceModel,
+    /// Forecast peak load λ̂ per BS (Mb/s); length must equal the number of
+    /// base stations.
+    pub forecast_mbps: Vec<f64>,
+    /// Forecast uncertainty σ̂ ∈ (0, 1].
+    pub sigma: f64,
+    /// The `L` factor of `ξ = σ̂·L`; 1.0 = per-epoch risk accounting.
+    pub duration_weight: f64,
+    /// Constraint (13): the slice is active and must remain accepted.
+    pub must_accept: bool,
+    /// Active slices stay on the CU they were deployed on.
+    pub pinned_cu: Option<usize>,
+}
+
+/// One leg = (tenant, BS, CU) with its pre-selected path.
+#[derive(Debug, Clone)]
+pub struct Leg {
+    /// Tenant index into [`AcrrInstance::tenants`].
+    pub tenant: usize,
+    /// Base-station index.
+    pub bs: usize,
+    /// Compute-unit index.
+    pub cu: usize,
+    /// Link indices (into [`AcrrInstance::link_caps`]) of the selected path.
+    pub links: Vec<usize>,
+    /// Path delay in µs.
+    pub delay_us: f64,
+}
+
+/// The assembled AC-RR optimization instance.
+#[derive(Debug, Clone)]
+pub struct AcrrInstance {
+    /// Number of base stations.
+    pub n_bs: usize,
+    /// Number of compute units.
+    pub n_cu: usize,
+    /// Radio capacity per BS, MHz (`C_b`).
+    pub bs_radio_mhz: Vec<f64>,
+    /// CPU cores per CU (`C_c`).
+    pub cu_cores: Vec<f64>,
+    /// Transport capacity per referenced link, Mb/s (`C_e`).
+    pub link_caps: Vec<f64>,
+    /// Graph-level link id (`LinkId::0`) per entry of `link_caps`, for
+    /// reporting utilisation against the original topology.
+    pub link_graph_ids: Vec<usize>,
+    /// Transport protocol overhead factor `η_e` (paper simulations use 1).
+    pub eta_transport: f64,
+    /// Bitrate→spectrum efficiency per BS, Mb/s per MHz.
+    pub mbps_per_mhz: Vec<f64>,
+    /// Tenants under consideration this epoch.
+    pub tenants: Vec<TenantInput>,
+    /// All legs; for every allowed (tenant, cu) pair there is exactly one leg
+    /// per BS.
+    pub legs: Vec<Leg>,
+    /// `cu_allowed[t][c]`: every BS reaches CU `c` within tenant `t`'s delay
+    /// budget (and respects pinning).
+    pub cu_allowed: Vec<Vec<bool>>,
+    /// Overbooking on (z ∈ [λ̂, Λ]) or off (z = Λ).
+    pub overbooking: bool,
+    /// Big-M cost per unit of capacity deficit; `None` forbids deficit
+    /// (§3.4's relaxation (14)-(16) is enabled by the orchestrator once
+    /// slices persist across epochs).
+    pub deficit_cost: Option<f64>,
+}
+
+impl AcrrInstance {
+    /// Builds an instance from a network model and tenant inputs.
+    ///
+    /// # Panics
+    /// Panics if a tenant's forecast vector length differs from the BS count
+    /// or a pinned CU index is out of range.
+    pub fn build(
+        model: &NetworkModel,
+        tenants: Vec<TenantInput>,
+        policy: PathPolicy,
+        overbooking: bool,
+        deficit_cost: Option<f64>,
+    ) -> Self {
+        let n_bs = model.base_stations.len();
+        let n_cu = model.compute_units.len();
+        for t in &tenants {
+            assert_eq!(t.forecast_mbps.len(), n_bs, "forecast per BS required");
+            assert!(t.sigma > 0.0 && t.sigma <= 1.0, "σ̂ must be in (0, 1]");
+            if let Some(c) = t.pinned_cu {
+                assert!(c < n_cu, "pinned CU out of range");
+            }
+        }
+
+        // Collect only links actually used by any selected path; remap ids.
+        let mut link_index: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut link_caps: Vec<f64> = Vec::new();
+        let mut link_graph_ids: Vec<usize> = Vec::new();
+        let mut legs = Vec::new();
+        let mut cu_allowed = vec![vec![false; n_cu]; tenants.len()];
+
+        for (ti, t) in tenants.iter().enumerate() {
+            for c in 0..n_cu {
+                if let Some(pc) = t.pinned_cu {
+                    if pc != c {
+                        continue;
+                    }
+                }
+                // Pick one feasible path per BS; the CU is allowed only if
+                // every BS has one (reformulated constraint (6)).
+                let mut picks: Vec<(usize, &ovnes_topology::Path)> = Vec::with_capacity(n_bs);
+                let mut ok = true;
+                for (b, per_cu) in model.paths.iter().enumerate() {
+                    let feasible: Vec<&ovnes_topology::Path> = per_cu[c]
+                        .iter()
+                        .filter(|p| p.delay_us <= t.delay_budget_us)
+                        .collect();
+                    if feasible.is_empty() {
+                        ok = false;
+                        break;
+                    }
+                    let chosen = match policy {
+                        PathPolicy::MinDelay => feasible[0],
+                        PathPolicy::MaxBottleneck => feasible
+                            .iter()
+                            .max_by(|a, b| {
+                                a.bottleneck_mbps.partial_cmp(&b.bottleneck_mbps).unwrap()
+                            })
+                            .unwrap(),
+                        PathPolicy::Spread => feasible[(ti + b) % feasible.len()],
+                    };
+                    picks.push((b, chosen));
+                }
+                if !ok {
+                    continue;
+                }
+                cu_allowed[ti][c] = true;
+                for (b, path) in picks {
+                    let links: Vec<usize> = path
+                        .links
+                        .iter()
+                        .map(|lid| {
+                            *link_index.entry(lid.0).or_insert_with(|| {
+                                link_caps.push(model.graph.link(*lid).capacity_mbps);
+                                link_graph_ids.push(lid.0);
+                                link_caps.len() - 1
+                            })
+                        })
+                        .collect();
+                    legs.push(Leg { tenant: ti, bs: b, cu: c, links, delay_us: path.delay_us });
+                }
+            }
+        }
+
+        AcrrInstance {
+            n_bs,
+            n_cu,
+            bs_radio_mhz: model.base_stations.iter().map(|b| b.capacity_mhz).collect(),
+            cu_cores: model.compute_units.iter().map(|c| c.cores).collect(),
+            link_caps,
+            link_graph_ids,
+            eta_transport: 1.0,
+            mbps_per_mhz: vec![MBPS_PER_MHZ; n_bs],
+            tenants,
+            legs,
+            cu_allowed,
+            overbooking,
+            deficit_cost,
+        }
+    }
+
+    /// Effective forecast for a leg: under overbooking the clamped λ̂, else Λ
+    /// (no-overbooking reserves the full SLA; constraint (9) flipped).
+    pub fn leg_forecast(&self, leg: &Leg) -> f64 {
+        let t = &self.tenants[leg.tenant];
+        if self.overbooking {
+            // Keep a strictly positive gap Λ − λ̂ so the risk ratio is
+            // well-defined (the paper assumes λ̂ < Λ).
+            t.forecast_mbps[leg.bs].clamp(0.0, 0.999 * t.sla_mbps)
+        } else {
+            t.sla_mbps
+        }
+    }
+
+    /// Linearised risk-rate coefficient `q = ξ·K_item/(Λ − λ̂)` of a leg
+    /// (zero without overbooking, where the risk term vanishes).
+    pub fn leg_q(&self, leg: &Leg) -> f64 {
+        if !self.overbooking {
+            return 0.0;
+        }
+        let t = &self.tenants[leg.tenant];
+        let lam_hat = self.leg_forecast(leg);
+        let xi = t.sigma * t.duration_weight;
+        let k_item = t.penalty / self.n_bs as f64;
+        xi * k_item / (t.sla_mbps - lam_hat).max(1e-9)
+    }
+
+    /// Master objective coefficient `Γ_{τ,c} = Σ_b q·Λ − R` for a (tenant,
+    /// CU) pair; `None` when the pair is not allowed.
+    pub fn gamma(&self, tenant: usize, cu: usize) -> Option<f64> {
+        if !self.cu_allowed[tenant][cu] {
+            return None;
+        }
+        let t = &self.tenants[tenant];
+        let risk: f64 = self
+            .legs
+            .iter()
+            .filter(|l| l.tenant == tenant && l.cu == cu)
+            .map(|l| self.leg_q(l) * t.sla_mbps)
+            .sum();
+        Some(risk - t.reward)
+    }
+
+    /// All allowed (tenant, cu) pairs.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for t in 0..self.tenants.len() {
+            for c in 0..self.n_cu {
+                if self.cu_allowed[t][c] {
+                    out.push((t, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Legs of a (tenant, cu) pair.
+    pub fn legs_of(&self, tenant: usize, cu: usize) -> impl Iterator<Item = (usize, &Leg)> {
+        self.legs
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.tenant == tenant && l.cu == cu)
+    }
+
+    /// True if some assignment can satisfy `must_accept` tenants at all
+    /// (every forced tenant has at least one allowed CU).
+    pub fn forced_feasible(&self) -> bool {
+        self.tenants
+            .iter()
+            .enumerate()
+            .all(|(i, t)| !t.must_accept || self.cu_allowed[i].iter().any(|&a| a))
+    }
+}
+
+/// The solver output: admissions, CU selection and reservations.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Objective value Ψ (minimisation; more negative = more net revenue).
+    pub objective: f64,
+    /// Selected CU per tenant (`None` = rejected).
+    pub assigned_cu: Vec<Option<usize>>,
+    /// Reservation z per (tenant, BS) in Mb/s (0 for rejected tenants),
+    /// indexed `[tenant][bs]`.
+    pub reservations: Vec<Vec<f64>>,
+    /// Capacity deficit absorbed by the §3.4 relaxation:
+    /// (radio MHz, transport Mb/s, compute cores).
+    pub deficit: (f64, f64, f64),
+    /// Solver diagnostics.
+    pub stats: SolveStats,
+}
+
+impl Allocation {
+    /// Number of accepted tenants.
+    pub fn accepted(&self) -> usize {
+        self.assigned_cu.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Expected per-epoch net revenue implied by the objective (−Ψ).
+    pub fn expected_net_revenue(&self) -> f64 {
+        -self.objective
+    }
+}
+
+/// Solver diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Outer iterations (Benders/KAC rounds; 1 for one-shot MILP).
+    pub iterations: usize,
+    /// LP solves performed (slaves + relaxations where counted).
+    pub lp_solves: usize,
+    /// Final optimality gap (UB − LB) for Benders; 0 elsewhere.
+    pub gap: f64,
+}

@@ -1,0 +1,151 @@
+//! The `no-overbooking` baseline (paper §4.3.2).
+//!
+//! Constraint (9) is flipped to `xΛ ≤ z`, which together with (8) pins
+//! `z = Λ·x`: accepted slices get the full SLA reserved. The risk term
+//! vanishes (`P ≡ 0`), so the problem collapses to an optimal admission
+//! MILP over `u` alone — reservations are substituted into the capacity
+//! rows. The paper solves this with its optimal method, making the baseline
+//! an upper bound among non-overbooking policies; so do we.
+
+use super::AcrrError;
+use crate::problem::{AcrrInstance, Allocation, SolveStats};
+use ovnes_lp::{Cmp, Problem, VarId};
+use ovnes_milp::{Milp, MilpOutcome};
+
+/// Solves the no-overbooking admission problem optimally.
+///
+/// # Panics
+/// Panics if the instance was built with `overbooking = true` — the
+/// baseline must price full-SLA reservations.
+pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
+    assert!(
+        !instance.overbooking,
+        "baseline requires an instance built with overbooking = false"
+    );
+    if !instance.forced_feasible() {
+        return Err(AcrrError::ForcedInfeasible);
+    }
+    let pairs = instance.pairs();
+    let n_t = instance.tenants.len();
+    let mut p = Problem::new();
+
+    // Objective: −Σ R·u (γ reduces to −R since q = 0 without overbooking).
+    let u_vars: Vec<((usize, usize), VarId)> = pairs
+        .iter()
+        .map(|&(t, c)| ((t, c), p.add_var(0.0, 1.0, -instance.tenants[t].reward)))
+        .collect();
+
+    let deficit_vars = instance.deficit_cost.map(|m| {
+        (
+            p.add_var(0.0, f64::INFINITY, m),
+            p.add_var(0.0, f64::INFINITY, m),
+            p.add_var(0.0, f64::INFINITY, m),
+        )
+    });
+
+    for t in 0..n_t {
+        let row: Vec<(VarId, f64)> = u_vars
+            .iter()
+            .filter(|((ti, _), _)| *ti == t)
+            .map(|(_, v)| (*v, 1.0))
+            .collect();
+        if row.is_empty() {
+            continue;
+        }
+        let cmp = if instance.tenants[t].must_accept { Cmp::Eq } else { Cmp::Le };
+        p.add_cons(&row, cmp, 1.0);
+    }
+
+    // Capacity rows with z = Λ·u substituted.
+    // CU: Σ_τ (a_τ + b_τ·Σ_b Λ_τ)·u_{τ,c} ≤ C_c.
+    for c in 0..instance.n_cu {
+        let mut row: Vec<(VarId, f64)> = Vec::new();
+        for ((t, ci), v) in &u_vars {
+            if *ci != c {
+                continue;
+            }
+            let ten = &instance.tenants[*t];
+            let legs = instance.legs_of(*t, c).count() as f64;
+            let load = ten.service.base_cores
+                + ten.service.cores_per_mbps * ten.sla_mbps * legs;
+            if load != 0.0 {
+                row.push((*v, load));
+            }
+        }
+        if let Some((_, _, dc)) = deficit_vars {
+            row.push((dc, -1.0));
+        }
+        p.add_cons(&row, Cmp::Le, instance.cu_cores[c]);
+    }
+
+    // Links: Σ legs crossing e contribute Λ·u of their pair.
+    for (e, &cap) in instance.link_caps.iter().enumerate() {
+        let mut row: Vec<(VarId, f64)> = Vec::new();
+        for ((t, c), v) in &u_vars {
+            let crossings = instance
+                .legs_of(*t, *c)
+                .filter(|(_, l)| l.links.contains(&e))
+                .count() as f64;
+            if crossings > 0.0 {
+                row.push((
+                    *v,
+                    crossings * instance.eta_transport * instance.tenants[*t].sla_mbps,
+                ));
+            }
+        }
+        if row.is_empty() {
+            continue;
+        }
+        if let Some((_, db, _)) = deficit_vars {
+            row.push((db, -1.0));
+        }
+        p.add_cons(&row, Cmp::Le, cap);
+    }
+
+    // Radio: per BS, Σ_pairs Λ/η_b · u ≤ C_b.
+    for b in 0..instance.n_bs {
+        let mut row: Vec<(VarId, f64)> = Vec::new();
+        for ((t, c), v) in &u_vars {
+            if instance.legs_of(*t, *c).any(|(_, l)| l.bs == b) {
+                row.push((*v, instance.tenants[*t].sla_mbps / instance.mbps_per_mhz[b]));
+            }
+        }
+        if let Some((dr, _, _)) = deficit_vars {
+            row.push((dr, -1.0));
+        }
+        p.add_cons(&row, Cmp::Le, instance.bs_radio_mhz[b]);
+    }
+
+    let mut milp = Milp::new(p);
+    for (_, v) in &u_vars {
+        milp.mark_integer(*v);
+    }
+    let sol = match milp.solve()? {
+        MilpOutcome::Optimal(s) => s,
+        MilpOutcome::Infeasible => return Err(AcrrError::Infeasible),
+        MilpOutcome::Unbounded => unreachable!("bounded binaries"),
+    };
+
+    let mut assigned: Vec<Option<usize>> = vec![None; n_t];
+    for ((t, c), v) in &u_vars {
+        if sol.value(*v) > 0.5 {
+            assigned[*t] = Some(*c);
+        }
+    }
+    let mut reservations = vec![vec![0.0; instance.n_bs]; n_t];
+    for leg in &instance.legs {
+        if assigned[leg.tenant] == Some(leg.cu) {
+            reservations[leg.tenant][leg.bs] = instance.tenants[leg.tenant].sla_mbps;
+        }
+    }
+    let deficit = deficit_vars
+        .map(|(r, b, c)| (sol.value(r), sol.value(b), sol.value(c)))
+        .unwrap_or((0.0, 0.0, 0.0));
+    Ok(Allocation {
+        objective: sol.objective,
+        assigned_cu: assigned,
+        reservations,
+        deficit,
+        stats: SolveStats { iterations: 1, lp_solves: sol.nodes, gap: 0.0 },
+    })
+}

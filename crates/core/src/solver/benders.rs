@@ -1,0 +1,169 @@
+//! Benders decomposition (paper Algorithm 1).
+//!
+//! The master selects admissions/CU pinning (`u_{τ,c} ∈ {0,1}`) plus the
+//! surrogate slave cost `θ`; the slave prices the reservations for a fixed
+//! admission and returns optimality cuts `θ ≥ g(u)` or feasibility cuts
+//! `g(u) ≤ 0`. Iterating closes the gap between the master lower bound and
+//! the best evaluated admission (Theorem 2: finitely many dual extreme
+//! points/rays ⇒ finite convergence).
+
+use super::slave::{solve_slave, SlaveResult};
+use super::AcrrError;
+use crate::problem::{AcrrInstance, Allocation, SolveStats};
+use ovnes_lp::{Cmp, Problem, VarId};
+use ovnes_milp::{Milp, MilpOptions, MilpOutcome};
+
+/// Benders loop controls.
+#[derive(Debug, Clone)]
+pub struct BendersOptions {
+    /// Maximum outer iterations before returning the incumbent.
+    pub max_iterations: usize,
+    /// Convergence threshold on `UB − LB` (absolute, on the Ψ scale).
+    pub epsilon: f64,
+    /// Node budget per master MILP solve.
+    pub milp: MilpOptions,
+}
+
+impl Default for BendersOptions {
+    fn default() -> Self {
+        Self { max_iterations: 60, epsilon: 1e-6, milp: MilpOptions::default() }
+    }
+}
+
+/// Solves the AC-RR instance optimally via Benders decomposition.
+pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Allocation, AcrrError> {
+    if !instance.forced_feasible() {
+        return Err(AcrrError::ForcedInfeasible);
+    }
+    let pairs = instance.pairs();
+    let n_t = instance.tenants.len();
+
+    // ---- master skeleton ----
+    let mut master = Problem::new();
+    let mut u_vars: Vec<((usize, usize), VarId)> = Vec::with_capacity(pairs.len());
+    for &(t, c) in &pairs {
+        let gamma = instance.gamma(t, c).expect("pair must be allowed");
+        u_vars.push(((t, c), master.add_var(0.0, 1.0, gamma)));
+    }
+    // θ is bounded below by the most negative achievable slave value
+    // (every leg reserved at Λ recovers all its risk; deficits only add).
+    let theta_min: f64 = -instance
+        .legs
+        .iter()
+        .map(|l| instance.leg_q(l) * instance.tenants[l.tenant].sla_mbps)
+        .sum::<f64>();
+    let theta = master.add_var(theta_min, f64::INFINITY, 1.0);
+
+    for t in 0..n_t {
+        let row: Vec<(VarId, f64)> = u_vars
+            .iter()
+            .filter(|((ti, _), _)| *ti == t)
+            .map(|(_, v)| (*v, 1.0))
+            .collect();
+        if row.is_empty() {
+            continue; // tenant with no allowed CU is implicitly rejected
+        }
+        let cmp = if instance.tenants[t].must_accept { Cmp::Eq } else { Cmp::Le };
+        master.add_cons(&row, cmp, 1.0);
+    }
+
+    let mut milp = Milp::new(master);
+    for &(_, v) in &u_vars {
+        milp.mark_integer(v);
+    }
+    milp.set_options(options.milp.clone());
+
+    // ---- Benders loop ----
+    let mut best: Option<(f64, Vec<Option<usize>>, Vec<f64>, (f64, f64, f64))> = None;
+    let mut lower = f64::NEG_INFINITY;
+    let mut stats = SolveStats::default();
+
+    for iter in 0..options.max_iterations {
+        stats.iterations = iter + 1;
+        let master_sol = match milp.solve()? {
+            MilpOutcome::Optimal(s) => s,
+            MilpOutcome::Infeasible => {
+                // Feasibility cuts exclude every admission (possible only
+                // without the deficit relaxation and with forced slices).
+                return match best {
+                    Some(_) => break_out(instance, best, lower, stats),
+                    None => Err(AcrrError::Infeasible),
+                };
+            }
+            MilpOutcome::Unbounded => unreachable!("θ is bounded below"),
+        };
+        lower = lower.max(master_sol.objective);
+
+        // Decode the admission vector.
+        let mut assigned: Vec<Option<usize>> = vec![None; n_t];
+        for ((t, c), v) in &u_vars {
+            if master_sol.value(*v) > 0.5 {
+                assigned[*t] = Some(*c);
+            }
+        }
+
+        stats.lp_solves += 1;
+        match solve_slave(instance, &assigned)? {
+            SlaveResult::Feasible { value, z, deficit, cut } => {
+                let fixed: f64 = u_vars
+                    .iter()
+                    .map(|((t, c), _)| {
+                        if assigned[*t] == Some(*c) {
+                            instance.gamma(*t, *c).unwrap()
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                let total = fixed + value;
+                if best.as_ref().map_or(true, |(b, ..)| total < *b) {
+                    best = Some((total, assigned.clone(), z, deficit));
+                }
+                // Optimality cut: θ ≥ cut(u)  ⇔  Σ coeff·u − θ ≤ −constant.
+                let mut row: Vec<(VarId, f64)> = vec![(theta, -1.0)];
+                for ((t, c), v) in &u_vars {
+                    if let Some(&w) = cut.coeffs.get(&(*t, *c)) {
+                        row.push((*v, w));
+                    }
+                }
+                milp.problem_mut().add_cons(&row, Cmp::Le, -cut.constant);
+            }
+            SlaveResult::Infeasible { cut } => {
+                // Feasibility cut: Σ coeff·u ≤ −constant.
+                let row: Vec<(VarId, f64)> = u_vars
+                    .iter()
+                    .filter_map(|((t, c), v)| cut.coeffs.get(&(*t, *c)).map(|&w| (*v, w)))
+                    .collect();
+                milp.problem_mut().add_cons(&row, Cmp::Le, -cut.constant);
+            }
+        }
+
+        if let Some((ub, ..)) = &best {
+            stats.gap = ub - lower;
+            if stats.gap <= options.epsilon {
+                break;
+            }
+        }
+    }
+
+    break_out(instance, best, lower, stats)
+}
+
+fn break_out(
+    instance: &AcrrInstance,
+    best: Option<(f64, Vec<Option<usize>>, Vec<f64>, (f64, f64, f64))>,
+    lower: f64,
+    mut stats: SolveStats,
+) -> Result<Allocation, AcrrError> {
+    let Some((objective, assigned, z, deficit)) = best else {
+        return Err(AcrrError::Infeasible);
+    };
+    stats.gap = objective - lower;
+    let mut reservations = vec![vec![0.0; instance.n_bs]; instance.tenants.len()];
+    for (li, leg) in instance.legs.iter().enumerate() {
+        if assigned[leg.tenant] == Some(leg.cu) {
+            reservations[leg.tenant][leg.bs] = z[li];
+        }
+    }
+    Ok(Allocation { objective, assigned_cu: assigned, reservations, deficit, stats })
+}

@@ -1,0 +1,76 @@
+//! AC-RR solvers (paper §4).
+//!
+//! * [`benders`] — Algorithm 1: optimal Benders decomposition (MILP master
+//!   over CU-selection binaries + LP slave over reservations, with
+//!   optimality and feasibility cuts),
+//! * [`kac`] — Algorithms 2–3: the Knapsack Admission Control heuristic
+//!   (greedy FFD over dual-ray-aggregated capacity),
+//! * [`oneshot`] — the linearised AC-RR MILP (Problem 2) solved directly by
+//!   branch and bound; exact but only practical on small instances, used as
+//!   the cross-check oracle in tests,
+//! * [`baseline`] — the `no-overbooking` policy (constraint (9) flipped to
+//!   `z = Λ·x`), solved optimally as a pure admission MILP,
+//! * [`slave`] — the shared reservation LP and Benders-cut extraction.
+
+pub mod baseline;
+pub mod benders;
+pub mod kac;
+pub mod oneshot;
+pub mod slave;
+
+use crate::problem::{AcrrInstance, Allocation};
+
+/// Which algorithm the orchestrator runs each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Optimal Benders decomposition (small/medium instances).
+    Benders,
+    /// KAC heuristic (large instances; suboptimal but fast).
+    Kac,
+    /// One-shot MILP (tiny instances; reference oracle).
+    OneShot,
+    /// No-overbooking baseline (requires `instance.overbooking == false`).
+    NoOverbooking,
+}
+
+/// Errors shared by the solvers.
+#[derive(Debug, Clone)]
+pub enum AcrrError {
+    /// A `must_accept` tenant has no delay-feasible CU at all.
+    ForcedInfeasible,
+    /// The instance admits no assignment satisfying all constraints (only
+    /// possible with the §3.4 deficit relaxation disabled).
+    Infeasible,
+    /// The underlying LP/MILP engine gave up (iteration limits).
+    Engine(ovnes_lp::SolveError),
+}
+
+impl std::fmt::Display for AcrrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcrrError::ForcedInfeasible => {
+                write!(f, "an active slice has no delay-feasible compute unit")
+            }
+            AcrrError::Infeasible => write!(f, "no feasible slice assignment exists"),
+            AcrrError::Engine(e) => write!(f, "solver engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AcrrError {}
+
+impl From<ovnes_lp::SolveError> for AcrrError {
+    fn from(e: ovnes_lp::SolveError) -> Self {
+        AcrrError::Engine(e)
+    }
+}
+
+/// Dispatches an instance to the chosen solver.
+pub fn solve(instance: &AcrrInstance, kind: SolverKind) -> Result<Allocation, AcrrError> {
+    match kind {
+        SolverKind::Benders => benders::solve(instance, &benders::BendersOptions::default()),
+        SolverKind::Kac => kac::solve(instance, &kac::KacOptions::default()),
+        SolverKind::OneShot => oneshot::solve(instance),
+        SolverKind::NoOverbooking => baseline::solve(instance),
+    }
+}

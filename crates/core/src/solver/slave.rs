@@ -1,0 +1,215 @@
+//! The Benders slave: the reservation LP for a fixed admission vector, and
+//! the machinery to turn its duals (or Farkas certificates) into cuts.
+//!
+//! For a fixed admission `ū` (CU selection per tenant), the slave is
+//!
+//! ```text
+//! min  −Σ_legs q·z  (+ M·(δ_r + δ_b + δ_c))
+//! s.t. Σ_{legs→c} b_τ·z − δ_c ≤ C_c − Σ_τ a_τ·ū_{τ,c}      ∀ CU c     (2/14)
+//!      Σ_{legs∋e} η_e·z − δ_b ≤ C_e                        ∀ link e   (3/15)
+//!      Σ_{legs@b} z/η_b − δ_r ≤ C_b                        ∀ BS b     (4/16)
+//!      z ≤ Λ·ū_{τ,c}                                       ∀ leg      (17)
+//!      z ≥ λ̂·ū_{τ,c}                                      ∀ leg      (18)
+//! ```
+//!
+//! Every right-hand side is affine in `u`, so any dual-feasible vector `y`
+//! yields the affine lower bound `g(u) = Σ_i y_i·rhs_i(u) ≤ slave_opt(u)`
+//! (optimality cut `θ ≥ g(u)`), and a Farkas certificate yields the validity
+//! condition `g(u) ≤ 0` (feasibility cut). The paper's `y`/linearisation
+//! variables are unnecessary here because the slave sees `x` as a constant —
+//! see DESIGN.md.
+
+use crate::problem::AcrrInstance;
+use ovnes_lp::{Cmp, Outcome, Problem, VarId};
+use std::collections::HashMap;
+
+/// An affine function of the admission binaries: `g(u) = constant +
+/// Σ coeffs[(t,c)]·u_{t,c}`.
+#[derive(Debug, Clone, Default)]
+pub struct CutExpr {
+    /// Constant term.
+    pub constant: f64,
+    /// Per-(tenant, CU) coefficients.
+    pub coeffs: HashMap<(usize, usize), f64>,
+}
+
+impl CutExpr {
+    /// Evaluates the expression at an admission vector.
+    pub fn eval(&self, assigned: &[Option<usize>]) -> f64 {
+        let mut v = self.constant;
+        for (&(t, c), &w) in &self.coeffs {
+            if assigned[t] == Some(c) {
+                v += w;
+            }
+        }
+        v
+    }
+}
+
+/// Slave outcome for a fixed admission vector.
+#[derive(Debug, Clone)]
+pub enum SlaveResult {
+    /// The reservation LP is feasible.
+    Feasible {
+        /// Optimal slave objective (risk recovered through reservations,
+        /// plus any big-M deficit cost).
+        value: f64,
+        /// Reservation per leg (same order as `instance.legs`).
+        z: Vec<f64>,
+        /// Deficit used: (radio MHz, transport Mb/s, compute cores).
+        deficit: (f64, f64, f64),
+        /// Optimality cut `θ ≥ cut(u)`.
+        cut: CutExpr,
+    },
+    /// No reservation satisfies the capacities (only without the deficit
+    /// relaxation).
+    Infeasible {
+        /// Feasibility cut `cut(u) ≤ 0`.
+        cut: CutExpr,
+    },
+}
+
+/// Row bookkeeping: rhs constant plus affine dependence on `u`.
+struct RowSpec {
+    r0: f64,
+    u_coeffs: Vec<((usize, usize), f64)>,
+}
+
+/// Solves the slave for `assigned` (CU per tenant, `None` = rejected).
+pub fn solve_slave(
+    instance: &AcrrInstance,
+    assigned: &[Option<usize>],
+) -> Result<SlaveResult, ovnes_lp::SolveError> {
+    assert_eq!(assigned.len(), instance.tenants.len());
+    let mut p = Problem::new();
+    let is_on = |t: usize, c: usize| assigned[t] == Some(c);
+
+    // Reservation variable per leg.
+    let z_vars: Vec<VarId> = instance
+        .legs
+        .iter()
+        .map(|leg| p.add_var(0.0, f64::INFINITY, -instance.leg_q(leg)))
+        .collect();
+
+    // Domain-wide deficit variables (paper §3.4: one per domain).
+    let deficit_vars = instance.deficit_cost.map(|m| {
+        (
+            p.add_var(0.0, f64::INFINITY, m), // radio δ_r
+            p.add_var(0.0, f64::INFINITY, m), // transport δ_b
+            p.add_var(0.0, f64::INFINITY, m), // compute δ_c
+        )
+    });
+
+    let mut rows: Vec<RowSpec> = Vec::new();
+
+    // (2/14) CU capacity.
+    for c in 0..instance.n_cu {
+        let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+        for (li, leg) in instance.legs.iter().enumerate() {
+            if leg.cu == c {
+                let b = instance.tenants[leg.tenant].service.cores_per_mbps;
+                if b != 0.0 {
+                    coeffs.push((z_vars[li], b));
+                }
+            }
+        }
+        if let Some((_, _, dc)) = deficit_vars {
+            coeffs.push((dc, -1.0));
+        }
+        // rhs: C_c − Σ_t a_t·u_{t,c}.
+        let mut u_coeffs = Vec::new();
+        let mut rhs = instance.cu_cores[c];
+        for (t, ten) in instance.tenants.iter().enumerate() {
+            if instance.cu_allowed[t][c] && ten.service.base_cores != 0.0 {
+                u_coeffs.push(((t, c), -ten.service.base_cores));
+                if is_on(t, c) {
+                    rhs -= ten.service.base_cores;
+                }
+            }
+        }
+        p.add_cons(&coeffs, Cmp::Le, rhs);
+        rows.push(RowSpec { r0: instance.cu_cores[c], u_coeffs });
+    }
+
+    // (3/15) Link capacity.
+    for (e, &cap) in instance.link_caps.iter().enumerate() {
+        let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+        for (li, leg) in instance.legs.iter().enumerate() {
+            if leg.links.contains(&e) {
+                coeffs.push((z_vars[li], instance.eta_transport));
+            }
+        }
+        if coeffs.is_empty() {
+            // Link referenced by no leg (possible after CU pruning): skip to
+            // keep the LP lean, but keep row indices aligned by not pushing.
+            continue;
+        }
+        if let Some((_, db, _)) = deficit_vars {
+            coeffs.push((db, -1.0));
+        }
+        p.add_cons(&coeffs, Cmp::Le, cap);
+        rows.push(RowSpec { r0: cap, u_coeffs: Vec::new() });
+    }
+
+    // (4/16) Radio capacity per BS (z in Mb/s ÷ efficiency = MHz).
+    for b in 0..instance.n_bs {
+        let eff = instance.mbps_per_mhz[b];
+        let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+        for (li, leg) in instance.legs.iter().enumerate() {
+            if leg.bs == b {
+                coeffs.push((z_vars[li], 1.0 / eff));
+            }
+        }
+        if let Some((dr, _, _)) = deficit_vars {
+            coeffs.push((dr, -1.0));
+        }
+        p.add_cons(&coeffs, Cmp::Le, instance.bs_radio_mhz[b]);
+        rows.push(RowSpec { r0: instance.bs_radio_mhz[b], u_coeffs: Vec::new() });
+    }
+
+    // (17)/(18) Reservation window per leg, parametric in u.
+    for (li, leg) in instance.legs.iter().enumerate() {
+        let t = &instance.tenants[leg.tenant];
+        let pair = (leg.tenant, leg.cu);
+        let on = is_on(leg.tenant, leg.cu);
+        let lam = t.sla_mbps;
+        let lam_hat = instance.leg_forecast(leg);
+
+        p.add_cons(&[(z_vars[li], 1.0)], Cmp::Le, if on { lam } else { 0.0 });
+        rows.push(RowSpec { r0: 0.0, u_coeffs: vec![(pair, lam)] });
+
+        p.add_cons(&[(z_vars[li], 1.0)], Cmp::Ge, if on { lam_hat } else { 0.0 });
+        rows.push(RowSpec { r0: 0.0, u_coeffs: vec![(pair, lam_hat)] });
+    }
+
+    let make_cut = |multipliers: &[f64]| -> CutExpr {
+        let mut cut = CutExpr::default();
+        for (i, spec) in rows.iter().enumerate() {
+            let y = multipliers[i];
+            if y == 0.0 {
+                continue;
+            }
+            cut.constant += y * spec.r0;
+            for &(pair, w) in &spec.u_coeffs {
+                *cut.coeffs.entry(pair).or_insert(0.0) += y * w;
+            }
+        }
+        cut
+    };
+
+    match p.solve()? {
+        Outcome::Optimal(sol) => {
+            let z: Vec<f64> = z_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
+            let deficit = deficit_vars
+                .map(|(r, b, c)| (sol.value(r), sol.value(b), sol.value(c)))
+                .unwrap_or((0.0, 0.0, 0.0));
+            let cut = make_cut(&sol.duals);
+            Ok(SlaveResult::Feasible { value: sol.objective, z, deficit, cut })
+        }
+        Outcome::Infeasible(farkas) => {
+            let cut = make_cut(&farkas.row_multipliers);
+            Ok(SlaveResult::Infeasible { cut })
+        }
+        Outcome::Unbounded => unreachable!("slave objective is bounded (q ≥ 0, z ≤ Λ)"),
+    }
+}

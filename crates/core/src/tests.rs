@@ -1,0 +1,564 @@
+//! Core tests: solver cross-checks (Benders vs one-shot MILP vs brute
+//! force), cut validity, KAC quality, orchestrator and testbed behaviour.
+
+use crate::experiment::{homogeneous, run_on, Scenario, SigmaLevel};
+use crate::orchestrator::{Orchestrator, OrchestratorConfig};
+use crate::problem::{AcrrInstance, PathPolicy, TenantInput};
+use crate::slice::{ServiceModel, SliceClass, SliceRequest, SliceTemplate};
+use crate::solver::slave::{solve_slave, SlaveResult};
+use crate::solver::{baseline, benders, kac, oneshot, SolverKind};
+use crate::testbed::{run_testbed, testbed_model, testbed_requests, TESTBED_EPOCHS};
+use ovnes_topology::graph::{Graph, LinkTech};
+use ovnes_topology::ksp::k_shortest;
+use ovnes_topology::operators::{BaseStation, ComputeUnit, CuKind, NetworkModel, Operator};
+use proptest::prelude::*;
+
+/// A tiny custom data plane: `n_bs` base stations behind one switch, an edge
+/// CU and a core CU (20 ms away).
+fn toy_model(n_bs: usize, edge_cores: f64, core_cores: f64, link_mbps: f64) -> NetworkModel {
+    let mut g = Graph::new();
+    let sw = g.add_node(0.0, 0.0);
+    let mut base_stations = Vec::new();
+    for i in 0..n_bs {
+        let n = g.add_node(0.1 * (i as f64 + 1.0), 0.0);
+        g.add_link(n, sw, link_mbps, LinkTech::Copper);
+        base_stations.push(BaseStation { node: n, capacity_mhz: 20.0 });
+    }
+    let edge = g.add_node(0.0, 0.1);
+    g.add_link(sw, edge, link_mbps, LinkTech::Copper);
+    let core = g.add_node(0.0, 0.2);
+    g.add_link_with(sw, core, link_mbps, 0.0, LinkTech::Virtual, 20_000.0);
+    let compute_units = vec![
+        ComputeUnit { node: edge, cores: edge_cores, kind: CuKind::Edge },
+        ComputeUnit { node: core, cores: core_cores, kind: CuKind::Core },
+    ];
+    let paths = base_stations
+        .iter()
+        .map(|bs| {
+            compute_units
+                .iter()
+                .map(|cu| k_shortest(&g, bs.node, cu.node, 4))
+                .collect()
+        })
+        .collect();
+    NetworkModel { operator: Operator::Romanian, graph: g, base_stations, compute_units, paths }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tenant(
+    id: u32,
+    sla: f64,
+    reward: f64,
+    penalty: f64,
+    forecast: f64,
+    sigma: f64,
+    n_bs: usize,
+    cores_per_mbps: f64,
+) -> TenantInput {
+    TenantInput {
+        tenant: id,
+        sla_mbps: sla,
+        reward,
+        penalty,
+        delay_budget_us: 30_000.0,
+        service: ServiceModel { base_cores: 0.0, cores_per_mbps },
+        forecast_mbps: vec![forecast; n_bs],
+        sigma,
+        duration_weight: 1.0,
+        must_accept: false,
+        pinned_cu: None,
+    }
+}
+
+/// Brute-force optimum by enumerating every admission vector and pricing
+/// reservations with the slave LP.
+fn brute_force(instance: &AcrrInstance) -> f64 {
+    let n_t = instance.tenants.len();
+    let n_cu = instance.n_cu;
+    let options = (n_cu + 1).pow(n_t as u32);
+    let mut best = f64::INFINITY;
+    for code in 0..options {
+        let mut c = code;
+        let mut assigned: Vec<Option<usize>> = Vec::with_capacity(n_t);
+        for _ in 0..n_t {
+            let d = c % (n_cu + 1);
+            c /= n_cu + 1;
+            assigned.push(if d == 0 { None } else { Some(d - 1) });
+        }
+        // Respect allowed CUs and forced tenants.
+        let ok = assigned.iter().enumerate().all(|(t, cu)| match cu {
+            Some(c) => instance.cu_allowed[t][*c],
+            None => !instance.tenants[t].must_accept,
+        });
+        if !ok {
+            continue;
+        }
+        if let SlaveResult::Feasible { value, .. } = solve_slave(instance, &assigned).unwrap() {
+            let fixed: f64 = assigned
+                .iter()
+                .enumerate()
+                .filter_map(|(t, cu)| cu.map(|c| instance.gamma(t, c).unwrap()))
+                .sum();
+            best = best.min(fixed + value);
+        }
+    }
+    best
+}
+
+// ------------------------------------------------------------------- slave
+
+#[test]
+fn slave_strong_duality_at_evaluation_point() {
+    let model = toy_model(2, 16.0, 64.0, 1000.0);
+    let tenants = vec![
+        tenant(0, 25.0, 2.2, 2.2, 12.0, 0.3, 2, 0.2),
+        tenant(1, 25.0, 2.2, 2.2, 12.0, 0.3, 2, 0.2),
+    ];
+    let inst = AcrrInstance::build(&model, tenants, PathPolicy::MinDelay, true, None);
+    let assigned = vec![Some(0), Some(0)];
+    match solve_slave(&inst, &assigned).unwrap() {
+        SlaveResult::Feasible { value, cut, .. } => {
+            let g = cut.eval(&assigned);
+            assert!((g - value).abs() < 1e-6, "duality gap: cut {g} vs value {value}");
+        }
+        SlaveResult::Infeasible { .. } => panic!("slave should be feasible"),
+    }
+}
+
+#[test]
+fn slave_optimality_cut_lower_bounds_other_points() {
+    let model = toy_model(2, 10.0, 40.0, 500.0);
+    let tenants = vec![
+        tenant(0, 25.0, 2.2, 2.2, 10.0, 0.4, 2, 0.2),
+        tenant(1, 10.0, 3.0, 3.0, 5.0, 0.2, 2, 2.0),
+    ];
+    let inst = AcrrInstance::build(&model, tenants, PathPolicy::MinDelay, true, None);
+    let points: Vec<Vec<Option<usize>>> = vec![
+        vec![None, None],
+        vec![Some(0), None],
+        vec![None, Some(1)],
+        vec![Some(0), Some(1)],
+        vec![Some(1), Some(0)],
+    ];
+    for base in &points {
+        let SlaveResult::Feasible { cut, .. } = solve_slave(&inst, base).unwrap() else {
+            continue;
+        };
+        for other in &points {
+            if let SlaveResult::Feasible { value, .. } = solve_slave(&inst, other).unwrap() {
+                let bound = cut.eval(other);
+                assert!(
+                    bound <= value + 1e-6,
+                    "cut from {base:?} overestimates {other:?}: {bound} > {value}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn slave_feasibility_cut_separates() {
+    // Edge CU sized so one compute-heavy tenant fits its forecast floor
+    // (8 Mb/s × 2 cores = 16 ≤ 20) but two (32) cannot.
+    let model = toy_model(1, 20.0, 20.0, 1e6);
+    let mut t0 = tenant(0, 10.0, 3.0, 3.0, 8.0, 0.2, 1, 2.0);
+    let mut t1 = tenant(1, 10.0, 3.0, 3.0, 8.0, 0.2, 1, 2.0);
+    t0.delay_budget_us = 1_000.0; // pin both to the edge CU
+    t1.delay_budget_us = 1_000.0;
+    let inst = AcrrInstance::build(&model, vec![t0, t1], PathPolicy::MinDelay, true, None);
+    assert!(inst.cu_allowed[0][0] && !inst.cu_allowed[0][1]);
+    let bad = vec![Some(0), Some(0)];
+    match solve_slave(&inst, &bad).unwrap() {
+        SlaveResult::Infeasible { cut } => {
+            assert!(cut.eval(&bad) > 1e-7, "cut must be violated at the bad point");
+            // All single-tenant admissions are feasible and must satisfy it.
+            for ok in [vec![Some(0), None], vec![None, Some(0)], vec![None, None]] {
+                assert!(
+                    matches!(solve_slave(&inst, &ok).unwrap(), SlaveResult::Feasible { .. }),
+                    "{ok:?} should be feasible"
+                );
+                assert!(cut.eval(&ok) <= 1e-7, "cut wrongly excludes {ok:?}");
+            }
+        }
+        SlaveResult::Feasible { .. } => panic!("16+16 cores cannot fit in 20"),
+    }
+}
+
+#[test]
+fn slave_deficit_relaxation_always_feasible() {
+    let model = toy_model(1, 1.0, 1.0, 1e6);
+    let mut t0 = tenant(0, 10.0, 3.0, 3.0, 8.0, 0.2, 1, 2.0);
+    t0.delay_budget_us = 1_000.0;
+    let inst = AcrrInstance::build(&model, vec![t0], PathPolicy::MinDelay, true, Some(1e4));
+    match solve_slave(&inst, &[Some(0)]).unwrap() {
+        SlaveResult::Feasible { deficit, .. } => {
+            assert!(deficit.2 > 1.0, "compute deficit must absorb the overflow");
+        }
+        SlaveResult::Infeasible { .. } => panic!("deficit relaxation must make it feasible"),
+    }
+}
+
+// ----------------------------------------------------------------- solvers
+
+fn small_instance(seed: u64) -> AcrrInstance {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let model = toy_model(2, 12.0, 30.0, 400.0);
+    let n_t = rng.gen_range(2..4);
+    let tenants: Vec<TenantInput> = (0..n_t)
+        .map(|i| {
+            let sla = rng.gen_range(10.0..40.0);
+            let forecast = rng.gen_range(0.1..0.9) * sla;
+            tenant(
+                i as u32,
+                sla,
+                rng.gen_range(0.5..3.0),
+                rng.gen_range(0.5..5.0),
+                forecast,
+                rng.gen_range(0.05..1.0f64),
+                2,
+                rng.gen_range(0.0..0.5),
+            )
+        })
+        .collect();
+    AcrrInstance::build(&model, tenants, PathPolicy::MinDelay, true, None)
+}
+
+#[test]
+fn benders_matches_brute_force() {
+    for seed in 0..6 {
+        let inst = small_instance(seed);
+        let brute = brute_force(&inst);
+        let alloc = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+        assert!(
+            (alloc.objective - brute).abs() < 1e-5,
+            "seed {seed}: benders {} vs brute {brute}",
+            alloc.objective
+        );
+    }
+}
+
+#[test]
+fn oneshot_matches_brute_force() {
+    for seed in 0..6 {
+        let inst = small_instance(seed);
+        let brute = brute_force(&inst);
+        let alloc = oneshot::solve(&inst).unwrap();
+        assert!(
+            (alloc.objective - brute).abs() < 1e-5,
+            "seed {seed}: oneshot {} vs brute {brute}",
+            alloc.objective
+        );
+    }
+}
+
+#[test]
+fn kac_is_feasible_and_bounded_by_optimum() {
+    for seed in 0..6 {
+        let inst = small_instance(seed);
+        let opt = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+        let heur = kac::solve(&inst, &kac::KacOptions::default()).unwrap();
+        // KAC minimises the same objective; it can only be ≥ the optimum.
+        assert!(
+            heur.objective >= opt.objective - 1e-6,
+            "seed {seed}: KAC {} beat the optimum {}",
+            heur.objective,
+            opt.objective
+        );
+        // And its reservations must respect every capacity (slave-verified
+        // already, but double-check radio as a sample).
+        for b in 0..inst.n_bs {
+            let used: f64 = heur
+                .reservations
+                .iter()
+                .map(|per_bs| per_bs[b] / crate::problem::MBPS_PER_MHZ)
+                .sum();
+            assert!(used <= inst.bs_radio_mhz[b] + 1e-6);
+        }
+    }
+}
+
+#[test]
+fn overbooking_revenue_at_least_baseline() {
+    let model = toy_model(2, 16.0, 64.0, 1000.0);
+    let mk_tenants = || {
+        (0..4)
+            .map(|i| tenant(i, 25.0, 2.2, 2.2, 8.0, 0.2, 2, 0.2))
+            .collect::<Vec<_>>()
+    };
+    let ov = AcrrInstance::build(&model, mk_tenants(), PathPolicy::MinDelay, true, None);
+    let nov = AcrrInstance::build(&model, mk_tenants(), PathPolicy::MinDelay, false, None);
+    let ours = benders::solve(&ov, &benders::BendersOptions::default()).unwrap();
+    let base = baseline::solve(&nov).unwrap();
+    assert!(
+        ours.expected_net_revenue() >= base.expected_net_revenue() - 1e-6,
+        "overbooking ({}) must not trail the baseline ({})",
+        ours.expected_net_revenue(),
+        base.expected_net_revenue()
+    );
+    assert!(ours.accepted() >= base.accepted());
+}
+
+#[test]
+fn baseline_reserves_full_sla() {
+    let model = toy_model(2, 160.0, 640.0, 10_000.0);
+    let tenants = vec![tenant(0, 25.0, 2.2, 2.2, 5.0, 0.2, 2, 0.2)];
+    let inst = AcrrInstance::build(&model, tenants, PathPolicy::MinDelay, false, None);
+    let alloc = baseline::solve(&inst).unwrap();
+    assert_eq!(alloc.accepted(), 1);
+    for b in 0..2 {
+        assert!((alloc.reservations[0][b] - 25.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn reservations_lie_between_forecast_and_sla() {
+    let inst = small_instance(3);
+    let alloc = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+    for (t, cu) in alloc.assigned_cu.iter().enumerate() {
+        if cu.is_none() {
+            continue;
+        }
+        let ten = &inst.tenants[t];
+        for b in 0..inst.n_bs {
+            let z = alloc.reservations[t][b];
+            let lam_hat = ten.forecast_mbps[b].min(0.999 * ten.sla_mbps);
+            assert!(
+                z >= lam_hat - 1e-6 && z <= ten.sla_mbps + 1e-6,
+                "z = {z} outside [{lam_hat}, {}]",
+                ten.sla_mbps
+            );
+        }
+    }
+}
+
+#[test]
+fn must_accept_is_honoured() {
+    let model = toy_model(2, 16.0, 64.0, 1000.0);
+    // A forced tenant with a terrible risk profile must still be admitted.
+    let mut bad = tenant(0, 25.0, 0.1, 50.0, 24.0, 1.0, 2, 0.2);
+    bad.must_accept = true;
+    bad.pinned_cu = Some(0);
+    let good = tenant(1, 25.0, 2.2, 2.2, 5.0, 0.2, 2, 0.2);
+    let inst =
+        AcrrInstance::build(&model, vec![bad, good], PathPolicy::MinDelay, true, Some(1e4));
+    for solver in [SolverKind::Benders, SolverKind::Kac, SolverKind::OneShot] {
+        let alloc = crate::solver::solve(&inst, solver).unwrap();
+        assert_eq!(alloc.assigned_cu[0], Some(0), "{solver:?} must keep the active slice");
+    }
+}
+
+#[test]
+fn urllc_never_placed_on_core() {
+    let model = toy_model(2, 160.0, 640.0, 10_000.0);
+    let mut t0 = tenant(0, 25.0, 2.2, 2.2, 5.0, 0.2, 2, 0.2);
+    t0.delay_budget_us = 5_000.0; // uRLLC budget < 20 ms core link
+    let inst = AcrrInstance::build(&model, vec![t0], PathPolicy::MinDelay, true, None);
+    assert!(inst.cu_allowed[0][0]);
+    assert!(!inst.cu_allowed[0][1], "core CU must be delay-pruned for uRLLC");
+    let alloc = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+    assert_eq!(alloc.assigned_cu[0], Some(0));
+}
+
+#[test]
+fn gamma_combines_risk_and_reward() {
+    let model = toy_model(2, 160.0, 640.0, 10_000.0);
+    // Low uncertainty ⇒ γ ≈ σ̂·K·Λ/(Λ−λ̂) − R < 0 (admit); σ̂ = 1 and a big
+    // penalty ⇒ γ > 0 (risky).
+    let safe = tenant(0, 50.0, 1.0, 1.0, 10.0, 0.05, 2, 0.0);
+    let risky = tenant(1, 50.0, 1.0, 16.0, 40.0, 1.0, 2, 0.0);
+    let inst = AcrrInstance::build(&model, vec![safe, risky], PathPolicy::MinDelay, true, None);
+    assert!(inst.gamma(0, 0).unwrap() < 0.0);
+    assert!(inst.gamma(1, 0).unwrap() > 0.0);
+}
+
+// ------------------------------------------------------------- orchestrator
+
+#[test]
+fn orchestrator_admits_and_learns() {
+    let model = toy_model(2, 20.0, 64.0, 1000.0);
+    let mut orch = Orchestrator::new(
+        model,
+        OrchestratorConfig { solver: SolverKind::Benders, seed: 3, ..Default::default() },
+    );
+    for t in 0..3 {
+        orch.submit(SliceRequest::from_template(t, SliceTemplate::urllc(), 0.4, 1.0, 1.0));
+    }
+    let mut admitted_final = 0;
+    for _ in 0..8 {
+        let out = orch.step().unwrap();
+        admitted_final = out.admitted.len();
+        // Utilisation vectors must be sized to the model.
+        assert_eq!(out.bs_reserved_mhz.len(), 2);
+        assert_eq!(out.cu_reserved_cores.len(), 2);
+    }
+    // 3 uRLLC at 40% load (≈6 headroom-padded cores each) fit the 20-core
+    // edge with overbooking; full-SLA reservations (10 cores each) would not.
+    assert_eq!(admitted_final, 3);
+}
+
+#[test]
+fn no_overbooking_never_violates() {
+    let model = toy_model(2, 16.0, 64.0, 1000.0);
+    let mut orch = Orchestrator::new(
+        model,
+        OrchestratorConfig { overbooking: false, seed: 5, ..Default::default() },
+    );
+    for t in 0..3 {
+        orch.submit(SliceRequest::from_template(t, SliceTemplate::urllc(), 0.5, 3.0, 1.0));
+    }
+    for _ in 0..6 {
+        let out = orch.step().unwrap();
+        assert_eq!(out.violation_samples.0, 0, "full-SLA reservations cannot violate");
+        assert_eq!(out.penalty, 0.0);
+    }
+}
+
+#[test]
+fn slice_expiry_frees_capacity() {
+    let model = toy_model(2, 16.0, 64.0, 1000.0);
+    let mut orch = Orchestrator::new(
+        model,
+        OrchestratorConfig { solver: SolverKind::Benders, seed: 9, ..Default::default() },
+    );
+    let mut short = SliceRequest::from_template(0, SliceTemplate::urllc(), 0.4, 1.0, 1.0);
+    short.duration_epochs = 2;
+    orch.submit(short);
+    let out = orch.step().unwrap();
+    assert_eq!(out.admitted.len(), 1);
+    orch.step().unwrap();
+    let out = orch.step().unwrap();
+    assert!(out.admitted.is_empty(), "expired slice must leave the system");
+}
+
+#[test]
+fn experiment_runner_converges() {
+    let model = toy_model(3, 60.0, 240.0, 2000.0);
+    let mut scenario = Scenario::new(
+        Operator::Romanian,
+        homogeneous(SliceClass::Embb, 4, 0.3, SigmaLevel::Quarter, 1.0),
+    );
+    scenario.solver = SolverKind::Kac;
+    scenario.max_epochs = 16;
+    scenario.min_epochs = 8;
+    let summary = run_on(&scenario, model).unwrap();
+    assert!(summary.mean_net_revenue > 0.0);
+    assert!(summary.epochs <= 16);
+    assert!(summary.mean_admitted > 0.0);
+}
+
+// ----------------------------------------------------------------- testbed
+
+#[test]
+fn testbed_model_matches_table2() {
+    let m = testbed_model();
+    assert_eq!(m.base_stations.len(), 2);
+    assert_eq!(m.compute_units[0].cores, 16.0);
+    assert_eq!(m.compute_units[1].cores, 64.0);
+    for bs in &m.base_stations {
+        assert_eq!(bs.capacity_mhz, 20.0); // 100 PRBs
+    }
+    // uRLLC can reach the edge but not the core.
+    for per_cu in &m.paths {
+        assert!(per_cu[0][0].delay_us < 5_000.0);
+        assert!(per_cu[1][0].delay_us > 5_000.0);
+    }
+}
+
+#[test]
+fn testbed_requests_follow_the_schedule() {
+    let reqs = testbed_requests();
+    assert_eq!(reqs.len(), 9);
+    for (i, r) in reqs.iter().enumerate() {
+        assert_eq!(r.arrival_epoch, (i * 2) as u32);
+        assert!((r.true_mean_mbps - r.template.sla_mbps / 2.0).abs() < 1e-9);
+    }
+    assert_eq!(reqs[0].template.class, SliceClass::Urllc);
+    assert_eq!(reqs[3].template.class, SliceClass::Mmtc);
+    assert_eq!(reqs[6].template.class, SliceClass::Embb);
+}
+
+#[test]
+fn testbed_overbooking_beats_baseline() {
+    let ours = run_testbed(SolverKind::Benders, true, 11).unwrap();
+    let base = run_testbed(SolverKind::Benders, false, 11).unwrap();
+    assert_eq!(ours.len(), TESTBED_EPOCHS);
+    let final_ours = ours.last().unwrap();
+    let final_base = base.last().unwrap();
+    assert!(
+        final_ours.admitted.len() > final_base.admitted.len(),
+        "overbooking must squeeze in extra slices ({} vs {})",
+        final_ours.admitted.len(),
+        final_base.admitted.len()
+    );
+    let rev_ours: f64 = ours.iter().map(|o| o.net_revenue).sum();
+    let rev_base: f64 = base.iter().map(|o| o.net_revenue).sum();
+    assert!(rev_ours > rev_base, "cumulative revenue {rev_ours} vs {rev_base}");
+    // The paper reports negligible SLA footprint: the total violation rate
+    // should stay small.
+    let violated: usize = ours.iter().map(|o| o.violation_samples.0).sum();
+    let total: usize = ours.iter().map(|o| o.violation_samples.1).sum();
+    assert!(total > 0);
+    assert!((violated as f64 / total as f64) < 0.1);
+}
+
+#[test]
+fn testbed_urllc_capacity_narrative() {
+    // With full-SLA reservations only one uRLLC fits the 16-core edge
+    // (2 BS × 25 Mb/s × 0.2 cores = 10 cores each).
+    let base = run_testbed(SolverKind::Benders, false, 11).unwrap();
+    // After epoch 4 all three uRLLC requests have arrived.
+    let at5 = &base[5];
+    let urllc_admitted = at5.admitted.iter().filter(|&&t| t < 3).count();
+    assert_eq!(urllc_admitted, 1, "baseline admits exactly one uRLLC");
+    // Overbooking admits two (reservations adapt to ~half load).
+    let ours = run_testbed(SolverKind::Benders, true, 11).unwrap();
+    let at5 = &ours[5];
+    let urllc_admitted = at5.admitted.iter().filter(|&&t| t < 3).count();
+    assert_eq!(urllc_admitted, 2, "overbooking admits a second uRLLC");
+}
+
+// --------------------------------------------------------------- proptests
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Benders and the one-shot MILP agree on random small instances.
+    #[test]
+    fn prop_benders_equals_oneshot(seed in 0u64..200) {
+        let inst = small_instance(seed);
+        let b = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+        let o = oneshot::solve(&inst).unwrap();
+        prop_assert!((b.objective - o.objective).abs() < 1e-5,
+            "benders {} vs oneshot {}", b.objective, o.objective);
+    }
+
+    /// KAC never beats the optimum and always returns a capacity-feasible
+    /// allocation.
+    #[test]
+    fn prop_kac_sound(seed in 0u64..200) {
+        let inst = small_instance(seed);
+        let o = oneshot::solve(&inst).unwrap();
+        let k = kac::solve(&inst, &kac::KacOptions::default()).unwrap();
+        prop_assert!(k.objective >= o.objective - 1e-6);
+        // Radio feasibility.
+        for b in 0..inst.n_bs {
+            let used: f64 = k.reservations.iter()
+                .map(|r| r[b] / crate::problem::MBPS_PER_MHZ).sum();
+            prop_assert!(used <= inst.bs_radio_mhz[b] + 1e-6);
+        }
+        // Compute feasibility.
+        for c in 0..inst.n_cu {
+            let mut used = 0.0;
+            for (t, cu) in k.assigned_cu.iter().enumerate() {
+                if *cu == Some(c) {
+                    let ten = &inst.tenants[t];
+                    used += ten.service.base_cores
+                        + ten.service.cores_per_mbps
+                            * k.reservations[t].iter().sum::<f64>();
+                }
+            }
+            prop_assert!(used <= inst.cu_cores[c] + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Holt-Winters triple exponential smoothing (level + trend + seasonality).
+//!
+//! The paper's forecasting block uses the **multiplicative** variant
+//! (`f_HW` in §2.2.2) because mobile traffic exhibits periodic (diurnal)
+//! patterns whose amplitude scales with the level. The additive variant is
+//! provided for non-positive series and ablations.
+//!
+//! Multiplicative update, seasonal period `m`:
+//!
+//! ```text
+//! ℓ_t = α·y_t/s_{t−m} + (1−α)(ℓ_{t−1} + b_{t−1})
+//! b_t = β(ℓ_t − ℓ_{t−1}) + (1−β)·b_{t−1}
+//! s_t = γ·y_t/ℓ_t + (1−γ)·s_{t−m}
+//! ŷ_{t+h} = (ℓ_t + h·b_t)·s_{t−m+((h−1) mod m)+1}
+//! ```
+//!
+//! Initialisation follows the classic scheme: the first season's mean seeds
+//! the level, the first-vs-second season mean difference seeds the trend, and
+//! per-position averages over complete seasons seed the seasonal indices.
+
+use crate::Forecaster;
+
+/// Seasonal composition mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seasonality {
+    /// Seasonal effect added to the level (works with any sign).
+    Additive,
+    /// Seasonal effect multiplies the level (requires positive data).
+    Multiplicative,
+}
+
+/// Holt-Winters smoother with fixed parameters.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    /// Seasonal period in samples (≥ 2).
+    pub season: usize,
+    /// Seasonal mode.
+    pub mode: Seasonality,
+    /// Level smoothing factor in `(0, 1]`.
+    pub alpha: f64,
+    /// Trend smoothing factor in `(0, 1]`.
+    pub beta: f64,
+    /// Seasonal smoothing factor in `(0, 1]`.
+    pub gamma: f64,
+    state: Option<State>,
+    rmse: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    level: f64,
+    trend: f64,
+    /// Seasonal indices for the last `season` positions, aligned so that
+    /// `seasonal[(t+h−1) % season]`... we store by absolute position modulo
+    /// the period of the *end* of the series.
+    seasonal: Vec<f64>,
+    /// Index (mod season) of the sample following the series end.
+    next_pos: usize,
+}
+
+impl HoltWinters {
+    /// Creates a smoother with conventional factors (α=0.4, β=0.1, γ=0.3).
+    ///
+    /// # Panics
+    /// Panics if `season < 2`.
+    pub fn new(season: usize, mode: Seasonality) -> Self {
+        assert!(season >= 2, "seasonal period must be at least 2");
+        Self { season, mode, alpha: 0.4, beta: 0.1, gamma: 0.3, state: None, rmse: None }
+    }
+
+    /// Sets the smoothing factors.
+    ///
+    /// # Panics
+    /// Panics unless all three are in `(0, 1]`.
+    pub fn with_params(mut self, alpha: f64, beta: f64, gamma: f64) -> Self {
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!(v > 0.0 && v <= 1.0, "{name} must be in (0, 1]");
+        }
+        self.alpha = alpha;
+        self.beta = beta;
+        self.gamma = gamma;
+        self
+    }
+
+    /// Fits with a coarse grid search over (α, β, γ) minimising one-step
+    /// RMSE, then keeps the best parameters. This mirrors how operators tune
+    /// the paper's forecasting block offline.
+    pub fn fit_grid(&mut self, series: &[f64]) {
+        const GRID: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let mut best: Option<(f64, f64, f64, f64)> = None;
+        for &a in &GRID {
+            for &b in &GRID {
+                for &g in &GRID {
+                    let mut cand = self.clone();
+                    cand.alpha = a;
+                    cand.beta = b;
+                    cand.gamma = g;
+                    cand.fit(series);
+                    if let Some(r) = cand.rmse {
+                        if best.map_or(true, |(br, ..)| r < br) {
+                            best = Some((r, a, b, g));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((_, a, b, g)) = best {
+            self.alpha = a;
+            self.beta = b;
+            self.gamma = g;
+        }
+        self.fit(series);
+    }
+
+    /// Fitted seasonal indices (testing/diagnostics).
+    pub fn seasonal_indices(&self) -> Option<&[f64]> {
+        self.state.as_ref().map(|s| s.seasonal.as_slice())
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn fit(&mut self, series: &[f64]) {
+        self.state = None;
+        self.rmse = None;
+        let m = self.season;
+        if series.len() < 2 * m {
+            // Not enough history for seasonal initialisation; degrade to a
+            // Holt fit with flat seasonal indices.
+            let mut h = crate::holt::Holt::default();
+            h.fit(series);
+            if let Some((level, trend)) = h.state() {
+                let neutral = match self.mode {
+                    Seasonality::Additive => 0.0,
+                    Seasonality::Multiplicative => 1.0,
+                };
+                self.state = Some(State {
+                    level,
+                    trend,
+                    seasonal: vec![neutral; m],
+                    next_pos: series.len() % m,
+                });
+                self.rmse = h.fit_rmse();
+            }
+            return;
+        }
+
+        // --- Initialisation over the first two seasons ---
+        let s1_mean: f64 = series[..m].iter().sum::<f64>() / m as f64;
+        let s2_mean: f64 = series[m..2 * m].iter().sum::<f64>() / m as f64;
+        let mut level = s1_mean;
+        let mut trend = (s2_mean - s1_mean) / m as f64;
+
+        let full_seasons = series.len() / m;
+        let mut seasonal = vec![0.0; m];
+        for pos in 0..m {
+            let mut acc = 0.0;
+            for s in 0..full_seasons {
+                let y = series[s * m + pos];
+                let season_mean: f64 =
+                    series[s * m..(s + 1) * m].iter().sum::<f64>() / m as f64;
+                acc += match self.mode {
+                    Seasonality::Additive => y - season_mean,
+                    Seasonality::Multiplicative => {
+                        if season_mean.abs() < f64::EPSILON {
+                            1.0
+                        } else {
+                            y / season_mean
+                        }
+                    }
+                };
+            }
+            seasonal[pos] = acc / full_seasons as f64;
+        }
+        if self.mode == Seasonality::Multiplicative {
+            for s in seasonal.iter_mut() {
+                if *s <= 0.0 {
+                    *s = f64::EPSILON.max(1e-6);
+                }
+            }
+        }
+
+        // --- Smoothing pass ---
+        let (alpha, beta, gamma) = (self.alpha, self.beta, self.gamma);
+        let mut sq_err = 0.0;
+        let mut n_err = 0usize;
+        for (t, &y) in series.iter().enumerate().skip(m) {
+            let pos = t % m;
+            let s_prev = seasonal[pos];
+            let pred = match self.mode {
+                Seasonality::Additive => level + trend + s_prev,
+                Seasonality::Multiplicative => (level + trend) * s_prev,
+            };
+            let err = y - pred;
+            sq_err += err * err;
+            n_err += 1;
+
+            let new_level = match self.mode {
+                Seasonality::Additive => {
+                    alpha * (y - s_prev) + (1.0 - alpha) * (level + trend)
+                }
+                Seasonality::Multiplicative => {
+                    alpha * (y / s_prev) + (1.0 - alpha) * (level + trend)
+                }
+            };
+            trend = beta * (new_level - level) + (1.0 - beta) * trend;
+            let denom = if new_level.abs() < 1e-12 { 1e-12 } else { new_level };
+            seasonal[pos] = match self.mode {
+                Seasonality::Additive => gamma * (y - new_level) + (1.0 - gamma) * s_prev,
+                Seasonality::Multiplicative => gamma * (y / denom) + (1.0 - gamma) * s_prev,
+            };
+            level = new_level;
+        }
+
+        self.state = Some(State { level, trend, seasonal, next_pos: series.len() % m });
+        if n_err > 0 {
+            self.rmse = Some((sq_err / n_err as f64).sqrt());
+        }
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let st = self.state.as_ref().expect("fit before forecast");
+        let m = self.season;
+        (0..horizon)
+            .map(|h| {
+                let base = st.level + (h + 1) as f64 * st.trend;
+                let s = st.seasonal[(st.next_pos + h) % m];
+                match self.mode {
+                    Seasonality::Additive => base + s,
+                    Seasonality::Multiplicative => base * s,
+                }
+            })
+            .collect()
+    }
+
+    fn fit_rmse(&self) -> Option<f64> {
+        self.rmse
+    }
+}

@@ -1,0 +1,111 @@
+//! # ovnes-forecast — exponential-smoothing forecasting
+//!
+//! The CoNEXT'18 overbooking orchestrator drives admission decisions from a
+//! *forecast* of each slice's peak demand in the next decision epoch
+//! (`λ̂`) and an *uncertainty estimate* for that forecast (`σ̂ ∈ (0, 1]`),
+//! which scales the risk term of the yield objective. The paper uses the
+//! **multiplicative Holt-Winters** method (triple exponential smoothing)
+//! because mobile traffic is strongly seasonal (§2.2.2, "Forecasting").
+//!
+//! This crate implements the full family so ablations can swap methods:
+//!
+//! * [`ses`] — simple exponential smoothing (level only),
+//! * [`holt`] — double exponential smoothing (level + trend),
+//! * [`holt_winters`] — triple smoothing with additive or multiplicative
+//!   seasonality, plus a small grid-search fitter,
+//! * [`uncertainty`] — normalised one-step-error estimator mapping model fit
+//!   quality into the paper's `σ̂ ∈ (0, 1]` scale factor.
+//!
+//! All estimators share the [`Forecaster`] trait so the orchestrator can be
+//! parameterised over them.
+//!
+//! ## Example
+//!
+//! ```
+//! use ovnes_forecast::{holt_winters::{HoltWinters, Seasonality}, Forecaster};
+//!
+//! // Two days of hourly load with a clear diurnal pattern.
+//! let series: Vec<f64> = (0..48)
+//!     .map(|h| 100.0 + 40.0 * (2.0 * std::f64::consts::PI * (h % 24) as f64 / 24.0).sin())
+//!     .collect();
+//! let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
+//! hw.fit(&series);
+//! let next = hw.forecast(1)[0];
+//! assert!((next - 100.0).abs() < 30.0); // follows the cycle back up
+//! ```
+
+pub mod holt;
+pub mod holt_winters;
+pub mod ses;
+pub mod uncertainty;
+
+/// Common interface for time-series forecasters.
+///
+/// Implementations are *offline*: `fit` consumes the full history each epoch
+/// (histories in the orchestrator are short — hundreds of points) and
+/// `forecast` extrapolates from the fitted state.
+pub trait Forecaster {
+    /// Fits internal state to the observation history (earliest first).
+    fn fit(&mut self, series: &[f64]);
+
+    /// Forecasts the next `horizon` values after the end of the fitted
+    /// series. Must be called after `fit`.
+    fn forecast(&self, horizon: usize) -> Vec<f64>;
+
+    /// Root-mean-square of one-step-ahead fit errors, if available.
+    /// `None` before `fit` or when the series was too short to estimate.
+    fn fit_rmse(&self) -> Option<f64>;
+}
+
+/// Forecast for the next epoch with its uncertainty, the pair consumed by
+/// the AC-RR objective (`λ̂`, `σ̂`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted value (e.g. peak slice load next epoch).
+    pub value: f64,
+    /// Normalised uncertainty in `(0, 1]`: ~0 ⇒ highly confident.
+    pub sigma: f64,
+}
+
+/// One-call convenience used by the orchestrator: fit the paper's
+/// multiplicative Holt-Winters (falling back to Holt/SES on short or
+/// non-positive histories), forecast one step, and attach σ̂.
+///
+/// `season` is the seasonal period in samples; `min_sigma` floors the
+/// uncertainty (the paper requires σ̂ > 0).
+pub fn predict_next(series: &[f64], season: usize, min_sigma: f64) -> Prediction {
+    use holt_winters::{HoltWinters, Seasonality};
+
+    if series.is_empty() {
+        return Prediction { value: 0.0, sigma: 1.0 };
+    }
+    if series.len() < 2 {
+        return Prediction { value: series[0], sigma: 1.0 };
+    }
+
+    let positive = series.iter().all(|&v| v > 0.0);
+    let enough_for_hw = season >= 2 && series.len() >= 2 * season;
+
+    let (value, rmse) = if enough_for_hw {
+        let mut hw = HoltWinters::new(
+            season,
+            if positive { Seasonality::Multiplicative } else { Seasonality::Additive },
+        );
+        hw.fit_grid(series);
+        (hw.forecast(1)[0], hw.fit_rmse())
+    } else {
+        // Short history: a level-only smoother. (Holt's trend term chases
+        // noise on short peak series and wildly inflates the fit error,
+        // which would make σ̂ — and thus reservations — far too
+        // conservative during the learning phase.)
+        let mut s = ses::Ses::new(0.3);
+        s.fit(series);
+        (s.forecast(1)[0], s.fit_rmse())
+    };
+
+    let sigma = uncertainty::sigma_from_rmse(rmse, series, min_sigma);
+    Prediction { value: value.max(0.0), sigma }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,71 @@
+//! Simple exponential smoothing (SES): a level-only smoother.
+//!
+//! `ℓ_t = α·y_t + (1−α)·ℓ_{t−1}`; all horizons forecast the final level.
+//! SES is the baseline the paper's discussion starts from before motivating
+//! seasonality-aware smoothing.
+
+use crate::Forecaster;
+
+/// Simple exponential smoothing with fixed smoothing factor `alpha`.
+#[derive(Debug, Clone)]
+pub struct Ses {
+    /// Smoothing factor in `(0, 1]`.
+    pub alpha: f64,
+    level: Option<f64>,
+    rmse: Option<f64>,
+}
+
+impl Ses {
+    /// Creates a smoother with the given `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha ≤ 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, level: None, rmse: None }
+    }
+
+    /// The fitted level, if any.
+    pub fn level(&self) -> Option<f64> {
+        self.level
+    }
+}
+
+impl Default for Ses {
+    /// A conventional default of `alpha = 0.3`.
+    fn default() -> Self {
+        Self::new(0.3)
+    }
+}
+
+impl Forecaster for Ses {
+    fn fit(&mut self, series: &[f64]) {
+        self.level = None;
+        self.rmse = None;
+        if series.is_empty() {
+            return;
+        }
+        let mut level = series[0];
+        let mut sq_err = 0.0;
+        let mut n_err = 0usize;
+        for &y in &series[1..] {
+            let err = y - level;
+            sq_err += err * err;
+            n_err += 1;
+            level = self.alpha * y + (1.0 - self.alpha) * level;
+        }
+        self.level = Some(level);
+        if n_err > 0 {
+            self.rmse = Some((sq_err / n_err as f64).sqrt());
+        }
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let level = self.level.expect("fit before forecast");
+        vec![level; horizon]
+    }
+
+    fn fit_rmse(&self) -> Option<f64> {
+        self.rmse
+    }
+}

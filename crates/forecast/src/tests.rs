@@ -1,0 +1,323 @@
+//! Tests for the forecasting family.
+
+use crate::holt::Holt;
+use crate::holt_winters::{HoltWinters, Seasonality};
+use crate::ses::Ses;
+use crate::{predict_next, Forecaster};
+use proptest::prelude::*;
+
+const TAU: f64 = std::f64::consts::TAU;
+
+fn diurnal(n: usize, period: usize, mean: f64, amp: f64) -> Vec<f64> {
+    (0..n)
+        .map(|t| mean + amp * (TAU * (t % period) as f64 / period as f64).sin())
+        .collect()
+}
+
+#[test]
+fn ses_constant_series() {
+    let mut s = Ses::default();
+    s.fit(&[7.0; 20]);
+    assert!((s.forecast(3)[2] - 7.0).abs() < 1e-9);
+    assert!(s.fit_rmse().unwrap() < 1e-9);
+}
+
+#[test]
+fn ses_converges_toward_recent_level() {
+    let mut series = vec![0.0; 30];
+    series.extend(vec![10.0; 30]);
+    let mut s = Ses::new(0.5);
+    s.fit(&series);
+    assert!(s.forecast(1)[0] > 9.5, "SES should track the regime change");
+}
+
+#[test]
+fn ses_empty_and_single() {
+    let mut s = Ses::default();
+    s.fit(&[]);
+    assert!(s.level().is_none());
+    s.fit(&[3.0]);
+    assert_eq!(s.forecast(2), vec![3.0, 3.0]);
+    assert!(s.fit_rmse().is_none());
+}
+
+#[test]
+#[should_panic(expected = "alpha")]
+fn ses_rejects_bad_alpha() {
+    Ses::new(0.0);
+}
+
+#[test]
+fn holt_tracks_linear_trend() {
+    let series: Vec<f64> = (0..40).map(|t| 2.0 + 0.5 * t as f64).collect();
+    let mut h = Holt::default();
+    h.fit(&series);
+    let f = h.forecast(4);
+    // Next values continue the line: 2 + 0.5·40 = 22, then 22.5, …
+    for (i, v) in f.iter().enumerate() {
+        let expect = 2.0 + 0.5 * (40 + i) as f64;
+        assert!((v - expect).abs() < 0.5, "h={i}: {v} vs {expect}");
+    }
+}
+
+#[test]
+fn holt_single_point() {
+    let mut h = Holt::default();
+    h.fit(&[4.0]);
+    assert_eq!(h.forecast(2), vec![4.0, 4.0]);
+}
+
+#[test]
+fn hw_multiplicative_learns_seasonality() {
+    let series = diurnal(24 * 6, 24, 100.0, 40.0);
+    let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
+    hw.fit(&series);
+    let f = hw.forecast(24);
+    // The forecast of the next full period should match the true cycle.
+    for (h, v) in f.iter().enumerate() {
+        let truth = 100.0 + 40.0 * (TAU * ((24 * 6 + h) % 24) as f64 / 24.0).sin();
+        assert!((v - truth).abs() < 12.0, "h={h}: {v} vs {truth}");
+    }
+    // And the fit error should be far below the seasonal amplitude.
+    assert!(hw.fit_rmse().unwrap() < 10.0);
+}
+
+#[test]
+fn hw_additive_learns_seasonality_with_negatives() {
+    let series = diurnal(12 * 8, 12, 0.0, 5.0); // oscillates around zero
+    let mut hw = HoltWinters::new(12, Seasonality::Additive);
+    hw.fit(&series);
+    let f = hw.forecast(12);
+    for (h, v) in f.iter().enumerate() {
+        let truth = 5.0 * (TAU * ((12 * 8 + h) % 12) as f64 / 12.0).sin();
+        assert!((v - truth).abs() < 2.5, "h={h}: {v} vs {truth}");
+    }
+}
+
+#[test]
+fn hw_beats_holt_on_seasonal_data() {
+    let series = diurnal(24 * 5, 24, 50.0, 20.0);
+    let (train, test) = series.split_at(24 * 4);
+    let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
+    hw.fit(train);
+    let mut h = Holt::default();
+    h.fit(train);
+    let err = |f: &[f64]| -> f64 {
+        f.iter().zip(test).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
+    };
+    let hw_err = err(&hw.forecast(24));
+    let holt_err = err(&h.forecast(24));
+    assert!(
+        hw_err < holt_err,
+        "Holt-Winters ({hw_err:.2}) should beat Holt ({holt_err:.2}) on seasonal data"
+    );
+}
+
+#[test]
+fn hw_grid_search_not_worse_than_default() {
+    let series = diurnal(24 * 5, 24, 80.0, 30.0);
+    let mut default_hw = HoltWinters::new(24, Seasonality::Multiplicative);
+    default_hw.fit(&series);
+    let mut tuned = HoltWinters::new(24, Seasonality::Multiplicative);
+    tuned.fit_grid(&series);
+    assert!(tuned.fit_rmse().unwrap() <= default_hw.fit_rmse().unwrap() + 1e-9);
+}
+
+#[test]
+fn hw_short_history_falls_back() {
+    let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
+    hw.fit(&[5.0, 6.0, 7.0]); // < 2 seasons
+    let f = hw.forecast(2);
+    assert!(f[0] > 6.0, "fallback should extrapolate the trend, got {}", f[0]);
+}
+
+#[test]
+fn hw_seasonal_indices_multiplicative_centered_near_one() {
+    let series = diurnal(24 * 4, 24, 100.0, 30.0);
+    let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
+    hw.fit(&series);
+    let idx = hw.seasonal_indices().unwrap();
+    let mean: f64 = idx.iter().sum::<f64>() / idx.len() as f64;
+    assert!((mean - 1.0).abs() < 0.1, "indices mean {mean}");
+}
+
+#[test]
+#[should_panic(expected = "seasonal period")]
+fn hw_rejects_tiny_season() {
+    HoltWinters::new(1, Seasonality::Additive);
+}
+
+#[test]
+fn predict_next_empty_and_short() {
+    let p = predict_next(&[], 24, 0.05);
+    assert_eq!(p.value, 0.0);
+    assert_eq!(p.sigma, 1.0);
+    let p = predict_next(&[9.0], 24, 0.05);
+    assert_eq!(p.value, 9.0);
+    assert_eq!(p.sigma, 1.0);
+}
+
+#[test]
+fn predict_next_periodic_series_is_confident() {
+    let series = diurnal(24 * 6, 24, 100.0, 40.0);
+    let p = predict_next(&series, 24, 0.05);
+    assert!(p.sigma < 0.3, "periodic traffic should be predictable, σ̂ = {}", p.sigma);
+    assert!(p.value > 0.0);
+}
+
+#[test]
+fn predict_next_noise_is_uncertain() {
+    // Deterministic pseudo-noise (LCG) with large relative swings and no
+    // period commensurate with the declared season.
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let series: Vec<f64> = (0..96)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            0.5 + 19.5 * ((state >> 33) as f64 / (1u64 << 31) as f64)
+        })
+        .collect();
+    let p = predict_next(&series, 24, 0.05);
+    assert!(p.sigma > 0.3, "erratic traffic must carry high σ̂, got {}", p.sigma);
+}
+
+#[test]
+fn predict_next_never_negative() {
+    let series: Vec<f64> = (0..30).map(|t| 10.0 - t as f64).collect(); // strong downtrend
+    let p = predict_next(&series, 5, 0.05);
+    assert!(p.value >= 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Forecasts of positive, bounded series stay finite, and σ̂ in (0,1].
+    #[test]
+    fn prop_prediction_well_formed(
+        n in 4usize..120,
+        season in 2usize..26,
+        mean in 1.0f64..1000.0,
+        amp_frac in 0.0f64..0.9,
+    ) {
+        let series = diurnal(n, season, mean, mean * amp_frac);
+        let p = predict_next(&series, season, 0.05);
+        prop_assert!(p.value.is_finite());
+        prop_assert!(p.value >= 0.0);
+        prop_assert!(p.sigma > 0.0 && p.sigma <= 1.0);
+    }
+
+    /// SES level always lies within the series' range.
+    #[test]
+    fn prop_ses_level_within_range(
+        values in proptest::collection::vec(-50.0f64..50.0, 2..60),
+        alpha in 0.05f64..1.0,
+    ) {
+        let mut s = Ses::new(alpha);
+        s.fit(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let level = s.level().unwrap();
+        prop_assert!(level >= lo - 1e-9 && level <= hi + 1e-9);
+    }
+
+    /// Holt-Winters one-step forecast of a noiseless periodic signal is
+    /// asymptotically accurate.
+    #[test]
+    fn prop_hw_periodic_accuracy(
+        season in 3usize..13,
+        mean in 10.0f64..200.0,
+    ) {
+        let amp = mean * 0.3;
+        let series = diurnal(season * 8, season, mean, amp);
+        let mut hw = HoltWinters::new(season, Seasonality::Multiplicative);
+        hw.fit(&series);
+        let f = hw.forecast(1)[0];
+        let truth = mean + amp * (TAU * ((season * 8) % season) as f64 / season as f64).sin();
+        prop_assert!((f - truth).abs() < mean * 0.25,
+            "forecast {f} too far from truth {truth}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Additional edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hw_handles_constant_series() {
+    let mut hw = HoltWinters::new(6, Seasonality::Multiplicative);
+    hw.fit(&[10.0; 36]);
+    let f = hw.forecast(6);
+    for v in f {
+        assert!((v - 10.0).abs() < 1e-6);
+    }
+    assert!(hw.fit_rmse().unwrap() < 1e-9);
+}
+
+#[test]
+fn hw_additive_handles_zero_heavy_series() {
+    // Many zeros would break the multiplicative form; additive must cope.
+    let series: Vec<f64> = (0..48).map(|t| if t % 12 < 6 { 0.0 } else { 5.0 }).collect();
+    let mut hw = HoltWinters::new(12, Seasonality::Additive);
+    hw.fit(&series);
+    let f = hw.forecast(12);
+    assert!(f.iter().all(|v| v.is_finite()));
+    // The square wave should be roughly reproduced.
+    assert!(f[2] < f[8], "quiet half must forecast below busy half");
+}
+
+#[test]
+fn hw_with_params_applies() {
+    let series = diurnal(48, 12, 50.0, 10.0);
+    let hw = HoltWinters::new(12, Seasonality::Multiplicative).with_params(0.9, 0.9, 0.9);
+    assert_eq!((hw.alpha, hw.beta, hw.gamma), (0.9, 0.9, 0.9));
+    let mut hw = hw;
+    hw.fit(&series);
+    assert!(hw.fit_rmse().is_some());
+}
+
+#[test]
+#[should_panic(expected = "alpha")]
+fn hw_with_params_validates() {
+    HoltWinters::new(12, Seasonality::Additive).with_params(1.5, 0.5, 0.5);
+}
+
+#[test]
+fn holt_downtrend_extrapolates_below_last() {
+    let series: Vec<f64> = (0..30).map(|t| 100.0 - 2.0 * t as f64).collect();
+    let mut h = Holt::default();
+    h.fit(&series);
+    let f = h.forecast(3);
+    assert!(f[0] < series[29]);
+    assert!(f[2] < f[0], "trend continues downward");
+}
+
+#[test]
+fn predict_next_short_series_uses_level_not_trend() {
+    // Two points with a big jump: the SES fallback must not extrapolate a
+    // runaway trend the way Holt would.
+    let p = predict_next(&[10.0, 30.0], 24, 0.05);
+    assert!(p.value <= 30.0 + 1e-9, "level-only fallback, got {}", p.value);
+}
+
+#[test]
+fn predict_next_sigma_respects_floor() {
+    let series = vec![5.0; 40];
+    let p = predict_next(&series, 6, 0.07);
+    assert_eq!(p.sigma, 0.07, "constant series hits the σ̂ floor exactly");
+}
+
+#[test]
+fn forecaster_trait_objects_work() {
+    // The orchestrator can swap methods through the trait.
+    let series = diurnal(48, 12, 50.0, 10.0);
+    let mut methods: Vec<Box<dyn Forecaster>> = vec![
+        Box::new(Ses::default()),
+        Box::new(Holt::default()),
+        Box::new(HoltWinters::new(12, Seasonality::Multiplicative)),
+    ];
+    for m in methods.iter_mut() {
+        m.fit(&series);
+        let f = m.forecast(4);
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,65 @@
+//! # ovnes-lp — a self-contained linear-programming solver
+//!
+//! This crate implements the linear-programming substrate required by the
+//! CoNEXT'18 slice-overbooking reproduction: a dense **two-phase primal
+//! simplex** with
+//!
+//! * optimal primal solutions,
+//! * exact **dual values** per constraint (needed for Benders optimality
+//!   cuts and the KAC heuristic weights), and
+//! * **Farkas infeasibility certificates** (dual extreme rays, needed for
+//!   Benders feasibility cuts and the KAC capacity aggregation).
+//!
+//! The paper solved these programs with IBM CPLEX; no LP solver exists in the
+//! sanctioned offline crate set, so this crate substitutes for it (see
+//! DESIGN.md §2). The implementation favours simplicity and robustness over
+//! raw speed, in the spirit of event-driven networking libraries such as
+//! smoltcp: dense `f64` tableau, Dantzig pricing with a Bland's-rule
+//! anti-cycling fallback, and explicit numeric tolerances.
+//!
+//! ## Conventions
+//!
+//! All problems are **minimisations**. Duals `y` follow the convention of the
+//! dual pair `min c'x s.t. Ax ≥ b, x ≥ 0` ⟷ `max b'y s.t. A'y ≤ c, y ≥ 0`:
+//!
+//! * `y_i ≥ 0` for `≥` constraints,
+//! * `y_i ≤ 0` for `≤` constraints,
+//! * `y_i` free for `=` constraints,
+//! * strong duality: `objective = Σ y_i b_i + Σ_j d_j · bound_j` where the
+//!   second sum collects reduced-cost contributions of shifted bounds
+//!   (handled internally; user-visible duals refer to user constraints).
+//!
+//! A Farkas certificate `y` proves infeasibility: it satisfies the same sign
+//! convention, `A'y ≤ 0` componentwise, and `y'b > 0`; any feasible `x ≥ 0`
+//! would give the contradiction `0 < y'b ≤ y'(Ax) ≤ 0`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ovnes_lp::{Problem, Cmp, Outcome};
+//!
+//! // min -3x - 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0
+//! let mut p = Problem::new();
+//! let x = p.add_var(0.0, f64::INFINITY, -3.0);
+//! let y = p.add_var(0.0, f64::INFINITY, -5.0);
+//! p.add_cons(&[(x, 1.0)], Cmp::Le, 4.0);
+//! p.add_cons(&[(y, 2.0)], Cmp::Le, 12.0);
+//! p.add_cons(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+//! match p.solve().unwrap() {
+//!     Outcome::Optimal(s) => {
+//!         assert!((s.objective - (-36.0)).abs() < 1e-6);
+//!         assert!((s.value(x) - 2.0).abs() < 1e-6);
+//!         assert!((s.value(y) - 6.0).abs() < 1e-6);
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+mod model;
+mod simplex;
+
+pub use model::{Cmp, ConsId, Problem, VarId};
+pub use simplex::{Farkas, Outcome, SimplexOptions, Solution, SolveError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,158 @@
+//! Problem builder: variables with bounds, sparse linear constraints, and a
+//! linear minimisation objective.
+
+use crate::simplex::{self, Outcome, SimplexOptions, SolveError};
+
+/// Handle to a decision variable, returned by [`Problem::add_var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in the order of creation.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a constraint, returned by [`Problem::add_cons`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConsId(pub(crate) usize);
+
+impl ConsId {
+    /// Index of the constraint in the order of creation.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Comparison sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub lb: f64,
+    pub ub: f64,
+    pub obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ConsDef {
+    /// Sparse row: (variable index, coefficient). Duplicate variables are
+    /// summed during canonicalisation.
+    pub coeffs: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear program `min c'x + k` over variables with box bounds and sparse
+/// linear constraints.
+///
+/// The builder performs no work until [`Problem::solve`] is called; it can be
+/// cloned cheaply relative to solve time, which the MILP branch-and-bound
+/// exploits for node subproblems.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) cons: Vec<ConsDef>,
+    /// Constant added to the objective (bookkeeping for shifted bounds and
+    /// model-level constants such as Benders' fixed master terms).
+    pub(crate) obj_constant: f64,
+}
+
+impl Problem {
+    /// Creates an empty problem (minimisation, zero objective constant).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with bounds `lb ≤ x ≤ ub` and objective coefficient
+    /// `obj`. Use `f64::NEG_INFINITY` / `f64::INFINITY` for free directions.
+    ///
+    /// # Panics
+    /// Panics if `lb > ub` or either bound is NaN.
+    pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
+        assert!(!lb.is_nan() && !ub.is_nan(), "NaN variable bound");
+        assert!(lb <= ub, "variable lower bound {lb} exceeds upper bound {ub}");
+        assert!(obj.is_finite(), "objective coefficient must be finite");
+        self.vars.push(VarDef { lb, ub, obj });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Adds the constraint `Σ coeff_i · var_i  cmp  rhs`.
+    ///
+    /// Duplicate variable entries are allowed and are summed.
+    ///
+    /// # Panics
+    /// Panics if any coefficient or the rhs is non-finite.
+    pub fn add_cons(&mut self, coeffs: &[(VarId, f64)], cmp: Cmp, rhs: f64) -> ConsId {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let mut row = Vec::with_capacity(coeffs.len());
+        for &(v, c) in coeffs {
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+            assert!(v.0 < self.vars.len(), "unknown variable in constraint");
+            row.push((v.0, c));
+        }
+        self.cons.push(ConsDef { coeffs: row, cmp, rhs });
+        ConsId(self.cons.len() - 1)
+    }
+
+    /// Adds `k` to the objective function (useful to keep reported objective
+    /// values aligned with a paper formulation).
+    pub fn add_objective_constant(&mut self, k: f64) {
+        assert!(k.is_finite());
+        self.obj_constant += k;
+    }
+
+    /// Returns the current number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns the current number of constraints.
+    pub fn num_cons(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Overrides the bounds of an existing variable (used by branch-and-bound
+    /// to fix binaries at nodes).
+    ///
+    /// # Panics
+    /// Panics if `lb > ub` or either bound is NaN.
+    pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
+        assert!(!lb.is_nan() && !ub.is_nan(), "NaN variable bound");
+        assert!(lb <= ub, "variable lower bound {lb} exceeds upper bound {ub}");
+        let v = &mut self.vars[var.0];
+        v.lb = lb;
+        v.ub = ub;
+    }
+
+    /// Returns the bounds of a variable.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        let v = &self.vars[var.0];
+        (v.lb, v.ub)
+    }
+
+    /// Overrides the objective coefficient of an existing variable.
+    pub fn set_objective(&mut self, var: VarId, obj: f64) {
+        assert!(obj.is_finite());
+        self.vars[var.0].obj = obj;
+    }
+
+    /// Solves the program with default simplex options.
+    pub fn solve(&self) -> Result<Outcome, SolveError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves the program with explicit simplex options.
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<Outcome, SolveError> {
+        simplex::solve(self, options)
+    }
+}

@@ -1,0 +1,279 @@
+//! # ovnes-milp — branch-and-bound mixed-integer linear programming
+//!
+//! A depth-first branch-and-bound MILP solver built on the [`ovnes_lp`]
+//! simplex. It substitutes for IBM CPLEX in the CoNEXT'18 slice-overbooking
+//! reproduction: the Benders **master problem** (binary slice-admission
+//! variables plus the continuous surrogate cost θ) and the one-shot AC-RR
+//! MILP are both solved through this crate.
+//!
+//! Capabilities:
+//!
+//! * binary / general-integer variable marking on top of an `ovnes_lp`
+//!   [`Problem`],
+//! * depth-first search with best-bound pruning,
+//! * most-fractional branching, exploring the nearer integer side first,
+//! * warm-start incumbents (used to seed Benders masters with the KAC
+//!   heuristic solution),
+//! * node limits with a best-effort solution flagged as truncated.
+//!
+//! ## Example
+//!
+//! ```
+//! use ovnes_lp::{Problem, Cmp};
+//! use ovnes_milp::{Milp, MilpOutcome};
+//!
+//! // 0-1 knapsack: max 10a + 13b + 7c s.t. 3a + 4b + 2c ≤ 6.
+//! let mut p = Problem::new();
+//! let a = p.add_var(0.0, 1.0, -10.0);
+//! let b = p.add_var(0.0, 1.0, -13.0);
+//! let c = p.add_var(0.0, 1.0, -7.0);
+//! p.add_cons(&[(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+//! let mut m = Milp::new(p);
+//! m.mark_integer(a);
+//! m.mark_integer(b);
+//! m.mark_integer(c);
+//! match m.solve().unwrap() {
+//!     MilpOutcome::Optimal(s) => assert!((s.objective - (-20.0)).abs() < 1e-6),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+use ovnes_lp::{Outcome as LpOutcome, Problem, SimplexOptions, SolveError, VarId};
+
+/// Tolerance for considering an LP value integral.
+const INT_EPS: f64 = 1e-6;
+
+/// Options controlling the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Maximum number of branch-and-bound nodes explored.
+    pub max_nodes: usize,
+    /// Absolute optimality gap at which a node is pruned against the
+    /// incumbent. Also the guarantee on the returned solution.
+    pub abs_gap: f64,
+    /// Simplex options used for node relaxations.
+    pub simplex: SimplexOptions,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self { max_nodes: 200_000, abs_gap: 1e-7, simplex: SimplexOptions::default() }
+    }
+}
+
+/// An integral solution.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Objective value (minimisation).
+    pub objective: f64,
+    /// Variable values; integer-marked entries are exactly rounded.
+    pub x: Vec<f64>,
+    /// Number of nodes explored.
+    pub nodes: usize,
+    /// True when the node limit stopped the search before the tree was
+    /// exhausted; the solution is then best-effort rather than proven optimal.
+    pub truncated: bool,
+}
+
+impl MilpSolution {
+    /// Value of a variable in the solution.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.x[var.index()]
+    }
+}
+
+/// Solve outcomes.
+#[derive(Debug, Clone)]
+pub enum MilpOutcome {
+    /// Proven-optimal (or within `abs_gap`) integral solution.
+    Optimal(MilpSolution),
+    /// No integral solution exists (within the explored tree).
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+}
+
+impl MilpOutcome {
+    /// Convenience accessor; panics unless the outcome carries a solution.
+    pub fn unwrap_optimal(self) -> MilpSolution {
+        match self {
+            MilpOutcome::Optimal(s) => s,
+            MilpOutcome::Infeasible => panic!("MILP infeasible, expected optimal"),
+            MilpOutcome::Unbounded => panic!("MILP unbounded, expected optimal"),
+        }
+    }
+}
+
+/// A mixed-integer linear program: an LP plus integrality marks.
+#[derive(Debug, Clone)]
+pub struct Milp {
+    problem: Problem,
+    integers: Vec<VarId>,
+    options: MilpOptions,
+    /// Optional warm-start upper bound on the optimal objective (e.g. the
+    /// objective of a feasible heuristic solution).
+    incumbent_bound: Option<f64>,
+}
+
+impl Milp {
+    /// Wraps an LP; all variables start continuous.
+    pub fn new(problem: Problem) -> Self {
+        Self {
+            problem,
+            integers: Vec::new(),
+            options: MilpOptions::default(),
+            incumbent_bound: None,
+        }
+    }
+
+    /// Marks a variable as integer-constrained. For binaries give the
+    /// variable bounds `[0, 1]` in the underlying problem.
+    pub fn mark_integer(&mut self, var: VarId) {
+        if !self.integers.contains(&var) {
+            self.integers.push(var);
+        }
+    }
+
+    /// Replaces the search options.
+    pub fn set_options(&mut self, options: MilpOptions) {
+        self.options = options;
+    }
+
+    /// Provides a known feasible objective value to prune against from the
+    /// start (warm start). The bound must come from a genuinely feasible
+    /// integral point or the optimum may be pruned away.
+    pub fn set_incumbent_bound(&mut self, objective: f64) {
+        self.incumbent_bound = Some(objective);
+    }
+
+    /// Mutable access to the wrapped problem (e.g. to add Benders cuts
+    /// between solves).
+    pub fn problem_mut(&mut self) -> &mut Problem {
+        &mut self.problem
+    }
+
+    /// Read access to the wrapped problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Runs branch and bound.
+    pub fn solve(&self) -> Result<MilpOutcome, SolveError> {
+        let mut work = self.problem.clone();
+        let mut best: Option<MilpSolution> = None;
+        let mut best_obj = self.incumbent_bound.unwrap_or(f64::INFINITY);
+        let mut nodes = 0usize;
+        let mut truncated = false;
+
+        // Explicit DFS stack of bound overrides. An `Enter` frame narrows a
+        // variable's bounds for its subtree; the matching `Restore` frame
+        // (pushed on entry) reinstates the outer bounds afterwards.
+        struct Frame {
+            var: VarId,
+            lb: f64,
+            ub: f64,
+        }
+        enum Item {
+            Enter(Frame),
+            Restore(Frame),
+            Root,
+        }
+        let mut stack: Vec<Item> = vec![Item::Root];
+
+        while let Some(item) = stack.pop() {
+            match item {
+                Item::Root => {}
+                Item::Restore(f) => {
+                    work.set_bounds(f.var, f.lb, f.ub);
+                    continue;
+                }
+                Item::Enter(f) => {
+                    let (olb, oub) = work.bounds(f.var);
+                    stack.push(Item::Restore(Frame { var: f.var, lb: olb, ub: oub }));
+                    if f.lb > f.ub {
+                        continue; // empty domain: prune without an LP solve
+                    }
+                    work.set_bounds(f.var, f.lb, f.ub);
+                }
+            }
+
+            if nodes >= self.options.max_nodes {
+                truncated = true;
+                continue; // keep draining Restore frames only
+            }
+            nodes += 1;
+
+            let outcome = work.solve_with(&self.options.simplex)?;
+            let sol = match outcome {
+                LpOutcome::Optimal(s) => s,
+                LpOutcome::Infeasible(_) => continue,
+                LpOutcome::Unbounded => {
+                    if nodes == 1 {
+                        return Ok(MilpOutcome::Unbounded);
+                    }
+                    // A node of a bounded root cannot be unbounded; prune
+                    // defensively.
+                    continue;
+                }
+            };
+            if sol.objective >= best_obj - self.options.abs_gap {
+                continue; // bound: cannot beat the incumbent
+            }
+
+            // Find the most fractional integer variable.
+            let mut branch: Option<(VarId, f64)> = None;
+            let mut best_frac_dist = INT_EPS;
+            for &v in &self.integers {
+                let val = sol.x[v.index()];
+                let frac = (val - val.round()).abs();
+                if frac > best_frac_dist {
+                    best_frac_dist = frac;
+                    branch = Some((v, val));
+                }
+            }
+
+            match branch {
+                None => {
+                    // Integral: new incumbent.
+                    let mut x = sol.x.clone();
+                    for &v in &self.integers {
+                        x[v.index()] = x[v.index()].round();
+                    }
+                    best_obj = sol.objective;
+                    best = Some(MilpSolution {
+                        objective: sol.objective,
+                        x,
+                        nodes,
+                        truncated: false,
+                    });
+                }
+                Some((v, val)) => {
+                    let (lb, ub) = work.bounds(v);
+                    let down = Frame { var: v, lb, ub: val.floor().min(ub) };
+                    let up = Frame { var: v, lb: val.ceil().max(lb), ub };
+                    // Push the farther side first so the nearer side is
+                    // explored first (LIFO order).
+                    if val - val.floor() > 0.5 {
+                        stack.push(Item::Enter(down));
+                        stack.push(Item::Enter(up));
+                    } else {
+                        stack.push(Item::Enter(up));
+                        stack.push(Item::Enter(down));
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some(mut s) => {
+                s.nodes = nodes;
+                s.truncated = truncated;
+                Ok(MilpOutcome::Optimal(s))
+            }
+            None => Ok(MilpOutcome::Infeasible),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,34 @@
+//! # ovnes-netsim — data-plane simulator
+//!
+//! Substitutes for the paper's experimental data plane (commercial LTE base
+//! stations, an OpenFlow switch, OpenStack compute — Table 2) with a
+//! deterministic, seeded simulation of the same observable behaviour:
+//!
+//! * [`traffic`] — per-slice stochastic load generators: Gaussian
+//!   per-monitoring-sample loads with optional diurnal seasonality
+//!   (mMTC slices are deterministic, σ = 0, per Table 1),
+//! * [`middlebox`] — the split-TCP rate-control middlebox of §2.1.3 as a
+//!   per-sample classifier: *forward* within the reservation, *shape* (drop)
+//!   traffic exceeding the tenant's SLA, *buffer/drop* traffic within the SLA
+//!   but above the reservation — the latter is the **SLA violation** that
+//!   overbooking must keep rare,
+//! * [`monitor`] — the monitoring block of §2.2.2: per-epoch sample
+//!   collection, peak (`max`) aggregation into the `λ^{(t)}` series consumed
+//!   by the forecaster,
+//! * [`engine`] — an epoch runner that applies generators + middlebox to a
+//!   set of flows and produces per-flow epoch reports.
+//!
+//! Everything is seeded and reproducible; no wall-clock time is involved.
+
+pub mod engine;
+pub mod middlebox;
+pub mod monitor;
+pub mod traffic;
+
+pub use engine::{run_epoch, EpochReport, Flow, FlowReport};
+pub use middlebox::{classify, Verdict};
+pub use monitor::MonitorStore;
+pub use traffic::TrafficGenerator;
+
+#[cfg(test)]
+mod tests;

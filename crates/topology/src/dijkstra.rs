@@ -1,0 +1,105 @@
+//! Dijkstra shortest paths by cumulative link delay.
+
+use crate::graph::{Graph, LinkId, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by smallest delay first.
+#[derive(Debug, PartialEq)]
+struct Entry {
+    delay: f64,
+    node: NodeId,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; delays are finite by construction.
+        other
+            .delay
+            .partial_cmp(&self.delay)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest-path tree by delay.
+///
+/// `banned_nodes[i] == true` removes node `i`; `banned_links` removes link
+/// ids (both used by Yen's algorithm for spur computations).
+pub fn shortest_path(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    banned_nodes: &[bool],
+    banned_links: &[bool],
+) -> Option<(Vec<LinkId>, f64)> {
+    assert_eq!(banned_nodes.len(), g.num_nodes());
+    assert_eq!(banned_links.len(), g.num_links());
+    if banned_nodes[src.0] || banned_nodes[dst.0] {
+        return None;
+    }
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0] = 0.0;
+    heap.push(Entry { delay: 0.0, node: src });
+
+    while let Some(Entry { delay, node }) = heap.pop() {
+        if delay > dist[node.0] {
+            continue;
+        }
+        if node == dst {
+            break;
+        }
+        for &lid in g.incident(node) {
+            if banned_links[lid.0] {
+                continue;
+            }
+            let link = g.link(lid);
+            let next = link.other(node);
+            if banned_nodes[next.0] {
+                continue;
+            }
+            let nd = delay + link.delay_us();
+            if nd < dist[next.0] {
+                dist[next.0] = nd;
+                prev[next.0] = Some(lid);
+                heap.push(Entry { delay: nd, node: next });
+            }
+        }
+    }
+
+    if dist[dst.0].is_infinite() {
+        return None;
+    }
+    // Reconstruct link sequence from dst back to src.
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let lid = prev[cur.0].expect("broken predecessor chain");
+        links.push(lid);
+        cur = g.link(lid).other(cur);
+    }
+    links.reverse();
+    Some((links, dist[dst.0]))
+}
+
+/// Convenience wrapper with nothing banned.
+pub fn shortest(g: &Graph, src: NodeId, dst: NodeId) -> Option<(Vec<LinkId>, f64)> {
+    shortest_path(
+        g,
+        src,
+        dst,
+        &vec![false; g.num_nodes()],
+        &vec![false; g.num_links()],
+    )
+}

@@ -1,0 +1,111 @@
+//! Yen's k-shortest loopless paths.
+//!
+//! The paper precomputes the path sets `P_{b,c}` offline "using, e.g.,
+//! k-shortest path methods based on Dijkstra's algorithm" (§2.1.2). This is
+//! exactly that: Yen's algorithm over the delay metric.
+
+use crate::dijkstra::shortest_path;
+use crate::graph::{Graph, LinkId, NodeId};
+
+/// A loopless path: its link sequence, end-to-end delay, and bottleneck
+/// capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Links from source to destination, in order.
+    pub links: Vec<LinkId>,
+    /// Total delay in µs (the paper's `D_p`).
+    pub delay_us: f64,
+    /// Minimum link capacity along the path, Mb/s.
+    pub bottleneck_mbps: f64,
+}
+
+impl Path {
+    /// Node sequence of the path given its source.
+    pub fn nodes(&self, g: &Graph, src: NodeId) -> Vec<NodeId> {
+        let mut seq = vec![src];
+        let mut cur = src;
+        for &l in &self.links {
+            cur = g.link(l).other(cur);
+            seq.push(cur);
+        }
+        seq
+    }
+
+    fn from_links(g: &Graph, links: Vec<LinkId>, delay: f64) -> Self {
+        let bottleneck = links
+            .iter()
+            .map(|&l| g.link(l).capacity_mbps)
+            .fold(f64::INFINITY, f64::min);
+        Path { links, delay_us: delay, bottleneck_mbps: bottleneck }
+    }
+}
+
+/// Computes up to `k` loopless shortest paths from `src` to `dst`, sorted by
+/// increasing delay. Returns fewer when the graph does not contain `k`
+/// distinct loopless paths.
+pub fn k_shortest(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    if k == 0 || src == dst {
+        return Vec::new();
+    }
+    let no_nodes = vec![false; g.num_nodes()];
+    let no_links = vec![false; g.num_links()];
+    let Some((first_links, first_delay)) = shortest_path(g, src, dst, &no_nodes, &no_links)
+    else {
+        return Vec::new();
+    };
+    let mut paths = vec![Path::from_links(g, first_links, first_delay)];
+    // Candidate pool: (links, delay).
+    let mut candidates: Vec<(Vec<LinkId>, f64)> = Vec::new();
+
+    for _ in 1..k {
+        let prev = paths.last().unwrap().clone();
+        let prev_nodes = prev.nodes(g, src);
+
+        // Spur from every node of the previous path except the destination.
+        for i in 0..prev.links.len() {
+            let spur_node = prev_nodes[i];
+            let root_links = &prev.links[..i];
+            let root_delay: f64 = root_links.iter().map(|&l| g.link(l).delay_us()).sum();
+
+            let mut banned_links = vec![false; g.num_links()];
+            let mut banned_nodes = vec![false; g.num_nodes()];
+            // Ban the next link of every accepted path sharing this root.
+            for p in &paths {
+                if p.links.len() > i && p.links[..i] == *root_links {
+                    banned_links[p.links[i].0] = true;
+                }
+            }
+            // Ban root nodes (except the spur node) to keep paths loopless.
+            for n in &prev_nodes[..i] {
+                banned_nodes[n.0] = true;
+            }
+
+            if let Some((spur_links, spur_delay)) =
+                shortest_path(g, spur_node, dst, &banned_nodes, &banned_links)
+            {
+                let mut total: Vec<LinkId> = root_links.to_vec();
+                total.extend(spur_links);
+                let total_delay = root_delay + spur_delay;
+                if !candidates.iter().any(|(l, _)| *l == total)
+                    && !paths.iter().any(|p| p.links == total)
+                {
+                    candidates.push((total, total_delay));
+                }
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the best candidate.
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let (links, delay) = candidates.swap_remove(best_idx);
+        paths.push(Path::from_links(g, links, delay));
+    }
+    paths
+}

@@ -1,0 +1,34 @@
+//! # ovnes-topology — transport-network substrate
+//!
+//! The paper evaluates slice overbooking on urban metro networks from three
+//! European operators: Romania ("N1"), Switzerland ("N2") and Italy ("N3"),
+//! shown in Fig. 4. Those datasets are proprietary, so this crate generates
+//! **seeded synthetic topologies matched to every statistic the paper
+//! discloses** (node counts, path-redundancy means, link-technology mixes,
+//! capacity ranges, BS–CU distances and the delay model) — see DESIGN.md for
+//! the substitution argument.
+//!
+//! Components:
+//!
+//! * [`graph`] — an undirected multigraph with per-link capacity, length and
+//!   technology; delays follow the paper's footnote 11 model
+//!   (store-and-forward `12000/C_e`, 4–5 µs/km propagation, 5 µs processing),
+//! * [`dijkstra`] — shortest paths by delay,
+//! * [`ksp`] — Yen's k-shortest loopless paths (the paper's offline path
+//!   precomputation, §2.1.2),
+//! * [`operators`] — the N1/N2/N3 generators and the [`operators::NetworkModel`]
+//!   consumed by the orchestrator,
+//! * [`stats`] — empirical CDFs regenerating Fig. 4(d)-(e).
+
+pub mod dijkstra;
+pub mod graph;
+pub mod ksp;
+pub mod operators;
+pub mod stats;
+
+pub use graph::{Graph, LinkId, LinkTech, NodeId};
+pub use ksp::Path;
+pub use operators::{NetworkModel, Operator};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,53 @@
+//! Empirical CDFs over path properties, regenerating Fig. 4(d)-(e).
+
+use crate::operators::NetworkModel;
+
+/// Empirical CDF: sorted `(value, cumulative_probability)` points.
+pub fn ecdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
+    values.retain(|v| v.is_finite());
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = values.len();
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Per-path bottleneck capacity (Gb/s) CDF across BS→edge-CU paths —
+/// Fig. 4(d).
+pub fn path_capacity_cdf(model: &NetworkModel) -> Vec<(f64, f64)> {
+    ecdf(model.edge_paths().map(|p| p.bottleneck_mbps / 1000.0).collect())
+}
+
+/// Per-path latency (µs) CDF across BS→edge-CU paths — Fig. 4(e).
+pub fn path_delay_cdf(model: &NetworkModel) -> Vec<(f64, f64)> {
+    ecdf(model.edge_paths().map(|p| p.delay_us).collect())
+}
+
+/// Evaluates an ECDF at a probe value (fraction of mass ≤ probe).
+pub fn cdf_at(cdf: &[(f64, f64)], probe: f64) -> f64 {
+    let mut acc = 0.0;
+    for &(v, p) in cdf {
+        if v <= probe {
+            acc = p;
+        } else {
+            break;
+        }
+    }
+    acc
+}
+
+/// Summary quantile (q ∈ [0, 1]) of an ECDF.
+pub fn quantile(cdf: &[(f64, f64)], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    if cdf.is_empty() {
+        return f64::NAN;
+    }
+    for &(v, p) in cdf {
+        if p >= q {
+            return v;
+        }
+    }
+    cdf.last().unwrap().0
+}

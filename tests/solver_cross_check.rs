@@ -1,0 +1,136 @@
+//! Cross-crate solver validation on *generated operator topologies* (the
+//! in-crate unit tests use hand-built toys; this exercises the full
+//! topology → instance → solver path).
+
+use ovnes::problem::{AcrrInstance, PathPolicy, TenantInput};
+use ovnes::slice::{SliceClass, SliceTemplate};
+use ovnes::solver::{baseline, benders, kac, oneshot};
+use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
+
+fn tenants_on(model: &NetworkModel, classes: &[(SliceClass, f64, f64)]) -> Vec<TenantInput> {
+    let n_bs = model.base_stations.len();
+    classes
+        .iter()
+        .enumerate()
+        .map(|(i, &(class, alpha, sigma))| {
+            let t = SliceTemplate::for_class(class);
+            TenantInput {
+                tenant: i as u32,
+                sla_mbps: t.sla_mbps,
+                reward: t.reward,
+                penalty: t.reward, // m = 1
+                delay_budget_us: t.delay_budget_us,
+                service: t.service,
+                forecast_mbps: vec![alpha * t.sla_mbps; n_bs],
+                sigma,
+                duration_weight: 1.0,
+                must_accept: false,
+                pinned_cu: None,
+            }
+        })
+        .collect()
+}
+
+fn tiny_model(op: Operator) -> NetworkModel {
+    NetworkModel::generate(op, &GeneratorConfig { scale: 0.025, seed: 42, k_paths: 3 })
+}
+
+#[test]
+fn benders_equals_oneshot_on_generated_topologies() {
+    for op in [Operator::Romanian, Operator::Swiss] {
+        let model = tiny_model(op);
+        let tenants = tenants_on(
+            &model,
+            &[
+                (SliceClass::Embb, 0.3, 0.2),
+                (SliceClass::Urllc, 0.4, 0.3),
+                (SliceClass::Mmtc, 0.2, 0.05),
+            ],
+        );
+        let inst = AcrrInstance::build(&model, tenants, PathPolicy::Spread, true, None);
+        let b = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+        let o = oneshot::solve(&inst).unwrap();
+        assert!(
+            (b.objective - o.objective).abs() < 1e-5,
+            "{op:?}: benders {} vs oneshot {}",
+            b.objective,
+            o.objective
+        );
+    }
+}
+
+#[test]
+fn kac_close_to_optimal_when_uncongested() {
+    // With ample capacity every profitable tenant is admitted by both
+    // methods, so KAC matches the optimum exactly (the Fig. 5 eMBB
+    // observation: "both KAC and Benders provide equal performance").
+    let model = tiny_model(Operator::Italian);
+    let tenants = tenants_on(
+        &model,
+        &[
+            (SliceClass::Embb, 0.2, 0.1),
+            (SliceClass::Embb, 0.2, 0.1),
+            (SliceClass::Embb, 0.2, 0.1),
+        ],
+    );
+    let inst = AcrrInstance::build(&model, tenants, PathPolicy::Spread, true, None);
+    let b = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+    let k = kac::solve(&inst, &kac::KacOptions::default()).unwrap();
+    assert!(
+        (k.objective - b.objective).abs() < 1e-5,
+        "uncongested KAC {} should equal Benders {}",
+        k.objective,
+        b.objective
+    );
+    assert_eq!(k.accepted(), 3);
+}
+
+#[test]
+fn solvers_agree_under_extreme_penalties() {
+    // A savage penalty with a near-SLA forecast: Benders and the one-shot
+    // MILP must still agree exactly.
+    let model = tiny_model(Operator::Romanian);
+    let mut tenants = tenants_on(&model, &[(SliceClass::Embb, 0.9, 1.0)]);
+    tenants[0].penalty = 1000.0;
+    tenants[0].forecast_mbps.iter_mut().for_each(|f| *f = 49.9);
+    let inst = AcrrInstance::build(&model, tenants, PathPolicy::Spread, true, None);
+    let b = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+    let o = oneshot::solve(&inst).unwrap();
+    assert!((b.objective - o.objective).abs() < 1e-5);
+}
+
+#[test]
+fn baseline_is_admission_only() {
+    let model = tiny_model(Operator::Swiss);
+    let tenants = tenants_on(
+        &model,
+        &[(SliceClass::Embb, 0.5, 0.2), (SliceClass::Embb, 0.5, 0.2)],
+    );
+    let inst = AcrrInstance::build(&model, tenants, PathPolicy::Spread, false, None);
+    let alloc = baseline::solve(&inst).unwrap();
+    for (t, cu) in alloc.assigned_cu.iter().enumerate() {
+        if cu.is_some() {
+            for b in 0..inst.n_bs {
+                assert!(
+                    (alloc.reservations[t][b] - inst.tenants[t].sla_mbps).abs() < 1e-9,
+                    "baseline must reserve the full SLA"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overbooking_admits_superset_revenue() {
+    // On a congested Swiss network, overbooking admits at least as many
+    // tenants as the baseline and earns at least as much expected revenue.
+    let model = tiny_model(Operator::Swiss);
+    let specs = vec![(SliceClass::Embb, 0.2, 0.1); 6];
+    let mk = |ov: bool| {
+        AcrrInstance::build(&model, tenants_on(&model, &specs), PathPolicy::Spread, ov, None)
+    };
+    let ours = benders::solve(&mk(true), &benders::BendersOptions::default()).unwrap();
+    let base = baseline::solve(&mk(false)).unwrap();
+    assert!(ours.accepted() >= base.accepted());
+    assert!(ours.expected_net_revenue() >= base.expected_net_revenue() - 1e-6);
+}
