@@ -7,11 +7,7 @@ use ovnes_forecast::{predict_next, Forecaster};
 
 fn diurnal(n: usize, period: usize) -> Vec<f64> {
     (0..n)
-        .map(|t| {
-            100.0
-                + 40.0
-                    * (std::f64::consts::TAU * (t % period) as f64 / period as f64).sin()
-        })
+        .map(|t| 100.0 + 40.0 * (std::f64::consts::TAU * (t % period) as f64 / period as f64).sin())
         .collect()
 }
 

@@ -10,14 +10,22 @@ fn bench_pathfinding(c: &mut Criterion) {
         b.iter(|| {
             NetworkModel::generate(
                 Operator::Romanian,
-                &GeneratorConfig { scale: 0.1, seed: 18, k_paths: 8 },
+                &GeneratorConfig {
+                    scale: 0.1,
+                    seed: 18,
+                    k_paths: 8,
+                },
             )
         })
     });
 
     let model = NetworkModel::generate(
         Operator::Romanian,
-        &GeneratorConfig { scale: 0.1, seed: 18, k_paths: 8 },
+        &GeneratorConfig {
+            scale: 0.1,
+            seed: 18,
+            k_paths: 8,
+        },
     );
     let src = model.base_stations[0].node;
     let dst = model.compute_units[0].node;

@@ -1,18 +1,30 @@
 //! Criterion micro-benchmarks of the AC-RR solvers: Benders decomposition,
 //! KAC, the one-shot MILP and the no-overbooking baseline on a fixed
 //! medium-size instance, plus the Benders slave LP alone.
+//!
+//! The `warm_vs_cold` group measures the revised-simplex warm-start engine
+//! on the two hot paths (Benders + branch-and-bound, and the slave
+//! re-pricing chain) at three instance scales, and dumps a machine-readable
+//! `BENCH_solvers.json` snapshot — wall-clock medians *and* pivot counts —
+//! so subsequent PRs can track the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ovnes::problem::{AcrrInstance, PathPolicy, TenantInput};
 use ovnes::slice::{SliceClass, SliceTemplate};
-use ovnes::solver::slave::solve_slave;
+use ovnes::solver::slave::{solve_slave, SlaveContext};
 use ovnes::solver::{baseline, benders, kac, oneshot};
+use ovnes_lp::LpStats;
 use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
+use std::time::Instant;
 
-fn instance(overbooking: bool, n_tenants: usize) -> AcrrInstance {
+fn instance_at(scale: f64, n_tenants: usize, overbooking: bool) -> AcrrInstance {
     let model = NetworkModel::generate(
         Operator::Romanian,
-        &GeneratorConfig { scale: 0.04, seed: 18, k_paths: 3 },
+        &GeneratorConfig {
+            scale,
+            seed: 18,
+            k_paths: 3,
+        },
     );
     let n_bs = model.base_stations.len();
     let classes = [SliceClass::Embb, SliceClass::Mmtc, SliceClass::Urllc];
@@ -37,6 +49,72 @@ fn instance(overbooking: bool, n_tenants: usize) -> AcrrInstance {
     AcrrInstance::build(&model, tenants, PathPolicy::Spread, overbooking, None)
 }
 
+fn instance(overbooking: bool, n_tenants: usize) -> AcrrInstance {
+    instance_at(0.04, n_tenants, overbooking)
+}
+
+/// The three benchmark scales: (label, topology scale, tenants).
+const SCALES: [(&str, f64, usize); 3] = [
+    ("small", 0.02, 3),
+    ("paper", 0.04, 6),
+    ("10x_paper", 0.12, 20),
+];
+
+/// A rotating sequence of admission vectors mimicking consecutive Benders
+/// iterations: mostly stable, one tenant flips off and CUs rotate slowly.
+fn admission_sequence(inst: &AcrrInstance, steps: usize) -> Vec<Vec<Option<usize>>> {
+    let n_t = inst.tenants.len();
+    let n_cu = inst.n_cu.max(1);
+    (0..steps)
+        .map(|s| {
+            (0..n_t)
+                .map(|t| {
+                    if t == s % n_t {
+                        None
+                    } else {
+                        let cu = (t + s / n_t) % n_cu;
+                        if inst.cu_allowed[t][cu] {
+                            Some(cu)
+                        } else {
+                            inst.cu_allowed[t].iter().position(|&a| a)
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the slave re-pricing chain warm (one context) and returns
+/// (elapsed seconds, pivot stats).
+fn slave_chain_warm(inst: &AcrrInstance, seq: &[Vec<Option<usize>>]) -> (f64, LpStats) {
+    let mut ctx = SlaveContext::new(inst);
+    let t0 = Instant::now();
+    for assigned in seq {
+        ctx.solve_for(assigned).expect("slave solve");
+    }
+    (t0.elapsed().as_secs_f64(), ctx.stats)
+}
+
+/// Same chain, cold: a fresh context (and two cold phases) per admission.
+fn slave_chain_cold(inst: &AcrrInstance, seq: &[Vec<Option<usize>>]) -> (f64, LpStats) {
+    let mut stats = LpStats::default();
+    let t0 = Instant::now();
+    for assigned in seq {
+        let mut ctx = SlaveContext::new(inst);
+        ctx.solve_for(assigned).expect("slave solve");
+        stats.absorb(&ctx.stats);
+    }
+    (t0.elapsed().as_secs_f64(), stats)
+}
+
+fn benders_opts(warm: bool) -> benders::BendersOptions {
+    benders::BendersOptions {
+        warm_start: warm,
+        ..benders::BendersOptions::default()
+    }
+}
+
 fn bench_solvers(c: &mut Criterion) {
     let inst = instance(true, 6);
     let inst_nov = instance(false, 6);
@@ -59,9 +137,104 @@ fn bench_solvers(c: &mut Criterion) {
     });
 }
 
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    // Criterion loops cover the two smaller scales; the 10×-paper scale is
+    // measured once by the snapshot below (its cold chain alone is tens of
+    // seconds — a multi-sample loop would blow the micro-benchmark budget).
+    for (label, scale, tenants) in SCALES {
+        if label == "10x_paper" {
+            continue;
+        }
+        let inst = instance_at(scale, tenants, true);
+        let seq = admission_sequence(&inst, 16);
+        c.bench_function(&format!("slave_chain_warm_{label}"), |b| {
+            b.iter(|| slave_chain_warm(&inst, &seq))
+        });
+        c.bench_function(&format!("slave_chain_cold_{label}"), |b| {
+            b.iter(|| slave_chain_cold(&inst, &seq))
+        });
+        c.bench_function(&format!("benders_warm_{label}"), |b| {
+            b.iter(|| benders::solve(&inst, &benders_opts(true)).unwrap())
+        });
+        c.bench_function(&format!("benders_cold_{label}"), |b| {
+            b.iter(|| benders::solve(&inst, &benders_opts(false)).unwrap())
+        });
+    }
+    emit_snapshot();
+}
+
+/// One timed + pivot-counted pass per configuration, dumped as JSON for the
+/// perf trajectory across PRs.
+fn emit_snapshot() {
+    let mut entries: Vec<String> = Vec::new();
+
+    for (label, scale, tenants) in SCALES {
+        let inst = instance_at(scale, tenants, true);
+        let steps = if label == "10x_paper" { 8 } else { 16 };
+        let seq = admission_sequence(&inst, steps);
+        let (tw, sw) = slave_chain_warm(&inst, &seq);
+        let (tc, sc) = slave_chain_cold(&inst, &seq);
+        entries.push(format!(
+            concat!(
+                "  {{\"bench\": \"slave_chain\", \"scale\": \"{}\", ",
+                "\"solves\": {}, \"warm_seconds\": {:.6}, \"cold_seconds\": {:.6}, ",
+                "\"warm_pivots\": {}, \"cold_pivots\": {}, ",
+                "\"pivot_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
+            ),
+            label,
+            seq.len(),
+            tw,
+            tc,
+            sw.total_pivots(),
+            sc.total_pivots(),
+            sc.total_pivots() as f64 / sw.total_pivots().max(1) as f64,
+            tc / tw.max(1e-12),
+        ));
+
+        if label != "10x_paper" {
+            let t0 = Instant::now();
+            let aw = benders::solve(&inst, &benders_opts(true)).expect("benders warm");
+            let tw = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let ac = benders::solve(&inst, &benders_opts(false)).expect("benders cold");
+            let tc = t0.elapsed().as_secs_f64();
+            assert!(
+                (aw.objective - ac.objective).abs() < 1e-6,
+                "warm/cold Benders disagree at {label}: {} vs {}",
+                aw.objective,
+                ac.objective
+            );
+            entries.push(format!(
+                concat!(
+                    "  {{\"bench\": \"benders_bnb\", \"scale\": \"{}\", ",
+                    "\"iterations\": {}, \"warm_seconds\": {:.6}, \"cold_seconds\": {:.6}, ",
+                    "\"warm_pivots\": {}, \"cold_pivots\": {}, ",
+                    "\"warm_hits\": {}, \"pivot_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
+                ),
+                label,
+                aw.stats.iterations,
+                tw,
+                tc,
+                aw.stats.lp.total_pivots(),
+                ac.stats.lp.total_pivots(),
+                aw.stats.lp.warm_starts,
+                ac.stats.lp.total_pivots() as f64 / aw.stats.lp.total_pivots().max(1) as f64,
+                tc / tw.max(1e-12),
+            ));
+        }
+    }
+
+    let json = format!("[\n{}\n]\n", entries.join(",\n"));
+    // Repo root: two levels up from the bench crate manifest.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solvers.json");
+    std::fs::write(path, &json).expect("write BENCH_solvers.json");
+    println!("snapshot written: BENCH_solvers.json");
+    print!("{json}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_solvers
+    targets = bench_solvers, bench_warm_vs_cold
 }
 criterion_main!(benches);

@@ -5,6 +5,8 @@
 //! 2. **Forecast headroom** — violation rate vs revenue as the reservation
 //!    safety margin shrinks.
 //! 3. **Solver** — Benders (optimal) vs KAC (heuristic) on the same cells.
+//! 4. **Warm-start engine** — pivot counts and wall time of the revised
+//!    simplex with and without basis reuse on the Benders hot path.
 
 use ovnes::experiment::{homogeneous, run_on, Scenario, SigmaLevel};
 use ovnes::orchestrator::{Orchestrator, OrchestratorConfig};
@@ -14,16 +16,25 @@ use ovnes_bench::{scale_arg, seed_arg};
 fn main() {
     let scale = scale_arg(0.04);
     let seed = seed_arg();
-    let topo = GeneratorConfig { scale, seed, k_paths: 3 };
+    let topo = GeneratorConfig {
+        scale,
+        seed,
+        k_paths: 3,
+    };
     let model = NetworkModel::generate(Operator::Romanian, &topo);
 
     // ---- Ablation 1: learning on/off --------------------------------------
     println!("Ablation 1 — demand learning (Holt-Winters) vs prior-only\n");
-    let header =
-        format!("{:<24} {:>12} {:>10} {:>12}", "variant", "revenue", "admitted", "viol.rate");
+    let header = format!(
+        "{:<24} {:>12} {:>10} {:>12}",
+        "variant", "revenue", "admitted", "viol.rate"
+    );
     println!("{header}");
     ovnes_bench::rule(&header);
-    for (label, history) in [("with learning", 3usize), ("prior only (no learning)", usize::MAX)] {
+    for (label, history) in [
+        ("with learning", 3usize),
+        ("prior only (no learning)", usize::MAX),
+    ] {
         let mut orch = Orchestrator::new(
             model.clone(),
             OrchestratorConfig {
@@ -34,7 +45,13 @@ fn main() {
             },
         );
         for t in 0..10 {
-            orch.submit(SliceRequest::from_template(t, SliceTemplate::embb(), 0.2, 2.5, 1.0));
+            orch.submit(SliceRequest::from_template(
+                t,
+                SliceTemplate::embb(),
+                0.2,
+                2.5,
+                1.0,
+            ));
         }
         let mut rev = 0.0;
         let mut adm = 0;
@@ -47,8 +64,18 @@ fn main() {
             violated += out.violation_samples.0;
             samples += out.violation_samples.1;
         }
-        let rate = if samples > 0 { violated as f64 / samples as f64 } else { 0.0 };
-        println!("{:<24} {:>12.1} {:>10} {:>11.4}%", label, rev, adm, 100.0 * rate);
+        let rate = if samples > 0 {
+            violated as f64 / samples as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<24} {:>12.1} {:>10} {:>11.4}%",
+            label,
+            rev,
+            adm,
+            100.0 * rate
+        );
     }
 
     // ---- Ablation 2: headroom sweep ----------------------------------------
@@ -70,7 +97,13 @@ fn main() {
             },
         );
         for t in 0..10 {
-            orch.submit(SliceRequest::from_template(t, SliceTemplate::embb(), 0.2, 5.0, 1.0));
+            orch.submit(SliceRequest::from_template(
+                t,
+                SliceTemplate::embb(),
+                0.2,
+                5.0,
+                1.0,
+            ));
         }
         let mut rev = 0.0;
         let mut adm = 0;
@@ -85,10 +118,18 @@ fn main() {
             samples += out.violation_samples.1;
             worst = worst.max(out.worst_drop_fraction);
         }
-        let rate = if samples > 0 { violated as f64 / samples as f64 } else { 0.0 };
+        let rate = if samples > 0 {
+            violated as f64 / samples as f64
+        } else {
+            0.0
+        };
         println!(
             "{:<10.1} {:>12.1} {:>10} {:>11.4}% {:>12.2}",
-            headroom, rev, adm, 100.0 * rate, worst
+            headroom,
+            rev,
+            adm,
+            100.0 * rate,
+            worst
         );
     }
 
@@ -127,4 +168,66 @@ fn main() {
     }
     println!("\nExpected: KAC ≈ Benders on radio-bound eMBB (the paper's observation);");
     println!("small gaps may appear on compute-bound classes under congestion.");
+
+    // ---- Ablation 4: warm-start engine ------------------------------------
+    println!("\nAblation 4 — revised-simplex warm starts on the Benders hot path\n");
+    let header = format!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "mode", "pivots", "phase1", "dual", "warm hits", "seconds"
+    );
+    println!("{header}");
+    ovnes_bench::rule(&header);
+    let n_bs = model.base_stations.len();
+    let tenants: Vec<ovnes::problem::TenantInput> = (0..8)
+        .map(|i| {
+            let t = SliceTemplate::embb();
+            ovnes::problem::TenantInput {
+                tenant: i as u32,
+                sla_mbps: t.sla_mbps,
+                reward: t.reward,
+                penalty: t.reward,
+                delay_budget_us: t.delay_budget_us,
+                service: t.service,
+                forecast_mbps: vec![0.3 * t.sla_mbps; n_bs],
+                sigma: 0.2,
+                duration_weight: 1.0,
+                must_accept: false,
+                pinned_cu: None,
+            }
+        })
+        .collect();
+    let inst = ovnes::problem::AcrrInstance::build(
+        &model,
+        tenants,
+        ovnes::problem::PathPolicy::Spread,
+        true,
+        None,
+    );
+    let mut allocs = Vec::new();
+    for (mode, warm) in [("warm", true), ("cold", false)] {
+        let opts = ovnes::solver::benders::BendersOptions {
+            warm_start: warm,
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let alloc = ovnes::solver::benders::solve(&inst, &opts).expect("benders");
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>12.4}",
+            mode,
+            alloc.stats.lp.total_pivots(),
+            alloc.stats.lp.phase1_pivots,
+            alloc.stats.lp.dual_pivots,
+            alloc.stats.lp.warm_starts,
+            secs,
+        );
+        allocs.push(alloc);
+    }
+    println!(
+        "\nidentical objectives: {} ({}  vs  {})",
+        (allocs[0].objective - allocs[1].objective).abs() < 1e-6,
+        allocs[0].objective,
+        allocs[1].objective,
+    );
+    println!("full counters (warm): {}", allocs[0].stats.lp_summary());
 }

@@ -8,7 +8,11 @@ use ovnes_topology::stats::{path_capacity_cdf, path_delay_cdf, quantile};
 fn main() {
     let scale = scale_arg(0.15);
     let seed = seed_arg();
-    let cfg = GeneratorConfig { scale, seed, k_paths: 8 };
+    let cfg = GeneratorConfig {
+        scale,
+        seed,
+        k_paths: 8,
+    };
 
     println!("Fig. 4 — operator topologies at scale {scale} (seed {seed})\n");
     let header = format!(

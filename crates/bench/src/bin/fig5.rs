@@ -20,16 +20,27 @@ fn main() {
     let full = full_mode();
     let scale = scale_arg(0.04);
     let seed = seed_arg();
-    let topo = GeneratorConfig { scale, seed, k_paths: 3 };
+    let topo = GeneratorConfig {
+        scale,
+        seed,
+        k_paths: 3,
+    };
 
-    let alphas: &[f64] =
-        if full { &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] } else { &[0.2, 0.5, 0.8] };
+    let alphas: &[f64] = if full {
+        &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    } else {
+        &[0.2, 0.5, 0.8]
+    };
     let sigmas: &[SigmaLevel] = if full {
         &[SigmaLevel::Zero, SigmaLevel::Quarter, SigmaLevel::Half]
     } else {
         &[SigmaLevel::Zero, SigmaLevel::Half]
     };
-    let penalties: &[f64] = if full { &[1.0, 4.0, 16.0] } else { &[1.0, 16.0] };
+    let penalties: &[f64] = if full {
+        &[1.0, 4.0, 16.0]
+    } else {
+        &[1.0, 16.0]
+    };
 
     println!("Fig. 5 — net revenue gain (%) over no-overbooking, homogeneous slices");
     println!("(solver: KAC; topology scale {scale}; seed {seed}; λ̄ = α·Λ)\n");
@@ -65,19 +76,15 @@ fn main() {
                         if class == SliceClass::Mmtc && sigma != SigmaLevel::Zero {
                             continue;
                         }
-                        let mut scn = Scenario::new(
-                            op,
-                            homogeneous(class, n_tenants, alpha, sigma, m),
-                        );
+                        let mut scn =
+                            Scenario::new(op, homogeneous(class, n_tenants, alpha, sigma, m));
                         scn.topology = topo.clone();
                         scn.solver = SolverKind::Kac;
                         scn.max_epochs = if full { 32 } else { 22 };
                         scn.min_epochs = 18;
                         let ours = run_on(&scn, model.clone()).expect("overbooking cell");
-                        let gain = revenue_gain_percent(
-                            ours.mean_net_revenue,
-                            base.mean_net_revenue,
-                        );
+                        let gain =
+                            revenue_gain_percent(ours.mean_net_revenue, base.mean_net_revenue);
                         println!(
                             "{:<10} {:<6} {:>5.1} {:>7} {:>4} {:>12.2} {:>12.2} {:>8.0}% {:>9.5}%",
                             op.label(),

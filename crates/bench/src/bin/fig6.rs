@@ -10,7 +10,11 @@ fn main() {
     let full = full_mode();
     let scale = scale_arg(0.04);
     let seed = seed_arg();
-    let topo = GeneratorConfig { scale, seed, k_paths: 3 };
+    let topo = GeneratorConfig {
+        scale,
+        seed,
+        k_paths: 3,
+    };
 
     let mixes: &[(SliceClass, SliceClass)] = &[
         (SliceClass::Embb, SliceClass::Mmtc),
@@ -18,8 +22,11 @@ fn main() {
         (SliceClass::Mmtc, SliceClass::Urllc),
     ];
     let betas: &[f64] = &[0.0, 25.0, 50.0, 75.0, 100.0];
-    let sigmas: &[SigmaLevel] =
-        if full { &[SigmaLevel::Zero, SigmaLevel::Quarter, SigmaLevel::Half] } else { &[SigmaLevel::Quarter] };
+    let sigmas: &[SigmaLevel] = if full {
+        &[SigmaLevel::Zero, SigmaLevel::Quarter, SigmaLevel::Half]
+    } else {
+        &[SigmaLevel::Quarter]
+    };
     let penalties: &[f64] = if full { &[1.0, 4.0, 16.0] } else { &[1.0] };
 
     println!("Fig. 6 — net revenue in heterogeneous mixes (λ̄ = 0.2Λ, solver: KAC)");

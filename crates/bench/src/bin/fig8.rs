@@ -9,14 +9,20 @@ use ovnes_bench::seed_arg;
 fn main() {
     let seed = seed_arg();
     let model = testbed_model();
-    println!("Table 2 testbed: {} BSs ({} MHz), edge {} cores, core {} cores, 1 Gb/s links",
+    println!(
+        "Table 2 testbed: {} BSs ({} MHz), edge {} cores, core {} cores, 1 Gb/s links",
         model.base_stations.len(),
         model.base_stations[0].capacity_mhz,
         model.compute_units[0].cores,
         model.compute_units[1].cores,
     );
-    println!("Requests: {:?}",
-        testbed_requests().iter().map(|r| r.arrival_epoch).collect::<Vec<_>>());
+    println!(
+        "Requests: {:?}",
+        testbed_requests()
+            .iter()
+            .map(|r| r.arrival_epoch)
+            .collect::<Vec<_>>()
+    );
 
     let ours = run_testbed(SolverKind::Benders, true, seed).expect("overbooking run");
     let base = run_testbed(SolverKind::Benders, false, seed).expect("baseline run");
@@ -68,7 +74,11 @@ fn main() {
     let header = {
         let mut h = format!("{:<6}", "time");
         for l in &link_ids {
-            h.push_str(&format!(" {:>9} {:>9}", format!("L{l} resv"), format!("L{l} load")));
+            h.push_str(&format!(
+                " {:>9} {:>9}",
+                format!("L{l} resv"),
+                format!("L{l} load")
+            ));
         }
         h
     };

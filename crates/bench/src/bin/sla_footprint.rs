@@ -21,7 +21,11 @@ fn cell(
 ) -> (f64, f64, f64) {
     let mut orch = Orchestrator::new(
         model.clone(),
-        OrchestratorConfig { solver: SolverKind::Kac, seed, ..Default::default() },
+        OrchestratorConfig {
+            solver: SolverKind::Kac,
+            seed,
+            ..Default::default()
+        },
     );
     let template = SliceTemplate::embb();
     let mean = 0.2 * template.sla_mbps;
@@ -47,14 +51,22 @@ fn cell(
             revenue += out.net_revenue;
         }
     }
-    let rate = if samples > 0 { violated as f64 / samples as f64 } else { 0.0 };
+    let rate = if samples > 0 {
+        violated as f64 / samples as f64
+    } else {
+        0.0
+    };
     (rate, worst, revenue / (epochs - 6) as f64)
 }
 
 fn main() {
     let scale = scale_arg(0.04);
     let seed = seed_arg();
-    let topo = GeneratorConfig { scale, seed, k_paths: 3 };
+    let topo = GeneratorConfig {
+        scale,
+        seed,
+        k_paths: 3,
+    };
     let model = NetworkModel::generate(Operator::Romanian, &topo);
 
     println!("§4.3.3 — SLA-violation footprint (Romanian, 10 eMBB @ α = 0.2, 40 epochs)\n");

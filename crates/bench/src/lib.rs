@@ -21,17 +21,23 @@ pub fn full_mode() -> bool {
 
 /// Reads an optional `--seed N` argument (default 18).
 pub fn seed_arg() -> u64 {
-    arg_value("--seed").and_then(|v| v.parse().ok()).unwrap_or(18)
+    arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(18)
 }
 
 /// Reads an optional `--scale F` argument with a per-binary default.
 pub fn scale_arg(default: f64) -> f64 {
-    arg_value("--scale").and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value("--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Prints a horizontal rule sized to a header string.

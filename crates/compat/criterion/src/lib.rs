@@ -1,0 +1,151 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the *subset* of the criterion API the repo's benches
+//! use: [`Criterion`], [`Criterion::sample_size`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — wall-clock timing of `sample_size`
+//! samples after a short warm-up, reporting min/median/mean — but the shape
+//! of the output (one line per benchmark) is stable so downstream tooling
+//! can scrape it, and the API matches real criterion so swapping the real
+//! crate back in is a one-line Cargo change.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point for the measured statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Fastest observed sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+}
+
+/// Prevents the optimiser from deleting a value or the work producing it.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing helper handed to [`Criterion::bench_function`] closures.
+pub struct Bencher {
+    samples: usize,
+    last: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `f`, running a warm-up pass then `sample_size` measured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also sizes very fast closures).
+        let warm = Instant::now();
+        black_box(f());
+        let per_call = warm.elapsed();
+        // Batch very fast closures so timer resolution does not dominate.
+        let batch = if per_call < Duration::from_micros(5) {
+            64
+        } else {
+            1
+        };
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            times.push(t0.elapsed() / batch as u32);
+        }
+        times.sort_unstable();
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        self.last = Some(Sample {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean,
+        });
+    }
+}
+
+/// Benchmark driver (API mirror of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints a single result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut b);
+        match b.last {
+            Some(s) => println!(
+                "bench: {id:<40} min {:>12} median {:>12} mean {:>12}",
+                fmt_duration(s.min),
+                fmt_duration(s.median),
+                fmt_duration(s.mean),
+            ),
+            None => println!("bench: {id:<40} (no measurement: closure never called iter)"),
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function (API mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main` (API mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

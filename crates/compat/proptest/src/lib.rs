@@ -1,0 +1,256 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest/1) crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the *subset* of the proptest API the repo's tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//!   attribute and `arg in strategy` bindings,
+//! * range strategies over integers and floats (`1usize..6`, `-5.0f64..5.0`),
+//! * [`collection::vec`] with a fixed size or a size range,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Unlike real proptest there is **no shrinking** and no failure persistence:
+//! cases are sampled from a deterministic PRNG and assertion macros panic
+//! directly (so the failing values appear in the panic message via the
+//! assertion text). That is sufficient for the seeded, tolerance-based
+//! property tests in this repo.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner configuration (API mirror of `proptest::test_runner`).
+pub mod test_runner {
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// How many random cases each `proptest!` test executes.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps offline CI quick while
+            // still exercising the properties broadly.
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// A source of random values for strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-test RNG; `salt` varies the stream between tests.
+    pub fn deterministic(salt: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(0x5EED_CAFE ^ salt))
+    }
+}
+
+/// Value-generation strategies (API mirror of `proptest::strategy`).
+pub mod strategy {
+    use super::TestRng;
+
+    /// Something that can produce random values of type `Value`.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+}
+
+use strategy::Strategy;
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// Collection strategies (API mirror of `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a size range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy with a fixed length or a length range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                rng.0.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            // Salt the stream by the test name so sibling properties do not
+            // see identical sequences.
+            let __salt = {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in stringify!($name).bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            };
+            let mut __rng = $crate::TestRng::deterministic(__salt);
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a property-test condition (panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Common imports (API mirror of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            n in 1usize..5,
+            x in -2.0f64..2.0,
+            v in collection::vec(0.0f64..1.0, 3),
+            w in collection::vec(0u64..10, 2..6),
+        ) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(w.len() >= 2 && w.len() < 6);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(a in 0u32..7) {
+            prop_assert!(a < 7);
+        }
+    }
+}

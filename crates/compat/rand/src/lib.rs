@@ -1,0 +1,199 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand/0.8) crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the *subset* of the `rand 0.8` API the repo actually
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over integer and `f64` ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a solid,
+//! well-studied non-cryptographic PRNG. Streams therefore do **not** match
+//! the real `StdRng` (ChaCha12) bit-for-bit; everything in this repo that
+//! consumes randomness only relies on determinism-per-seed and reasonable
+//! statistical quality, both of which hold.
+
+/// Seedable random number generators (API mirror of `rand::rngs`).
+pub mod rngs {
+    /// Deterministic PRNG: xoshiro256++ behind the `StdRng` name.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seeding trait (API mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the reference seeding for xoshiro.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // xoshiro requires a not-all-zero state; SplitMix64 cannot emit four
+        // zeros in a row, but guard anyway.
+        let s = if s == [0; 4] { [1, 2, 3, 4] } else { s };
+        StdRng { s }
+    }
+}
+
+/// Types that can parameterise [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Debiased modulo via 128-bit widening multiply (Lemire).
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range on empty range");
+        // Treating the inclusive float range as half-open loses only the
+        // single endpoint value, measure zero for continuous draws.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        start + unit * (end - start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::RangeInclusive<f32> {
+    fn sample_from(self, rng: &mut StdRng) -> f32 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range on empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        start + unit * (end - start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from(self, rng: &mut StdRng) -> f32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Value-generation trait (API mirror of `rand::Rng`).
+pub trait Rng {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        self.gen_range(0.0..1.0f64) < p
+    }
+}
+
+/// Prelude (API mirror of `rand::prelude`).
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0..4.0f64);
+            assert!((-2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_central() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0f64)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

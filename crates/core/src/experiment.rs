@@ -90,7 +90,11 @@ impl Scenario {
     pub fn new(operator: Operator, tenants: Vec<TenantSpec>) -> Self {
         Scenario {
             operator,
-            topology: GeneratorConfig { scale: 0.05, seed: 18, k_paths: 4 },
+            topology: GeneratorConfig {
+                scale: 0.05,
+                seed: 18,
+                k_paths: 4,
+            },
             tenants,
             solver: SolverKind::Kac,
             overbooking: true,
@@ -185,10 +189,18 @@ pub fn run_on(scenario: &Scenario, model: NetworkModel) -> Result<RevenueSummary
     let (mean, stderr) = mean_stderr(&revenues);
     Ok(RevenueSummary {
         mean_net_revenue: mean,
-        stderr_fraction: if mean.abs() > 1e-9 { stderr / mean.abs() } else { 0.0 },
+        stderr_fraction: if mean.abs() > 1e-9 {
+            stderr / mean.abs()
+        } else {
+            0.0
+        },
         epochs,
         mean_admitted: admitted.iter().sum::<f64>() / admitted.len().max(1) as f64,
-        violation_rate: if samples > 0 { violated as f64 / samples as f64 } else { 0.0 },
+        violation_rate: if samples > 0 {
+            violated as f64 / samples as f64
+        } else {
+            0.0
+        },
         worst_drop_fraction: worst_drop,
     })
 }
@@ -215,7 +227,12 @@ pub fn homogeneous(
     penalty_factor: f64,
 ) -> Vec<TenantSpec> {
     (0..n)
-        .map(|_| TenantSpec { class, alpha, sigma, penalty_factor })
+        .map(|_| TenantSpec {
+            class,
+            alpha,
+            sigma,
+            penalty_factor,
+        })
         .collect()
 }
 

@@ -208,8 +208,7 @@ impl Orchestrator {
         for b in 0..n_bs {
             let series = self.monitor.series((request.tenant, b as u32));
             if series.len() >= self.config.prior_history {
-                let pred =
-                    predict_next(series, self.config.season_epochs, self.config.min_sigma);
+                let pred = predict_next(series, self.config.season_epochs, self.config.min_sigma);
                 // Never reserve below the recent observed peaks: a transient
                 // downward forecast dip must not trigger an avoidable
                 // violation (the paper's "max over monitoring samples"
@@ -219,7 +218,11 @@ impl Orchestrator {
                     .cloned()
                     .fold(0.0f64, f64::max);
                 lam_hat[b] = pred.value.max(recent) * (1.0 + headroom * pred.sigma);
-                sigma = if observed { sigma.max(pred.sigma) } else { pred.sigma };
+                sigma = if observed {
+                    sigma.max(pred.sigma)
+                } else {
+                    pred.sigma
+                };
                 observed = true;
             }
         }
@@ -422,8 +425,11 @@ impl Orchestrator {
         let mut cu_load = vec![0.0; instance.n_cu];
         let mut link_reserved: HashMap<usize, f64> = HashMap::new();
         let mut link_load: HashMap<usize, f64> = HashMap::new();
-        let mean_offered: HashMap<(u32, u32), f64> =
-            report.flows.iter().map(|f| (f.key, f.mean_offered)).collect();
+        let mean_offered: HashMap<(u32, u32), f64> = report
+            .flows
+            .iter()
+            .map(|f| (f.key, f.mean_offered))
+            .collect();
         for a in &self.active {
             let t = &a.request.template;
             let mut sum_res = 0.0;
@@ -440,15 +446,11 @@ impl Orchestrator {
                 sum_res += z;
                 sum_load += load;
                 // Attribute transport to the selected leg's links.
-                if let Some(leg) = instance
-                    .legs
-                    .iter()
-                    .find(|l| {
-                        instance.tenants[l.tenant].tenant == a.request.tenant
-                            && l.bs == b
-                            && l.cu == a.cu
-                    })
-                {
+                if let Some(leg) = instance.legs.iter().find(|l| {
+                    instance.tenants[l.tenant].tenant == a.request.tenant
+                        && l.bs == b
+                        && l.cu == a.cu
+                }) {
                     for &e in &leg.links {
                         let gid = instance.link_graph_ids[e];
                         *link_reserved.entry(gid).or_insert(0.0) += z;

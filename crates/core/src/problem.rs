@@ -202,7 +202,13 @@ impl AcrrInstance {
                             })
                         })
                         .collect();
-                    legs.push(Leg { tenant: ti, bs: b, cu: c, links, delay_us: path.delay_us });
+                    legs.push(Leg {
+                        tenant: ti,
+                        bs: b,
+                        cu: c,
+                        links,
+                        delay_us: path.delay_us,
+                    });
                 }
             }
         }
@@ -335,4 +341,25 @@ pub struct SolveStats {
     pub lp_solves: usize,
     /// Final optimality gap (UB − LB) for Benders; 0 elsewhere.
     pub gap: f64,
+    /// Pivot-level LP statistics aggregated across every simplex run this
+    /// solve performed (master B&B nodes + slave re-pricings): phase-1/2
+    /// pivots, dual (warm-restart) pivots, warm-start hits,
+    /// refactorizations.
+    pub lp: ovnes_lp::LpStats,
+}
+
+impl SolveStats {
+    /// Human-oriented one-line summary of the pivot-level counters.
+    pub fn lp_summary(&self) -> String {
+        format!(
+            "pivots {} (p1 {} / p2 {} / dual {}), warm {} / cold {}, refactor {}",
+            self.lp.total_pivots(),
+            self.lp.phase1_pivots,
+            self.lp.phase2_pivots,
+            self.lp.dual_pivots,
+            self.lp.warm_starts,
+            self.lp.cold_starts,
+            self.lp.refactorizations,
+        )
+    }
 }

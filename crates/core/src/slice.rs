@@ -67,7 +67,10 @@ impl SliceTemplate {
             reward: 1.0,
             delay_budget_us: 30_000.0,
             sla_mbps: 50.0,
-            service: ServiceModel { base_cores: 0.0, cores_per_mbps: 0.0 },
+            service: ServiceModel {
+                base_cores: 0.0,
+                cores_per_mbps: 0.0,
+            },
         }
     }
 
@@ -79,7 +82,10 @@ impl SliceTemplate {
             reward: 3.0,
             delay_budget_us: 30_000.0,
             sla_mbps: 10.0,
-            service: ServiceModel { base_cores: 0.0, cores_per_mbps: 2.0 },
+            service: ServiceModel {
+                base_cores: 0.0,
+                cores_per_mbps: 2.0,
+            },
         }
     }
 
@@ -91,7 +97,10 @@ impl SliceTemplate {
             reward: 2.2,
             delay_budget_us: 5_000.0,
             sla_mbps: 25.0,
-            service: ServiceModel { base_cores: 0.0, cores_per_mbps: 0.2 },
+            service: ServiceModel {
+                base_cores: 0.0,
+                cores_per_mbps: 0.2,
+            },
         }
     }
 
@@ -146,7 +155,11 @@ impl SliceRequest {
         SliceRequest {
             tenant,
             true_mean_mbps: alpha * template.sla_mbps,
-            true_sigma_mbps: if template.class == SliceClass::Mmtc { 0.0 } else { sigma },
+            true_sigma_mbps: if template.class == SliceClass::Mmtc {
+                0.0
+            } else {
+                sigma
+            },
             template,
             duration_epochs: u32::MAX,
             arrival_epoch: 0,

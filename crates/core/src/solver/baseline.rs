@@ -52,7 +52,11 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
         if row.is_empty() {
             continue;
         }
-        let cmp = if instance.tenants[t].must_accept { Cmp::Eq } else { Cmp::Le };
+        let cmp = if instance.tenants[t].must_accept {
+            Cmp::Eq
+        } else {
+            Cmp::Le
+        };
         p.add_cons(&row, cmp, 1.0);
     }
 
@@ -66,8 +70,7 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
             }
             let ten = &instance.tenants[*t];
             let legs = instance.legs_of(*t, c).count() as f64;
-            let load = ten.service.base_cores
-                + ten.service.cores_per_mbps * ten.sla_mbps * legs;
+            let load = ten.service.base_cores + ten.service.cores_per_mbps * ten.sla_mbps * legs;
             if load != 0.0 {
                 row.push((*v, load));
             }
@@ -146,6 +149,11 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
         assigned_cu: assigned,
         reservations,
         deficit,
-        stats: SolveStats { iterations: 1, lp_solves: sol.nodes, gap: 0.0 },
+        stats: SolveStats {
+            iterations: 1,
+            lp_solves: sol.nodes,
+            gap: 0.0,
+            lp: sol.lp_stats,
+        },
     })
 }

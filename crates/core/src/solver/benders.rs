@@ -7,11 +7,15 @@
 //! the best evaluated admission (Theorem 2: finitely many dual extreme
 //! points/rays ⇒ finite convergence).
 
-use super::slave::{solve_slave, SlaveResult};
+use super::slave::{SlaveContext, SlaveResult};
 use super::AcrrError;
 use crate::problem::{AcrrInstance, Allocation, SolveStats};
 use ovnes_lp::{Cmp, Problem, VarId};
 use ovnes_milp::{Milp, MilpOptions, MilpOutcome};
+
+/// Incumbent bookkeeping: (objective, admission vector, reservations per
+/// leg, deficit triple).
+type Incumbent = (f64, Vec<Option<usize>>, Vec<f64>, (f64, f64, f64));
 
 /// Benders loop controls.
 #[derive(Debug, Clone)]
@@ -22,11 +26,22 @@ pub struct BendersOptions {
     pub epsilon: f64,
     /// Node budget per master MILP solve.
     pub milp: MilpOptions,
+    /// Reuse bases across iterations: the slave re-prices warm from the
+    /// previous admission's basis and the master resumes its stored root
+    /// basis after cuts append. Results are identical either way (the
+    /// benchmark suite measures the pivot savings); disable only for
+    /// comparison runs.
+    pub warm_start: bool,
 }
 
 impl Default for BendersOptions {
     fn default() -> Self {
-        Self { max_iterations: 60, epsilon: 1e-6, milp: MilpOptions::default() }
+        Self {
+            max_iterations: 60,
+            epsilon: 1e-6,
+            milp: MilpOptions::default(),
+            warm_start: true,
+        }
     }
 }
 
@@ -63,7 +78,11 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
         if row.is_empty() {
             continue; // tenant with no allowed CU is implicitly rejected
         }
-        let cmp = if instance.tenants[t].must_accept { Cmp::Eq } else { Cmp::Le };
+        let cmp = if instance.tenants[t].must_accept {
+            Cmp::Eq
+        } else {
+            Cmp::Le
+        };
         master.add_cons(&row, cmp, 1.0);
     }
 
@@ -71,20 +90,37 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
     for &(_, v) in &u_vars {
         milp.mark_integer(v);
     }
-    milp.set_options(options.milp.clone());
+    let mut milp_options = options.milp.clone();
+    // A cold Benders run forces the master cold too, but a warm run still
+    // honours a caller's explicit `MilpOptions { warm_start: false, … }`.
+    milp_options.warm_start &= options.warm_start;
+    milp.set_options(milp_options);
 
     // ---- Benders loop ----
-    let mut best: Option<(f64, Vec<Option<usize>>, Vec<f64>, (f64, f64, f64))> = None;
+    // One persistent slave LP: each iteration re-prices the RHS for the new
+    // admission vector and warm-starts from the previous basis. The master
+    // `Milp` is equally persistent — cuts append rows, so its stored root
+    // basis stays valid and every re-solve starts with dual-simplex pivots.
+    let mut slave = SlaveContext::new(instance);
+    if !options.warm_start {
+        slave.set_warm(false);
+    }
+    let mut best: Option<Incumbent> = None;
     let mut lower = f64::NEG_INFINITY;
     let mut stats = SolveStats::default();
 
     for iter in 0..options.max_iterations {
         stats.iterations = iter + 1;
-        let master_sol = match milp.solve()? {
+        let outcome = milp.solve()?;
+        // Absorb via `last_lp_stats` so master pivots are counted even when
+        // the outcome carries no solution (Infeasible/Unbounded).
+        stats.lp.absorb(milp.last_lp_stats());
+        let master_sol = match outcome {
             MilpOutcome::Optimal(s) => s,
             MilpOutcome::Infeasible => {
                 // Feasibility cuts exclude every admission (possible only
                 // without the deficit relaxation and with forced slices).
+                stats.lp.absorb(&slave.stats);
                 return match best {
                     Some(_) => break_out(instance, best, lower, stats),
                     None => Err(AcrrError::Infeasible),
@@ -103,8 +139,13 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
         }
 
         stats.lp_solves += 1;
-        match solve_slave(instance, &assigned)? {
-            SlaveResult::Feasible { value, z, deficit, cut } => {
+        match slave.solve_for(&assigned)? {
+            SlaveResult::Feasible {
+                value,
+                z,
+                deficit,
+                cut,
+            } => {
                 let fixed: f64 = u_vars
                     .iter()
                     .map(|((t, c), _)| {
@@ -116,7 +157,7 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
                     })
                     .sum();
                 let total = fixed + value;
-                if best.as_ref().map_or(true, |(b, ..)| total < *b) {
+                if best.as_ref().is_none_or(|(b, ..)| total < *b) {
                     best = Some((total, assigned.clone(), z, deficit));
                 }
                 // Optimality cut: θ ≥ cut(u)  ⇔  Σ coeff·u − θ ≤ −constant.
@@ -146,12 +187,13 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
         }
     }
 
+    stats.lp.absorb(&slave.stats);
     break_out(instance, best, lower, stats)
 }
 
 fn break_out(
     instance: &AcrrInstance,
-    best: Option<(f64, Vec<Option<usize>>, Vec<f64>, (f64, f64, f64))>,
+    best: Option<Incumbent>,
     lower: f64,
     mut stats: SolveStats,
 ) -> Result<Allocation, AcrrError> {
@@ -165,5 +207,11 @@ fn break_out(
             reservations[leg.tenant][leg.bs] = z[li];
         }
     }
-    Ok(Allocation { objective, assigned_cu: assigned, reservations, deficit, stats })
+    Ok(Allocation {
+        objective,
+        assigned_cu: assigned,
+        reservations,
+        deficit,
+        stats,
+    })
 }

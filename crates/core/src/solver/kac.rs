@@ -12,7 +12,7 @@
 //! is to sort by `−γ/max(w̄, ε)` descending and skip unprofitable items,
 //! which is what we do.
 
-use super::slave::{solve_slave, SlaveResult};
+use super::slave::{SlaveContext, SlaveResult};
 use super::AcrrError;
 use crate::problem::{AcrrInstance, Allocation, SolveStats};
 use std::collections::HashMap;
@@ -41,7 +41,13 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
     // not to let the greedy overbook into paid-for federated capacity. If
     // even the forced set needs the relaxation, we fall back to it at the
     // end.
-    let strict = AcrrInstance { deficit_cost: None, ..instance.clone() };
+    let strict = AcrrInstance {
+        deficit_cost: None,
+        ..instance.clone()
+    };
+    // One persistent strict-slave LP: every vetting solve below re-prices
+    // the RHS and warm-starts from the previous admission's basis.
+    let mut slave = SlaveContext::new(&strict);
     let pairs = instance.pairs();
     let n_t = instance.tenants.len();
     let gammas: HashMap<(usize, usize), f64> = pairs
@@ -65,22 +71,31 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
         let assigned = greedy_pack(instance, &gammas, &w_bar, cap_bar, have_cuts, &banned);
 
         stats.lp_solves += 1;
-        match solve_slave(&strict, &assigned)? {
-            SlaveResult::Feasible { value, z, deficit, cut: _ } => {
+        match slave.solve_for(&assigned)? {
+            SlaveResult::Feasible {
+                value,
+                z,
+                deficit,
+                cut: _,
+            } => {
                 // Improvement pass: with the slave's priced reservations, a
                 // squeezed tenant may cost more in expected penalty than its
                 // reward (`Σ_legs q·(Λ − z) > R`). Shedding it frees room
                 // for the survivors; iterate until no tenant is net-negative
                 // (the admitted set strictly shrinks, so this terminates).
-                let (mut assigned, mut value, mut z, mut deficit) =
-                    (assigned, value, z, deficit);
+                let (mut assigned, mut value, mut z, mut deficit) = (assigned, value, z, deficit);
                 loop {
                     let victim = worst_net_negative(instance, &assigned, &z);
                     let Some(t) = victim else { break };
                     assigned[t] = None;
                     stats.lp_solves += 1;
-                    match solve_slave(&strict, &assigned)? {
-                        SlaveResult::Feasible { value: v2, z: z2, deficit: d2, .. } => {
+                    match slave.solve_for(&assigned)? {
+                        SlaveResult::Feasible {
+                            value: v2,
+                            z: z2,
+                            deficit: d2,
+                            ..
+                        } => {
                             value = v2;
                             z = z2;
                             deficit = d2;
@@ -101,6 +116,7 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
                         reservations[leg.tenant][leg.bs] = z[li];
                     }
                 }
+                stats.lp.absorb(&slave.stats);
                 return Ok(Allocation {
                     objective: fixed + value,
                     assigned_cu: assigned,
@@ -141,10 +157,12 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
                         None => {
                             // Only forced tenants remain and they do not fit
                             // strictly: lean on the §3.4 relaxation.
+                            stats.lp.absorb(&slave.stats);
                             return finish_with_deficit(instance, &assigned, stats);
                         }
                     }
                     if extra_rounds > n_t {
+                        stats.lp.absorb(&slave.stats);
                         return finish_with_deficit(instance, &assigned, stats);
                     }
                 }
@@ -174,7 +192,7 @@ fn worst_net_negative(
             .map(|(li, l)| instance.leg_q(l) * (instance.tenants[t].sla_mbps - z[li]))
             .sum();
         let net = risk - instance.tenants[t].reward;
-        if net > 1e-9 && worst.map_or(true, |(_, w)| net > w) {
+        if net > 1e-9 && worst.is_none_or(|(_, w)| net > w) {
             worst = Some((t, net));
         }
     }
@@ -193,21 +211,33 @@ fn finish_with_deficit(
     let forced: Vec<Option<usize>> = assigned
         .iter()
         .enumerate()
-        .map(|(t, c)| if instance.tenants[t].must_accept { *c } else { None })
+        .map(|(t, c)| {
+            if instance.tenants[t].must_accept {
+                *c
+            } else {
+                None
+            }
+        })
         .collect();
     if instance.deficit_cost.is_none() {
         return Err(AcrrError::Infeasible);
     }
     stats.lp_solves += 1;
-    match solve_slave(instance, &forced)? {
-        SlaveResult::Feasible { value, z, deficit, .. } => {
+    // Fresh context over the *relaxed* instance (the loop's context was
+    // strict); keep its pivot counters so `stats.lp` covers every solve.
+    let mut relaxed = SlaveContext::new(instance);
+    let result = relaxed.solve_for(&forced)?;
+    stats.lp.absorb(&relaxed.stats);
+    match result {
+        SlaveResult::Feasible {
+            value, z, deficit, ..
+        } => {
             let gammas_sum: f64 = forced
                 .iter()
                 .enumerate()
                 .filter_map(|(t, c)| c.map(|c| instance.gamma(t, c).unwrap()))
                 .sum();
-            let mut reservations =
-                vec![vec![0.0; instance.n_bs]; instance.tenants.len()];
+            let mut reservations = vec![vec![0.0; instance.n_bs]; instance.tenants.len()];
             for (li, leg) in instance.legs.iter().enumerate() {
                 if forced[leg.tenant] == Some(leg.cu) {
                     reservations[leg.tenant][leg.bs] = z[li];

@@ -25,7 +25,10 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
         .map(|&(t, c)| ((t, c), p.add_var(0.0, 1.0, instance.gamma(t, c).unwrap())))
         .collect();
     let u_of = |t: usize, c: usize| -> Option<VarId> {
-        u_vars.iter().find(|((ti, ci), _)| *ti == t && *ci == c).map(|(_, v)| *v)
+        u_vars
+            .iter()
+            .find(|((ti, ci), _)| *ti == t && *ci == c)
+            .map(|(_, v)| *v)
     };
 
     // z and y per leg; objective −q on y (risk recovered by reservations).
@@ -58,7 +61,11 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
         if row.is_empty() {
             continue;
         }
-        let cmp = if instance.tenants[t].must_accept { Cmp::Eq } else { Cmp::Le };
+        let cmp = if instance.tenants[t].must_accept {
+            Cmp::Eq
+        } else {
+            Cmp::Le
+        };
         p.add_cons(&row, cmp, 1.0);
     }
 
@@ -161,6 +168,11 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
         assigned_cu: assigned,
         reservations,
         deficit,
-        stats: SolveStats { iterations: 1, lp_solves: sol.nodes, gap: 0.0 },
+        stats: SolveStats {
+            iterations: 1,
+            lp_solves: sol.nodes,
+            gap: 0.0,
+            lp: sol.lp_stats,
+        },
     })
 }

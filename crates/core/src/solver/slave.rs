@@ -18,9 +18,18 @@
 //! condition `g(u) ≤ 0` (feasibility cut). The paper's `y`/linearisation
 //! variables are unnecessary here because the slave sees `x` as a constant —
 //! see DESIGN.md.
+//!
+//! ## Incremental re-pricing
+//!
+//! Only the right-hand sides depend on `ū`. [`SlaveContext`] therefore
+//! builds the LP **once** per instance, and each [`SlaveContext::solve_for`]
+//! call rewrites the affected RHS entries and re-solves **warm** from the
+//! previous admission's basis: consecutive Benders iterations differ by a
+//! few flipped `u` entries, so the dual simplex typically needs a handful of
+//! pivots where a cold solve needs two full phases.
 
 use crate::problem::AcrrInstance;
-use ovnes_lp::{Cmp, Outcome, Problem, VarId};
+use ovnes_lp::{Basis, Cmp, ConsId, LpStats, Outcome, Problem, VarId};
 use std::collections::HashMap;
 
 /// An affine function of the admission binaries: `g(u) = constant +
@@ -73,143 +82,238 @@ pub enum SlaveResult {
 struct RowSpec {
     r0: f64,
     u_coeffs: Vec<((usize, usize), f64)>,
+    id: ConsId,
 }
 
-/// Solves the slave for `assigned` (CU per tenant, `None` = rejected).
+/// A persistent, warm-started slave LP for one [`AcrrInstance`].
+///
+/// Build once, then call [`SlaveContext::solve_for`] with each admission
+/// vector. The LP structure never changes — only RHS values move — so the
+/// previous solve's [`Basis`] restarts every subsequent solve.
+pub struct SlaveContext<'a> {
+    instance: &'a AcrrInstance,
+    problem: Problem,
+    z_vars: Vec<VarId>,
+    deficit_vars: Option<(VarId, VarId, VarId)>,
+    rows: Vec<RowSpec>,
+    basis: Option<Basis>,
+    warm: bool,
+    /// Pivot statistics accumulated over every `solve_for` call.
+    pub stats: LpStats,
+}
+
+impl<'a> SlaveContext<'a> {
+    /// Builds the reservation LP skeleton (RHS set for the all-rejected
+    /// admission; [`SlaveContext::solve_for`] rewrites it per call).
+    pub fn new(instance: &'a AcrrInstance) -> SlaveContext<'a> {
+        let mut p = Problem::new();
+
+        // Reservation variable per leg.
+        let z_vars: Vec<VarId> = instance
+            .legs
+            .iter()
+            .map(|leg| p.add_var(0.0, f64::INFINITY, -instance.leg_q(leg)))
+            .collect();
+
+        // Domain-wide deficit variables (paper §3.4: one per domain).
+        let deficit_vars = instance.deficit_cost.map(|m| {
+            (
+                p.add_var(0.0, f64::INFINITY, m), // radio δ_r
+                p.add_var(0.0, f64::INFINITY, m), // transport δ_b
+                p.add_var(0.0, f64::INFINITY, m), // compute δ_c
+            )
+        });
+
+        let mut rows: Vec<RowSpec> = Vec::new();
+
+        // (2/14) CU capacity.
+        for c in 0..instance.n_cu {
+            let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+            for (li, leg) in instance.legs.iter().enumerate() {
+                if leg.cu == c {
+                    let b = instance.tenants[leg.tenant].service.cores_per_mbps;
+                    if b != 0.0 {
+                        coeffs.push((z_vars[li], b));
+                    }
+                }
+            }
+            if let Some((_, _, dc)) = deficit_vars {
+                coeffs.push((dc, -1.0));
+            }
+            // rhs: C_c − Σ_t a_t·u_{t,c}.
+            let mut u_coeffs = Vec::new();
+            for (t, ten) in instance.tenants.iter().enumerate() {
+                if instance.cu_allowed[t][c] && ten.service.base_cores != 0.0 {
+                    u_coeffs.push(((t, c), -ten.service.base_cores));
+                }
+            }
+            let id = p.add_cons(&coeffs, Cmp::Le, instance.cu_cores[c]);
+            rows.push(RowSpec {
+                r0: instance.cu_cores[c],
+                u_coeffs,
+                id,
+            });
+        }
+
+        // (3/15) Link capacity.
+        for (e, &cap) in instance.link_caps.iter().enumerate() {
+            let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+            for (li, leg) in instance.legs.iter().enumerate() {
+                if leg.links.contains(&e) {
+                    coeffs.push((z_vars[li], instance.eta_transport));
+                }
+            }
+            if coeffs.is_empty() {
+                // Link referenced by no leg (possible after CU pruning): skip
+                // to keep the LP lean, but keep row indices aligned by not
+                // pushing.
+                continue;
+            }
+            if let Some((_, db, _)) = deficit_vars {
+                coeffs.push((db, -1.0));
+            }
+            let id = p.add_cons(&coeffs, Cmp::Le, cap);
+            rows.push(RowSpec {
+                r0: cap,
+                u_coeffs: Vec::new(),
+                id,
+            });
+        }
+
+        // (4/16) Radio capacity per BS (z in Mb/s ÷ efficiency = MHz).
+        for b in 0..instance.n_bs {
+            let eff = instance.mbps_per_mhz[b];
+            let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+            for (li, leg) in instance.legs.iter().enumerate() {
+                if leg.bs == b {
+                    coeffs.push((z_vars[li], 1.0 / eff));
+                }
+            }
+            if let Some((dr, _, _)) = deficit_vars {
+                coeffs.push((dr, -1.0));
+            }
+            let id = p.add_cons(&coeffs, Cmp::Le, instance.bs_radio_mhz[b]);
+            rows.push(RowSpec {
+                r0: instance.bs_radio_mhz[b],
+                u_coeffs: Vec::new(),
+                id,
+            });
+        }
+
+        // (17)/(18) Reservation window per leg, parametric in u.
+        for (li, leg) in instance.legs.iter().enumerate() {
+            let t = &instance.tenants[leg.tenant];
+            let pair = (leg.tenant, leg.cu);
+            let lam = t.sla_mbps;
+            let lam_hat = instance.leg_forecast(leg);
+
+            let id = p.add_cons(&[(z_vars[li], 1.0)], Cmp::Le, 0.0);
+            rows.push(RowSpec {
+                r0: 0.0,
+                u_coeffs: vec![(pair, lam)],
+                id,
+            });
+
+            let id = p.add_cons(&[(z_vars[li], 1.0)], Cmp::Ge, 0.0);
+            rows.push(RowSpec {
+                r0: 0.0,
+                u_coeffs: vec![(pair, lam_hat)],
+                id,
+            });
+        }
+
+        SlaveContext {
+            instance,
+            problem: p,
+            z_vars,
+            deficit_vars,
+            rows,
+            basis: None,
+            warm: true,
+            stats: LpStats::default(),
+        }
+    }
+
+    /// Disables basis reuse (comparison/benchmark runs solve cold instead).
+    pub fn set_warm(&mut self, warm: bool) {
+        self.warm = warm;
+        if !warm {
+            self.basis = None;
+        }
+    }
+
+    /// Prices the admission vector `assigned` (CU per tenant, `None` =
+    /// rejected), warm-starting from the previous call's basis.
+    pub fn solve_for(
+        &mut self,
+        assigned: &[Option<usize>],
+    ) -> Result<SlaveResult, ovnes_lp::SolveError> {
+        assert_eq!(assigned.len(), self.instance.tenants.len());
+
+        // Re-price: every RHS is affine in u.
+        for spec in &self.rows {
+            if spec.u_coeffs.is_empty() {
+                continue;
+            }
+            let mut rhs = spec.r0;
+            for &((t, c), w) in &spec.u_coeffs {
+                if assigned[t] == Some(c) {
+                    rhs += w;
+                }
+            }
+            self.problem.set_rhs(spec.id, rhs);
+        }
+
+        let ws = self.problem.solve_warm(self.basis.as_ref())?;
+        self.stats.absorb(&ws.stats);
+        if self.warm {
+            self.basis = Some(ws.basis);
+        }
+
+        let make_cut = |multipliers: &[f64]| -> CutExpr {
+            let mut cut = CutExpr::default();
+            for (i, spec) in self.rows.iter().enumerate() {
+                let y = multipliers[i];
+                if y == 0.0 {
+                    continue;
+                }
+                cut.constant += y * spec.r0;
+                for &(pair, w) in &spec.u_coeffs {
+                    *cut.coeffs.entry(pair).or_insert(0.0) += y * w;
+                }
+            }
+            cut
+        };
+
+        match ws.outcome {
+            Outcome::Optimal(sol) => {
+                let z: Vec<f64> = self.z_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
+                let deficit = self
+                    .deficit_vars
+                    .map(|(r, b, c)| (sol.value(r), sol.value(b), sol.value(c)))
+                    .unwrap_or((0.0, 0.0, 0.0));
+                let cut = make_cut(&sol.duals);
+                Ok(SlaveResult::Feasible {
+                    value: sol.objective,
+                    z,
+                    deficit,
+                    cut,
+                })
+            }
+            Outcome::Infeasible(farkas) => {
+                let cut = make_cut(&farkas.row_multipliers);
+                Ok(SlaveResult::Infeasible { cut })
+            }
+            Outcome::Unbounded => unreachable!("slave objective is bounded (q ≥ 0, z ≤ Λ)"),
+        }
+    }
+}
+
+/// One-shot convenience: builds a fresh context and prices `assigned` cold.
+/// Iterating callers (Benders, KAC) should hold a [`SlaveContext`] instead.
 pub fn solve_slave(
     instance: &AcrrInstance,
     assigned: &[Option<usize>],
 ) -> Result<SlaveResult, ovnes_lp::SolveError> {
-    assert_eq!(assigned.len(), instance.tenants.len());
-    let mut p = Problem::new();
-    let is_on = |t: usize, c: usize| assigned[t] == Some(c);
-
-    // Reservation variable per leg.
-    let z_vars: Vec<VarId> = instance
-        .legs
-        .iter()
-        .map(|leg| p.add_var(0.0, f64::INFINITY, -instance.leg_q(leg)))
-        .collect();
-
-    // Domain-wide deficit variables (paper §3.4: one per domain).
-    let deficit_vars = instance.deficit_cost.map(|m| {
-        (
-            p.add_var(0.0, f64::INFINITY, m), // radio δ_r
-            p.add_var(0.0, f64::INFINITY, m), // transport δ_b
-            p.add_var(0.0, f64::INFINITY, m), // compute δ_c
-        )
-    });
-
-    let mut rows: Vec<RowSpec> = Vec::new();
-
-    // (2/14) CU capacity.
-    for c in 0..instance.n_cu {
-        let mut coeffs: Vec<(VarId, f64)> = Vec::new();
-        for (li, leg) in instance.legs.iter().enumerate() {
-            if leg.cu == c {
-                let b = instance.tenants[leg.tenant].service.cores_per_mbps;
-                if b != 0.0 {
-                    coeffs.push((z_vars[li], b));
-                }
-            }
-        }
-        if let Some((_, _, dc)) = deficit_vars {
-            coeffs.push((dc, -1.0));
-        }
-        // rhs: C_c − Σ_t a_t·u_{t,c}.
-        let mut u_coeffs = Vec::new();
-        let mut rhs = instance.cu_cores[c];
-        for (t, ten) in instance.tenants.iter().enumerate() {
-            if instance.cu_allowed[t][c] && ten.service.base_cores != 0.0 {
-                u_coeffs.push(((t, c), -ten.service.base_cores));
-                if is_on(t, c) {
-                    rhs -= ten.service.base_cores;
-                }
-            }
-        }
-        p.add_cons(&coeffs, Cmp::Le, rhs);
-        rows.push(RowSpec { r0: instance.cu_cores[c], u_coeffs });
-    }
-
-    // (3/15) Link capacity.
-    for (e, &cap) in instance.link_caps.iter().enumerate() {
-        let mut coeffs: Vec<(VarId, f64)> = Vec::new();
-        for (li, leg) in instance.legs.iter().enumerate() {
-            if leg.links.contains(&e) {
-                coeffs.push((z_vars[li], instance.eta_transport));
-            }
-        }
-        if coeffs.is_empty() {
-            // Link referenced by no leg (possible after CU pruning): skip to
-            // keep the LP lean, but keep row indices aligned by not pushing.
-            continue;
-        }
-        if let Some((_, db, _)) = deficit_vars {
-            coeffs.push((db, -1.0));
-        }
-        p.add_cons(&coeffs, Cmp::Le, cap);
-        rows.push(RowSpec { r0: cap, u_coeffs: Vec::new() });
-    }
-
-    // (4/16) Radio capacity per BS (z in Mb/s ÷ efficiency = MHz).
-    for b in 0..instance.n_bs {
-        let eff = instance.mbps_per_mhz[b];
-        let mut coeffs: Vec<(VarId, f64)> = Vec::new();
-        for (li, leg) in instance.legs.iter().enumerate() {
-            if leg.bs == b {
-                coeffs.push((z_vars[li], 1.0 / eff));
-            }
-        }
-        if let Some((dr, _, _)) = deficit_vars {
-            coeffs.push((dr, -1.0));
-        }
-        p.add_cons(&coeffs, Cmp::Le, instance.bs_radio_mhz[b]);
-        rows.push(RowSpec { r0: instance.bs_radio_mhz[b], u_coeffs: Vec::new() });
-    }
-
-    // (17)/(18) Reservation window per leg, parametric in u.
-    for (li, leg) in instance.legs.iter().enumerate() {
-        let t = &instance.tenants[leg.tenant];
-        let pair = (leg.tenant, leg.cu);
-        let on = is_on(leg.tenant, leg.cu);
-        let lam = t.sla_mbps;
-        let lam_hat = instance.leg_forecast(leg);
-
-        p.add_cons(&[(z_vars[li], 1.0)], Cmp::Le, if on { lam } else { 0.0 });
-        rows.push(RowSpec { r0: 0.0, u_coeffs: vec![(pair, lam)] });
-
-        p.add_cons(&[(z_vars[li], 1.0)], Cmp::Ge, if on { lam_hat } else { 0.0 });
-        rows.push(RowSpec { r0: 0.0, u_coeffs: vec![(pair, lam_hat)] });
-    }
-
-    let make_cut = |multipliers: &[f64]| -> CutExpr {
-        let mut cut = CutExpr::default();
-        for (i, spec) in rows.iter().enumerate() {
-            let y = multipliers[i];
-            if y == 0.0 {
-                continue;
-            }
-            cut.constant += y * spec.r0;
-            for &(pair, w) in &spec.u_coeffs {
-                *cut.coeffs.entry(pair).or_insert(0.0) += y * w;
-            }
-        }
-        cut
-    };
-
-    match p.solve()? {
-        Outcome::Optimal(sol) => {
-            let z: Vec<f64> = z_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
-            let deficit = deficit_vars
-                .map(|(r, b, c)| (sol.value(r), sol.value(b), sol.value(c)))
-                .unwrap_or((0.0, 0.0, 0.0));
-            let cut = make_cut(&sol.duals);
-            Ok(SlaveResult::Feasible { value: sol.objective, z, deficit, cut })
-        }
-        Outcome::Infeasible(farkas) => {
-            let cut = make_cut(&farkas.row_multipliers);
-            Ok(SlaveResult::Infeasible { cut })
-        }
-        Outcome::Unbounded => unreachable!("slave objective is bounded (q ≥ 0, z ≤ Λ)"),
-    }
+    SlaveContext::new(instance).solve_for(assigned)
 }

@@ -43,12 +43,26 @@ pub fn testbed_model() -> NetworkModel {
     g.add_link_with(sw, core, 1_000.0, 0.0, LinkTech::Virtual, 20_000.0);
 
     let base_stations = vec![
-        BaseStation { node: bs0, capacity_mhz: 20.0 },
-        BaseStation { node: bs1, capacity_mhz: 20.0 },
+        BaseStation {
+            node: bs0,
+            capacity_mhz: 20.0,
+        },
+        BaseStation {
+            node: bs1,
+            capacity_mhz: 20.0,
+        },
     ];
     let compute_units = vec![
-        ComputeUnit { node: edge, cores: 16.0, kind: CuKind::Edge },
-        ComputeUnit { node: core, cores: 64.0, kind: CuKind::Core },
+        ComputeUnit {
+            node: edge,
+            cores: 16.0,
+            kind: CuKind::Edge,
+        },
+        ComputeUnit {
+            node: core,
+            cores: 64.0,
+            kind: CuKind::Core,
+        },
     ];
     let paths = base_stations
         .iter()

@@ -22,15 +22,26 @@ fn toy_model(n_bs: usize, edge_cores: f64, core_cores: f64, link_mbps: f64) -> N
     for i in 0..n_bs {
         let n = g.add_node(0.1 * (i as f64 + 1.0), 0.0);
         g.add_link(n, sw, link_mbps, LinkTech::Copper);
-        base_stations.push(BaseStation { node: n, capacity_mhz: 20.0 });
+        base_stations.push(BaseStation {
+            node: n,
+            capacity_mhz: 20.0,
+        });
     }
     let edge = g.add_node(0.0, 0.1);
     g.add_link(sw, edge, link_mbps, LinkTech::Copper);
     let core = g.add_node(0.0, 0.2);
     g.add_link_with(sw, core, link_mbps, 0.0, LinkTech::Virtual, 20_000.0);
     let compute_units = vec![
-        ComputeUnit { node: edge, cores: edge_cores, kind: CuKind::Edge },
-        ComputeUnit { node: core, cores: core_cores, kind: CuKind::Core },
+        ComputeUnit {
+            node: edge,
+            cores: edge_cores,
+            kind: CuKind::Edge,
+        },
+        ComputeUnit {
+            node: core,
+            cores: core_cores,
+            kind: CuKind::Core,
+        },
     ];
     let paths = base_stations
         .iter()
@@ -41,7 +52,13 @@ fn toy_model(n_bs: usize, edge_cores: f64, core_cores: f64, link_mbps: f64) -> N
                 .collect()
         })
         .collect();
-    NetworkModel { operator: Operator::Romanian, graph: g, base_stations, compute_units, paths }
+    NetworkModel {
+        operator: Operator::Romanian,
+        graph: g,
+        base_stations,
+        compute_units,
+        paths,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -61,7 +78,10 @@ fn tenant(
         reward,
         penalty,
         delay_budget_us: 30_000.0,
-        service: ServiceModel { base_cores: 0.0, cores_per_mbps },
+        service: ServiceModel {
+            base_cores: 0.0,
+            cores_per_mbps,
+        },
         forecast_mbps: vec![forecast; n_bs],
         sigma,
         duration_weight: 1.0,
@@ -119,7 +139,10 @@ fn slave_strong_duality_at_evaluation_point() {
     match solve_slave(&inst, &assigned).unwrap() {
         SlaveResult::Feasible { value, cut, .. } => {
             let g = cut.eval(&assigned);
-            assert!((g - value).abs() < 1e-6, "duality gap: cut {g} vs value {value}");
+            assert!(
+                (g - value).abs() < 1e-6,
+                "duality gap: cut {g} vs value {value}"
+            );
         }
         SlaveResult::Infeasible { .. } => panic!("slave should be feasible"),
     }
@@ -170,11 +193,17 @@ fn slave_feasibility_cut_separates() {
     let bad = vec![Some(0), Some(0)];
     match solve_slave(&inst, &bad).unwrap() {
         SlaveResult::Infeasible { cut } => {
-            assert!(cut.eval(&bad) > 1e-7, "cut must be violated at the bad point");
+            assert!(
+                cut.eval(&bad) > 1e-7,
+                "cut must be violated at the bad point"
+            );
             // All single-tenant admissions are feasible and must satisfy it.
             for ok in [vec![Some(0), None], vec![None, Some(0)], vec![None, None]] {
                 assert!(
-                    matches!(solve_slave(&inst, &ok).unwrap(), SlaveResult::Feasible { .. }),
+                    matches!(
+                        solve_slave(&inst, &ok).unwrap(),
+                        SlaveResult::Feasible { .. }
+                    ),
                     "{ok:?} should be feasible"
                 );
                 assert!(cut.eval(&ok) <= 1e-7, "cut wrongly excludes {ok:?}");
@@ -340,11 +369,20 @@ fn must_accept_is_honoured() {
     bad.must_accept = true;
     bad.pinned_cu = Some(0);
     let good = tenant(1, 25.0, 2.2, 2.2, 5.0, 0.2, 2, 0.2);
-    let inst =
-        AcrrInstance::build(&model, vec![bad, good], PathPolicy::MinDelay, true, Some(1e4));
+    let inst = AcrrInstance::build(
+        &model,
+        vec![bad, good],
+        PathPolicy::MinDelay,
+        true,
+        Some(1e4),
+    );
     for solver in [SolverKind::Benders, SolverKind::Kac, SolverKind::OneShot] {
         let alloc = crate::solver::solve(&inst, solver).unwrap();
-        assert_eq!(alloc.assigned_cu[0], Some(0), "{solver:?} must keep the active slice");
+        assert_eq!(
+            alloc.assigned_cu[0],
+            Some(0),
+            "{solver:?} must keep the active slice"
+        );
     }
 }
 
@@ -355,7 +393,10 @@ fn urllc_never_placed_on_core() {
     t0.delay_budget_us = 5_000.0; // uRLLC budget < 20 ms core link
     let inst = AcrrInstance::build(&model, vec![t0], PathPolicy::MinDelay, true, None);
     assert!(inst.cu_allowed[0][0]);
-    assert!(!inst.cu_allowed[0][1], "core CU must be delay-pruned for uRLLC");
+    assert!(
+        !inst.cu_allowed[0][1],
+        "core CU must be delay-pruned for uRLLC"
+    );
     let alloc = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
     assert_eq!(alloc.assigned_cu[0], Some(0));
 }
@@ -379,10 +420,20 @@ fn orchestrator_admits_and_learns() {
     let model = toy_model(2, 20.0, 64.0, 1000.0);
     let mut orch = Orchestrator::new(
         model,
-        OrchestratorConfig { solver: SolverKind::Benders, seed: 3, ..Default::default() },
+        OrchestratorConfig {
+            solver: SolverKind::Benders,
+            seed: 3,
+            ..Default::default()
+        },
     );
     for t in 0..3 {
-        orch.submit(SliceRequest::from_template(t, SliceTemplate::urllc(), 0.4, 1.0, 1.0));
+        orch.submit(SliceRequest::from_template(
+            t,
+            SliceTemplate::urllc(),
+            0.4,
+            1.0,
+            1.0,
+        ));
     }
     let mut admitted_final = 0;
     for _ in 0..8 {
@@ -402,14 +453,27 @@ fn no_overbooking_never_violates() {
     let model = toy_model(2, 16.0, 64.0, 1000.0);
     let mut orch = Orchestrator::new(
         model,
-        OrchestratorConfig { overbooking: false, seed: 5, ..Default::default() },
+        OrchestratorConfig {
+            overbooking: false,
+            seed: 5,
+            ..Default::default()
+        },
     );
     for t in 0..3 {
-        orch.submit(SliceRequest::from_template(t, SliceTemplate::urllc(), 0.5, 3.0, 1.0));
+        orch.submit(SliceRequest::from_template(
+            t,
+            SliceTemplate::urllc(),
+            0.5,
+            3.0,
+            1.0,
+        ));
     }
     for _ in 0..6 {
         let out = orch.step().unwrap();
-        assert_eq!(out.violation_samples.0, 0, "full-SLA reservations cannot violate");
+        assert_eq!(
+            out.violation_samples.0, 0,
+            "full-SLA reservations cannot violate"
+        );
         assert_eq!(out.penalty, 0.0);
     }
 }
@@ -419,7 +483,11 @@ fn slice_expiry_frees_capacity() {
     let model = toy_model(2, 16.0, 64.0, 1000.0);
     let mut orch = Orchestrator::new(
         model,
-        OrchestratorConfig { solver: SolverKind::Benders, seed: 9, ..Default::default() },
+        OrchestratorConfig {
+            solver: SolverKind::Benders,
+            seed: 9,
+            ..Default::default()
+        },
     );
     let mut short = SliceRequest::from_template(0, SliceTemplate::urllc(), 0.4, 1.0, 1.0);
     short.duration_epochs = 2;
@@ -428,7 +496,10 @@ fn slice_expiry_frees_capacity() {
     assert_eq!(out.admitted.len(), 1);
     orch.step().unwrap();
     let out = orch.step().unwrap();
-    assert!(out.admitted.is_empty(), "expired slice must leave the system");
+    assert!(
+        out.admitted.is_empty(),
+        "expired slice must leave the system"
+    );
 }
 
 #[test]
@@ -493,7 +564,10 @@ fn testbed_overbooking_beats_baseline() {
     );
     let rev_ours: f64 = ours.iter().map(|o| o.net_revenue).sum();
     let rev_base: f64 = base.iter().map(|o| o.net_revenue).sum();
-    assert!(rev_ours > rev_base, "cumulative revenue {rev_ours} vs {rev_base}");
+    assert!(
+        rev_ours > rev_base,
+        "cumulative revenue {rev_ours} vs {rev_base}"
+    );
     // The paper reports negligible SLA footprint: the total violation rate
     // should stay small.
     let violated: usize = ours.iter().map(|o| o.violation_samples.0).sum();
@@ -559,6 +633,59 @@ proptest! {
                 }
             }
             prop_assert!(used <= inst.cu_cores[c] + 1e-6);
+        }
+    }
+}
+
+// ------------------------------------------------- warm-start regression
+
+/// The warm-started Benders + B&B pipeline must (a) actually warm-start —
+/// slave re-pricings and master re-solves resume stored bases — and (b)
+/// return the same optimum as the cold one-shot oracle on the existing
+/// AC-RR fixtures.
+#[test]
+fn warm_benders_pipeline_equals_oracle_and_records_warm_hits() {
+    let mut saw_warm = false;
+    for seed in 0..12 {
+        let inst = small_instance(seed);
+        let b = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
+        let o = oneshot::solve(&inst).unwrap();
+        assert!(
+            (b.objective - o.objective).abs() < 1e-5,
+            "seed {seed}: warm benders {} vs oneshot {}",
+            b.objective,
+            o.objective
+        );
+        // Multi-iteration runs must reuse bases (single-iteration runs may
+        // legitimately never warm-start the slave).
+        if b.stats.iterations > 1 {
+            assert!(
+                b.stats.lp.warm_starts > 0,
+                "seed {seed}: {} iterations but no warm starts ({:?})",
+                b.stats.iterations,
+                b.stats.lp
+            );
+            saw_warm = true;
+        }
+    }
+    assert!(
+        saw_warm,
+        "no fixture exercised a multi-iteration Benders run"
+    );
+}
+
+/// KAC's vetting slave must warm-start across its greedy iterations.
+#[test]
+fn kac_slave_context_warm_starts() {
+    for seed in 0..12 {
+        let inst = small_instance(seed);
+        let k = kac::solve(&inst, &kac::KacOptions::default()).unwrap();
+        if k.stats.lp_solves > 1 {
+            assert!(
+                k.stats.lp.warm_starts > 0,
+                "seed {seed}: {} slave solves but no warm starts",
+                k.stats.lp_solves
+            );
         }
     }
 }

@@ -1,9 +1,7 @@
 //! Second test battery: risk-model arithmetic, KAC internals, experiment
 //! helpers, orchestrator edge cases and template invariants.
 
-use crate::experiment::{
-    heterogeneous, homogeneous, revenue_gain_percent, SigmaLevel, TenantSpec,
-};
+use crate::experiment::{heterogeneous, homogeneous, revenue_gain_percent, SigmaLevel, TenantSpec};
 use crate::orchestrator::{Orchestrator, OrchestratorConfig};
 use crate::problem::{AcrrInstance, PathPolicy, TenantInput, MBPS_PER_MHZ};
 use crate::slice::{ServiceModel, SliceClass, SliceRequest, SliceTemplate};
@@ -19,10 +17,23 @@ fn one_bs_model(edge_cores: f64) -> NetworkModel {
     let bs = g.add_node(0.0, 0.0);
     let edge = g.add_node(0.0, 0.1);
     g.add_link(bs, edge, 1_000.0, LinkTech::Copper);
-    let base_stations = vec![BaseStation { node: bs, capacity_mhz: 20.0 }];
-    let compute_units = vec![ComputeUnit { node: edge, cores: edge_cores, kind: CuKind::Edge }];
+    let base_stations = vec![BaseStation {
+        node: bs,
+        capacity_mhz: 20.0,
+    }];
+    let compute_units = vec![ComputeUnit {
+        node: edge,
+        cores: edge_cores,
+        kind: CuKind::Edge,
+    }];
     let paths = vec![vec![k_shortest(&g, bs, edge, 2)]];
-    NetworkModel { operator: Operator::Romanian, graph: g, base_stations, compute_units, paths }
+    NetworkModel {
+        operator: Operator::Romanian,
+        graph: g,
+        base_stations,
+        compute_units,
+        paths,
+    }
 }
 
 fn simple_tenant(id: u32, forecast: f64, sigma: f64) -> TenantInput {
@@ -32,7 +43,10 @@ fn simple_tenant(id: u32, forecast: f64, sigma: f64) -> TenantInput {
         reward: 1.0,
         penalty: 1.0,
         delay_budget_us: 30_000.0,
-        service: ServiceModel { base_cores: 0.0, cores_per_mbps: 0.0 },
+        service: ServiceModel {
+            base_cores: 0.0,
+            cores_per_mbps: 0.0,
+        },
         forecast_mbps: vec![forecast],
         sigma,
         duration_weight: 1.0,
@@ -46,10 +60,19 @@ fn simple_tenant(id: u32, forecast: f64, sigma: f64) -> TenantInput {
 #[test]
 fn leg_q_is_zero_without_overbooking() {
     let model = one_bs_model(100.0);
-    let inst =
-        AcrrInstance::build(&model, vec![simple_tenant(0, 10.0, 0.2)], PathPolicy::MinDelay, false, None);
+    let inst = AcrrInstance::build(
+        &model,
+        vec![simple_tenant(0, 10.0, 0.2)],
+        PathPolicy::MinDelay,
+        false,
+        None,
+    );
     assert_eq!(inst.leg_q(&inst.legs[0]), 0.0);
-    assert_eq!(inst.leg_forecast(&inst.legs[0]), 50.0, "no-overbooking pins λ̂ = Λ");
+    assert_eq!(
+        inst.leg_forecast(&inst.legs[0]),
+        50.0,
+        "no-overbooking pins λ̂ = Λ"
+    );
 }
 
 #[test]
@@ -103,10 +126,21 @@ fn pinned_cu_restricts_pairs() {
     g.add_link(bs, e1, 1_000.0, LinkTech::Copper);
     let model = NetworkModel {
         operator: Operator::Romanian,
-        base_stations: vec![BaseStation { node: bs, capacity_mhz: 20.0 }],
+        base_stations: vec![BaseStation {
+            node: bs,
+            capacity_mhz: 20.0,
+        }],
         compute_units: vec![
-            ComputeUnit { node: e0, cores: 100.0, kind: CuKind::Edge },
-            ComputeUnit { node: e1, cores: 100.0, kind: CuKind::Core },
+            ComputeUnit {
+                node: e0,
+                cores: 100.0,
+                kind: CuKind::Edge,
+            },
+            ComputeUnit {
+                node: e1,
+                cores: 100.0,
+                kind: CuKind::Core,
+            },
         ],
         paths: vec![vec![k_shortest(&g, bs, e0, 2), k_shortest(&g, bs, e1, 2)]],
         graph: g,
@@ -121,15 +155,26 @@ fn pinned_cu_restricts_pairs() {
 fn path_policies_pick_feasible_paths() {
     let model = NetworkModel::generate(
         Operator::Romanian,
-        &ovnes_topology::operators::GeneratorConfig { scale: 0.03, seed: 2, k_paths: 4 },
+        &ovnes_topology::operators::GeneratorConfig {
+            scale: 0.03,
+            seed: 2,
+            k_paths: 4,
+        },
     );
     let n_bs = model.base_stations.len();
-    for policy in [PathPolicy::MinDelay, PathPolicy::MaxBottleneck, PathPolicy::Spread] {
+    for policy in [
+        PathPolicy::MinDelay,
+        PathPolicy::MaxBottleneck,
+        PathPolicy::Spread,
+    ] {
         let mut t = simple_tenant(0, 10.0, 0.2);
         t.forecast_mbps = vec![10.0; n_bs];
         let inst = AcrrInstance::build(&model, vec![t], policy, true, None);
         for leg in &inst.legs {
-            assert!(leg.delay_us <= 30_000.0, "{policy:?} must respect the delay budget");
+            assert!(
+                leg.delay_us <= 30_000.0,
+                "{policy:?} must respect the delay budget"
+            );
             assert!(!leg.links.is_empty());
         }
     }
@@ -143,7 +188,11 @@ fn benders_converges_with_gap_reported() {
     let tenants = (0..4).map(|i| simple_tenant(i, 10.0, 0.2)).collect();
     let inst = AcrrInstance::build(&model, tenants, PathPolicy::MinDelay, true, None);
     let alloc = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
-    assert!(alloc.stats.gap.abs() < 1e-5, "converged gap, got {}", alloc.stats.gap);
+    assert!(
+        alloc.stats.gap.abs() < 1e-5,
+        "converged gap, got {}",
+        alloc.stats.gap
+    );
     assert!(alloc.stats.iterations >= 1);
     // 4 eMBB-like tenants at λ̂ = 10 fit one 150 Mb/s BS only as 3 at Λ or
     // more when squeezed; the optimum accepts all 4 (4·10 = 40 ≤ 150).
@@ -167,7 +216,10 @@ fn kac_shed_loop_drops_net_negative_tenants() {
     // 150 Mb/s radio: 6·24 = 144 fits at the floor, but at the floor every
     // tenant's modelled risk (ξK = 8) dwarfs its reward → shed until the
     // survivors can sit near Λ (risk ≈ 0): 150/50 = 3 tenants.
-    assert!(alloc.accepted() <= 3, "shed loop must drop squeezed tenants");
+    assert!(
+        alloc.accepted() <= 3,
+        "shed loop must drop squeezed tenants"
+    );
     assert!(alloc.objective <= 0.0, "result must not be net-negative");
 }
 
@@ -211,7 +263,10 @@ fn solver_stats_populate() {
 fn deficit_vars_report_through_allocation() {
     let model = one_bs_model(0.5); // hopeless compute
     let mut t = simple_tenant(0, 10.0, 0.2);
-    t.service = ServiceModel { base_cores: 0.0, cores_per_mbps: 1.0 };
+    t.service = ServiceModel {
+        base_cores: 0.0,
+        cores_per_mbps: 1.0,
+    };
     t.must_accept = true;
     t.pinned_cu = Some(0);
     let inst = AcrrInstance::build(&model, vec![t], PathPolicy::MinDelay, true, Some(1e4));
@@ -254,17 +309,41 @@ fn homogeneous_builder() {
 
 #[test]
 fn heterogeneous_builder_split() {
-    let specs = heterogeneous(SliceClass::Embb, SliceClass::Urllc, 10, 25.0, SigmaLevel::Zero, 1.0);
-    let urllc = specs.iter().filter(|s| s.class == SliceClass::Urllc).count();
+    let specs = heterogeneous(
+        SliceClass::Embb,
+        SliceClass::Urllc,
+        10,
+        25.0,
+        SigmaLevel::Zero,
+        1.0,
+    );
+    let urllc = specs
+        .iter()
+        .filter(|s| s.class == SliceClass::Urllc)
+        .count();
     let embb = specs.iter().filter(|s| s.class == SliceClass::Embb).count();
     assert_eq!((urllc, embb), (3, 7)); // 25% of 10, rounded
-    // β = 0 and β = 100 are pure populations.
-    assert!(heterogeneous(SliceClass::Embb, SliceClass::Urllc, 10, 0.0, SigmaLevel::Zero, 1.0)
-        .iter()
-        .all(|s| s.class == SliceClass::Embb));
-    assert!(heterogeneous(SliceClass::Embb, SliceClass::Urllc, 10, 100.0, SigmaLevel::Zero, 1.0)
-        .iter()
-        .all(|s| s.class == SliceClass::Urllc));
+                                       // β = 0 and β = 100 are pure populations.
+    assert!(heterogeneous(
+        SliceClass::Embb,
+        SliceClass::Urllc,
+        10,
+        0.0,
+        SigmaLevel::Zero,
+        1.0
+    )
+    .iter()
+    .all(|s| s.class == SliceClass::Embb));
+    assert!(heterogeneous(
+        SliceClass::Embb,
+        SliceClass::Urllc,
+        10,
+        100.0,
+        SigmaLevel::Zero,
+        1.0
+    )
+    .iter()
+    .all(|s| s.class == SliceClass::Urllc));
 }
 
 #[test]
@@ -298,19 +377,31 @@ fn tenant_spec_constructible() {
 #[test]
 fn templates_match_table1() {
     let e = SliceTemplate::embb();
-    assert_eq!((e.reward, e.sla_mbps, e.delay_budget_us), (1.0, 50.0, 30_000.0));
+    assert_eq!(
+        (e.reward, e.sla_mbps, e.delay_budget_us),
+        (1.0, 50.0, 30_000.0)
+    );
     assert_eq!(e.service.cores_per_mbps, 0.0);
     let m = SliceTemplate::mmtc();
-    assert_eq!((m.reward, m.sla_mbps, m.service.cores_per_mbps), (3.0, 10.0, 2.0));
+    assert_eq!(
+        (m.reward, m.sla_mbps, m.service.cores_per_mbps),
+        (3.0, 10.0, 2.0)
+    );
     let u = SliceTemplate::urllc();
-    assert_eq!((u.reward, u.sla_mbps, u.delay_budget_us), (2.2, 25.0, 5_000.0));
+    assert_eq!(
+        (u.reward, u.sla_mbps, u.delay_budget_us),
+        (2.2, 25.0, 5_000.0)
+    );
     assert_eq!(u.service.cores_per_mbps, 0.2);
 }
 
 #[test]
 fn mmtc_requests_are_deterministic() {
     let r = SliceRequest::from_template(0, SliceTemplate::mmtc(), 0.5, 3.0, 1.0);
-    assert_eq!(r.true_sigma_mbps, 0.0, "Table 1: mMTC has σ = 0 regardless of input");
+    assert_eq!(
+        r.true_sigma_mbps, 0.0,
+        "Table 1: mMTC has σ = 0 regardless of input"
+    );
     let r = SliceRequest::from_template(0, SliceTemplate::embb(), 0.5, 3.0, 1.0);
     assert_eq!(r.true_sigma_mbps, 3.0);
 }
@@ -348,7 +439,10 @@ fn diurnal_requests_flow_through() {
     for _ in 0..10 {
         total_rev += orch.step().unwrap().net_revenue;
     }
-    assert!(total_rev > 8.0, "diurnal slice must stay admitted, got {total_rev}");
+    assert!(
+        total_rev > 8.0,
+        "diurnal slice must stay admitted, got {total_rev}"
+    );
 }
 
 #[test]
@@ -364,13 +458,22 @@ fn strict_monitoring_mode_still_works() {
         },
     );
     for t in 0..2 {
-        orch.submit(SliceRequest::from_template(t, SliceTemplate::embb(), 0.2, 2.0, 1.0));
+        orch.submit(SliceRequest::from_template(
+            t,
+            SliceTemplate::embb(),
+            0.2,
+            2.0,
+            1.0,
+        ));
     }
     let mut admitted = 0;
     for _ in 0..6 {
         admitted = orch.step().unwrap().admitted.len();
     }
-    assert!(admitted >= 2, "capacity is ample; both must be admitted eventually");
+    assert!(
+        admitted >= 2,
+        "capacity is ample; both must be admitted eventually"
+    );
 }
 
 #[test]
@@ -378,12 +481,19 @@ fn rejected_requests_reapply() {
     let model = one_bs_model(2.0); // tiny compute
     let mut orch = Orchestrator::new(
         model,
-        OrchestratorConfig { solver: SolverKind::Benders, seed: 23, ..Default::default() },
+        OrchestratorConfig {
+            solver: SolverKind::Benders,
+            seed: 23,
+            ..Default::default()
+        },
     );
     // Compute-hungry tenants: only one fits at a time.
     for t in 0..2 {
         let mut r = SliceRequest::from_template(t, SliceTemplate::embb(), 0.2, 1.0, 1.0);
-        r.template.service = ServiceModel { base_cores: 1.5, cores_per_mbps: 0.0 };
+        r.template.service = ServiceModel {
+            base_cores: 1.5,
+            cores_per_mbps: 0.0,
+        };
         orch.submit(r);
     }
     let out = orch.step().unwrap();
@@ -398,10 +508,20 @@ fn reward_accounting_sums_active_slices() {
     let model = one_bs_model(1000.0);
     let mut orch = Orchestrator::new(
         model,
-        OrchestratorConfig { solver: SolverKind::Benders, seed: 24, ..Default::default() },
+        OrchestratorConfig {
+            solver: SolverKind::Benders,
+            seed: 24,
+            ..Default::default()
+        },
     );
     for t in 0..3 {
-        orch.submit(SliceRequest::from_template(t, SliceTemplate::mmtc(), 0.2, 0.0, 1.0));
+        orch.submit(SliceRequest::from_template(
+            t,
+            SliceTemplate::mmtc(),
+            0.2,
+            0.0,
+            1.0,
+        ));
     }
     let out = orch.step().unwrap();
     assert_eq!(out.admitted.len(), 3);

@@ -30,7 +30,12 @@ impl Holt {
     pub fn new(alpha: f64, beta: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
-        Self { alpha, beta, state: None, rmse: None }
+        Self {
+            alpha,
+            beta,
+            state: None,
+            rmse: None,
+        }
     }
 
     /// Fitted `(level, trend)`, if any.

@@ -65,7 +65,15 @@ impl HoltWinters {
     /// Panics if `season < 2`.
     pub fn new(season: usize, mode: Seasonality) -> Self {
         assert!(season >= 2, "seasonal period must be at least 2");
-        Self { season, mode, alpha: 0.4, beta: 0.1, gamma: 0.3, state: None, rmse: None }
+        Self {
+            season,
+            mode,
+            alpha: 0.4,
+            beta: 0.1,
+            gamma: 0.3,
+            state: None,
+            rmse: None,
+        }
     }
 
     /// Sets the smoothing factors.
@@ -97,7 +105,7 @@ impl HoltWinters {
                     cand.gamma = g;
                     cand.fit(series);
                     if let Some(r) = cand.rmse {
-                        if best.map_or(true, |(br, ..)| r < br) {
+                        if best.is_none_or(|(br, ..)| r < br) {
                             best = Some((r, a, b, g));
                         }
                     }
@@ -156,8 +164,7 @@ impl Forecaster for HoltWinters {
             let mut acc = 0.0;
             for s in 0..full_seasons {
                 let y = series[s * m + pos];
-                let season_mean: f64 =
-                    series[s * m..(s + 1) * m].iter().sum::<f64>() / m as f64;
+                let season_mean: f64 = series[s * m..(s + 1) * m].iter().sum::<f64>() / m as f64;
                 acc += match self.mode {
                     Seasonality::Additive => y - season_mean,
                     Seasonality::Multiplicative => {
@@ -195,15 +202,17 @@ impl Forecaster for HoltWinters {
             n_err += 1;
 
             let new_level = match self.mode {
-                Seasonality::Additive => {
-                    alpha * (y - s_prev) + (1.0 - alpha) * (level + trend)
-                }
+                Seasonality::Additive => alpha * (y - s_prev) + (1.0 - alpha) * (level + trend),
                 Seasonality::Multiplicative => {
                     alpha * (y / s_prev) + (1.0 - alpha) * (level + trend)
                 }
             };
             trend = beta * (new_level - level) + (1.0 - beta) * trend;
-            let denom = if new_level.abs() < 1e-12 { 1e-12 } else { new_level };
+            let denom = if new_level.abs() < 1e-12 {
+                1e-12
+            } else {
+                new_level
+            };
             seasonal[pos] = match self.mode {
                 Seasonality::Additive => gamma * (y - new_level) + (1.0 - gamma) * s_prev,
                 Seasonality::Multiplicative => gamma * (y / denom) + (1.0 - gamma) * s_prev,
@@ -211,7 +220,12 @@ impl Forecaster for HoltWinters {
             level = new_level;
         }
 
-        self.state = Some(State { level, trend, seasonal, next_pos: series.len() % m });
+        self.state = Some(State {
+            level,
+            trend,
+            seasonal,
+            next_pos: series.len() % m,
+        });
         if n_err > 0 {
             self.rmse = Some((sq_err / n_err as f64).sqrt());
         }

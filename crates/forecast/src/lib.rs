@@ -77,10 +77,16 @@ pub fn predict_next(series: &[f64], season: usize, min_sigma: f64) -> Prediction
     use holt_winters::{HoltWinters, Seasonality};
 
     if series.is_empty() {
-        return Prediction { value: 0.0, sigma: 1.0 };
+        return Prediction {
+            value: 0.0,
+            sigma: 1.0,
+        };
     }
     if series.len() < 2 {
-        return Prediction { value: series[0], sigma: 1.0 };
+        return Prediction {
+            value: series[0],
+            sigma: 1.0,
+        };
     }
 
     let positive = series.iter().all(|&v| v > 0.0);
@@ -89,7 +95,11 @@ pub fn predict_next(series: &[f64], season: usize, min_sigma: f64) -> Prediction
     let (value, rmse) = if enough_for_hw {
         let mut hw = HoltWinters::new(
             season,
-            if positive { Seasonality::Multiplicative } else { Seasonality::Additive },
+            if positive {
+                Seasonality::Multiplicative
+            } else {
+                Seasonality::Additive
+            },
         );
         hw.fit_grid(series);
         (hw.forecast(1)[0], hw.fit_rmse())
@@ -104,7 +114,10 @@ pub fn predict_next(series: &[f64], season: usize, min_sigma: f64) -> Prediction
     };
 
     let sigma = uncertainty::sigma_from_rmse(rmse, series, min_sigma);
-    Prediction { value: value.max(0.0), sigma }
+    Prediction {
+        value: value.max(0.0),
+        sigma,
+    }
 }
 
 #[cfg(test)]

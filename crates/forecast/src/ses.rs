@@ -22,7 +22,11 @@ impl Ses {
     /// Panics unless `0 < alpha ≤ 1`.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        Self { alpha, level: None, rmse: None }
+        Self {
+            alpha,
+            level: None,
+            rmse: None,
+        }
     }
 
     /// The fitted level, if any.

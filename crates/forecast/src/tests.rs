@@ -103,7 +103,11 @@ fn hw_beats_holt_on_seasonal_data() {
     let mut h = Holt::default();
     h.fit(train);
     let err = |f: &[f64]| -> f64 {
-        f.iter().zip(test).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
+        f.iter()
+            .zip(test)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
     };
     let hw_err = err(&hw.forecast(24));
     let holt_err = err(&h.forecast(24));
@@ -128,7 +132,11 @@ fn hw_short_history_falls_back() {
     let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
     hw.fit(&[5.0, 6.0, 7.0]); // < 2 seasons
     let f = hw.forecast(2);
-    assert!(f[0] > 6.0, "fallback should extrapolate the trend, got {}", f[0]);
+    assert!(
+        f[0] > 6.0,
+        "fallback should extrapolate the trend, got {}",
+        f[0]
+    );
 }
 
 #[test]
@@ -161,7 +169,11 @@ fn predict_next_empty_and_short() {
 fn predict_next_periodic_series_is_confident() {
     let series = diurnal(24 * 6, 24, 100.0, 40.0);
     let p = predict_next(&series, 24, 0.05);
-    assert!(p.sigma < 0.3, "periodic traffic should be predictable, σ̂ = {}", p.sigma);
+    assert!(
+        p.sigma < 0.3,
+        "periodic traffic should be predictable, σ̂ = {}",
+        p.sigma
+    );
     assert!(p.value > 0.0);
 }
 
@@ -172,12 +184,18 @@ fn predict_next_noise_is_uncertain() {
     let mut state = 0x2545F4914F6CDD1Du64;
     let series: Vec<f64> = (0..96)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             0.5 + 19.5 * ((state >> 33) as f64 / (1u64 << 31) as f64)
         })
         .collect();
     let p = predict_next(&series, 24, 0.05);
-    assert!(p.sigma > 0.3, "erratic traffic must carry high σ̂, got {}", p.sigma);
+    assert!(
+        p.sigma > 0.3,
+        "erratic traffic must carry high σ̂, got {}",
+        p.sigma
+    );
 }
 
 #[test]
@@ -255,7 +273,9 @@ fn hw_handles_constant_series() {
 #[test]
 fn hw_additive_handles_zero_heavy_series() {
     // Many zeros would break the multiplicative form; additive must cope.
-    let series: Vec<f64> = (0..48).map(|t| if t % 12 < 6 { 0.0 } else { 5.0 }).collect();
+    let series: Vec<f64> = (0..48)
+        .map(|t| if t % 12 < 6 { 0.0 } else { 5.0 })
+        .collect();
     let mut hw = HoltWinters::new(12, Seasonality::Additive);
     hw.fit(&series);
     let f = hw.forecast(12);
@@ -295,7 +315,11 @@ fn predict_next_short_series_uses_level_not_trend() {
     // Two points with a big jump: the SES fallback must not extrapolate a
     // runaway trend the way Holt would.
     let p = predict_next(&[10.0, 30.0], 24, 0.05);
-    assert!(p.value <= 30.0 + 1e-9, "level-only fallback, got {}", p.value);
+    assert!(
+        p.value <= 30.0 + 1e-9,
+        "level-only fallback, got {}",
+        p.value
+    );
 }
 
 #[test]

@@ -19,7 +19,10 @@
 /// # Panics
 /// Panics unless `0 < min_sigma ≤ 1`.
 pub fn sigma_from_rmse(rmse: Option<f64>, series: &[f64], min_sigma: f64) -> f64 {
-    assert!(min_sigma > 0.0 && min_sigma <= 1.0, "min_sigma must be in (0, 1]");
+    assert!(
+        min_sigma > 0.0 && min_sigma <= 1.0,
+        "min_sigma must be in (0, 1]"
+    );
     let Some(rmse) = rmse else {
         return 1.0;
     };

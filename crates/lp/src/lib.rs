@@ -1,8 +1,7 @@
 //! # ovnes-lp — a self-contained linear-programming solver
 //!
 //! This crate implements the linear-programming substrate required by the
-//! CoNEXT'18 slice-overbooking reproduction: a dense **two-phase primal
-//! simplex** with
+//! CoNEXT'18 slice-overbooking reproduction, with
 //!
 //! * optimal primal solutions,
 //! * exact **dual values** per constraint (needed for Benders optimality
@@ -10,12 +9,48 @@
 //! * **Farkas infeasibility certificates** (dual extreme rays, needed for
 //!   Benders feasibility cuts and the KAC capacity aggregation).
 //!
-//! The paper solved these programs with IBM CPLEX; no LP solver exists in the
-//! sanctioned offline crate set, so this crate substitutes for it (see
-//! DESIGN.md §2). The implementation favours simplicity and robustness over
-//! raw speed, in the spirit of event-driven networking libraries such as
-//! smoltcp: dense `f64` tableau, Dantzig pricing with a Bland's-rule
-//! anti-cycling fallback, and explicit numeric tolerances.
+//! The paper solved these programs with IBM CPLEX; no LP solver exists in
+//! the sanctioned offline crate set, so this crate substitutes for it (see
+//! DESIGN.md §2).
+//!
+//! ## The two engines
+//!
+//! **Dense tableau** ([`simplex`], the original engine): a two-phase primal
+//! simplex over the full tableau. Bounds are canonicalised away — lower
+//! bounds shifted, upper-only bounds mirrored, free variables split, finite
+//! upper bounds expanded into internal `≤` rows — so every solve is cold and
+//! the working matrix grows with the number of finite bounds. It favours
+//! simplicity and has served as the reference implementation; it remains the
+//! cross-check oracle in the test suite.
+//!
+//! **Bounded-variable revised simplex** ([`revised`], the production
+//! engine): box bounds are handled natively (no mirror/split/ub-row
+//! blowup), the basis is kept factorized (dense LU + product-form eta
+//! updates, periodic refactorization) and priced via BTRAN/FTRAN, and — the
+//! point of the exercise — the final **[`Basis`] is a value you can keep**.
+//! [`Problem::solve_warm`] resumes from a stored basis after problem edits,
+//! using the **dual simplex** when the edit preserved dual feasibility
+//! (bound changes, RHS changes, appended rows — exactly the
+//! branch-and-bound and Benders deltas) so a re-solve costs a handful of
+//! pivots instead of two cold phases.
+//!
+//! ## The `Basis` contract
+//!
+//! A [`Basis`] returned by [`Problem::solve_warm`] stays valid for a problem
+//! derived from the solved one by any combination of:
+//!
+//! * [`Problem::set_bounds`] — branch-and-bound node bounds,
+//! * [`Problem::set_rhs`] — Benders slave re-pricing,
+//! * [`Problem::add_cons`] — Benders cuts (rows append; nothing renumbers),
+//! * [`Problem::set_objective`] — falls back to primal warm iterations.
+//!
+//! Adding *variables* changes the column space: `solve_warm` detects the
+//! mismatch and transparently performs a cold solve. Bases are plain values
+//! (`Clone`) — branch-and-bound hands each child its parent's basis.
+//!
+//! Pivot-level counters ([`LpStats`]) accumulate across warm chains so
+//! callers can report phase-1/phase-2/dual pivots, warm-start hits, and
+//! refactorizations.
 //!
 //! ## Conventions
 //!
@@ -26,7 +61,7 @@
 //! * `y_i ≤ 0` for `≤` constraints,
 //! * `y_i` free for `=` constraints,
 //! * strong duality: `objective = Σ y_i b_i + Σ_j d_j · bound_j` where the
-//!   second sum collects reduced-cost contributions of shifted bounds
+//!   second sum collects reduced-cost contributions of finite bounds
 //!   (handled internally; user-visible duals refer to user constraints).
 //!
 //! A Farkas certificate `y` proves infeasibility: it satisfies the same sign
@@ -54,11 +89,29 @@
 //!     _ => unreachable!(),
 //! }
 //! ```
+//!
+//! Warm-started re-solve after a bound change (the branch-and-bound step):
+//!
+//! ```
+//! use ovnes_lp::{Problem, Cmp};
+//!
+//! let mut p = Problem::new();
+//! let x = p.add_var(0.0, 1.0, -1.0);
+//! let y = p.add_var(0.0, 1.0, -2.0);
+//! p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Le, 1.5);
+//! let warm = p.solve_warm(None).unwrap();
+//! p.set_bounds(y, 0.0, 0.0); // "branch down" on y
+//! let re = p.solve_warm(Some(&warm.basis)).unwrap();
+//! assert!((re.outcome.unwrap_optimal().value(x) - 1.0).abs() < 1e-9);
+//! assert_eq!(re.stats.warm_starts, 1);
+//! ```
 
 mod model;
+pub mod revised;
 mod simplex;
 
 pub use model::{Cmp, ConsId, Problem, VarId};
+pub use revised::{Basis, LpStats, WarmSolve};
 pub use simplex::{Farkas, Outcome, SimplexOptions, Solution, SolveError};
 
 #[cfg(test)]

@@ -80,7 +80,10 @@ impl Problem {
     /// Panics if `lb > ub` or either bound is NaN.
     pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
         assert!(!lb.is_nan() && !ub.is_nan(), "NaN variable bound");
-        assert!(lb <= ub, "variable lower bound {lb} exceeds upper bound {ub}");
+        assert!(
+            lb <= ub,
+            "variable lower bound {lb} exceeds upper bound {ub}"
+        );
         assert!(obj.is_finite(), "objective coefficient must be finite");
         self.vars.push(VarDef { lb, ub, obj });
         VarId(self.vars.len() - 1)
@@ -100,7 +103,11 @@ impl Problem {
             assert!(v.0 < self.vars.len(), "unknown variable in constraint");
             row.push((v.0, c));
         }
-        self.cons.push(ConsDef { coeffs: row, cmp, rhs });
+        self.cons.push(ConsDef {
+            coeffs: row,
+            cmp,
+            rhs,
+        });
         ConsId(self.cons.len() - 1)
     }
 
@@ -128,7 +135,10 @@ impl Problem {
     /// Panics if `lb > ub` or either bound is NaN.
     pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
         assert!(!lb.is_nan() && !ub.is_nan(), "NaN variable bound");
-        assert!(lb <= ub, "variable lower bound {lb} exceeds upper bound {ub}");
+        assert!(
+            lb <= ub,
+            "variable lower bound {lb} exceeds upper bound {ub}"
+        );
         let v = &mut self.vars[var.0];
         v.lb = lb;
         v.ub = ub;
@@ -146,6 +156,18 @@ impl Problem {
         self.vars[var.0].obj = obj;
     }
 
+    /// Overrides the right-hand side of an existing constraint (used by the
+    /// Benders slave to re-price a new admission vector without rebuilding
+    /// the program — the row structure, and therefore any stored
+    /// [`Basis`](crate::Basis), is preserved).
+    ///
+    /// # Panics
+    /// Panics if `rhs` is non-finite.
+    pub fn set_rhs(&mut self, cons: ConsId, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        self.cons[cons.0].rhs = rhs;
+    }
+
     /// Solves the program with default simplex options.
     pub fn solve(&self) -> Result<Outcome, SolveError> {
         self.solve_with(&SimplexOptions::default())
@@ -154,5 +176,26 @@ impl Problem {
     /// Solves the program with explicit simplex options.
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<Outcome, SolveError> {
         simplex::solve(self, options)
+    }
+
+    /// Solves with the revised (bounded-variable) engine, cold.
+    pub fn solve_revised(&self) -> Result<Outcome, SolveError> {
+        crate::revised::solve(self, &SimplexOptions::default())
+    }
+
+    /// Solves with the revised engine, resuming from `warm` when supplied;
+    /// returns the outcome plus a basis reusable for the next perturbed
+    /// solve (see the crate docs for the warm-start contract).
+    pub fn solve_warm(&self, warm: Option<&crate::Basis>) -> Result<crate::WarmSolve, SolveError> {
+        crate::revised::solve_warm(self, warm, &SimplexOptions::default())
+    }
+
+    /// [`Problem::solve_warm`] with explicit simplex options.
+    pub fn solve_warm_with(
+        &self,
+        warm: Option<&crate::Basis>,
+        options: &SimplexOptions,
+    ) -> Result<crate::WarmSolve, SolveError> {
+        crate::revised::solve_warm(self, warm, options)
     }
 }

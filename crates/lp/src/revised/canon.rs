@@ -1,0 +1,119 @@
+//! Canonical form for the revised engine: `A·x + s = b` with **native box
+//! bounds** on every column.
+//!
+//! Unlike the dense tableau's standard form, no variable is shifted,
+//! mirrored, or split, and finite upper bounds do *not* become extra rows:
+//! each user variable maps one-to-one onto a structural column carrying its
+//! own `[lb, ub]`, and each user row gains one *logical* column `s_i` whose
+//! bounds encode the row sense:
+//!
+//! * `≤` → `s_i ∈ [0, +∞)`,
+//! * `≥` → `s_i ∈ (−∞, 0]`,
+//! * `=` → `s_i ∈ [0, 0]`.
+//!
+//! Columns `0..n` are structural, columns `n..n+m` are logicals (`n + i` for
+//! row `i`). This layout is append-only: adding a constraint appends one row
+//! and one logical column without renumbering anything, which is what makes
+//! a stored [`Basis`](super::Basis) reusable after Benders cuts are added.
+
+use crate::model::{Cmp, Problem};
+
+/// The canonicalised problem seen by the revised engine.
+#[derive(Debug)]
+pub struct Canon {
+    /// Number of structural columns (== user variables).
+    pub n: usize,
+    /// Number of rows (== user constraints).
+    pub m: usize,
+    /// Sparse structural columns: `cols[j]` lists `(row, coeff)` with
+    /// duplicate user entries already summed.
+    pub cols: Vec<Vec<(u32, f64)>>,
+    /// Lower bound per column (`n + m` entries, logicals included).
+    pub lb: Vec<f64>,
+    /// Upper bound per column.
+    pub ub: Vec<f64>,
+    /// Objective per column (0 for logicals).
+    pub cost: Vec<f64>,
+    /// Right-hand side per row.
+    pub b: Vec<f64>,
+    /// User objective constant.
+    pub obj_constant: f64,
+}
+
+impl Canon {
+    /// Builds the canonical form; cost is linear in problem size.
+    pub fn build(p: &Problem) -> Canon {
+        let n = p.vars.len();
+        let m = p.cons.len();
+        let total = n + m;
+
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let mut lb = Vec::with_capacity(total);
+        let mut ub = Vec::with_capacity(total);
+        let mut cost = Vec::with_capacity(total);
+
+        for v in &p.vars {
+            lb.push(v.lb);
+            ub.push(v.ub);
+            cost.push(v.obj);
+        }
+
+        let mut b = Vec::with_capacity(m);
+        for (i, c) in p.cons.iter().enumerate() {
+            b.push(c.rhs);
+            // Sum duplicates into a scratch map laid over the column lists:
+            // rows are visited once, so pushing then compacting per row is
+            // cheaper than a hash map for the typical short sparse rows.
+            for &(j, a) in &c.coeffs {
+                let col = &mut cols[j];
+                match col.last_mut() {
+                    Some(last) if last.0 == i as u32 => last.1 += a,
+                    _ => col.push((i as u32, a)),
+                }
+            }
+            let (l, u) = match c.cmp {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            lb.push(l);
+            ub.push(u);
+            cost.push(0.0);
+        }
+
+        Canon {
+            n,
+            m,
+            cols,
+            lb,
+            ub,
+            cost,
+            b,
+            obj_constant: p.obj_constant,
+        }
+    }
+
+    /// Dot product of a dense row-space vector with column `j` (structural
+    /// or logical).
+    #[inline]
+    pub fn col_dot(&self, y: &[f64], j: usize) -> f64 {
+        if j < self.n {
+            self.cols[j].iter().map(|&(i, a)| y[i as usize] * a).sum()
+        } else {
+            y[j - self.n]
+        }
+    }
+
+    /// Scatters column `j` into the dense buffer `out` (assumed zeroed),
+    /// returning the touched row indices alongside for cheap re-zeroing.
+    #[inline]
+    pub fn scatter_col(&self, j: usize, out: &mut [f64]) {
+        if j < self.n {
+            for &(i, a) in &self.cols[j] {
+                out[i as usize] += a;
+            }
+        } else {
+            out[j - self.n] += 1.0;
+        }
+    }
+}

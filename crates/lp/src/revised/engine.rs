@@ -1,0 +1,698 @@
+//! The bounded-variable revised simplex engine: primal phase 1 / phase 2 and
+//! a dual simplex for warm restarts.
+//!
+//! All three phases share one state: a factorized basis (`lu.rs`), a status
+//! per column (`Basic` / `AtLower` / `AtUpper` / `Free`), and the dense
+//! vector of basic values `x_B`. Nonbasic columns sit exactly on a bound (or
+//! at 0 when free), so the full primal point is implied.
+//!
+//! * **Phase 1** minimises the total bound violation of the basic variables
+//!   (the classic composite infeasibility objective, re-priced every
+//!   iteration). A positive optimum proves infeasibility and its pricing
+//!   vector is the Farkas certificate.
+//! * **Phase 2** is the textbook bounded-variable primal simplex with bound
+//!   flips in the ratio test.
+//! * **Dual simplex** starts from any dual-feasible basis and restores
+//!   primal feasibility bound-violation by bound-violation — the workhorse
+//!   of warm starts, where a branch-and-bound bound change or a new Benders
+//!   cut leaves the stored basis dual feasible but primal infeasible.
+//!
+//! Pricing is Dantzig's rule, switching to Bland's (least-index,
+//! cycling-free) rule after `SimplexOptions::bland_after` iterations in a
+//! phase.
+
+use super::canon::Canon;
+use super::lu::{Factorization, Lu};
+use super::{LpStats, VarStatus};
+use crate::simplex::{Farkas, SolveError};
+use crate::SimplexOptions;
+
+/// Minimum pivot magnitude accepted in a basis change.
+const PIVOT_TOL: f64 = 1e-9;
+/// Primal feasibility tolerance on bound violations.
+const FEAS_TOL: f64 = 1e-7;
+/// Reduced-cost (dual feasibility) tolerance.
+const DUAL_TOL: f64 = 1e-7;
+/// Refactorize after this many eta updates (accuracy + FTRAN/BTRAN cost).
+const REFACTOR_EVERY: usize = 64;
+
+/// Where a phase ended.
+pub(super) enum PrimalEnd {
+    /// No improving column (phase 2) or no remaining violation (phase 1).
+    Optimal,
+    /// Phase 2 found an unbounded improving ray.
+    Unbounded,
+    /// Phase 1 stalled with positive infeasibility; the pricing vector is a
+    /// Farkas certificate (already in user row orientation).
+    Infeasible { y: Vec<f64> },
+}
+
+/// Where the dual simplex ended.
+pub(super) enum DualEnd {
+    /// All basic variables are within bounds.
+    PrimalFeasible,
+    /// A violated row admits no entering column: primal infeasible, and the
+    /// (sign-corrected) BTRAN row is a Farkas certificate.
+    Infeasible { y: Vec<f64> },
+}
+
+pub(super) struct Engine<'a> {
+    pub c: &'a Canon,
+    opts: &'a SimplexOptions,
+    /// Status per column (`n + m` entries).
+    pub status: Vec<VarStatus>,
+    /// Basic column per row position.
+    pub basic: Vec<usize>,
+    fact: Factorization,
+    /// Basic variable values, one per row position.
+    pub xb: Vec<f64>,
+    iterations_left: usize,
+    pub stats: LpStats,
+    /// Scratch column buffer (entering column / FTRAN image).
+    alpha: Vec<f64>,
+    /// Scratch row buffer (BTRAN rows in the dual simplex).
+    rowbuf: Vec<f64>,
+    /// Scratch row buffer (pricing vectors / duals).
+    ybuf: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine over `status`/`basic` (already sized for `canon`).
+    /// Returns `None` when the supplied basis matrix is singular — callers
+    /// fall back to a cold (all-logical) basis, which is always factorizable.
+    pub fn new(
+        canon: &'a Canon,
+        opts: &'a SimplexOptions,
+        status: Vec<VarStatus>,
+        basic: Vec<usize>,
+        stats: LpStats,
+    ) -> Option<Engine<'a>> {
+        let m = canon.m;
+        debug_assert_eq!(status.len(), canon.n + m);
+        debug_assert_eq!(basic.len(), m);
+        let mut eng = Engine {
+            c: canon,
+            opts,
+            status,
+            basic,
+            fact: Factorization::new(Lu::factor(Vec::new(), 0)?),
+            xb: vec![0.0; m],
+            iterations_left: opts.max_iterations,
+            stats,
+            alpha: vec![0.0; m],
+            rowbuf: vec![0.0; m],
+            ybuf: vec![0.0; m],
+        };
+        if !eng.refactorize() {
+            return None;
+        }
+        eng.compute_xb();
+        Some(eng)
+    }
+
+    /// The value a nonbasic column currently sits at.
+    #[inline]
+    fn nb_val(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => self.c.lb[j],
+            VarStatus::AtUpper => self.c.ub[j],
+            VarStatus::Free => 0.0,
+            VarStatus::Basic => unreachable!("nb_val on basic column"),
+        }
+    }
+
+    /// Rebuilds the LU factorization from the current basic set.
+    /// Returns false when the basis matrix is singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.c.m;
+        let mut dense = vec![0.0; m * m];
+        for (pos, &j) in self.basic.iter().enumerate() {
+            if j < self.c.n {
+                for &(i, a) in &self.c.cols[j] {
+                    dense[i as usize * m + pos] = a;
+                }
+            } else {
+                dense[(j - self.c.n) * m + pos] = 1.0;
+            }
+        }
+        match Lu::factor(dense, m) {
+            Some(lu) => {
+                self.fact = Factorization::new(lu);
+                self.stats.refactorizations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Recomputes `x_B = B⁻¹(b − N·x_N)` from scratch.
+    pub fn compute_xb(&mut self) {
+        let m = self.c.m;
+        let mut rhs = self.c.b.clone();
+        for j in 0..self.c.n + m {
+            if self.status[j] == VarStatus::Basic {
+                continue;
+            }
+            let v = self.nb_val(j);
+            if v != 0.0 {
+                if j < self.c.n {
+                    for &(i, a) in &self.c.cols[j] {
+                        rhs[i as usize] -= a * v;
+                    }
+                } else {
+                    rhs[j - self.c.n] -= v;
+                }
+            }
+        }
+        self.fact.ftran(&mut rhs);
+        self.xb = rhs;
+    }
+
+    /// Sum of bound violations over basic variables.
+    pub fn infeasibility(&self) -> f64 {
+        let mut s = 0.0;
+        for (pos, &j) in self.basic.iter().enumerate() {
+            let x = self.xb[pos];
+            if x < self.c.lb[j] {
+                s += self.c.lb[j] - x;
+            } else if x > self.c.ub[j] {
+                s += x - self.c.ub[j];
+            }
+        }
+        s
+    }
+
+    /// BTRAN of the phase-2 basic costs: the dual vector `y`.
+    pub fn duals(&self) -> Vec<f64> {
+        let m = self.c.m;
+        let mut cb = vec![0.0; m];
+        for (pos, &j) in self.basic.iter().enumerate() {
+            cb[pos] = self.c.cost[j];
+        }
+        self.fact.btran(&mut cb);
+        cb
+    }
+
+    /// Charges one pivot against the global iteration budget.
+    fn charge_iteration(&mut self) -> Result<(), SolveError> {
+        if self.iterations_left == 0 {
+            return Err(SolveError::IterationLimit);
+        }
+        self.iterations_left -= 1;
+        Ok(())
+    }
+
+    /// Refactorizes when the eta file has grown past the threshold.
+    fn maybe_refactorize(&mut self) -> Result<(), SolveError> {
+        if self.fact.eta_count() >= REFACTOR_EVERY {
+            if !self.refactorize() {
+                return Err(SolveError::Numerical);
+            }
+            self.compute_xb();
+        }
+        Ok(())
+    }
+
+    /// Executes a primal pivot: entering `q` (FTRAN image already in
+    /// `self.alpha`) moves by `sigma * t`, the basic variable at position `r`
+    /// leaves to `leave_status`.
+    fn primal_pivot(&mut self, q: usize, sigma: f64, t: f64, r: usize, leave_status: VarStatus) {
+        let entering_val = self.nb_val(q) + sigma * t;
+        let step = sigma * t;
+        if step != 0.0 {
+            for (i, x) in self.xb.iter_mut().enumerate() {
+                *x -= step * self.alpha[i];
+            }
+        }
+        let leaving = self.basic[r];
+        self.status[leaving] = leave_status;
+        self.status[q] = VarStatus::Basic;
+        self.basic[r] = q;
+        self.xb[r] = entering_val;
+        self.fact.push_eta(r, self.alpha.clone());
+    }
+
+    /// Makes the current basis dual feasible by bound flips where possible:
+    /// a nonbasic column whose reduced cost points past its current bound is
+    /// moved to its opposite bound. Returns false when a dual infeasibility
+    /// cannot be repaired this way (opposite bound infinite, or a free
+    /// column with nonzero reduced cost) — callers then take the primal
+    /// phase-1/phase-2 route instead of the dual simplex.
+    ///
+    /// Two passes on purpose: the decision to repair must be made before any
+    /// status mutates, otherwise an unrepairable column found mid-scan would
+    /// leave earlier flips applied with `x_B` still reflecting the old
+    /// nonbasic point.
+    pub fn repair_dual_feasibility(&mut self) -> bool {
+        let y = self.duals();
+        let mut flips: Vec<(usize, VarStatus)> = Vec::new();
+        for j in 0..self.c.n + self.c.m {
+            let st = self.status[j];
+            if st == VarStatus::Basic || self.c.lb[j] == self.c.ub[j] {
+                continue; // fixed columns are dual feasible at either bound
+            }
+            let d = self.c.cost[j] - self.c.col_dot(&y, j);
+            match st {
+                VarStatus::AtLower if d < -DUAL_TOL => {
+                    if !self.c.ub[j].is_finite() {
+                        return false;
+                    }
+                    flips.push((j, VarStatus::AtUpper));
+                }
+                VarStatus::AtUpper if d > DUAL_TOL => {
+                    if !self.c.lb[j].is_finite() {
+                        return false;
+                    }
+                    flips.push((j, VarStatus::AtLower));
+                }
+                VarStatus::Free if d.abs() > DUAL_TOL => return false,
+                _ => {}
+            }
+        }
+        if !flips.is_empty() {
+            for &(j, st) in &flips {
+                self.status[j] = st;
+            }
+            self.compute_xb();
+        }
+        true
+    }
+
+    // --------------------------------------------------------------- primal
+
+    /// Runs the primal simplex. `phase1 = true` minimises total infeasibility
+    /// (with re-priced composite costs); `phase1 = false` minimises the true
+    /// objective and requires a primal-feasible start.
+    pub fn primal(&mut self, phase1: bool) -> Result<PrimalEnd, SolveError> {
+        let n_total = self.c.n + self.c.m;
+        let m = self.c.m;
+        let mut local_iters = 0usize;
+
+        loop {
+            self.maybe_refactorize()?;
+            let use_bland = local_iters >= self.opts.bland_after;
+
+            // Phase costs on the basic set, priced into the reusable buffer
+            // (taken out of `self` so later `&mut self` calls stay legal;
+            // every path below hands it back or consumes it).
+            let mut y = std::mem::take(&mut self.ybuf);
+            y.clear();
+            y.resize(m, 0.0);
+            if phase1 {
+                let mut inf = 0.0;
+                for (pos, &j) in self.basic.iter().enumerate() {
+                    let x = self.xb[pos];
+                    if x < self.c.lb[j] - FEAS_TOL {
+                        y[pos] = -1.0;
+                        inf += self.c.lb[j] - x;
+                    } else if x > self.c.ub[j] + FEAS_TOL {
+                        y[pos] = 1.0;
+                        inf += x - self.c.ub[j];
+                    }
+                }
+                if inf <= FEAS_TOL {
+                    self.ybuf = y;
+                    return Ok(PrimalEnd::Optimal);
+                }
+            } else {
+                for (pos, &j) in self.basic.iter().enumerate() {
+                    y[pos] = self.c.cost[j];
+                }
+            }
+            self.fact.btran(&mut y);
+
+            // Entering column: most negative improvement direction (Dantzig)
+            // or least index (Bland).
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, d, |d|)
+            for j in 0..n_total {
+                let st = self.status[j];
+                if st == VarStatus::Basic {
+                    continue;
+                }
+                if self.c.lb[j] == self.c.ub[j] && st != VarStatus::Free {
+                    continue; // fixed columns cannot move
+                }
+                let cost_j = if phase1 { 0.0 } else { self.c.cost[j] };
+                let d = cost_j - self.c.col_dot(&y, j);
+                let eligible = match st {
+                    VarStatus::AtLower => d < -DUAL_TOL,
+                    VarStatus::AtUpper => d > DUAL_TOL,
+                    VarStatus::Free => d.abs() > DUAL_TOL,
+                    VarStatus::Basic => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                if use_bland {
+                    enter = Some((j, d, d.abs()));
+                    break;
+                }
+                match enter {
+                    Some((_, _, best)) if d.abs() <= best => {}
+                    _ => enter = Some((j, d, d.abs())),
+                }
+            }
+            let Some((q, d_q, _)) = enter else {
+                return if phase1 && self.infeasibility() > FEAS_TOL {
+                    // Phase-1 optimum positive: infeasible. `y` (the phase-1
+                    // pricing vector) is the certificate; it is consumed, and
+                    // the next pricing pass re-sizes the (now empty) buffer.
+                    Ok(PrimalEnd::Infeasible { y })
+                } else {
+                    self.ybuf = y;
+                    Ok(PrimalEnd::Optimal)
+                };
+            };
+            // Pricing complete: hand the buffer back before mutating state.
+            self.ybuf = y;
+
+            // Direction: AtLower/free-with-negative-d move up, otherwise down.
+            let sigma = match self.status[q] {
+                VarStatus::AtUpper => -1.0,
+                VarStatus::Free if d_q > 0.0 => -1.0,
+                _ => 1.0,
+            };
+
+            // FTRAN the entering column.
+            self.alpha.iter_mut().for_each(|v| *v = 0.0);
+            self.c.scatter_col(q, &mut self.alpha);
+            self.fact.ftran(&mut self.alpha);
+
+            // Ratio test. Basic value rates: dx_B/dt = −σ·α.
+            let mut t_best = if self.status[q] == VarStatus::Free {
+                f64::INFINITY
+            } else {
+                self.c.ub[q] - self.c.lb[q] // bound-flip distance (may be ∞)
+            };
+            let mut leave: Option<(usize, VarStatus)> = None;
+            let mut leave_piv = 0.0f64;
+            for i in 0..m {
+                let delta = -sigma * self.alpha[i];
+                if delta.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let k = self.basic[i];
+                let (lk, uk) = (self.c.lb[k], self.c.ub[k]);
+                let x = self.xb[i];
+                // (limit, status the leaving variable adopts)
+                let cand: Option<(f64, VarStatus)> = if phase1 && x < lk - FEAS_TOL {
+                    // Infeasible below: only a breakpoint when moving up.
+                    (delta > 0.0).then(|| ((lk - x) / delta, VarStatus::AtLower))
+                } else if phase1 && x > uk + FEAS_TOL {
+                    (delta < 0.0).then(|| ((x - uk) / -delta, VarStatus::AtUpper))
+                } else if delta < 0.0 {
+                    lk.is_finite()
+                        .then(|| ((x - lk) / -delta, VarStatus::AtLower))
+                } else {
+                    uk.is_finite()
+                        .then(|| ((uk - x) / delta, VarStatus::AtUpper))
+                };
+                let Some((mut t_i, st)) = cand else { continue };
+                if t_i < 0.0 {
+                    t_i = 0.0; // degenerate: beyond the bound by roundoff
+                }
+                let better = t_i < t_best - 1e-10
+                    || (t_i < t_best + 1e-10
+                        && leave.as_ref().is_some_and(|&(l, _)| {
+                            if use_bland {
+                                self.basic[i] < self.basic[l]
+                            } else {
+                                self.alpha[i].abs() > leave_piv.abs()
+                            }
+                        }));
+                if better {
+                    t_best = t_i;
+                    leave = Some((i, st));
+                    leave_piv = self.alpha[i];
+                }
+            }
+
+            if t_best.is_infinite() {
+                return if phase1 {
+                    // Mathematically impossible (infeasibility is bounded
+                    // below by 0); reaching this means the pricing and ratio
+                    // tolerances disagree badly.
+                    Err(SolveError::Numerical)
+                } else {
+                    Ok(PrimalEnd::Unbounded)
+                };
+            }
+
+            self.charge_iteration()?;
+            local_iters += 1;
+            if phase1 {
+                self.stats.phase1_pivots += 1;
+            } else {
+                self.stats.phase2_pivots += 1;
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: the entering column walks to its other
+                    // bound; the basis is unchanged.
+                    let step = sigma * t_best;
+                    for (i, x) in self.xb.iter_mut().enumerate() {
+                        *x -= step * self.alpha[i];
+                    }
+                    self.status[q] = match self.status[q] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other,
+                    };
+                }
+                Some((r, st)) => {
+                    if leave_piv.abs() <= PIVOT_TOL {
+                        // Numerically unreliable pivot: refactorize and retry
+                        // (the recomputed x_B usually clears phantom ties).
+                        if !self.refactorize() {
+                            return Err(SolveError::Numerical);
+                        }
+                        self.compute_xb();
+                        continue;
+                    }
+                    self.primal_pivot(q, sigma, t_best, r, st);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- dual
+
+    /// Runs the dual simplex from a dual-feasible basis until primal
+    /// feasibility (or a proof of primal infeasibility).
+    pub fn dual(&mut self) -> Result<DualEnd, SolveError> {
+        let n_total = self.c.n + self.c.m;
+        let m = self.c.m;
+        let mut local_iters = 0usize;
+
+        loop {
+            self.maybe_refactorize()?;
+            let use_bland = local_iters >= self.opts.bland_after;
+
+            // Leaving row: worst bound violation (Dantzig-like) or least
+            // basic column index (Bland).
+            let mut leave: Option<(usize, bool, f64)> = None; // (row, below, viol)
+            for i in 0..m {
+                let k = self.basic[i];
+                let x = self.xb[i];
+                let viol_below = self.c.lb[k] - x;
+                let viol_above = x - self.c.ub[k];
+                let (below, viol) = if viol_below > viol_above {
+                    (true, viol_below)
+                } else {
+                    (false, viol_above)
+                };
+                if viol <= FEAS_TOL {
+                    continue;
+                }
+                let better = match &leave {
+                    None => true,
+                    Some((l, _, best)) => {
+                        if use_bland {
+                            self.basic[i] < self.basic[*l]
+                        } else {
+                            viol > *best
+                        }
+                    }
+                };
+                if better {
+                    leave = Some((i, below, viol));
+                }
+            }
+            let Some((r, below, _)) = leave else {
+                return Ok(DualEnd::PrimalFeasible);
+            };
+
+            // BTRAN row r and the current duals, both priced into the
+            // reusable buffers (taken out of `self` so later `&mut self`
+            // calls stay legal; every path below hands them back).
+            let mut rho = std::mem::take(&mut self.rowbuf);
+            rho.clear();
+            rho.resize(m, 0.0);
+            rho[r] = 1.0;
+            self.fact.btran(&mut rho);
+            let mut y = std::mem::take(&mut self.ybuf);
+            y.clear();
+            y.resize(m, 0.0);
+            for (pos, &j) in self.basic.iter().enumerate() {
+                y[pos] = self.c.cost[j];
+            }
+            self.fact.btran(&mut y);
+
+            // Entering column: dual ratio test. The leaving variable exits
+            // at its violated bound; entering candidates must push the basic
+            // value toward it while keeping every reduced cost feasible.
+            let mut enter: Option<(usize, f64)> = None; // (col, |ratio|)
+            let mut enter_arow = 0.0f64;
+            for j in 0..n_total {
+                let st = self.status[j];
+                if st == VarStatus::Basic || self.c.lb[j] == self.c.ub[j] {
+                    continue;
+                }
+                let arow = self.c.col_dot(&rho, j);
+                if arow.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                // x_Br rate per unit of entering movement Δ is −arow·sign(Δ).
+                // `below` needs x_Br to increase.
+                let eligible = match st {
+                    VarStatus::AtLower => {
+                        if below {
+                            arow < 0.0
+                        } else {
+                            arow > 0.0
+                        }
+                    }
+                    VarStatus::AtUpper => {
+                        if below {
+                            arow > 0.0
+                        } else {
+                            arow < 0.0
+                        }
+                    }
+                    VarStatus::Free => true,
+                    VarStatus::Basic => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.c.cost[j] - self.c.col_dot(&y, j);
+                let ratio = (d / arow).abs();
+                let better = match &enter {
+                    None => true,
+                    Some((e, best)) => {
+                        if use_bland {
+                            ratio < *best - 1e-12 || (ratio < *best + 1e-12 && j < *e)
+                        } else {
+                            ratio < *best - 1e-12
+                                || (ratio < *best + 1e-12 && arow.abs() > enter_arow.abs())
+                        }
+                    }
+                };
+                if better {
+                    enter = Some((j, ratio));
+                    enter_arow = arow;
+                }
+            }
+            self.ybuf = y;
+
+            let Some((q, _)) = enter else {
+                // No column can absorb the violation: primal infeasible.
+                // Orient the certificate so its value is positive.
+                let sign = if below { -1.0 } else { 1.0 };
+                let y_cert: Vec<f64> = rho.iter().map(|&v| sign * v).collect();
+                self.rowbuf = rho;
+                return Ok(DualEnd::Infeasible { y: y_cert });
+            };
+            self.rowbuf = rho;
+
+            // FTRAN the entering column and pivot the violated row to its
+            // bound.
+            self.alpha.iter_mut().for_each(|v| *v = 0.0);
+            self.c.scatter_col(q, &mut self.alpha);
+            self.fact.ftran(&mut self.alpha);
+            let alpha_r = self.alpha[r];
+            if alpha_r.abs() <= PIVOT_TOL {
+                // The FTRAN image disagrees with the BTRAN row estimate:
+                // refactorize and retry once with cleaner numbers.
+                if !self.refactorize() {
+                    return Err(SolveError::Numerical);
+                }
+                self.compute_xb();
+                continue;
+            }
+            let k = self.basic[r];
+            let (target, leave_status) = if below {
+                (self.c.lb[k], VarStatus::AtLower)
+            } else {
+                (self.c.ub[k], VarStatus::AtUpper)
+            };
+            let delta = (self.xb[r] - target) / alpha_r;
+
+            self.charge_iteration()?;
+            local_iters += 1;
+            self.stats.dual_pivots += 1;
+
+            let entering_val = self.nb_val(q) + delta;
+            for (i, x) in self.xb.iter_mut().enumerate() {
+                *x -= delta * self.alpha[i];
+            }
+            self.status[k] = leave_status;
+            self.status[q] = VarStatus::Basic;
+            self.basic[r] = q;
+            self.xb[r] = entering_val;
+            self.fact.push_eta(r, self.alpha.clone());
+        }
+    }
+
+    // ----------------------------------------------------- solution pieces
+
+    /// Primal values per structural column.
+    pub fn primal_x(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.c.n];
+        for j in 0..self.c.n {
+            if self.status[j] != VarStatus::Basic {
+                x[j] = self.nb_val(j);
+            }
+        }
+        for (pos, &j) in self.basic.iter().enumerate() {
+            if j < self.c.n {
+                x[j] = self.xb[pos];
+            }
+        }
+        x
+    }
+
+    /// Objective value of the current point.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        let mut obj = self.c.obj_constant;
+        for j in 0..self.c.n {
+            obj += self.c.cost[j] * x[j];
+        }
+        obj
+    }
+
+    /// Maps an equality-space certificate vector to the user Farkas form:
+    /// row multipliers as-is, plus an upper-bound multiplier `−gⱼ` wherever
+    /// pricing leaves a positive residual that the variable's finite upper
+    /// bound must absorb (see the crate docs for the sign contract).
+    pub fn farkas_from_y(&self, y: Vec<f64>) -> Farkas {
+        let mut ub_multipliers = vec![0.0; self.c.n];
+        for j in 0..self.c.n {
+            let g = self.c.col_dot(&y, j);
+            let fixed = self.c.lb[j] == self.c.ub[j];
+            if (g > 0.0 && self.c.ub[j].is_finite()) || fixed {
+                ub_multipliers[j] = -g;
+            }
+        }
+        Farkas {
+            row_multipliers: y,
+            ub_multipliers,
+        }
+    }
+
+    /// Consumes the engine, returning accumulated statistics.
+    pub fn into_stats(self) -> LpStats {
+        self.stats
+    }
+}

@@ -1,0 +1,286 @@
+//! Basis factorization: dense LU with partial pivoting plus a product-form
+//! eta file for cheap updates between refactorizations.
+//!
+//! The revised simplex needs two linear solves per iteration:
+//!
+//! * **FTRAN** — `B·x = a` (transform an entering column),
+//! * **BTRAN** — `Bᵀ·y = c` (price rows / extract duals).
+//!
+//! `B` changes by one column per pivot. Refactorizing every pivot would cost
+//! `O(m³)` each time, so we factorize periodically and represent the pivots
+//! since the last refactorization as *eta matrices*: after a pivot that
+//! replaces the basis column at position `r` with a column whose FTRAN image
+//! is `α`, the new basis is `B' = B·E` with `E = I` except `E[:, r] = α`.
+//! FTRAN applies the eta inverses after the LU solve; BTRAN applies them
+//! (transposed) before it, in reverse order.
+
+/// Dense LU factorization `P·B = L·U` with partial pivoting.
+///
+/// Storage is the classic packed form: `f` holds `U` on and above the
+/// diagonal and the unit-lower-triangular `L` (without its diagonal) below.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    m: usize,
+    f: Vec<f64>,
+    /// Row swapped with `k` at elimination step `k`.
+    piv: Vec<usize>,
+}
+
+/// Pivot magnitude below which a basis matrix is declared singular.
+const SINGULAR_TOL: f64 = 1e-11;
+
+impl Lu {
+    /// Factorizes a dense `m × m` matrix given in row-major order.
+    ///
+    /// Returns `None` when the matrix is numerically singular; callers are
+    /// expected to repair or rebuild the basis.
+    pub fn factor(mut a: Vec<f64>, m: usize) -> Option<Lu> {
+        debug_assert_eq!(a.len(), m * m);
+        let mut piv = vec![0usize; m];
+        for k in 0..m {
+            // Partial pivoting: largest magnitude in column k at/below row k.
+            let mut best = k;
+            let mut best_val = a[k * m + k].abs();
+            for i in (k + 1)..m {
+                let v = a[i * m + k].abs();
+                if v > best_val {
+                    best_val = v;
+                    best = i;
+                }
+            }
+            if best_val < SINGULAR_TOL {
+                return None;
+            }
+            piv[k] = best;
+            if best != k {
+                for j in 0..m {
+                    a.swap(k * m + j, best * m + j);
+                }
+            }
+            let inv = 1.0 / a[k * m + k];
+            for i in (k + 1)..m {
+                let l = a[i * m + k] * inv;
+                a[i * m + k] = l;
+                if l != 0.0 {
+                    for j in (k + 1)..m {
+                        a[i * m + j] -= l * a[k * m + j];
+                    }
+                }
+            }
+        }
+        Some(Lu { m, f: a, piv })
+    }
+
+    /// Solves `B·x = v` in place (`v` becomes `x`).
+    pub fn solve(&self, v: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(v.len(), m);
+        // Apply P.
+        for k in 0..m {
+            if self.piv[k] != k {
+                v.swap(k, self.piv[k]);
+            }
+        }
+        // Forward: L·z = P·v (unit diagonal).
+        for i in 1..m {
+            let mut s = v[i];
+            for j in 0..i {
+                s -= self.f[i * m + j] * v[j];
+            }
+            v[i] = s;
+        }
+        // Backward: U·x = z.
+        for i in (0..m).rev() {
+            let mut s = v[i];
+            for j in (i + 1)..m {
+                s -= self.f[i * m + j] * v[j];
+            }
+            v[i] = s / self.f[i * m + i];
+        }
+    }
+
+    /// Solves `Bᵀ·y = w` in place (`w` becomes `y`).
+    pub fn solve_t(&self, w: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(w.len(), m);
+        // Bᵀ = Uᵀ·Lᵀ·P⁻ᵀ: solve Uᵀ·t = w (forward), Lᵀ·s = t (backward),
+        // then y = Pᵀ·s (undo swaps in reverse).
+        for i in 0..m {
+            let mut s = w[i];
+            for j in 0..i {
+                s -= self.f[j * m + i] * w[j];
+            }
+            w[i] = s / self.f[i * m + i];
+        }
+        for i in (0..m).rev() {
+            let mut s = w[i];
+            for j in (i + 1)..m {
+                s -= self.f[j * m + i] * w[j];
+            }
+            w[i] = s;
+        }
+        for k in (0..m).rev() {
+            if self.piv[k] != k {
+                w.swap(k, self.piv[k]);
+            }
+        }
+    }
+}
+
+/// One product-form update: the basis column at position `r` was replaced by
+/// a column whose FTRAN image (through everything to its left) is `alpha`.
+#[derive(Debug, Clone)]
+pub struct Eta {
+    /// Basis position that pivoted.
+    pub r: usize,
+    /// Dense transformed column `α = B⁻¹·a_q` at pivot time.
+    pub alpha: Vec<f64>,
+}
+
+/// A factorized basis: `B = LU · E₁ · E₂ · … · E_k`.
+#[derive(Debug, Clone)]
+pub struct Factorization {
+    lu: Lu,
+    etas: Vec<Eta>,
+}
+
+impl Factorization {
+    /// Wraps a fresh LU factorization with an empty eta file.
+    pub fn new(lu: Lu) -> Self {
+        Factorization {
+            lu,
+            etas: Vec::new(),
+        }
+    }
+
+    /// Number of eta updates accumulated since the last refactorization.
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Records a pivot: position `r` now holds a column with FTRAN image
+    /// `alpha` (as returned by [`Factorization::ftran`] *before* the pivot).
+    pub fn push_eta(&mut self, r: usize, alpha: Vec<f64>) {
+        self.etas.push(Eta { r, alpha });
+    }
+
+    /// FTRAN: solves `B·x = v` in place.
+    pub fn ftran(&self, v: &mut [f64]) {
+        self.lu.solve(v);
+        // B = LU·E₁·…·E_k ⇒ x = E_k⁻¹·…·E₁⁻¹·(LU)⁻¹·v.
+        for eta in &self.etas {
+            let xr = v[eta.r] / eta.alpha[eta.r];
+            for (i, &ai) in eta.alpha.iter().enumerate() {
+                if i == eta.r {
+                    continue;
+                }
+                if ai != 0.0 {
+                    v[i] -= ai * xr;
+                }
+            }
+            v[eta.r] = xr;
+        }
+    }
+
+    /// BTRAN: solves `Bᵀ·y = w` in place.
+    pub fn btran(&self, w: &mut [f64]) {
+        // Bᵀ = E_kᵀ·…·E₁ᵀ·(LU)ᵀ ⇒ peel the eta transposes first, newest
+        // outermost, then finish with the LU transpose solve.
+        for eta in self.etas.iter().rev() {
+            let mut s = w[eta.r];
+            for (i, &ai) in eta.alpha.iter().enumerate() {
+                if i != eta.r && ai != 0.0 {
+                    s -= ai * w[i];
+                }
+            }
+            w[eta.r] = s / eta.alpha[eta.r];
+        }
+        self.lu.solve_t(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(a: &[f64], m: usize, x: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|i| (0..m).map(|j| a[i * m + j] * x[j]).sum())
+            .collect()
+    }
+
+    fn mat_t_vec(a: &[f64], m: usize, x: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|j| (0..m).map(|i| a[i * m + j] * x[i]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn lu_roundtrip_small() {
+        let m = 3;
+        let a = vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0];
+        let lu = Lu::factor(a.clone(), m).expect("nonsingular");
+        let x_true = vec![1.0, -2.0, 3.0];
+        let mut v = mat_vec(&a, m, &x_true);
+        lu.solve(&mut v);
+        for (got, want) in v.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+        let mut w = mat_t_vec(&a, m, &x_true);
+        lu.solve_t(&mut w);
+        for (got, want) in w.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = 2;
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(Lu::factor(a, m).is_none());
+    }
+
+    #[test]
+    fn eta_updates_match_refactorization() {
+        // Start from B = I, replace columns one at a time, and check FTRAN /
+        // BTRAN against a direct factorization of the updated matrix.
+        let m = 4;
+        let mut b: Vec<f64> = vec![0.0; m * m];
+        for i in 0..m {
+            b[i * m + i] = 1.0;
+        }
+        let mut fact = Factorization::new(Lu::factor(b.clone(), m).unwrap());
+
+        let replacements: Vec<(usize, Vec<f64>)> = vec![
+            (2, vec![1.0, 0.5, 2.0, -1.0]),
+            (0, vec![3.0, 0.0, 1.0, 0.0]),
+            (3, vec![0.0, -2.0, 0.5, 4.0]),
+        ];
+        for (r, col) in replacements {
+            let mut alpha = col.clone();
+            fact.ftran(&mut alpha);
+            fact.push_eta(r, alpha);
+            for i in 0..m {
+                b[i * m + r] = col[i];
+            }
+            let direct = Lu::factor(b.clone(), m).unwrap();
+
+            let v0 = vec![1.0, 2.0, -1.0, 0.5];
+            let mut via_eta = v0.clone();
+            fact.ftran(&mut via_eta);
+            let mut via_direct = v0.clone();
+            direct.solve(&mut via_direct);
+            for (a, c) in via_eta.iter().zip(&via_direct) {
+                assert!((a - c).abs() < 1e-9, "ftran {a} vs {c}");
+            }
+
+            let mut wt_eta = v0.clone();
+            fact.btran(&mut wt_eta);
+            let mut wt_direct = v0;
+            direct.solve_t(&mut wt_direct);
+            for (a, c) in wt_eta.iter().zip(&wt_direct) {
+                assert!((a - c).abs() < 1e-9, "btran {a} vs {c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Bounded-variable **revised simplex** with explicit, reusable bases.
+//!
+//! This is the warm-start engine behind the Benders / branch-and-bound hot
+//! path. Where the dense tableau solver (`crate::simplex`) canonicalises
+//! bounds away (mirroring, splitting, internal `≤ ub` rows) and recomputes
+//! everything from scratch per solve, this engine:
+//!
+//! * keeps every variable's box bounds **native** — no extra rows or column
+//!   blowup, so a problem with `n` variables and `m` constraints is solved
+//!   on an `m × m` basis no matter how many bounds are finite;
+//! * maintains a **factorized basis** (dense LU, product-form eta updates,
+//!   periodic refactorization) and prices via BTRAN/FTRAN instead of
+//!   updating a full tableau;
+//! * exposes the basis as a value ([`Basis`]) so the *next* solve of a
+//!   perturbed problem can resume from it: after a variable-bound change
+//!   (branch-and-bound) or an RHS change / appended constraint (Benders),
+//!   the stored basis stays **dual feasible** and the [`solve_warm`] entry
+//!   point restores primal feasibility with a handful of **dual simplex**
+//!   pivots instead of two cold phases.
+//!
+//! ## When is a warm start valid?
+//!
+//! A [`Basis`] obtained from `solve_warm(p, …)` may be passed back for a
+//! problem `p'` derived from `p` by any combination of:
+//!
+//! * changing variable bounds (`Problem::set_bounds`),
+//! * changing the RHS of constraints (`Problem::set_rhs`),
+//! * appending new constraints (`Problem::add_cons`) — the new rows' logical
+//!   columns join the basis,
+//! * changing objective coefficients (`Problem::set_objective`) — handled by
+//!   falling back to primal iterations when the old basis is no longer dual
+//!   feasible.
+//!
+//! Adding *variables* invalidates a basis; `solve_warm` detects the shape
+//! mismatch and silently performs a cold solve (counted in
+//! [`LpStats::cold_starts`]).
+//!
+//! The solver's outcomes, dual values, and Farkas certificates follow the
+//! same conventions as the dense engine (see the crate-level docs).
+
+mod canon;
+mod engine;
+mod lu;
+
+use crate::model::Problem;
+use crate::simplex::{Outcome, SimplexOptions, Solution, SolveError};
+use canon::Canon;
+use engine::{DualEnd, Engine, PrimalEnd};
+
+/// Where a column currently sits relative to the basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis; its value lives in the basic solution vector.
+    Basic,
+    /// Nonbasic at its (finite) lower bound.
+    AtLower,
+    /// Nonbasic at its (finite) upper bound.
+    AtUpper,
+    /// Nonbasic free column pinned at 0.
+    Free,
+}
+
+/// A reusable simplex basis: the complete restart state of a solve.
+///
+/// Opaque by design — obtain one from [`solve_warm`] and hand it back to a
+/// later `solve_warm` call on the same (or a compatibly-perturbed, see the
+/// module docs) problem.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Number of structural columns the basis was built for.
+    n_vars: usize,
+    /// Status per column (`n_vars + rows` entries).
+    status: Vec<VarStatus>,
+    /// Basic column per row position.
+    basic: Vec<usize>,
+}
+
+impl Basis {
+    /// Number of constraint rows this basis covers.
+    pub fn num_rows(&self) -> usize {
+        self.basic.len()
+    }
+
+    /// Number of structural variables this basis covers.
+    pub fn num_vars(&self) -> usize {
+        self.n_vars
+    }
+}
+
+/// Pivot-level solver statistics, accumulated across warm-started solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LpStats {
+    /// Primal phase-1 (infeasibility-reduction) pivots.
+    pub phase1_pivots: usize,
+    /// Primal phase-2 (objective) pivots.
+    pub phase2_pivots: usize,
+    /// Dual simplex pivots (warm restarts).
+    pub dual_pivots: usize,
+    /// Basis refactorizations (one per solve minimum).
+    pub refactorizations: usize,
+    /// Solves that resumed from a caller-supplied basis.
+    pub warm_starts: usize,
+    /// Solves performed from the all-logical cold basis.
+    pub cold_starts: usize,
+}
+
+impl LpStats {
+    /// Total pivots across all phases.
+    pub fn total_pivots(&self) -> usize {
+        self.phase1_pivots + self.phase2_pivots + self.dual_pivots
+    }
+
+    /// Folds another stats record into this one.
+    pub fn absorb(&mut self, other: &LpStats) {
+        self.phase1_pivots += other.phase1_pivots;
+        self.phase2_pivots += other.phase2_pivots;
+        self.dual_pivots += other.dual_pivots;
+        self.refactorizations += other.refactorizations;
+        self.warm_starts += other.warm_starts;
+        self.cold_starts += other.cold_starts;
+    }
+}
+
+/// Result of a warm-capable solve: the outcome, the final basis (reusable
+/// for the next perturbed solve), and pivot statistics.
+#[derive(Debug, Clone)]
+pub struct WarmSolve {
+    /// The solve outcome (optimal / infeasible / unbounded).
+    pub outcome: Outcome,
+    /// Restart state capturing the final basis.
+    pub basis: Basis,
+    /// Pivot counters for this solve only.
+    pub stats: LpStats,
+}
+
+/// Cold initial state: every logical basic (B = I), every structural column
+/// at a finite bound (preferring the lower), free columns at 0.
+fn cold_state(c: &Canon) -> (Vec<VarStatus>, Vec<usize>) {
+    let mut status = Vec::with_capacity(c.n + c.m);
+    for j in 0..c.n {
+        status.push(if c.lb[j].is_finite() {
+            VarStatus::AtLower
+        } else if c.ub[j].is_finite() {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::Free
+        });
+    }
+    for _ in 0..c.m {
+        status.push(VarStatus::Basic);
+    }
+    let basic: Vec<usize> = (0..c.m).map(|i| c.n + i).collect();
+    (status, basic)
+}
+
+/// Adapts a stored basis to the (possibly grown) canonical form. Returns
+/// `None` when the shapes are incompatible and a cold start is required.
+fn adapt_basis(c: &Canon, b: &Basis) -> Option<(Vec<VarStatus>, Vec<usize>)> {
+    if b.n_vars != c.n || b.basic.len() > c.m {
+        return None;
+    }
+    let m_old = b.basic.len();
+    let mut status = Vec::with_capacity(c.n + c.m);
+    status.extend_from_slice(&b.status[..c.n]);
+    // Old logicals keep their status; new rows' logicals enter the basis.
+    status.extend_from_slice(&b.status[c.n..]);
+    let mut basic = b.basic.clone();
+    for i in m_old..c.m {
+        status.push(VarStatus::Basic);
+        basic.push(c.n + i);
+    }
+    // Repair statuses referencing bounds that are no longer finite.
+    for (j, st) in status.iter_mut().enumerate() {
+        match st {
+            VarStatus::AtLower if !c.lb[j].is_finite() => {
+                *st = if c.ub[j].is_finite() {
+                    VarStatus::AtUpper
+                } else {
+                    VarStatus::Free
+                };
+            }
+            VarStatus::AtUpper if !c.ub[j].is_finite() => {
+                *st = if c.lb[j].is_finite() {
+                    VarStatus::AtLower
+                } else {
+                    VarStatus::Free
+                };
+            }
+            _ => {}
+        }
+    }
+    Some((status, basic))
+}
+
+/// Solves `p` cold with the revised engine.
+pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveError> {
+    solve_warm(p, None, options).map(|w| w.outcome)
+}
+
+/// Solves `p`, resuming from `warm` when supplied and shape-compatible.
+///
+/// See the module docs for which problem edits keep a basis reusable. An
+/// incompatible basis is not an error — the solve silently falls back to a
+/// cold start (visible in [`LpStats::cold_starts`]).
+pub fn solve_warm(
+    p: &Problem,
+    warm: Option<&Basis>,
+    options: &SimplexOptions,
+) -> Result<WarmSolve, SolveError> {
+    let canon = Canon::build(p);
+    let adapted = warm.and_then(|b| adapt_basis(&canon, b));
+    let warm_used = adapted.is_some();
+
+    let mut stats = LpStats::default();
+    if warm_used {
+        stats.warm_starts += 1;
+    } else {
+        stats.cold_starts += 1;
+    }
+
+    let (status, basic) = adapted.unwrap_or_else(|| cold_state(&canon));
+    let mut eng = match Engine::new(&canon, options, status, basic, stats) {
+        Some(e) => e,
+        None => {
+            // Stored basis went singular (heavy problem edits): cold restart.
+            let (status, basic) = cold_state(&canon);
+            let mut stats = LpStats::default();
+            stats.cold_starts += 1;
+            Engine::new(&canon, options, status, basic, stats)
+                .expect("the all-logical basis is the identity and always factorizes")
+        }
+    };
+
+    let outcome = run(&mut eng, warm_used)?;
+    let basis = Basis {
+        n_vars: canon.n,
+        status: eng.status.clone(),
+        basic: eng.basic.clone(),
+    };
+    Ok(WarmSolve {
+        outcome,
+        basis,
+        stats: eng.into_stats(),
+    })
+}
+
+/// Phase driver: dual simplex first on a warm dual-feasible basis, primal
+/// phase 1 + 2 otherwise.
+fn run(eng: &mut Engine<'_>, warm: bool) -> Result<Outcome, SolveError> {
+    if warm && eng.repair_dual_feasibility() {
+        match eng.dual()? {
+            DualEnd::Infeasible { y } => return Ok(Outcome::Infeasible(eng.farkas_from_y(y))),
+            DualEnd::PrimalFeasible => {}
+        }
+        // The dual pass ends primal + dual feasible; the primal mop-up below
+        // usually exits without a single pivot but guards tolerance drift.
+    } else if eng.infeasibility() > 1e-7 {
+        match eng.primal(true)? {
+            PrimalEnd::Infeasible { y } => return Ok(Outcome::Infeasible(eng.farkas_from_y(y))),
+            PrimalEnd::Unbounded => unreachable!("phase 1 objective is bounded below by 0"),
+            PrimalEnd::Optimal => {}
+        }
+    }
+
+    match eng.primal(false)? {
+        PrimalEnd::Unbounded => Ok(Outcome::Unbounded),
+        PrimalEnd::Infeasible { .. } => unreachable!("phase 2 never reports infeasibility"),
+        PrimalEnd::Optimal => {
+            let x = eng.primal_x();
+            let objective = eng.objective(&x);
+            let duals = eng.duals();
+            Ok(Outcome::Optimal(Solution {
+                objective,
+                x,
+                duals,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

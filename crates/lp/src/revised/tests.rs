@@ -1,0 +1,707 @@
+//! Unit tests and dense-tableau cross-checks for the revised engine.
+
+use crate::revised::{self, Basis, LpStats};
+use crate::simplex::SimplexOptions;
+use crate::{Cmp, Farkas, Outcome, Problem, VarId};
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+}
+
+fn solve_r(p: &Problem) -> Outcome {
+    revised::solve(p, &SimplexOptions::default()).unwrap()
+}
+
+// ------------------------------------------------------------ basic solves
+
+#[test]
+fn bounds_only_no_rows() {
+    // min 2x − 3y with 0 ≤ x ≤ 5, 0 ≤ y ≤ 7 → x = 0, y = 7.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 5.0, 2.0);
+    let y = p.add_var(0.0, 7.0, -3.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.value(x), 0.0, 1e-9);
+    assert_close(s.value(y), 7.0, 1e-9);
+    assert_close(s.objective, -21.0, 1e-9);
+}
+
+#[test]
+fn textbook_max_problem() {
+    // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, -3.0);
+    let y = p.add_var(0.0, f64::INFINITY, -5.0);
+    p.add_cons(&[(x, 1.0)], Cmp::Le, 4.0);
+    p.add_cons(&[(y, 2.0)], Cmp::Le, 12.0);
+    p.add_cons(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.objective, -36.0, 1e-7);
+    assert_close(s.value(x), 2.0, 1e-7);
+    assert_close(s.value(y), 6.0, 1e-7);
+}
+
+#[test]
+fn native_upper_bounds_no_extra_rows() {
+    // The dense engine needs an internal row per finite ub; the revised
+    // engine must handle them as pure bound flips.
+    let mut p = Problem::new();
+    let vars: Vec<VarId> = (0..6)
+        .map(|i| p.add_var(0.0, 1.0 + i as f64, -1.0))
+        .collect();
+    let row: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+    p.add_cons(&row, Cmp::Le, 100.0); // slack: all vars go to their ubs
+    let s = solve_r(&p).unwrap_optimal();
+    for (i, &v) in vars.iter().enumerate() {
+        assert_close(s.value(v), 1.0 + i as f64, 1e-9);
+    }
+}
+
+#[test]
+fn equality_and_ge_rows_need_phase1() {
+    // min x + y s.t. x + y = 10, x − y ≥ 2 → obj = 10.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, 1.0);
+    let y = p.add_var(0.0, f64::INFINITY, 1.0);
+    p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+    p.add_cons(&[(x, 1.0), (y, -1.0)], Cmp::Ge, 2.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.objective, 10.0, 1e-7);
+    assert!(s.value(x) - s.value(y) >= 2.0 - 1e-7);
+}
+
+#[test]
+fn free_variables_handled_natively() {
+    let mut p = Problem::new();
+    let x = p.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+    p.add_cons(&[(x, 1.0)], Cmp::Ge, -5.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.value(x), -5.0, 1e-9);
+
+    // Square equality system over two free variables.
+    let mut p = Problem::new();
+    let x = p.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+    let y = p.add_var(f64::NEG_INFINITY, f64::INFINITY, -1.0);
+    p.add_cons(&[(x, 2.0), (y, 1.0)], Cmp::Eq, 5.0);
+    p.add_cons(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.value(x), 2.0, 1e-7);
+    assert_close(s.value(y), 1.0, 1e-7);
+}
+
+#[test]
+fn negative_and_fixed_bounds() {
+    let mut p = Problem::new();
+    let x = p.add_var(-4.0, -1.0, 1.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.value(x), -4.0, 1e-9);
+
+    let mut p = Problem::new();
+    let x = p.add_var(2.5, 2.5, 1.0);
+    let y = p.add_var(0.0, f64::INFINITY, 1.0);
+    p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.value(x), 2.5, 1e-9);
+    assert_close(s.value(y), 1.5, 1e-9);
+}
+
+#[test]
+fn unbounded_detected() {
+    let mut p = Problem::new();
+    let _x = p.add_var(0.0, f64::INFINITY, -1.0);
+    assert!(matches!(solve_r(&p), Outcome::Unbounded));
+
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, -2.0);
+    let y = p.add_var(0.0, f64::INFINITY, 1.0);
+    p.add_cons(&[(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+    assert!(matches!(solve_r(&p), Outcome::Unbounded));
+}
+
+#[test]
+fn degenerate_beale_does_not_cycle() {
+    let mut p = Problem::new();
+    let x1 = p.add_var(0.0, f64::INFINITY, -0.75);
+    let x2 = p.add_var(0.0, f64::INFINITY, 150.0);
+    let x3 = p.add_var(0.0, f64::INFINITY, -0.02);
+    let x4 = p.add_var(0.0, f64::INFINITY, 6.0);
+    p.add_cons(
+        &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        Cmp::Le,
+        0.0,
+    );
+    p.add_cons(
+        &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        Cmp::Le,
+        0.0,
+    );
+    p.add_cons(&[(x3, 1.0)], Cmp::Le, 1.0);
+    let opts = SimplexOptions {
+        max_iterations: 10_000,
+        bland_after: 16,
+    };
+    let s = revised::solve(&p, &opts).unwrap().unwrap_optimal();
+    assert_close(s.objective, -0.05, 1e-7);
+}
+
+#[test]
+fn duals_match_convention() {
+    // min −x s.t. x ≤ 3 → dual −1 on the ≤ row.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, -1.0);
+    let c = p.add_cons(&[(x, 1.0)], Cmp::Le, 3.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.value(x), 3.0, 1e-9);
+    assert_close(s.dual(c), -1.0, 1e-9);
+
+    // Diet LP: duals ≥ 0 on ≥ rows with strong duality.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, 0.6);
+    let y = p.add_var(0.0, f64::INFINITY, 1.0);
+    let c1 = p.add_cons(&[(x, 10.0), (y, 4.0)], Cmp::Ge, 20.0);
+    let c2 = p.add_cons(&[(x, 5.0), (y, 5.0)], Cmp::Ge, 20.0);
+    let s = solve_r(&p).unwrap_optimal();
+    assert_close(s.objective, 2.4, 1e-6);
+    assert!(s.dual(c1) >= -1e-9 && s.dual(c2) >= -1e-9);
+    assert_close(s.dual(c1) * 20.0 + s.dual(c2) * 20.0, s.objective, 1e-6);
+}
+
+#[test]
+fn infeasible_row_certificate() {
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, 1.0);
+    p.add_cons(&[(x, 1.0)], Cmp::Le, -1.0);
+    match solve_r(&p) {
+        Outcome::Infeasible(f) => assert!(f.row_multipliers[0] < -1e-9),
+        other => panic!("expected infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn infeasible_via_native_upper_bounds() {
+    // x ≤ 2, y ≤ 2, x + y ≥ 5: the certificate must lean on ub multipliers.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 2.0, 0.0);
+    let y = p.add_var(0.0, 2.0, 0.0);
+    p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+    match solve_r(&p) {
+        Outcome::Infeasible(f) => {
+            let yr = f.row_multipliers[0];
+            let (wx, wy) = (f.ub_multipliers[0], f.ub_multipliers[1]);
+            assert!(yr >= -1e-9);
+            assert!(wx <= 1e-9 && wy <= 1e-9);
+            assert!(
+                yr * 5.0 + 2.0 * wx + 2.0 * wy > 1e-7,
+                "certificate must separate"
+            );
+            assert!(yr + wx <= 1e-7 && yr + wy <= 1e-7, "columns must price out");
+        }
+        other => panic!("expected infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_and_trivial_rows() {
+    let p = Problem::new();
+    assert_close(solve_r(&p).unwrap_optimal().objective, 0.0, 1e-12);
+
+    let mut p = Problem::new();
+    let _x = p.add_var(0.0, 1.0, 1.0);
+    p.add_cons(&[], Cmp::Le, 5.0);
+    assert!(solve_r(&p).is_optimal());
+    p.add_cons(&[], Cmp::Ge, 5.0);
+    assert!(matches!(solve_r(&p), Outcome::Infeasible(_)));
+}
+
+// ------------------------------------------------------------- warm starts
+
+#[test]
+fn warm_start_after_bound_tightening_uses_dual_simplex() {
+    // A fractional knapsack relaxation, then "branch": fix a variable to 0.
+    let mut p = Problem::new();
+    let a = p.add_var(0.0, 1.0, -10.0);
+    let b = p.add_var(0.0, 1.0, -13.0);
+    let c = p.add_var(0.0, 1.0, -7.0);
+    p.add_cons(&[(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+
+    let cold = p.solve_warm(None).unwrap();
+    let cold_obj = cold.outcome.clone().unwrap_optimal().objective;
+    assert!(cold.stats.cold_starts == 1 && cold.stats.warm_starts == 0);
+
+    p.set_bounds(a, 0.0, 0.0);
+    let warm = p.solve_warm(Some(&cold.basis)).unwrap();
+    assert_eq!(warm.stats.warm_starts, 1);
+    assert_eq!(
+        warm.stats.phase1_pivots, 0,
+        "warm restart must skip phase 1"
+    );
+    let warm_obj = warm.outcome.clone().unwrap_optimal().objective;
+
+    // Reference: cold solve of the modified problem.
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(warm_obj, reference, 1e-7);
+    assert!(
+        warm_obj >= cold_obj - 1e-9,
+        "tightening cannot improve the optimum"
+    );
+}
+
+#[test]
+fn warm_start_after_rhs_change() {
+    // Benders-slave shape: re-price after the RHS moves.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, -3.0);
+    let y = p.add_var(0.0, f64::INFINITY, -2.0);
+    let cap1 = p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
+    let cap2 = p.add_cons(&[(x, 2.0), (y, 1.0)], Cmp::Le, 15.0);
+    let first = p.solve_warm(None).unwrap();
+
+    p.set_rhs(cap1, 8.0);
+    p.set_rhs(cap2, 18.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_eq!(warm.stats.warm_starts, 1);
+    assert_eq!(warm.stats.phase1_pivots, 0);
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(warm.outcome.unwrap_optimal().objective, reference, 1e-7);
+}
+
+#[test]
+fn warm_start_after_appending_cut_rows() {
+    // Benders-master shape: rows append, basis extends with their logicals.
+    let mut p = Problem::new();
+    let u1 = p.add_var(0.0, 1.0, -5.0);
+    let u2 = p.add_var(0.0, 1.0, -4.0);
+    let theta = p.add_var(-100.0, f64::INFINITY, 1.0);
+    p.add_cons(&[(u1, 1.0), (u2, 1.0)], Cmp::Le, 2.0);
+    let first = p.solve_warm(None).unwrap();
+
+    // "Optimality cut": θ ≥ 3·u1 + 2·u2 − 50.
+    p.add_cons(&[(theta, -1.0), (u1, 3.0), (u2, 2.0)], Cmp::Le, 50.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_eq!(warm.stats.warm_starts, 1);
+    assert_eq!(warm.stats.phase1_pivots, 0);
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(
+        warm.outcome.clone().unwrap_optimal().objective,
+        reference,
+        1e-7,
+    );
+
+    // A second cut on top of the warm basis.
+    p.add_cons(&[(theta, -1.0), (u1, 1.0), (u2, 6.0)], Cmp::Le, 49.0);
+    let warm2 = p.solve_warm(Some(&warm.basis)).unwrap();
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(warm2.outcome.unwrap_optimal().objective, reference, 1e-7);
+}
+
+#[test]
+fn warm_start_detecting_infeasible_node() {
+    // Branch into an empty region: warm restart must certify infeasibility.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 1.0, -1.0);
+    let y = p.add_var(0.0, 1.0, -1.0);
+    p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 1.5);
+    let first = p.solve_warm(None).unwrap();
+    assert!(first.outcome.is_optimal());
+
+    p.set_bounds(x, 0.0, 0.0);
+    p.set_bounds(y, 0.0, 0.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert!(matches!(warm.outcome, Outcome::Infeasible(_)));
+}
+
+#[test]
+fn incompatible_basis_falls_back_to_cold() {
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 1.0, -1.0);
+    p.add_cons(&[(x, 1.0)], Cmp::Le, 1.0);
+    let first = p.solve_warm(None).unwrap();
+
+    // Adding a variable changes the column space.
+    let y = p.add_var(0.0, 1.0, -1.0);
+    p.add_cons(&[(y, 1.0)], Cmp::Le, 1.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_eq!(warm.stats.cold_starts, 1);
+    assert_eq!(warm.stats.warm_starts, 0);
+    assert!(warm.outcome.is_optimal());
+}
+
+#[test]
+fn objective_change_falls_back_to_primal_warm() {
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 10.0, -1.0);
+    let y = p.add_var(0.0, 10.0, -2.0);
+    p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Le, 12.0);
+    let first = p.solve_warm(None).unwrap();
+
+    // Flip the preference: the stored basis is no longer dual feasible.
+    p.set_objective(x, -5.0);
+    p.set_objective(y, -1.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    let reference = solve_r(&p).unwrap_optimal();
+    assert_close(
+        warm.outcome.unwrap_optimal().objective,
+        reference.objective,
+        1e-7,
+    );
+}
+
+#[test]
+fn long_warm_chain_stays_exact() {
+    // Drive one problem through many RHS perturbations, always warm; each
+    // solve must agree with a cold reference solve.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 8.0, -3.0);
+    let y = p.add_var(0.0, 8.0, -5.0);
+    let z = p.add_var(0.0, 8.0, -4.0);
+    let r1 = p.add_cons(&[(x, 1.0), (y, 2.0), (z, 1.0)], Cmp::Le, 14.0);
+    let r2 = p.add_cons(&[(x, 3.0), (y, 0.0), (z, 2.0)], Cmp::Le, 12.0);
+    let r3 = p.add_cons(&[(x, 1.0), (y, 4.0), (z, 0.0)], Cmp::Le, 16.0);
+
+    let mut basis: Option<Basis> = None;
+    let mut stats = LpStats::default();
+    for k in 0..40 {
+        let t = k as f64;
+        p.set_rhs(r1, 10.0 + 4.0 * ((0.37 * t).sin().abs()));
+        p.set_rhs(r2, 8.0 + 6.0 * ((0.53 * t).cos().abs()));
+        p.set_rhs(r3, 12.0 + 5.0 * ((0.71 * t).sin().abs()));
+        let w = p.solve_warm(basis.as_ref()).unwrap();
+        stats.absorb(&w.stats);
+        let warm_obj = w.outcome.clone().unwrap_optimal().objective;
+        let cold_obj = solve_r(&p).unwrap_optimal().objective;
+        assert_close(warm_obj, cold_obj, 1e-6);
+        basis = Some(w.basis);
+    }
+    assert_eq!(stats.warm_starts, 39);
+    assert_eq!(stats.cold_starts, 1);
+}
+
+// ---------------------------------------- dense-tableau cross-check (prop)
+
+/// Deterministic uniform in [lo, hi) from a cheap hash — keeps the
+/// cross-check free of dev-dependency wiring beyond the rand stub.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_f64() * n as f64) as usize % n.max(1)
+    }
+}
+
+/// Builds a random bounded LP with a mix of bound shapes and row senses.
+fn random_lp(rng: &mut XorShift) -> Problem {
+    let nv = 1 + rng.index(7);
+    let nc = 1 + rng.index(7);
+    let mut p = Problem::new();
+    let mut vars = Vec::new();
+    for _ in 0..nv {
+        let shape = rng.index(5);
+        let (lb, ub) = match shape {
+            0 => (0.0, f64::INFINITY),
+            1 => (0.0, rng.uniform(0.5, 8.0)),
+            2 => (rng.uniform(-5.0, 0.0), rng.uniform(0.5, 8.0)),
+            3 => (f64::NEG_INFINITY, rng.uniform(0.0, 8.0)),
+            _ => {
+                let v = rng.uniform(-2.0, 2.0);
+                (v, v) // fixed
+            }
+        };
+        vars.push(p.add_var(lb, ub, rng.uniform(-3.0, 3.0)));
+    }
+    for _ in 0..nc {
+        let mut row: Vec<(VarId, f64)> = Vec::new();
+        for &v in &vars {
+            if rng.next_f64() < 0.8 {
+                row.push((v, rng.uniform(-4.0, 4.0)));
+            }
+        }
+        let cmp = match rng.index(4) {
+            0 => Cmp::Ge,
+            1 => Cmp::Eq,
+            _ => Cmp::Le,
+        };
+        p.add_cons(&row, cmp, rng.uniform(-6.0, 10.0));
+    }
+    p
+}
+
+/// Strong-duality + complementary-slackness validation of a solution.
+fn check_solution(p: &Problem, obj: f64, x: &[f64], duals: &[f64], tag: &str) {
+    let tol = 1e-5;
+    // Primal feasibility.
+    for (j, v) in p.vars.iter().enumerate() {
+        assert!(
+            x[j] >= v.lb - tol && x[j] <= v.ub + tol,
+            "{tag}: x[{j}] = {} outside [{}, {}]",
+            x[j],
+            v.lb,
+            v.ub
+        );
+    }
+    let mut dual_obj_rows = 0.0;
+    for (i, c) in p.cons.iter().enumerate() {
+        let lhs: f64 = c.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+        let y = duals[i];
+        match c.cmp {
+            Cmp::Le => {
+                assert!(lhs <= c.rhs + tol, "{tag}: row {i} violated");
+                assert!(y <= tol, "{tag}: ≤ row {i} has positive dual {y}");
+            }
+            Cmp::Ge => {
+                assert!(lhs >= c.rhs - tol, "{tag}: row {i} violated");
+                assert!(y >= -tol, "{tag}: ≥ row {i} has negative dual {y}");
+            }
+            Cmp::Eq => assert!((lhs - c.rhs).abs() <= tol, "{tag}: eq row {i} violated"),
+        }
+        // Complementary slackness on rows.
+        assert!(
+            ((lhs - c.rhs) * y).abs() <= 1e-4 * (1.0 + y.abs()),
+            "{tag}: row {i} slack·dual = {}",
+            (lhs - c.rhs) * y
+        );
+        dual_obj_rows += y * c.rhs;
+    }
+    // Strong duality with bound contributions: c'x = y'b + Σ d_j·x_j where
+    // d is the reduced-cost vector (nonzero only at active bounds).
+    let mut bound_part = 0.0;
+    for (j, v) in p.vars.iter().enumerate() {
+        let mut d = v.obj;
+        for (i, c) in p.cons.iter().enumerate() {
+            for &(jj, a) in &c.coeffs {
+                if jj == j {
+                    d -= duals[i] * a;
+                }
+            }
+        }
+        let interior = x[j] > v.lb + 1e-6 && x[j] < v.ub - 1e-6;
+        if interior {
+            assert!(
+                d.abs() <= 1e-4,
+                "{tag}: interior var {j} has reduced cost {d}"
+            );
+        }
+        bound_part += d * x[j];
+    }
+    let lhs_obj = obj - p.obj_constant;
+    assert!(
+        (lhs_obj - (dual_obj_rows + bound_part)).abs() <= 1e-4 * (1.0 + lhs_obj.abs()),
+        "{tag}: strong duality broken: {} vs {}",
+        lhs_obj,
+        dual_obj_rows + bound_part
+    );
+}
+
+/// Validates a Farkas certificate via the box-bound separation inequality.
+///
+/// For any feasible `x`, the row senses give `Σ_j h_j·x_j ≥ y'b` with
+/// `h_j = Σ_i y_i·a_ij`. The certificate proves infeasibility exactly when
+/// the supremum of the left side over the variable box stays *below* `y'b`
+/// — which also forces `h_j` to lean only on finite bounds.
+fn check_farkas(p: &Problem, f: &Farkas, tag: &str) {
+    let tol = 1e-6;
+    let mut value = 0.0;
+    for (i, c) in p.cons.iter().enumerate() {
+        let y = f.row_multipliers[i];
+        match c.cmp {
+            Cmp::Le => assert!(y <= tol, "{tag}: ≤ row {i} multiplier {y} > 0"),
+            Cmp::Ge => assert!(y >= -tol, "{tag}: ≥ row {i} multiplier {y} < 0"),
+            Cmp::Eq => {}
+        }
+        value += y * c.rhs;
+    }
+    let mut sup = 0.0;
+    for (j, v) in p.vars.iter().enumerate() {
+        let mut h = 0.0;
+        for (i, c) in p.cons.iter().enumerate() {
+            for &(jj, a) in &c.coeffs {
+                if jj == j {
+                    h += f.row_multipliers[i] * a;
+                }
+            }
+        }
+        // Tiny residuals on infinite bounds are numerical noise, not a lean.
+        if h.abs() <= 1e-7 {
+            continue;
+        }
+        let contrib = if h >= 0.0 { h * v.ub } else { h * v.lb };
+        assert!(
+            contrib.is_finite(),
+            "{tag}: certificate leans on an infinite bound of var {j} (h = {h})"
+        );
+        sup += contrib;
+        // The reported ub multiplier must cover positive residuals.
+        if h > 1e-6 && v.ub.is_finite() && v.lb != v.ub {
+            assert!(
+                f.ub_multipliers[j] <= -h + 1e-5,
+                "{tag}: ub multiplier {} does not cover residual {h} on var {j}",
+                f.ub_multipliers[j]
+            );
+        }
+    }
+    assert!(
+        value - sup > 1e-7,
+        "{tag}: certificate does not separate: sup {sup} vs value {value}"
+    );
+}
+
+#[test]
+fn cross_check_revised_vs_dense_on_200_random_lps() {
+    let mut rng = XorShift(0x00C0_FFEE_D00D_5EED);
+    let mut optimal = 0;
+    let mut infeasible = 0;
+    let mut unbounded = 0;
+    for case in 0..200 {
+        let p = random_lp(&mut rng);
+        let dense = p
+            .solve()
+            .unwrap_or_else(|e| panic!("case {case}: dense failed: {e}"));
+        let revised = p
+            .solve_revised()
+            .unwrap_or_else(|e| panic!("case {case}: revised failed: {e}"));
+        match (&dense, &revised) {
+            (Outcome::Optimal(a), Outcome::Optimal(b)) => {
+                optimal += 1;
+                assert!(
+                    (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                    "case {case}: objectives diverge: dense {} vs revised {}",
+                    a.objective,
+                    b.objective
+                );
+                check_solution(
+                    &p,
+                    b.objective,
+                    &b.x,
+                    &b.duals,
+                    &format!("case {case} revised"),
+                );
+                check_solution(
+                    &p,
+                    a.objective,
+                    &a.x,
+                    &a.duals,
+                    &format!("case {case} dense"),
+                );
+            }
+            (Outcome::Infeasible(_), Outcome::Infeasible(fr)) => {
+                infeasible += 1;
+                check_farkas(&p, fr, &format!("case {case} revised"));
+            }
+            (Outcome::Unbounded, Outcome::Unbounded) => unbounded += 1,
+            other => panic!(
+                "case {case}: engines disagree on classification: dense {:?} vs revised {:?}",
+                kind(other.0),
+                kind(other.1)
+            ),
+        }
+    }
+    // The generator must exercise all three outcome classes.
+    assert!(optimal > 50, "only {optimal} optimal cases");
+    assert!(infeasible > 10, "only {infeasible} infeasible cases");
+    assert!(unbounded > 5, "only {unbounded} unbounded cases");
+}
+
+fn kind(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Optimal(_) => "optimal",
+        Outcome::Infeasible(_) => "infeasible",
+        Outcome::Unbounded => "unbounded",
+    }
+}
+
+#[test]
+fn cross_check_warm_chains_against_dense() {
+    // Random base LP, then a chain of bound tightenings (B&B-style); the
+    // warm path must track the dense oracle at every step.
+    let mut rng = XorShift(0xBEEF_BEEF_BEEF_0001);
+    for case in 0..40 {
+        let mut p = random_lp(&mut rng);
+        let mut basis: Option<Basis> = None;
+        for step in 0..6 {
+            let w = p
+                .solve_warm(basis.as_ref())
+                .unwrap_or_else(|e| panic!("case {case} step {step}: {e}"));
+            let dense = p.solve().unwrap();
+            match (&dense, &w.outcome) {
+                (Outcome::Optimal(a), Outcome::Optimal(b)) => {
+                    assert!(
+                        (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                        "case {case} step {step}: {} vs {}",
+                        a.objective,
+                        b.objective
+                    );
+                }
+                (Outcome::Infeasible(_), Outcome::Infeasible(_)) => {}
+                (Outcome::Unbounded, Outcome::Unbounded) => {}
+                other => panic!(
+                    "case {case} step {step}: disagreement {:?} vs {:?}",
+                    kind(other.0),
+                    kind(other.1)
+                ),
+            }
+            basis = Some(w.basis);
+            // Tighten a random variable's box, keeping lb ≤ ub.
+            if p.num_vars() > 0 {
+                let j = rng.index(p.num_vars());
+                let v = VarId(j);
+                let (lb, ub) = p.bounds(v);
+                if rng.next_f64() < 0.5 {
+                    let new_ub = if ub.is_finite() {
+                        ub * 0.6
+                    } else {
+                        rng.uniform(0.0, 4.0)
+                    };
+                    if new_ub >= lb {
+                        p.set_bounds(v, lb, new_ub);
+                    }
+                } else {
+                    let new_lb = if lb.is_finite() {
+                        lb * 0.5 + 0.1
+                    } else {
+                        rng.uniform(-3.0, 0.0)
+                    };
+                    if new_lb <= ub {
+                        p.set_bounds(v, new_lb, ub);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn objective_flip_with_unrepairable_column_stays_feasible() {
+    // Regression: repair_dual_feasibility used to flip x's status and then
+    // bail out on y (infinite ub) *without* recomputing x_B, so the primal
+    // phases ran from a stale basic solution and returned an infeasible
+    // point as Optimal (x=1, y=10 "optimal" for x + y ≤ 10).
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 1.0, 1.0);
+    let y = p.add_var(0.0, f64::INFINITY, 1.0);
+    let cap = p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
+    let first = p.solve_warm(None).unwrap();
+    assert!(first.outcome.is_optimal());
+
+    p.set_objective(x, -1.0);
+    p.set_objective(y, -1.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    let s = warm.outcome.unwrap_optimal();
+    assert!(
+        s.value(x) + s.value(y) <= 10.0 + 1e-7,
+        "returned point violates the capacity row: x={} y={}",
+        s.value(x),
+        s.value(y)
+    );
+    assert_close(s.objective, -10.0, 1e-7);
+    let _ = cap;
+}

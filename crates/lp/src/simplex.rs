@@ -33,14 +33,19 @@ const FEAS_EPS: f64 = 1e-7;
 pub struct SimplexOptions {
     /// Hard cap on total pivots across both phases.
     pub max_iterations: usize,
-    /// Switch from Dantzig to Bland pricing after this many pivots in a
-    /// phase (guards against cycling on degenerate problems).
+    /// Switch from Dantzig to Bland pricing after this many pivots (guards
+    /// against cycling on degenerate problems). The counter is **per phase**:
+    /// phase 1, phase 2, and (in the revised engine) each dual-simplex pass
+    /// each get a fresh `bland_after` budget of Dantzig pivots.
     pub bland_after: usize,
 }
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        Self { max_iterations: 200_000, bland_after: 10_000 }
+        Self {
+            max_iterations: 200_000,
+            bland_after: 10_000,
+        }
     }
 }
 
@@ -49,12 +54,16 @@ impl Default for SimplexOptions {
 pub enum SolveError {
     /// The pivot limit was exhausted before reaching optimality.
     IterationLimit,
+    /// The factorized basis degraded beyond repair (revised engine only);
+    /// re-solving cold or loosening tolerances is the caller's recourse.
+    Numerical,
 }
 
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::Numerical => write!(f, "simplex basis factorization failed"),
         }
     }
 }
@@ -302,9 +311,6 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
             n_cols += 1;
         }
     }
-    let n_art_start = n_slack_end;
-    let _ = n_art_start;
-
     // Identity column per row (used for dual extraction).
     let id_col_of_row: Vec<usize> = (0..m)
         .map(|i| art_col_of_row[i].unwrap_or_else(|| slack_col_of_row[i].unwrap()))
@@ -334,13 +340,9 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
     // artificials). Both start as c_j − Σ_{basic} ..., computed by pricing out
     // the initial basis.
     let mut obj2 = vec![0.0; stride]; // includes rhs slot = −objective value
-    for j in 0..n_struct {
-        obj2[j] = canon.cost[j];
-    }
+    obj2[..n_struct].copy_from_slice(&canon.cost[..n_struct]);
     let mut obj1 = vec![0.0; stride];
-    let is_artificial = |j: usize| -> bool {
-        j >= n_slack_end && j < n_cols
-    };
+    let is_artificial = |j: usize| -> bool { j >= n_slack_end && j < n_cols };
     // Phase-1 costs: 1 on every artificial column, 0 elsewhere.
     for j in n_slack_end..n_cols {
         obj1[j] = 1.0;
@@ -362,6 +364,7 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
     }
 
     let mut iterations_left = options.max_iterations;
+    let mut scratch: Vec<f64> = Vec::with_capacity(stride);
 
     // ---- Phase 1 ----
     let needs_phase1 = basis.iter().any(|&b| is_artificial(b));
@@ -377,6 +380,7 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
             |_j| true, // every column may enter in phase 1
             &mut iterations_left,
             options.bland_after,
+            &mut scratch,
         )?;
         debug_assert!(
             !matches!(status, PhaseEnd::Unbounded),
@@ -407,7 +411,10 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
                     ub_multipliers[canon.ub_row_var[i - canon.n_user_rows]] = v;
                 }
             }
-            return Ok(Outcome::Infeasible(Farkas { row_multipliers, ub_multipliers }));
+            return Ok(Outcome::Infeasible(Farkas {
+                row_multipliers,
+                ub_multipliers,
+            }));
         }
         // Feasible: drive any artificial still in the basis (at zero level)
         // out if possible; leave it if the row turned out redundant.
@@ -424,7 +431,17 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
                 }
             }
             if let Some(j) = pivot_col {
-                pivot(&mut t, &mut obj1, Some(&mut obj2), &mut basis, m, stride, i, j);
+                pivot(
+                    &mut t,
+                    &mut obj1,
+                    Some(&mut obj2),
+                    &mut basis,
+                    m,
+                    stride,
+                    i,
+                    j,
+                    &mut scratch,
+                );
             }
         }
     }
@@ -441,6 +458,7 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
         |j| !is_artificial(j),
         &mut iterations_left,
         options.bland_after,
+        &mut scratch,
     )?;
     if matches!(status, PhaseEnd::Unbounded) {
         return Ok(Outcome::Unbounded);
@@ -474,7 +492,11 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
         objective += canon.cost[j] * col_val[j];
     }
 
-    Ok(Outcome::Optimal(Solution { objective, x, duals }))
+    Ok(Outcome::Optimal(Solution {
+        objective,
+        x,
+        duals,
+    }))
 }
 
 enum PhaseEnd {
@@ -497,6 +519,7 @@ fn run_phase(
     may_enter: impl Fn(usize) -> bool,
     iterations_left: &mut usize,
     bland_after: usize,
+    scratch: &mut Vec<f64>,
 ) -> Result<PhaseEnd, SolveError> {
     let mut local_iters = 0usize;
     loop {
@@ -536,7 +559,7 @@ fn run_phase(
                 let ratio = t[i * stride + n_cols] / a;
                 let better = ratio < best_ratio - EPS
                     || (ratio < best_ratio + EPS
-                        && leave.map_or(true, |l| {
+                        && leave.is_none_or(|l| {
                             if use_bland {
                                 basis[i] < basis[l]
                             } else {
@@ -554,13 +577,26 @@ fn run_phase(
             return Ok(PhaseEnd::Unbounded);
         };
 
-        pivot(t, obj, aux_obj.as_deref_mut(), basis, m, stride, l, e);
+        pivot(
+            t,
+            obj,
+            aux_obj.as_deref_mut(),
+            basis,
+            m,
+            stride,
+            l,
+            e,
+            scratch,
+        );
         *iterations_left -= 1;
         local_iters += 1;
     }
 }
 
 /// Performs a full tableau pivot on (row, col), updating the objective rows.
+/// `scratch` is a reusable buffer for the pivot-row snapshot, hoisted out of
+/// the per-pivot path so the inner loops allocate nothing.
+#[allow(clippy::too_many_arguments)]
 fn pivot(
     t: &mut [f64],
     obj: &mut [f64],
@@ -570,6 +606,7 @@ fn pivot(
     stride: usize,
     row: usize,
     col: usize,
+    scratch: &mut Vec<f64>,
 ) {
     let base = row * stride;
     let piv = t[base + col];
@@ -578,9 +615,11 @@ fn pivot(
     for j in 0..stride {
         t[base + j] *= inv;
     }
-    // Snapshot the pivot row to keep the borrow checker happy and the inner
-    // loop tight.
-    let pivot_row: Vec<f64> = t[base..base + stride].to_vec();
+    // Snapshot the pivot row (into the caller's scratch buffer) to keep the
+    // borrow checker happy and the inner loop tight.
+    scratch.clear();
+    scratch.extend_from_slice(&t[base..base + stride]);
+    let pivot_row: &[f64] = scratch;
     for i in 0..m {
         if i == row {
             continue;

@@ -242,10 +242,21 @@ fn degenerate_does_not_cycle() {
     let x2 = p.add_var(0.0, f64::INFINITY, 150.0);
     let x3 = p.add_var(0.0, f64::INFINITY, -0.02);
     let x4 = p.add_var(0.0, f64::INFINITY, 6.0);
-    p.add_cons(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Cmp::Le, 0.0);
-    p.add_cons(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Cmp::Le, 0.0);
+    p.add_cons(
+        &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        Cmp::Le,
+        0.0,
+    );
+    p.add_cons(
+        &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        Cmp::Le,
+        0.0,
+    );
     p.add_cons(&[(x3, 1.0)], Cmp::Le, 1.0);
-    let opts = SimplexOptions { max_iterations: 10_000, bland_after: 16 };
+    let opts = SimplexOptions {
+        max_iterations: 10_000,
+        bland_after: 16,
+    };
     let s = p.solve_with(&opts).unwrap().unwrap_optimal();
     assert_close(s.objective, -0.05, 1e-7);
 }
@@ -301,8 +312,16 @@ fn transportation_problem() {
             v[i][j] = p.add_var(0.0, f64::INFINITY, cost[i][j]);
         }
     }
-    p.add_cons(&[(v[0][0], 1.0), (v[0][1], 1.0), (v[0][2], 1.0)], Cmp::Le, 20.0);
-    p.add_cons(&[(v[1][0], 1.0), (v[1][1], 1.0), (v[1][2], 1.0)], Cmp::Le, 30.0);
+    p.add_cons(
+        &[(v[0][0], 1.0), (v[0][1], 1.0), (v[0][2], 1.0)],
+        Cmp::Le,
+        20.0,
+    );
+    p.add_cons(
+        &[(v[1][0], 1.0), (v[1][1], 1.0), (v[1][2], 1.0)],
+        Cmp::Le,
+        30.0,
+    );
     p.add_cons(&[(v[0][0], 1.0), (v[1][0], 1.0)], Cmp::Ge, 10.0);
     p.add_cons(&[(v[0][1], 1.0), (v[1][1], 1.0)], Cmp::Ge, 25.0);
     p.add_cons(&[(v[0][2], 1.0), (v[1][2], 1.0)], Cmp::Ge, 15.0);
@@ -474,10 +493,7 @@ fn moderately_large_dense_lp() {
     let mut p = Problem::new();
     let vars: Vec<_> = (0..80).map(|_| p.add_var(0.0, 10.0, -1.0)).collect();
     for _ in 0..40 {
-        let row: Vec<_> = vars
-            .iter()
-            .map(|&v| (v, rng.gen_range(0.1..2.0)))
-            .collect();
+        let row: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.1..2.0))).collect();
         p.add_cons(&row, Cmp::Le, rng.gen_range(20.0..60.0));
     }
     let s = p.solve().unwrap().unwrap_optimal();

@@ -38,7 +38,7 @@
 //! }
 //! ```
 
-use ovnes_lp::{Outcome as LpOutcome, Problem, SimplexOptions, SolveError, VarId};
+use ovnes_lp::{Basis, LpStats, Outcome as LpOutcome, Problem, SimplexOptions, SolveError, VarId};
 
 /// Tolerance for considering an LP value integral.
 const INT_EPS: f64 = 1e-6;
@@ -53,11 +53,21 @@ pub struct MilpOptions {
     pub abs_gap: f64,
     /// Simplex options used for node relaxations.
     pub simplex: SimplexOptions,
+    /// Thread each parent node's basis into its children so the one-bound
+    /// delta re-solves via a few dual-simplex pivots instead of two cold
+    /// phases. Disable only for debugging / regression comparison — results
+    /// are identical either way, warm starts are purely a speed lever.
+    pub warm_start: bool,
 }
 
 impl Default for MilpOptions {
     fn default() -> Self {
-        Self { max_nodes: 200_000, abs_gap: 1e-7, simplex: SimplexOptions::default() }
+        Self {
+            max_nodes: 200_000,
+            abs_gap: 1e-7,
+            simplex: SimplexOptions::default(),
+            warm_start: true,
+        }
     }
 }
 
@@ -73,6 +83,8 @@ pub struct MilpSolution {
     /// True when the node limit stopped the search before the tree was
     /// exhausted; the solution is then best-effort rather than proven optimal.
     pub truncated: bool,
+    /// Pivot-level LP statistics aggregated over every node relaxation.
+    pub lp_stats: LpStats,
 }
 
 impl MilpSolution {
@@ -113,6 +125,13 @@ pub struct Milp {
     /// Optional warm-start upper bound on the optimal objective (e.g. the
     /// objective of a feasible heuristic solution).
     incumbent_bound: Option<f64>,
+    /// Root-relaxation basis kept across `solve` calls. Benders re-solves
+    /// the master after appending cut rows, for which a stored basis stays
+    /// valid (rows append, columns never change) — reusing it turns the new
+    /// root solve into a short dual-simplex run.
+    root_basis: Option<Basis>,
+    /// Pivot statistics of the most recent `solve` call (all outcomes).
+    last_lp_stats: LpStats,
 }
 
 impl Milp {
@@ -123,6 +142,8 @@ impl Milp {
             integers: Vec::new(),
             options: MilpOptions::default(),
             incumbent_bound: None,
+            root_basis: None,
+            last_lp_stats: LpStats::default(),
         }
     }
 
@@ -158,42 +179,60 @@ impl Milp {
     }
 
     /// Runs branch and bound.
-    pub fn solve(&self) -> Result<MilpOutcome, SolveError> {
+    ///
+    /// Node relaxations run on the revised simplex: each child node reuses
+    /// its parent's basis (one bound changed ⇒ dual-simplex restart), and
+    /// the root reuses the previous `solve` call's root basis when the
+    /// wrapped problem only grew rows since (the Benders master pattern).
+    pub fn solve(&mut self) -> Result<MilpOutcome, SolveError> {
         let mut work = self.problem.clone();
         let mut best: Option<MilpSolution> = None;
         let mut best_obj = self.incumbent_bound.unwrap_or(f64::INFINITY);
         let mut nodes = 0usize;
         let mut truncated = false;
+        let mut lp_stats = LpStats::default();
+        let warm = self.options.warm_start;
 
         // Explicit DFS stack of bound overrides. An `Enter` frame narrows a
-        // variable's bounds for its subtree; the matching `Restore` frame
-        // (pushed on entry) reinstates the outer bounds afterwards.
+        // variable's bounds for its subtree (carrying the parent node's
+        // post-solve basis); the matching `Restore` frame (pushed on entry)
+        // reinstates the outer bounds afterwards.
         struct Frame {
             var: VarId,
             lb: f64,
             ub: f64,
+            basis: Option<Basis>,
         }
         enum Item {
             Enter(Frame),
-            Restore(Frame),
+            Restore { var: VarId, lb: f64, ub: f64 },
             Root,
         }
         let mut stack: Vec<Item> = vec![Item::Root];
+        // Basis the *current* node resumes from (set by Root/Enter frames).
+        let mut node_basis: Option<Basis>;
 
         while let Some(item) = stack.pop() {
             match item {
-                Item::Root => {}
-                Item::Restore(f) => {
-                    work.set_bounds(f.var, f.lb, f.ub);
+                Item::Root => {
+                    node_basis = if warm { self.root_basis.take() } else { None };
+                }
+                Item::Restore { var, lb, ub } => {
+                    work.set_bounds(var, lb, ub);
                     continue;
                 }
                 Item::Enter(f) => {
                     let (olb, oub) = work.bounds(f.var);
-                    stack.push(Item::Restore(Frame { var: f.var, lb: olb, ub: oub }));
+                    stack.push(Item::Restore {
+                        var: f.var,
+                        lb: olb,
+                        ub: oub,
+                    });
                     if f.lb > f.ub {
                         continue; // empty domain: prune without an LP solve
                     }
                     work.set_bounds(f.var, f.lb, f.ub);
+                    node_basis = f.basis;
                 }
             }
 
@@ -202,13 +241,22 @@ impl Milp {
                 continue; // keep draining Restore frames only
             }
             nodes += 1;
+            let is_root = nodes == 1;
 
-            let outcome = work.solve_with(&self.options.simplex)?;
-            let sol = match outcome {
+            let ws = work.solve_warm_with(node_basis.as_ref(), &self.options.simplex)?;
+            lp_stats.absorb(&ws.stats);
+            let solved_basis = ws.basis;
+            if is_root && warm {
+                // Keep the root basis for the next solve() of this Milp
+                // (valid as long as only rows are appended in between).
+                self.root_basis = Some(solved_basis.clone());
+            }
+            let sol = match ws.outcome {
                 LpOutcome::Optimal(s) => s,
                 LpOutcome::Infeasible(_) => continue,
                 LpOutcome::Unbounded => {
-                    if nodes == 1 {
+                    if is_root {
+                        self.last_lp_stats = lp_stats;
                         return Ok(MilpOutcome::Unbounded);
                     }
                     // A node of a bounded root cannot be unbounded; prune
@@ -245,12 +293,24 @@ impl Milp {
                         x,
                         nodes,
                         truncated: false,
+                        lp_stats: LpStats::default(),
                     });
                 }
                 Some((v, val)) => {
                     let (lb, ub) = work.bounds(v);
-                    let down = Frame { var: v, lb, ub: val.floor().min(ub) };
-                    let up = Frame { var: v, lb: val.ceil().max(lb), ub };
+                    let parent = warm.then(|| solved_basis.clone());
+                    let down = Frame {
+                        var: v,
+                        lb,
+                        ub: val.floor().min(ub),
+                        basis: parent.clone(),
+                    };
+                    let up = Frame {
+                        var: v,
+                        lb: val.ceil().max(lb),
+                        ub,
+                        basis: parent,
+                    };
                     // Push the farther side first so the nearer side is
                     // explored first (LIFO order).
                     if val - val.floor() > 0.5 {
@@ -264,14 +324,23 @@ impl Milp {
             }
         }
 
+        self.last_lp_stats = lp_stats;
         match best {
             Some(mut s) => {
                 s.nodes = nodes;
                 s.truncated = truncated;
+                s.lp_stats = lp_stats;
                 Ok(MilpOutcome::Optimal(s))
             }
             None => Ok(MilpOutcome::Infeasible),
         }
+    }
+
+    /// Pivot statistics of the most recent completed [`Milp::solve`] call —
+    /// including Infeasible/Unbounded outcomes, which carry no solution to
+    /// hang per-solve stats on.
+    pub fn last_lp_stats(&self) -> &LpStats {
+        &self.last_lp_stats
     }
 }
 

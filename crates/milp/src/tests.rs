@@ -41,17 +41,22 @@ fn knapsack_milp(values: &[f64], weights: &[f64], cap: f64) -> Milp {
 fn knapsack_small() {
     let values = [10.0, 13.0, 7.0, 5.0];
     let weights = [3.0, 4.0, 2.0, 1.0];
-    let m = knapsack_milp(&values, &weights, 6.0);
+    let mut m = knapsack_milp(&values, &weights, 6.0);
     let s = m.solve().unwrap().unwrap_optimal();
     let brute = knapsack_brute(&values, &weights, 6.0);
-    assert!((-s.objective - brute).abs() < 1e-6, "milp {} vs brute {}", -s.objective, brute);
+    assert!(
+        (-s.objective - brute).abs() < 1e-6,
+        "milp {} vs brute {}",
+        -s.objective,
+        brute
+    );
 }
 
 #[test]
 fn all_items_fit() {
     let values = [1.0, 2.0, 3.0];
     let weights = [1.0, 1.0, 1.0];
-    let m = knapsack_milp(&values, &weights, 10.0);
+    let mut m = knapsack_milp(&values, &weights, 10.0);
     let s = m.solve().unwrap().unwrap_optimal();
     assert!((-s.objective - 6.0).abs() < 1e-6);
     for v in &s.x {
@@ -63,7 +68,7 @@ fn all_items_fit() {
 fn nothing_fits() {
     let values = [5.0, 5.0];
     let weights = [10.0, 12.0];
-    let m = knapsack_milp(&values, &weights, 6.0);
+    let mut m = knapsack_milp(&values, &weights, 6.0);
     let s = m.solve().unwrap().unwrap_optimal();
     assert!(s.objective.abs() < 1e-9);
 }
@@ -95,7 +100,7 @@ fn lp_infeasible_propagates() {
 #[test]
 fn unbounded_relaxation() {
     let mut p = Problem::new();
-    let x = p.add_var(0.0, f64::INFINITY, -1.0);
+    let _x = p.add_var(0.0, f64::INFINITY, -1.0);
     let b = p.add_var(0.0, 1.0, 0.0);
     p.add_cons(&[(b, 1.0)], Cmp::Le, 1.0);
     let mut m = Milp::new(p);
@@ -114,7 +119,11 @@ fn mixed_integer_continuous() {
     let mut m = Milp::new(p);
     m.mark_integer(b);
     let s = m.solve().unwrap().unwrap_optimal();
-    assert!((s.objective + 8.0).abs() < 1e-6, "objective {}", s.objective);
+    assert!(
+        (s.objective + 8.0).abs() < 1e-6,
+        "objective {}",
+        s.objective
+    );
     assert!((s.value(b) - 1.0).abs() < 1e-9);
     assert!((s.value(z) - 3.0).abs() < 1e-6);
 }
@@ -172,7 +181,10 @@ fn node_limit_truncates() {
     let values: Vec<f64> = (0..14).map(|i| 10.0 + (i as f64) * 0.618).collect();
     let weights: Vec<f64> = (0..14).map(|i| 7.0 + ((i * 37) % 11) as f64).collect();
     let mut m = knapsack_milp(&values, &weights, 40.0);
-    m.set_options(MilpOptions { max_nodes: 2, ..Default::default() });
+    m.set_options(MilpOptions {
+        max_nodes: 2,
+        ..Default::default()
+    });
     match m.solve().unwrap() {
         MilpOutcome::Optimal(s) => assert!(s.truncated || s.nodes <= 2),
         MilpOutcome::Infeasible => {} // no incumbent found in 2 nodes is fine
@@ -211,7 +223,7 @@ proptest! {
     ) {
         let values = &raw_values[..n];
         let weights = &raw_weights[..n];
-        let m = knapsack_milp(values, weights, cap);
+        let mut m = knapsack_milp(values, weights, cap);
         let s = m.solve().unwrap().unwrap_optimal();
         let brute = knapsack_brute(values, weights, cap);
         prop_assert!((-s.objective - brute).abs() < 1e-6,
@@ -267,4 +279,82 @@ proptest! {
         prop_assert!((-s.objective - best).abs() < 1e-6,
             "milp {} vs brute {}", -s.objective, best);
     }
+}
+
+// ----------------------------------------------------- warm-start regression
+
+/// Warm-started branch and bound must return byte-identical decisions to a
+/// cold-started run: basis reuse is a speed lever, never a result change.
+#[test]
+fn warm_and_cold_runs_agree() {
+    let values = [10.0, 13.0, 7.0, 5.0, 9.0, 4.0];
+    let weights = [3.0, 4.0, 2.0, 1.0, 3.5, 1.5];
+    for cap in [3.0, 6.0, 9.0, 12.0] {
+        let mut warm = knapsack_milp(&values, &weights, cap);
+        let mut cold = knapsack_milp(&values, &weights, cap);
+        cold.set_options(MilpOptions {
+            warm_start: false,
+            ..MilpOptions::default()
+        });
+
+        let sw = warm.solve().unwrap().unwrap_optimal();
+        let sc = cold.solve().unwrap().unwrap_optimal();
+        assert!(
+            (sw.objective - sc.objective).abs() < 1e-9,
+            "cap {cap}: warm {} vs cold {}",
+            sw.objective,
+            sc.objective
+        );
+        // The warm run must actually exercise the dual simplex on non-root
+        // nodes (unless the root relaxation was already integral).
+        if sw.nodes > 1 {
+            assert!(
+                sw.lp_stats.warm_starts > 0,
+                "cap {cap}: no warm starts recorded"
+            );
+        }
+        assert_eq!(
+            sc.lp_stats.warm_starts, 0,
+            "cap {cap}: cold run must not warm-start"
+        );
+    }
+}
+
+/// Re-solving a Milp after appending rows (the Benders master pattern) must
+/// reuse the stored root basis and still match a from-scratch solve.
+#[test]
+fn resolve_after_added_rows_reuses_root_basis() {
+    let mut p = Problem::new();
+    let a = p.add_var(0.0, 1.0, -10.0);
+    let b = p.add_var(0.0, 1.0, -13.0);
+    let c = p.add_var(0.0, 1.0, -7.0);
+    p.add_cons(&[(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+    let mut m = Milp::new(p);
+    m.mark_integer(a);
+    m.mark_integer(b);
+    m.mark_integer(c);
+    let first = m.solve().unwrap().unwrap_optimal();
+    assert!((first.objective - (-20.0)).abs() < 1e-6);
+
+    // "Cut": forbid taking b and c together.
+    m.problem_mut()
+        .add_cons(&[(b, 1.0), (c, 1.0)], Cmp::Le, 1.0);
+    let second = m.solve().unwrap().unwrap_optimal();
+    assert!(
+        second.lp_stats.warm_starts > 0,
+        "root must resume from the stored basis"
+    );
+
+    // Reference: fresh Milp over the same cut problem.
+    let mut fresh = Milp::new(m.problem().clone());
+    fresh.mark_integer(a);
+    fresh.mark_integer(b);
+    fresh.mark_integer(c);
+    let reference = fresh.solve().unwrap().unwrap_optimal();
+    assert!(
+        (second.objective - reference.objective).abs() < 1e-9,
+        "warm resolve {} vs fresh {}",
+        second.objective,
+        reference.objective
+    );
 }

@@ -121,5 +121,8 @@ pub fn run_epoch(
             samples: samples_per_epoch,
         });
     }
-    EpochReport { flows: reports, next_sample_index: first_sample_index + samples_per_epoch as u64 }
+    EpochReport {
+        flows: reports,
+        next_sample_index: first_sample_index + samples_per_epoch as u64,
+    }
 }

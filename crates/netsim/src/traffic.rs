@@ -30,7 +30,11 @@ impl TrafficGenerator {
     /// Panics on negative mean or sigma.
     pub fn gaussian(mean: f64, sigma: f64) -> Self {
         assert!(mean >= 0.0 && sigma >= 0.0);
-        Self { mean, sigma, diurnal: None }
+        Self {
+            mean,
+            sigma,
+            diurnal: None,
+        }
     }
 
     /// A deterministic generator (the mMTC template).
@@ -43,7 +47,10 @@ impl TrafficGenerator {
     /// # Panics
     /// Panics unless `0 ≤ amplitude < 1` and `period ≥ 2`.
     pub fn with_diurnal(mut self, amplitude: f64, period: usize) -> Self {
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
         assert!(period >= 2, "period must be at least 2 samples");
         self.diurnal = Some((amplitude, period));
         self

@@ -51,7 +51,10 @@ pub fn shortest_path(
     let mut prev: Vec<Option<LinkId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.0] = 0.0;
-    heap.push(Entry { delay: 0.0, node: src });
+    heap.push(Entry {
+        delay: 0.0,
+        node: src,
+    });
 
     while let Some(Entry { delay, node }) = heap.pop() {
         if delay > dist[node.0] {
@@ -73,7 +76,10 @@ pub fn shortest_path(
             if nd < dist[next.0] {
                 dist[next.0] = nd;
                 prev[next.0] = Some(lid);
-                heap.push(Entry { delay: nd, node: next });
+                heap.push(Entry {
+                    delay: nd,
+                    node: next,
+                });
             }
         }
     }

@@ -116,13 +116,7 @@ impl Graph {
 
     /// Adds an undirected link; length defaults to the Euclidean distance
     /// between endpoints.
-    pub fn add_link(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        capacity_mbps: f64,
-        tech: LinkTech,
-    ) -> LinkId {
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity_mbps: f64, tech: LinkTech) -> LinkId {
         let length = self.distance(a, b);
         self.add_link_with(a, b, capacity_mbps, length, tech, 0.0)
     }
@@ -141,10 +135,20 @@ impl Graph {
         extra_delay_us: f64,
     ) -> LinkId {
         assert!(a != b, "self-loops are not allowed");
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown endpoint");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "unknown endpoint"
+        );
         assert!(capacity_mbps > 0.0, "capacity must be positive");
         let id = LinkId(self.links.len());
-        self.links.push(Link { a, b, capacity_mbps, length_km, tech, extra_delay_us });
+        self.links.push(Link {
+            a,
+            b,
+            capacity_mbps,
+            length_km,
+            tech,
+            extra_delay_us,
+        });
         self.adj[a.0].push(id);
         self.adj[b.0].push(id);
         id

@@ -36,7 +36,11 @@ impl Path {
             .iter()
             .map(|&l| g.link(l).capacity_mbps)
             .fold(f64::INFINITY, f64::min);
-        Path { links, delay_us: delay, bottleneck_mbps: bottleneck }
+        Path {
+            links,
+            delay_us: delay,
+            bottleneck_mbps: bottleneck,
+        }
     }
 }
 
@@ -49,8 +53,7 @@ pub fn k_shortest(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
     }
     let no_nodes = vec![false; g.num_nodes()];
     let no_links = vec![false; g.num_links()];
-    let Some((first_links, first_delay)) = shortest_path(g, src, dst, &no_nodes, &no_links)
-    else {
+    let Some((first_links, first_delay)) = shortest_path(g, src, dst, &no_nodes, &no_links) else {
         return Vec::new();
     };
     let mut paths = vec![Path::from_links(g, first_links, first_delay)];

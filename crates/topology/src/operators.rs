@@ -93,7 +93,11 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        Self { scale: 0.15, seed: 18, k_paths: 8 }
+        Self {
+            scale: 0.15,
+            seed: 18,
+            k_paths: 8,
+        }
     }
 }
 
@@ -179,8 +183,8 @@ impl OperatorParams {
                 radius_km: 20.0,
                 bs_per_switch: 6,
                 bs_uplinks: 1,
-                sw_degree: 1, // tree backbone
-                chord_frac: 0.35, // a few chords: paper mean 1.6 paths
+                sw_degree: 1,          // tree backbone
+                chord_frac: 0.35,      // a few chords: paper mean 1.6 paths
                 tech_mix: (0.9, 0.92), // 90% fiber
                 radio_mhz: (80.0, 100.0),
             },
@@ -210,7 +214,10 @@ fn pick_tech(mix: (f64, f64), rng: &mut StdRng) -> LinkTech {
 }
 
 fn build(operator: Operator, p: &OperatorParams, config: &GeneratorConfig) -> NetworkModel {
-    assert!(config.scale > 0.0 && config.scale <= 1.0, "scale must be in (0, 1]");
+    assert!(
+        config.scale > 0.0 && config.scale <= 1.0,
+        "scale must be in (0, 1]"
+    );
     assert!(config.k_paths >= 1, "need at least one path per pair");
     let mut rng = StdRng::seed_from_u64(config.seed ^ (operator as u64) << 32);
 
@@ -236,11 +243,11 @@ fn build(operator: Operator, p: &OperatorParams, config: &GeneratorConfig) -> Ne
     // Switch backbone: nearest-neighbour mesh + random chords.
     let mut have_link = std::collections::HashSet::new();
     let connect = |g: &mut Graph,
-                       have: &mut std::collections::HashSet<(usize, usize)>,
-                       a: NodeId,
-                       b: NodeId,
-                       rng: &mut StdRng,
-                       mix: (f64, f64)| {
+                   have: &mut std::collections::HashSet<(usize, usize)>,
+                   a: NodeId,
+                   b: NodeId,
+                   rng: &mut StdRng,
+                   mix: (f64, f64)| {
         let key = (a.0.min(b.0), a.0.max(b.0));
         if a != b && have.insert(key) {
             let tech = pick_tech(mix, rng);
@@ -285,7 +292,10 @@ fn build(operator: Operator, p: &OperatorParams, config: &GeneratorConfig) -> Ne
         } else {
             rng.gen_range(p.radio_mhz.0..p.radio_mhz.1)
         };
-        base_stations.push(BaseStation { node, capacity_mhz: mhz });
+        base_stations.push(BaseStation {
+            node,
+            capacity_mhz: mhz,
+        });
     }
 
     // Repair connectivity if the nearest-neighbour backbone fragmented:
@@ -339,8 +349,16 @@ fn build(operator: Operator, p: &OperatorParams, config: &GeneratorConfig) -> Ne
     };
 
     let compute_units = vec![
-        ComputeUnit { node: edge_sw, cores: edge_cores, kind: CuKind::Edge },
-        ComputeUnit { node: core_node, cores: 5.0 * edge_cores, kind: CuKind::Core },
+        ComputeUnit {
+            node: edge_sw,
+            cores: edge_cores,
+            kind: CuKind::Edge,
+        },
+        ComputeUnit {
+            node: core_node,
+            cores: 5.0 * edge_cores,
+            kind: CuKind::Core,
+        },
     ];
 
     // Precompute P_{b,c} with Yen's algorithm.
@@ -354,7 +372,13 @@ fn build(operator: Operator, p: &OperatorParams, config: &GeneratorConfig) -> Ne
         })
         .collect();
 
-    NetworkModel { operator, graph: g, base_stations, compute_units, paths }
+    NetworkModel {
+        operator,
+        graph: g,
+        base_stations,
+        compute_units,
+        paths,
+    }
 }
 
 fn component_of(g: &Graph, start: NodeId) -> Vec<bool> {

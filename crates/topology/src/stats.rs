@@ -17,7 +17,12 @@ pub fn ecdf(mut values: Vec<f64>) -> Vec<(f64, f64)> {
 /// Per-path bottleneck capacity (Gb/s) CDF across BS→edge-CU paths —
 /// Fig. 4(d).
 pub fn path_capacity_cdf(model: &NetworkModel) -> Vec<(f64, f64)> {
-    ecdf(model.edge_paths().map(|p| p.bottleneck_mbps / 1000.0).collect())
+    ecdf(
+        model
+            .edge_paths()
+            .map(|p| p.bottleneck_mbps / 1000.0)
+            .collect(),
+    )
 }
 
 /// Per-path latency (µs) CDF across BS→edge-CU paths — Fig. 4(e).

@@ -107,7 +107,10 @@ fn ksp_paths_are_loopless_and_sorted() {
     let paths = k_shortest(&g, nodes[0], nodes[3], 16);
     assert!(paths.len() >= 3, "clique should offer several paths");
     for w in paths.windows(2) {
-        assert!(w[0].delay_us <= w[1].delay_us + 1e-9, "paths must be sorted");
+        assert!(
+            w[0].delay_us <= w[1].delay_us + 1e-9,
+            "paths must be sorted"
+        );
     }
     for p in &paths {
         let seq = p.nodes(&g, nodes[0]);
@@ -127,7 +130,11 @@ fn ksp_k_zero_and_same_node() {
 }
 
 fn small_config() -> GeneratorConfig {
-    GeneratorConfig { scale: 0.12, seed: 7, k_paths: 8 }
+    GeneratorConfig {
+        scale: 0.12,
+        seed: 7,
+        k_paths: 8,
+    }
 }
 
 #[test]
@@ -388,16 +395,22 @@ fn banned_nodes_block_dijkstra() {
 fn different_seeds_differ() {
     let a = NetworkModel::generate(
         Operator::Romanian,
-        &GeneratorConfig { scale: 0.1, seed: 1, k_paths: 4 },
+        &GeneratorConfig {
+            scale: 0.1,
+            seed: 1,
+            k_paths: 4,
+        },
     );
     let b = NetworkModel::generate(
         Operator::Romanian,
-        &GeneratorConfig { scale: 0.1, seed: 2, k_paths: 4 },
+        &GeneratorConfig {
+            scale: 0.1,
+            seed: 2,
+            k_paths: 4,
+        },
     );
     // Same sizes, different wiring (capacities virtually surely differ).
-    let cap = |m: &NetworkModel| -> f64 {
-        m.graph.links().map(|(_, l)| l.capacity_mbps).sum()
-    };
+    let cap = |m: &NetworkModel| -> f64 { m.graph.links().map(|(_, l)| l.capacity_mbps).sum() };
     assert_ne!(cap(&a), cap(&b));
 }
 
@@ -405,14 +418,25 @@ fn different_seeds_differ() {
 fn scale_controls_bs_count() {
     let small = NetworkModel::generate(
         Operator::Swiss,
-        &GeneratorConfig { scale: 0.05, seed: 3, k_paths: 2 },
+        &GeneratorConfig {
+            scale: 0.05,
+            seed: 3,
+            k_paths: 2,
+        },
     );
     let large = NetworkModel::generate(
         Operator::Swiss,
-        &GeneratorConfig { scale: 0.2, seed: 3, k_paths: 2 },
+        &GeneratorConfig {
+            scale: 0.2,
+            seed: 3,
+            k_paths: 2,
+        },
     );
     assert!(large.base_stations.len() > 2 * small.base_stations.len());
-    assert_eq!(small.base_stations.len(), (197.0f64 * 0.05).round() as usize);
+    assert_eq!(
+        small.base_stations.len(),
+        (197.0f64 * 0.05).round() as usize
+    );
 }
 
 #[test]

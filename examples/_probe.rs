@@ -1,16 +1,40 @@
 use ovnes::orchestrator::{Orchestrator, OrchestratorConfig};
 use ovnes::prelude::*;
 fn main() {
-    let topo = GeneratorConfig { scale: 0.04, seed: 18, k_paths: 3 };
+    let topo = GeneratorConfig {
+        scale: 0.04,
+        seed: 18,
+        k_paths: 3,
+    };
     let model = NetworkModel::generate(Operator::Romanian, &topo);
     println!("BSs: {}", model.base_stations.len());
-    let mut orch = Orchestrator::new(model, OrchestratorConfig { solver: SolverKind::Kac, seed: 7, ..Default::default() });
+    let mut orch = Orchestrator::new(
+        model,
+        OrchestratorConfig {
+            solver: SolverKind::Kac,
+            seed: 7,
+            ..Default::default()
+        },
+    );
     let t = SliceTemplate::embb();
     for i in 0..10 {
-        orch.submit(SliceRequest::from_template(i, t.clone(), 0.2, 0.5 * 0.2 * t.sla_mbps, 1.0));
+        orch.submit(SliceRequest::from_template(
+            i,
+            t.clone(),
+            0.2,
+            0.5 * 0.2 * t.sla_mbps,
+            1.0,
+        ));
     }
     for _ in 0..16 {
         let out = orch.step().unwrap();
-        println!("epoch {} adm {} rev {:.2} bs0_resv {:.1}MHz viol {:?}", out.epoch, out.admitted.len(), out.net_revenue, out.bs_reserved_mhz[0], out.violation_samples);
+        println!(
+            "epoch {} adm {} rev {:.2} bs0_resv {:.1}MHz viol {:?}",
+            out.epoch,
+            out.admitted.len(),
+            out.net_revenue,
+            out.bs_reserved_mhz[0],
+            out.violation_samples
+        );
     }
 }

@@ -27,15 +27,31 @@ fn main() {
     ses.fit(train);
 
     let rmse = |f: &[f64]| {
-        (f.iter().zip(test).map(|(a, b)| (a - b).powi(2)).sum::<f64>() / test.len() as f64)
+        (f.iter()
+            .zip(test)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            / test.len() as f64)
             .sqrt()
     };
 
     println!("Forecasting one day ahead of diurnal traffic (true mean 100 Mb/s ±50%):\n");
     println!("{:<22} {:>12}", "method", "RMSE (Mb/s)");
-    println!("{:<22} {:>12.2}", "Holt-Winters (mult.)", rmse(&hw.forecast(24)));
-    println!("{:<22} {:>12.2}", "Holt (trend only)", rmse(&holt.forecast(24)));
-    println!("{:<22} {:>12.2}", "SES (level only)", rmse(&ses.forecast(24)));
+    println!(
+        "{:<22} {:>12.2}",
+        "Holt-Winters (mult.)",
+        rmse(&hw.forecast(24))
+    );
+    println!(
+        "{:<22} {:>12.2}",
+        "Holt (trend only)",
+        rmse(&holt.forecast(24))
+    );
+    println!(
+        "{:<22} {:>12.2}",
+        "SES (level only)",
+        rmse(&ses.forecast(24))
+    );
 
     println!("\nHour-by-hour (first 8 h):");
     println!("{:>4} {:>8} {:>8} {:>8}", "h", "truth", "HW", "Holt");
@@ -46,7 +62,10 @@ fn main() {
     }
 
     let p = predict_next(train, 24, 0.05);
-    println!("\nOrchestrator-facing prediction: λ̂ = {:.1} Mb/s, σ̂ = {:.3}", p.value, p.sigma);
+    println!(
+        "\nOrchestrator-facing prediction: λ̂ = {:.1} Mb/s, σ̂ = {:.3}",
+        p.value, p.sigma
+    );
     println!("(σ̂ scales the risk term ξ = σ̂·L in the AC-RR objective: predictable");
     println!(" traffic ⇒ aggressive overbooking, erratic traffic ⇒ conservative.)");
 }

@@ -10,7 +10,11 @@ fn main() {
     // A scaled-down Romanian metro network (Fig. 4a of the paper).
     let model = NetworkModel::generate(
         Operator::Romanian,
-        &GeneratorConfig { scale: 0.05, seed: 1, k_paths: 4 },
+        &GeneratorConfig {
+            scale: 0.05,
+            seed: 1,
+            k_paths: 4,
+        },
     );
     println!(
         "Topology: {} BSs, {} CUs, {} links, mean {:.1} paths per BS",
@@ -22,7 +26,10 @@ fn main() {
 
     let mut orch = Orchestrator::new(
         model,
-        OrchestratorConfig { solver: SolverKind::Benders, ..Default::default() },
+        OrchestratorConfig {
+            solver: SolverKind::Benders,
+            ..Default::default()
+        },
     );
 
     // Six eMBB tenants that on average use only 20% of their 50 Mb/s SLA.
@@ -36,7 +43,10 @@ fn main() {
         ));
     }
 
-    println!("\n{:>5} {:>9} {:>9} {:>12} {:>11}", "epoch", "admitted", "rejected", "net revenue", "violations");
+    println!(
+        "\n{:>5} {:>9} {:>9} {:>12} {:>11}",
+        "epoch", "admitted", "rejected", "net revenue", "violations"
+    );
     for _ in 0..10 {
         let out = orch.step().expect("epoch must solve");
         println!(

@@ -47,15 +47,32 @@ fn main() {
             b.net_revenue,
         );
     }
-    println!("\nCumulative revenue: ours {cum_ours:.1} vs baseline {cum_base:.1} ({:+.0}%)",
-        (cum_ours - cum_base) / cum_base.max(1e-9) * 100.0);
+    println!(
+        "\nCumulative revenue: ours {cum_ours:.1} vs baseline {cum_base:.1} ({:+.0}%)",
+        (cum_ours - cum_base) / cum_base.max(1e-9) * 100.0
+    );
 
     let last = ours.last().unwrap();
     println!("\nFinal-hour utilisation (our approach):");
-    for (b, (r, l)) in last.bs_reserved_mhz.iter().zip(&last.bs_load_mhz).enumerate() {
-        println!("  BS {b}: reserved {:.1}/20 MHz ({:.0} PRBs), load {:.1} MHz", r, r * 5.0, l);
+    for (b, (r, l)) in last
+        .bs_reserved_mhz
+        .iter()
+        .zip(&last.bs_load_mhz)
+        .enumerate()
+    {
+        println!(
+            "  BS {b}: reserved {:.1}/20 MHz ({:.0} PRBs), load {:.1} MHz",
+            r,
+            r * 5.0,
+            l
+        );
     }
-    for (c, (r, l)) in last.cu_reserved_cores.iter().zip(&last.cu_load_cores).enumerate() {
+    for (c, (r, l)) in last
+        .cu_reserved_cores
+        .iter()
+        .zip(&last.cu_load_cores)
+        .enumerate()
+    {
         let name = if c == 0 { "Edge" } else { "Core" };
         println!("  {name} CU: reserved {r:.1} cores, load {l:.1} cores");
     }

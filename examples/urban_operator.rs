@@ -10,17 +10,35 @@ fn submit_mix(orch: &mut Orchestrator) {
     let mut id = 0;
     // Four eMBB video tenants, light load, moderate variability.
     for _ in 0..4 {
-        orch.submit(SliceRequest::from_template(id, SliceTemplate::embb(), 0.25, 3.0, 1.0));
+        orch.submit(SliceRequest::from_template(
+            id,
+            SliceTemplate::embb(),
+            0.25,
+            3.0,
+            1.0,
+        ));
         id += 1;
     }
     // Three mMTC metering tenants: deterministic trickle, compute heavy.
     for _ in 0..3 {
-        orch.submit(SliceRequest::from_template(id, SliceTemplate::mmtc(), 0.3, 0.0, 1.0));
+        orch.submit(SliceRequest::from_template(
+            id,
+            SliceTemplate::mmtc(),
+            0.3,
+            0.0,
+            1.0,
+        ));
         id += 1;
     }
     // Two uRLLC tenants pinned to the edge by their 5 ms budget.
     for _ in 0..2 {
-        orch.submit(SliceRequest::from_template(id, SliceTemplate::urllc(), 0.3, 1.5, 4.0));
+        orch.submit(SliceRequest::from_template(
+            id,
+            SliceTemplate::urllc(),
+            0.3,
+            1.5,
+            4.0,
+        ));
         id += 1;
     }
 }
@@ -28,7 +46,11 @@ fn submit_mix(orch: &mut Orchestrator) {
 fn run(overbooking: bool) -> (f64, usize, f64) {
     let model = NetworkModel::generate(
         Operator::Swiss,
-        &GeneratorConfig { scale: 0.05, seed: 33, k_paths: 4 },
+        &GeneratorConfig {
+            scale: 0.05,
+            seed: 33,
+            k_paths: 4,
+        },
     );
     let mut orch = Orchestrator::new(
         model,
@@ -51,7 +73,11 @@ fn run(overbooking: bool) -> (f64, usize, f64) {
         violated += out.violation_samples.0;
         samples += out.violation_samples.1;
     }
-    let rate = if samples > 0 { violated as f64 / samples as f64 } else { 0.0 };
+    let rate = if samples > 0 {
+        violated as f64 / samples as f64
+    } else {
+        0.0
+    };
     (total_revenue, final_admitted, rate)
 }
 
@@ -60,15 +86,27 @@ fn main() {
     let (rev_ours, adm_ours, viol_ours) = run(true);
     let (rev_base, adm_base, viol_base) = run(false);
 
-    println!("{:<18} {:>14} {:>10} {:>12}", "policy", "total revenue", "admitted", "viol. rate");
     println!(
-        "{:<18} {:>14.1} {:>10} {:>11.4}%",
-        "overbooking", rev_ours, adm_ours, 100.0 * viol_ours
+        "{:<18} {:>14} {:>10} {:>12}",
+        "policy", "total revenue", "admitted", "viol. rate"
     );
     println!(
         "{:<18} {:>14.1} {:>10} {:>11.4}%",
-        "no-overbooking", rev_base, adm_base, 100.0 * viol_base
+        "overbooking",
+        rev_ours,
+        adm_ours,
+        100.0 * viol_ours
+    );
+    println!(
+        "{:<18} {:>14.1} {:>10} {:>11.4}%",
+        "no-overbooking",
+        rev_base,
+        adm_base,
+        100.0 * viol_base
     );
     let gain = (rev_ours - rev_base) / rev_base.max(1e-9) * 100.0;
-    println!("\nOverbooking gain: {gain:+.0}% revenue with {:.4}% violated samples.", 100.0 * viol_ours);
+    println!(
+        "\nOverbooking gain: {gain:+.0}% revenue with {:.4}% violated samples.",
+        100.0 * viol_ours
+    );
 }

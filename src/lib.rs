@@ -1,0 +1,5 @@
+//! Root crate of the slice-overbooking reproduction workspace.
+//!
+//! All functionality lives in the `crates/` members; this package only hosts
+//! the cross-crate integration tests (`tests/`) and examples (`examples/`).
+//! See `crates/core` (`ovnes`) for the main entry point.

@@ -6,7 +6,11 @@ use ovnes::prelude::*;
 use ovnes_topology::stats::{path_capacity_cdf, path_delay_cdf, quantile};
 
 fn small_topology() -> GeneratorConfig {
-    GeneratorConfig { scale: 0.05, seed: 18, k_paths: 4 }
+    GeneratorConfig {
+        scale: 0.05,
+        seed: 18,
+        k_paths: 4,
+    }
 }
 
 #[test]
@@ -34,7 +38,11 @@ fn overbooking_beats_baseline_on_embb() {
         base.mean_net_revenue
     );
     // The paper's headline: gains with negligible SLA footprint.
-    assert!(ours.violation_rate < 0.05, "violation rate {}", ours.violation_rate);
+    assert!(
+        ours.violation_rate < 0.05,
+        "violation rate {}",
+        ours.violation_rate
+    );
     assert_eq!(base.violation_rate, 0.0);
 }
 

@@ -4,7 +4,10 @@
 //! true peak demand, freeing capacity.
 
 use ovnes::prelude::*;
-use ovnes_forecast::{holt_winters::{HoltWinters, Seasonality}, predict_next, Forecaster};
+use ovnes_forecast::{
+    holt_winters::{HoltWinters, Seasonality},
+    predict_next, Forecaster,
+};
 use ovnes_netsim::{run_epoch, Flow, MonitorStore, TrafficGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,7 +38,10 @@ fn monitor_to_forecast_loop_converges() {
         "forecast {} should approximate the expected epoch peak",
         pred.value
     );
-    assert!(pred.sigma < 0.5, "flat traffic should be fairly predictable");
+    assert!(
+        pred.sigma < 0.5,
+        "flat traffic should be fairly predictable"
+    );
 }
 
 #[test]
@@ -65,7 +71,10 @@ fn seasonal_demand_is_learnt_by_holt_winters() {
     // amplitude (quiet vs busy hours differ by ~3x here).
     let lo = forecast.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = forecast.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    assert!(hi / lo > 1.5, "forecast must reproduce the diurnal swing ({lo:.1}..{hi:.1})");
+    assert!(
+        hi / lo > 1.5,
+        "forecast must reproduce the diurnal swing ({lo:.1}..{hi:.1})"
+    );
 }
 
 #[test]
@@ -75,7 +84,11 @@ fn reservations_shrink_as_the_orchestrator_learns() {
     // should drop toward the observed peak.
     let model = NetworkModel::generate(
         Operator::Romanian,
-        &GeneratorConfig { scale: 0.03, seed: 5, k_paths: 3 },
+        &GeneratorConfig {
+            scale: 0.03,
+            seed: 5,
+            k_paths: 3,
+        },
     );
     let mut orch = Orchestrator::new(
         model,
@@ -88,7 +101,13 @@ fn reservations_shrink_as_the_orchestrator_learns() {
             ..Default::default()
         },
     );
-    orch.submit(SliceRequest::from_template(0, SliceTemplate::embb(), 0.3, 2.0, 1.0));
+    orch.submit(SliceRequest::from_template(
+        0,
+        SliceTemplate::embb(),
+        0.3,
+        2.0,
+        1.0,
+    ));
 
     let first = orch.step().unwrap();
     let first_reserved: f64 = first.bs_reserved_mhz.iter().sum();
@@ -109,14 +128,28 @@ fn middlebox_only_violates_when_overbooked_below_load() {
     // never reports violations even under peak bursts.
     let model = NetworkModel::generate(
         Operator::Swiss,
-        &GeneratorConfig { scale: 0.03, seed: 6, k_paths: 3 },
+        &GeneratorConfig {
+            scale: 0.03,
+            seed: 6,
+            k_paths: 3,
+        },
     );
     let mut orch = Orchestrator::new(
         model,
-        OrchestratorConfig { overbooking: false, seed: 6, ..Default::default() },
+        OrchestratorConfig {
+            overbooking: false,
+            seed: 6,
+            ..Default::default()
+        },
     );
     for t in 0..2 {
-        orch.submit(SliceRequest::from_template(t, SliceTemplate::embb(), 0.8, 10.0, 4.0));
+        orch.submit(SliceRequest::from_template(
+            t,
+            SliceTemplate::embb(),
+            0.8,
+            10.0,
+            4.0,
+        ));
     }
     for _ in 0..5 {
         let out = orch.step().unwrap();

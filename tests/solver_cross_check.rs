@@ -32,7 +32,14 @@ fn tenants_on(model: &NetworkModel, classes: &[(SliceClass, f64, f64)]) -> Vec<T
 }
 
 fn tiny_model(op: Operator) -> NetworkModel {
-    NetworkModel::generate(op, &GeneratorConfig { scale: 0.025, seed: 42, k_paths: 3 })
+    NetworkModel::generate(
+        op,
+        &GeneratorConfig {
+            scale: 0.025,
+            seed: 42,
+            k_paths: 3,
+        },
+    )
 }
 
 #[test]
@@ -127,7 +134,13 @@ fn overbooking_admits_superset_revenue() {
     let model = tiny_model(Operator::Swiss);
     let specs = vec![(SliceClass::Embb, 0.2, 0.1); 6];
     let mk = |ov: bool| {
-        AcrrInstance::build(&model, tenants_on(&model, &specs), PathPolicy::Spread, ov, None)
+        AcrrInstance::build(
+            &model,
+            tenants_on(&model, &specs),
+            PathPolicy::Spread,
+            ov,
+            None,
+        )
     };
     let ours = benders::solve(&mk(true), &benders::BendersOptions::default()).unwrap();
     let base = baseline::solve(&mk(false)).unwrap();
