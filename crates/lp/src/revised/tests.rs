@@ -705,3 +705,27 @@ fn objective_flip_with_unrepairable_column_stays_feasible() {
     assert_close(s.objective, -10.0, 1e-7);
     let _ = cap;
 }
+
+#[test]
+fn review_probe_free_var_bounds_become_finite() {
+    use crate::{Cmp, Problem};
+    let mut p = Problem::new();
+    // x free, y in [0, 10]; minimize y with x unused in objective.
+    let x = p.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
+    let y = p.add_var(0.0, 10.0, 1.0);
+    p.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Le, 100.0);
+    let w1 = p.solve_warm(None).unwrap();
+    // Narrow x to [2, 3]: per the documented Basis contract this is allowed.
+    p.set_bounds(x, 2.0, 3.0);
+    let w2 = p.solve_warm(Some(&w1.basis)).unwrap();
+    match w2.outcome {
+        crate::Outcome::Optimal(s) => {
+            let xv = s.value(x);
+            assert!(
+                (2.0 - 1e-6..=3.0 + 1e-6).contains(&xv),
+                "x = {xv} violates its bounds [2,3]"
+            );
+        }
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+}
