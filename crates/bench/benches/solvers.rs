@@ -179,6 +179,9 @@ fn emit_snapshot() {
                 "  {{\"bench\": \"slave_chain\", \"scale\": \"{}\", ",
                 "\"solves\": {}, \"warm_seconds\": {:.6}, \"cold_seconds\": {:.6}, ",
                 "\"warm_pivots\": {}, \"cold_pivots\": {}, ",
+                "\"warm_refactorizations\": {}, \"cold_refactorizations\": {}, ",
+                "\"warm_factorization_reuses\": {}, ",
+                "\"warm_fill_in\": {}, \"cold_fill_in\": {}, ",
                 "\"pivot_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
             ),
             label,
@@ -187,8 +190,44 @@ fn emit_snapshot() {
             tc,
             sw.total_pivots(),
             sc.total_pivots(),
+            sw.refactorizations,
+            sc.refactorizations,
+            sw.factorization_reuses,
+            sw.fill_in,
+            sc.fill_in,
             sc.total_pivots() as f64 / sw.total_pivots().max(1) as f64,
             tc / tw.max(1e-12),
+        ));
+
+        // The acceptance probe for persisted factorizations: one warm
+        // pure-RHS re-solve must perform *zero* refactorizations and beat a
+        // cold solve of the same admission on wall-clock.
+        let mut ctx = SlaveContext::new(&inst);
+        ctx.solve_for(&seq[0]).expect("slave solve");
+        let before = ctx.stats;
+        let t0 = Instant::now();
+        ctx.solve_for(&seq[1]).expect("slave re-solve");
+        let t_resolve = t0.elapsed().as_secs_f64();
+        let after = ctx.stats;
+        let mut cold_ctx = SlaveContext::new(&inst);
+        let t0 = Instant::now();
+        cold_ctx.solve_for(&seq[1]).expect("slave cold solve");
+        let t_cold = t0.elapsed().as_secs_f64();
+        entries.push(format!(
+            concat!(
+                "  {{\"bench\": \"slave_resolve\", \"scale\": \"{}\", ",
+                "\"resolve_seconds\": {:.6}, \"cold_seconds\": {:.6}, ",
+                "\"resolve_refactorizations\": {}, \"resolve_factorization_reuses\": {}, ",
+                "\"resolve_pivots\": {}, \"cold_pivots\": {}, \"time_speedup\": {:.2}}}"
+            ),
+            label,
+            t_resolve,
+            t_cold,
+            after.refactorizations - before.refactorizations,
+            after.factorization_reuses - before.factorization_reuses,
+            after.total_pivots() - before.total_pivots(),
+            cold_ctx.stats.total_pivots(),
+            t_cold / t_resolve.max(1e-12),
         ));
 
         if label != "10x_paper" {
@@ -209,6 +248,9 @@ fn emit_snapshot() {
                     "  {{\"bench\": \"benders_bnb\", \"scale\": \"{}\", ",
                     "\"iterations\": {}, \"warm_seconds\": {:.6}, \"cold_seconds\": {:.6}, ",
                     "\"warm_pivots\": {}, \"cold_pivots\": {}, ",
+                    "\"warm_refactorizations\": {}, \"cold_refactorizations\": {}, ",
+                    "\"warm_factorization_reuses\": {}, ",
+                    "\"warm_fill_in\": {}, \"cold_fill_in\": {}, ",
                     "\"warm_hits\": {}, \"pivot_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
                 ),
                 label,
@@ -217,6 +259,11 @@ fn emit_snapshot() {
                 tc,
                 aw.stats.lp.total_pivots(),
                 ac.stats.lp.total_pivots(),
+                aw.stats.lp.refactorizations,
+                ac.stats.lp.refactorizations,
+                aw.stats.lp.factorization_reuses,
+                aw.stats.lp.fill_in,
+                ac.stats.lp.fill_in,
                 aw.stats.lp.warm_starts,
                 ac.stats.lp.total_pivots() as f64 / aw.stats.lp.total_pivots().max(1) as f64,
                 tc / tw.max(1e-12),

@@ -352,7 +352,8 @@ impl SolveStats {
     /// Human-oriented one-line summary of the pivot-level counters.
     pub fn lp_summary(&self) -> String {
         format!(
-            "pivots {} (p1 {} / p2 {} / dual {}), warm {} / cold {}, refactor {}",
+            "pivots {} (p1 {} / p2 {} / dual {}), warm {} / cold {}, \
+             refactor {} (reused {}, fill {}, etas-at-end {})",
             self.lp.total_pivots(),
             self.lp.phase1_pivots,
             self.lp.phase2_pivots,
@@ -360,6 +361,9 @@ impl SolveStats {
             self.lp.warm_starts,
             self.lp.cold_starts,
             self.lp.refactorizations,
+            self.lp.factorization_reuses,
+            self.lp.fill_in,
+            self.lp.eta_len_end,
         )
     }
 }

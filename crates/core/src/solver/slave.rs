@@ -26,7 +26,11 @@
 //! call rewrites the affected RHS entries and re-solves **warm** from the
 //! previous admission's basis: consecutive Benders iterations differ by a
 //! few flipped `u` entries, so the dual simplex typically needs a handful of
-//! pivots where a cold solve needs two full phases.
+//! pivots where a cold solve needs two full phases. Because an RHS edit
+//! leaves the basis matrix untouched, the stored basis also carries a
+//! still-valid **factorization** — a re-priced solve starts with zero
+//! refactorizations and replays the persisted sparse LU + eta file directly
+//! (`stats.factorization_reuses` counts the hits).
 
 use crate::problem::AcrrInstance;
 use ovnes_lp::{Basis, Cmp, ConsId, LpStats, Outcome, Problem, VarId};

@@ -25,14 +25,22 @@
 //!
 //! **Bounded-variable revised simplex** ([`revised`], the production
 //! engine): box bounds are handled natively (no mirror/split/ub-row
-//! blowup), the basis is kept factorized (dense LU + product-form eta
-//! updates, periodic refactorization) and priced via BTRAN/FTRAN, and — the
-//! point of the exercise — the final **[`Basis`] is a value you can keep**.
-//! [`Problem::solve_warm`] resumes from a stored basis after problem edits,
-//! using the **dual simplex** when the edit preserved dual feasibility
-//! (bound changes, RHS changes, appended rows — exactly the
-//! branch-and-bound and Benders deltas) so a re-solve costs a handful of
-//! pivots instead of two cold phases.
+//! blowup), and the linear algebra is **sparse end to end**. The structural
+//! constraint matrix is stored in compressed-sparse-column form
+//! ([`SparseMatrix`], built by [`Problem::structural_matrix`]); the basis is
+//! kept factorized by a **sparse LU with Markowitz pivoting** —
+//! fewest-nonzeros pivot selection under a threshold-partial-pivoting
+//! stability test, with drop-tolerance handling so roundoff noise never
+//! becomes structural fill — plus a sparse product-form eta file and
+//! periodic refactorization. FTRAN exploits right-hand-side sparsity (the
+//! entering column touches a handful of rows), pricing runs **devex**
+//! reference weights instead of Dantzig's rule (which stalls on degenerate
+//! slave LPs), and — the point of the exercise — the final **[`Basis`] is a
+//! value you can keep**. [`Problem::solve_warm`] resumes from a stored
+//! basis after problem edits, using the **dual simplex** when the edit
+//! preserved dual feasibility (bound changes, RHS changes, appended rows —
+//! exactly the branch-and-bound and Benders deltas) so a re-solve costs a
+//! handful of pivots instead of two cold phases.
 //!
 //! ## The `Basis` contract
 //!
@@ -48,9 +56,21 @@
 //! mismatch and transparently performs a cold solve. Bases are plain values
 //! (`Clone`) — branch-and-bound hands each child its parent's basis.
 //!
+//! ## Persistent factorizations
+//!
+//! A [`Basis`] also carries the **factorization** of its basis matrix
+//! (shared via `Arc`, so clones are cheap). When the edit between solves
+//! leaves the basis matrix untouched — `set_rhs`, `set_bounds`,
+//! `set_objective`, i.e. every edit *except* appended rows — the next
+//! `solve_warm` resumes from the stored sparse factors and performs **zero
+//! refactorizations**: the re-solve goes straight to pivoting. Appended
+//! rows grow the basis matrix and force one fresh factorization; a changed
+//! column space falls back to cold as before.
+//!
 //! Pivot-level counters ([`LpStats`]) accumulate across warm chains so
-//! callers can report phase-1/phase-2/dual pivots, warm-start hits, and
-//! refactorizations.
+//! callers can report phase-1/phase-2/dual pivots, warm-start hits,
+//! refactorizations, factorization reuses, sparse-LU fill-in, and
+//! end-of-solve eta-file length.
 //!
 //! ## Conventions
 //!
@@ -109,10 +129,12 @@
 mod model;
 pub mod revised;
 mod simplex;
+pub mod sparse;
 
 pub use model::{Cmp, ConsId, Problem, VarId};
 pub use revised::{Basis, LpStats, WarmSolve};
 pub use simplex::{Farkas, Outcome, SimplexOptions, Solution, SolveError};
+pub use sparse::SparseMatrix;
 
 #[cfg(test)]
 mod tests;

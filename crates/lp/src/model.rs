@@ -2,6 +2,7 @@
 //! linear minimisation objective.
 
 use crate::simplex::{self, Outcome, SimplexOptions, SolveError};
+use crate::sparse::SparseMatrix;
 
 /// Handle to a decision variable, returned by [`Problem::add_var`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,6 +167,23 @@ impl Problem {
     pub fn set_rhs(&mut self, cons: ConsId, rhs: f64) {
         assert!(rhs.is_finite(), "constraint rhs must be finite");
         self.cons[cons.0].rhs = rhs;
+    }
+
+    /// Builds the structural constraint matrix (`num_cons × num_vars`) in
+    /// compressed-sparse-column form: duplicate row entries are summed and
+    /// zero coefficients dropped. This is the matrix representation the
+    /// revised engine (and its sparse LU) works on.
+    pub fn structural_matrix(&self) -> SparseMatrix {
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.vars.len()];
+        for (i, c) in self.cons.iter().enumerate() {
+            // Rows are visited in order, so per-column pushes stay sorted;
+            // duplicate entries within a row land adjacent and the CSC
+            // constructor sums them (dropping exact-zero results).
+            for &(j, a) in &c.coeffs {
+                cols[j].push((i as u32, a));
+            }
+        }
+        SparseMatrix::from_columns(self.cons.len(), &cols)
     }
 
     /// Solves the program with default simplex options.

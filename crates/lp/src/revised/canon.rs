@@ -15,8 +15,13 @@
 //! row `i`). This layout is append-only: adding a constraint appends one row
 //! and one logical column without renumbering anything, which is what makes
 //! a stored [`Basis`](super::Basis) reusable after Benders cuts are added.
+//!
+//! The structural block is held as a CSC [`SparseMatrix`]
+//! ([`Problem::structural_matrix`]); logical columns are implicit unit
+//! vectors and never materialized.
 
 use crate::model::{Cmp, Problem};
+use crate::sparse::SparseMatrix;
 
 /// The canonicalised problem seen by the revised engine.
 #[derive(Debug)]
@@ -25,9 +30,9 @@ pub struct Canon {
     pub n: usize,
     /// Number of rows (== user constraints).
     pub m: usize,
-    /// Sparse structural columns: `cols[j]` lists `(row, coeff)` with
-    /// duplicate user entries already summed.
-    pub cols: Vec<Vec<(u32, f64)>>,
+    /// Structural columns in compressed-sparse-column form (`m × n`),
+    /// duplicates summed and zeros dropped.
+    pub a: SparseMatrix,
     /// Lower bound per column (`n + m` entries, logicals included).
     pub lb: Vec<f64>,
     /// Upper bound per column.
@@ -47,7 +52,6 @@ impl Canon {
         let m = p.cons.len();
         let total = n + m;
 
-        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
         let mut lb = Vec::with_capacity(total);
         let mut ub = Vec::with_capacity(total);
         let mut cost = Vec::with_capacity(total);
@@ -59,18 +63,8 @@ impl Canon {
         }
 
         let mut b = Vec::with_capacity(m);
-        for (i, c) in p.cons.iter().enumerate() {
+        for c in &p.cons {
             b.push(c.rhs);
-            // Sum duplicates into a scratch map laid over the column lists:
-            // rows are visited once, so pushing then compacting per row is
-            // cheaper than a hash map for the typical short sparse rows.
-            for &(j, a) in &c.coeffs {
-                let col = &mut cols[j];
-                match col.last_mut() {
-                    Some(last) if last.0 == i as u32 => last.1 += a,
-                    _ => col.push((i as u32, a)),
-                }
-            }
             let (l, u) = match c.cmp {
                 Cmp::Le => (0.0, f64::INFINITY),
                 Cmp::Ge => (f64::NEG_INFINITY, 0.0),
@@ -84,7 +78,7 @@ impl Canon {
         Canon {
             n,
             m,
-            cols,
+            a: p.structural_matrix(),
             lb,
             ub,
             cost,
@@ -98,22 +92,29 @@ impl Canon {
     #[inline]
     pub fn col_dot(&self, y: &[f64], j: usize) -> f64 {
         if j < self.n {
-            self.cols[j].iter().map(|&(i, a)| y[i as usize] * a).sum()
+            self.a.col_dot(y, j)
         } else {
             y[j - self.n]
         }
     }
 
-    /// Scatters column `j` into the dense buffer `out` (assumed zeroed),
-    /// returning the touched row indices alongside for cheap re-zeroing.
+    /// Scatters column `j` into the dense buffer `out` (assumed zeroed).
     #[inline]
     pub fn scatter_col(&self, j: usize, out: &mut [f64]) {
         if j < self.n {
-            for &(i, a) in &self.cols[j] {
-                out[i as usize] += a;
-            }
+            self.a.scatter_col(j, out);
         } else {
             out[j - self.n] += 1.0;
+        }
+    }
+
+    /// Appends basis column `j`'s sparse entries to `out` (sorted by row).
+    #[inline]
+    pub fn push_col(&self, j: usize, out: &mut Vec<(u32, f64)>) {
+        if j < self.n {
+            out.extend(self.a.col_iter(j));
+        } else {
+            out.push(((j - self.n) as u32, 1.0));
         }
     }
 }

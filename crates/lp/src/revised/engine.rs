@@ -1,10 +1,11 @@
 //! The bounded-variable revised simplex engine: primal phase 1 / phase 2 and
 //! a dual simplex for warm restarts.
 //!
-//! All three phases share one state: a factorized basis (`lu.rs`), a status
-//! per column (`Basic` / `AtLower` / `AtUpper` / `Free`), and the dense
-//! vector of basic values `x_B`. Nonbasic columns sit exactly on a bound (or
-//! at 0 when free), so the full primal point is implied.
+//! All three phases share one state: a factorized basis (`lu.rs`, sparse LU
+//! plus a sparse eta file), a status per column (`Basic` / `AtLower` /
+//! `AtUpper` / `Free`), and the dense vector of basic values `x_B`. Nonbasic
+//! columns sit exactly on a bound (or at 0 when free), so the full primal
+//! point is implied.
 //!
 //! * **Phase 1** minimises the total bound violation of the basic variables
 //!   (the classic composite infeasibility objective, re-priced every
@@ -17,12 +18,23 @@
 //!   of warm starts, where a branch-and-bound bound change or a new Benders
 //!   cut leaves the stored basis dual feasible but primal infeasible.
 //!
-//! Pricing is Dantzig's rule, switching to Bland's (least-index,
-//! cycling-free) rule after `SimplexOptions::bland_after` iterations in a
-//! phase.
+//! Primal pricing is **devex** (Forrest–Goldfarb reference weights): the
+//! entering column maximises `d_j² / w_j`, where `w_j` approximates the
+//! steepest-edge norm of column `j` and is updated from the pivot row after
+//! every basis change. Unlike Dantzig's most-negative rule, devex accounts
+//! for how *long* the improving edge is, which breaks the stalling pattern
+//! on degenerate slave LPs. Bland's least-index rule still takes over after
+//! `SimplexOptions::bland_after` iterations in a phase as the cycling
+//! backstop.
+//!
+//! An engine can be seeded with a [`Factorization`] persisted from a
+//! previous solve of the same basis (see [`super::Basis`]): a pure RHS or
+//! bound edit leaves the basis matrix untouched, so the solve starts with
+//! **zero refactorizations** — FTRAN/BTRAN replay the stored factors
+//! directly.
 
 use super::canon::Canon;
-use super::lu::{Factorization, Lu};
+use super::lu::{Factorization, SparseLu};
 use super::{LpStats, VarStatus};
 use crate::simplex::{Farkas, SolveError};
 use crate::SimplexOptions;
@@ -35,6 +47,8 @@ const FEAS_TOL: f64 = 1e-7;
 const DUAL_TOL: f64 = 1e-7;
 /// Refactorize after this many eta updates (accuracy + FTRAN/BTRAN cost).
 const REFACTOR_EVERY: usize = 64;
+/// Devex weights above this trigger a reference-framework reset.
+const DEVEX_RESET: f64 = 1e8;
 
 /// Where a phase ended.
 pub(super) enum PrimalEnd {
@@ -70,14 +84,22 @@ pub(super) struct Engine<'a> {
     pub stats: LpStats,
     /// Scratch column buffer (entering column / FTRAN image).
     alpha: Vec<f64>,
-    /// Scratch row buffer (BTRAN rows in the dual simplex).
+    /// Scratch row buffer (BTRAN rows in the dual simplex / devex updates).
     rowbuf: Vec<f64>,
     /// Scratch row buffer (pricing vectors / duals).
     ybuf: Vec<f64>,
+    /// Devex reference weights per column (primal pricing).
+    devex: Vec<f64>,
 }
 
 impl<'a> Engine<'a> {
     /// Builds an engine over `status`/`basic` (already sized for `canon`).
+    ///
+    /// When `reuse` carries a factorization of the *same* basis matrix
+    /// (dimension match is the caller's contract: the basic set and the
+    /// constraint columns are unchanged since it was built), the engine
+    /// starts from it and skips the initial refactorization entirely.
+    ///
     /// Returns `None` when the supplied basis matrix is singular — callers
     /// fall back to a cold (all-logical) basis, which is always factorizable.
     pub fn new(
@@ -86,6 +108,7 @@ impl<'a> Engine<'a> {
         status: Vec<VarStatus>,
         basic: Vec<usize>,
         stats: LpStats,
+        reuse: Option<&Factorization>,
     ) -> Option<Engine<'a>> {
         let m = canon.m;
         debug_assert_eq!(status.len(), canon.n + m);
@@ -95,16 +118,25 @@ impl<'a> Engine<'a> {
             opts,
             status,
             basic,
-            fact: Factorization::new(Lu::factor(Vec::new(), 0)?),
+            fact: Factorization::empty(),
             xb: vec![0.0; m],
             iterations_left: opts.max_iterations,
             stats,
             alpha: vec![0.0; m],
             rowbuf: vec![0.0; m],
             ybuf: vec![0.0; m],
+            devex: vec![1.0; canon.n + m],
         };
-        if !eng.refactorize() {
-            return None;
+        match reuse {
+            Some(f) if f.dim() == m => {
+                eng.fact = f.clone();
+                eng.stats.factorization_reuses += 1;
+            }
+            _ => {
+                if !eng.refactorize() {
+                    return None;
+                }
+            }
         }
         eng.compute_xb();
         Some(eng)
@@ -121,22 +153,15 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Rebuilds the LU factorization from the current basic set.
+    /// Rebuilds the (sparse) LU factorization from the current basic set.
     /// Returns false when the basis matrix is singular.
     fn refactorize(&mut self) -> bool {
         let m = self.c.m;
-        let mut dense = vec![0.0; m * m];
-        for (pos, &j) in self.basic.iter().enumerate() {
-            if j < self.c.n {
-                for &(i, a) in &self.c.cols[j] {
-                    dense[i as usize * m + pos] = a;
-                }
-            } else {
-                dense[(j - self.c.n) * m + pos] = 1.0;
-            }
-        }
-        match Lu::factor(dense, m) {
+        let (canon, basic) = (self.c, &self.basic);
+        let lu = SparseLu::factor(m, |pos, out| canon.push_col(basic[pos], out));
+        match lu {
             Some(lu) => {
+                self.stats.fill_in += lu.fill_in();
                 self.fact = Factorization::new(lu);
                 self.stats.refactorizations += 1;
                 true
@@ -156,7 +181,7 @@ impl<'a> Engine<'a> {
             let v = self.nb_val(j);
             if v != 0.0 {
                 if j < self.c.n {
-                    for &(i, a) in &self.c.cols[j] {
+                    for (i, a) in self.c.a.col_iter(j) {
                         rhs[i as usize] -= a * v;
                     }
                 } else {
@@ -183,7 +208,7 @@ impl<'a> Engine<'a> {
     }
 
     /// BTRAN of the phase-2 basic costs: the dual vector `y`.
-    pub fn duals(&self) -> Vec<f64> {
+    pub fn duals(&mut self) -> Vec<f64> {
         let m = self.c.m;
         let mut cb = vec![0.0; m];
         for (pos, &j) in self.basic.iter().enumerate() {
@@ -229,7 +254,54 @@ impl<'a> Engine<'a> {
         self.status[q] = VarStatus::Basic;
         self.basic[r] = q;
         self.xb[r] = entering_val;
-        self.fact.push_eta(r, self.alpha.clone());
+        self.fact.push_eta(r, &self.alpha);
+    }
+
+    /// Devex weight update after deciding to pivot entering `q` against row
+    /// `r` (FTRAN image of `q` already in `self.alpha`, factorization not
+    /// yet updated).
+    ///
+    /// The Forrest–Goldfarb recurrence needs the pivot row
+    /// `α_r· = e_rᵀ B⁻¹ N`: one BTRAN plus one sparse dot per nonbasic
+    /// column — the same cost shape as a pricing pass.
+    fn update_devex(&mut self, q: usize, r: usize) {
+        let m = self.c.m;
+        let n_total = self.c.n + m;
+        let alpha_rq = self.alpha[r];
+        if alpha_rq == 0.0 {
+            return;
+        }
+        let mut rho = std::mem::take(&mut self.rowbuf);
+        rho.clear();
+        rho.resize(m, 0.0);
+        rho[r] = 1.0;
+        self.fact.btran(&mut rho);
+
+        let wq = self.devex[q].max(1.0);
+        let inv2 = 1.0 / (alpha_rq * alpha_rq);
+        let mut wmax = 0.0f64;
+        for j in 0..n_total {
+            if j == q || self.status[j] == VarStatus::Basic {
+                continue;
+            }
+            let arj = self.c.col_dot(&rho, j);
+            if arj != 0.0 {
+                let cand = arj * arj * inv2 * wq;
+                if cand > self.devex[j] {
+                    self.devex[j] = cand;
+                }
+            }
+            wmax = wmax.max(self.devex[j]);
+        }
+        // The leaving variable joins the nonbasic set with the reference
+        // weight of the edge it just traversed.
+        let leaving = self.basic[r];
+        self.devex[leaving] = (wq * inv2).max(1.0);
+        self.rowbuf = rho;
+        if wmax.max(self.devex[leaving]) > DEVEX_RESET {
+            // Reference framework drifted too far: restart from unit weights.
+            self.devex.iter_mut().for_each(|w| *w = 1.0);
+        }
     }
 
     /// Makes the current basis dual feasible by bound flips where possible:
@@ -287,6 +359,8 @@ impl<'a> Engine<'a> {
         let n_total = self.c.n + self.c.m;
         let m = self.c.m;
         let mut local_iters = 0usize;
+        // Fresh reference framework per phase: the phase objective changed.
+        self.devex.iter_mut().for_each(|w| *w = 1.0);
 
         loop {
             self.maybe_refactorize()?;
@@ -321,9 +395,9 @@ impl<'a> Engine<'a> {
             }
             self.fact.btran(&mut y);
 
-            // Entering column: most negative improvement direction (Dantzig)
-            // or least index (Bland).
-            let mut enter: Option<(usize, f64, f64)> = None; // (col, d, |d|)
+            // Entering column: best devex-weighted improvement `d²/w` (or
+            // least index under Bland's rule).
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, d, score)
             for j in 0..n_total {
                 let st = self.status[j];
                 if st == VarStatus::Basic {
@@ -344,12 +418,13 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 if use_bland {
-                    enter = Some((j, d, d.abs()));
+                    enter = Some((j, d, 0.0));
                     break;
                 }
+                let score = d * d / self.devex[j];
                 match enter {
-                    Some((_, _, best)) if d.abs() <= best => {}
-                    _ => enter = Some((j, d, d.abs())),
+                    Some((_, _, best)) if score <= best => {}
+                    _ => enter = Some((j, d, score)),
                 }
             }
             let Some((q, d_q, _)) = enter else {
@@ -469,6 +544,9 @@ impl<'a> Engine<'a> {
                         }
                         self.compute_xb();
                         continue;
+                    }
+                    if !use_bland {
+                        self.update_devex(q, r);
                     }
                     self.primal_pivot(q, sigma, t_best, r, st);
                 }
@@ -641,7 +719,7 @@ impl<'a> Engine<'a> {
             self.status[q] = VarStatus::Basic;
             self.basic[r] = q;
             self.xb[r] = entering_val;
-            self.fact.push_eta(r, self.alpha.clone());
+            self.fact.push_eta(r, &self.alpha);
         }
     }
 
@@ -691,8 +769,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Consumes the engine, returning accumulated statistics.
-    pub fn into_stats(self) -> LpStats {
-        self.stats
+    /// Consumes the engine, returning the final factorization (for the
+    /// persisted warm-start state) and the accumulated statistics, with the
+    /// end-of-solve eta-file length folded in.
+    pub fn into_parts(mut self) -> (Factorization, LpStats) {
+        self.stats.eta_len_end += self.fact.eta_count();
+        (self.fact, self.stats)
     }
 }

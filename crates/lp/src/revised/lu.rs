@@ -1,23 +1,65 @@
-//! Basis factorization: dense LU with partial pivoting plus a product-form
-//! eta file for cheap updates between refactorizations.
+//! Basis factorization: sparse LU with Markowitz pivoting plus a sparse
+//! product-form eta file for cheap updates between refactorizations.
 //!
 //! The revised simplex needs two linear solves per iteration:
 //!
 //! * **FTRAN** — `B·x = a` (transform an entering column),
 //! * **BTRAN** — `Bᵀ·y = c` (price rows / extract duals).
 //!
-//! `B` changes by one column per pivot. Refactorizing every pivot would cost
-//! `O(m³)` each time, so we factorize periodically and represent the pivots
-//! since the last refactorization as *eta matrices*: after a pivot that
-//! replaces the basis column at position `r` with a column whose FTRAN image
-//! is `α`, the new basis is `B' = B·E` with `E = I` except `E[:, r] = α`.
-//! FTRAN applies the eta inverses after the LU solve; BTRAN applies them
-//! (transposed) before it, in reverse order.
+//! `B` changes by one column per pivot. Refactorizing every pivot would be
+//! wasteful, so we factorize periodically and represent the pivots since the
+//! last refactorization as *eta matrices*: after a pivot that replaces the
+//! basis column at position `r` with a column whose FTRAN image is `α`, the
+//! new basis is `B' = B·E` with `E = I` except `E[:, r] = α`. FTRAN applies
+//! the eta inverses after the LU solve; BTRAN applies them (transposed)
+//! before it, in reverse order.
+//!
+//! ## Sparse LU ([`SparseLu`])
+//!
+//! The production factorization is a right-looking sparse Gaussian
+//! elimination with **Markowitz pivoting**: at each stage it pivots in the
+//! active column with the fewest remaining nonzeros, and within that column
+//! on the shortest eligible row, where *eligible* means the entry passes the
+//! threshold-partial-pivoting test `|a| ≥ τ·max|column|` (stability) and the
+//! relative singularity floor. This (r−1)(c−1)-style cost function keeps
+//! **fill-in** — new nonzeros created by elimination — near the structural
+//! minimum, which is what makes factorizing a 95%-sparse slice-reservation
+//! basis cheap. Update terms whose magnitude falls below a **drop
+//! tolerance** (relative to the matrix's largest entry) are discarded
+//! instead of stored, so roundoff noise cannot masquerade as structural
+//! fill.
+//!
+//! Singularity is declared *relative to the matrix scale*: a pivot candidate
+//! must exceed [`SINGULAR_TOL`]`·max|B|`, so a badly scaled but perfectly
+//! nonsingular basis (all entries tiny) factorizes fine, while a genuinely
+//! rank-deficient one is rejected at any scale.
+//!
+//! The classic dense LU ([`Lu`]) is retained as the slow-path oracle for
+//! tests and cross-checks.
+
+/// Relative pivot threshold below which a basis matrix is declared singular:
+/// a pivot must exceed `SINGULAR_TOL × max|B|`. (An *absolute* threshold
+/// here misclassifies badly scaled bases — see the regression tests.)
+const SINGULAR_TOL: f64 = 1e-12;
+
+/// Threshold-partial-pivoting factor: an entry is an acceptable pivot when
+/// its magnitude is at least `MARKOWITZ_TAU` times the largest magnitude in
+/// its column. Larger values favour stability, smaller values favour
+/// sparsity.
+const MARKOWITZ_TAU: f64 = 0.1;
+
+/// Relative drop tolerance: elimination updates smaller than
+/// `DROP_TOL × max|B|` in magnitude are discarded rather than stored as
+/// fill-in. Chosen well below the engine's pivot tolerance so dropping never
+/// changes a simplex decision.
+const DROP_TOL: f64 = 1e-14;
 
 /// Dense LU factorization `P·B = L·U` with partial pivoting.
 ///
 /// Storage is the classic packed form: `f` holds `U` on and above the
 /// diagonal and the unit-lower-triangular `L` (without its diagonal) below.
+/// Retained as the reference oracle; production solves use [`SparseLu`].
+#[cfg_attr(not(test), allow(dead_code))]
 #[derive(Debug, Clone)]
 pub struct Lu {
     m: usize,
@@ -26,16 +68,19 @@ pub struct Lu {
     piv: Vec<usize>,
 }
 
-/// Pivot magnitude below which a basis matrix is declared singular.
-const SINGULAR_TOL: f64 = 1e-11;
-
+#[cfg_attr(not(test), allow(dead_code))]
 impl Lu {
     /// Factorizes a dense `m × m` matrix given in row-major order.
     ///
-    /// Returns `None` when the matrix is numerically singular; callers are
-    /// expected to repair or rebuild the basis.
+    /// Returns `None` when the matrix is numerically singular *relative to
+    /// its own scale*; callers are expected to repair or rebuild the basis.
     pub fn factor(mut a: Vec<f64>, m: usize) -> Option<Lu> {
         debug_assert_eq!(a.len(), m * m);
+        let max_abs = a.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        if m > 0 && max_abs == 0.0 {
+            return None;
+        }
+        let tol = SINGULAR_TOL * max_abs;
         let mut piv = vec![0usize; m];
         for k in 0..m {
             // Partial pivoting: largest magnitude in column k at/below row k.
@@ -48,7 +93,7 @@ impl Lu {
                     best = i;
                 }
             }
-            if best_val < SINGULAR_TOL {
+            if best_val <= tol {
                 return None;
             }
             piv[k] = best;
@@ -127,30 +172,366 @@ impl Lu {
     }
 }
 
+/// Sparse LU factorization with Markowitz pivoting and drop-tolerance
+/// handling (see the module docs).
+///
+/// The elimination is recorded stage by stage in terms of the *original*
+/// row indices and column positions, so the triangular solves are simple
+/// replays: no explicit permutation matrices are materialized.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    m: usize,
+    /// Stage `k` pivoted original row `perm_row[k]`…
+    perm_row: Vec<u32>,
+    /// …against basis position (column) `perm_col[k]`.
+    perm_col: Vec<u32>,
+    /// Pivot values per stage.
+    pivots: Vec<f64>,
+    /// Column of `L` per stage: `(original row, multiplier)` for every row
+    /// eliminated at that stage.
+    lcols: Vec<Vec<(u32, f64)>>,
+    /// Row of `U` per stage: the pivot row *excluding* the pivot entry, as
+    /// `(basis position, value)` — all positions pivot at later stages.
+    urows: Vec<Vec<(u32, f64)>>,
+    /// Nonzeros of the input matrix (for the fill-in statistic).
+    nnz_input: usize,
+    /// Reusable solve scratch (every entry is overwritten before being
+    /// read, so it carries no state between calls).
+    scratch: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Factorizes the `m × m` matrix whose column at position `pos` is
+    /// produced by `col(pos, &mut buf)` as sorted `(row, value)` pairs.
+    ///
+    /// Returns `None` when the matrix is singular relative to its scale.
+    pub fn factor<F>(m: usize, mut col: F) -> Option<SparseLu>
+    where
+        F: FnMut(usize, &mut Vec<(u32, f64)>),
+    {
+        // Assemble the working matrix as sparse rows (sorted by column:
+        // columns are visited in increasing order, so pushes stay sorted).
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+        let mut col_count = vec![0usize; m];
+        let mut buf: Vec<(u32, f64)> = Vec::new();
+        let mut max_abs = 0.0f64;
+        let mut nnz_input = 0usize;
+        for pos in 0..m {
+            buf.clear();
+            col(pos, &mut buf);
+            for &(i, v) in &buf {
+                debug_assert!((i as usize) < m);
+                if v != 0.0 {
+                    rows[i as usize].push((pos as u32, v));
+                    col_count[pos] += 1;
+                    max_abs = max_abs.max(v.abs());
+                    nnz_input += 1;
+                }
+            }
+        }
+        if m > 0 && max_abs == 0.0 {
+            return None;
+        }
+        let sing_tol = SINGULAR_TOL * max_abs;
+        let drop_tol = DROP_TOL * max_abs;
+
+        let mut lu = SparseLu {
+            m,
+            perm_row: Vec::with_capacity(m),
+            perm_col: Vec::with_capacity(m),
+            pivots: Vec::with_capacity(m),
+            lcols: Vec::with_capacity(m),
+            urows: Vec::with_capacity(m),
+            nnz_input,
+            scratch: vec![0.0; m],
+        };
+        let mut row_active = vec![true; m];
+        let mut col_active = vec![true; m];
+        // Entries of the current pivot column: (row, value) among active rows.
+        let mut pivcol: Vec<(usize, f64)> = Vec::new();
+        // Scratch for merged row updates.
+        let mut merged: Vec<(u32, f64)> = Vec::new();
+        // Columns found numerically deficient *this stage* (entries may grow
+        // back through later updates, so the exclusion is per-stage only).
+        let mut tried = vec![false; m];
+
+        for _stage in 0..m {
+            // ---- pivot column: fewest active nonzeros, numerically alive.
+            let (c, colmax) = loop {
+                let mut best: Option<(usize, usize)> = None; // (count, col)
+                for j in 0..m {
+                    if !col_active[j] || tried[j] {
+                        continue;
+                    }
+                    if best.is_none_or(|(cnt, _)| col_count[j] < cnt) {
+                        best = Some((col_count[j], j));
+                    }
+                }
+                let Some((count, j)) = best else {
+                    return None; // every remaining column is numerically dead
+                };
+                if count == 0 {
+                    return None; // structurally singular
+                }
+                // Gather column j's active entries.
+                pivcol.clear();
+                let mut colmax = 0.0f64;
+                for (i, row) in rows.iter().enumerate() {
+                    if !row_active[i] {
+                        continue;
+                    }
+                    if let Ok(k) = row.binary_search_by_key(&(j as u32), |&(c, _)| c) {
+                        let v = row[k].1;
+                        pivcol.push((i, v));
+                        colmax = colmax.max(v.abs());
+                    }
+                }
+                if colmax > sing_tol {
+                    break (j, colmax);
+                }
+                tried[j] = true; // numerically dead at this stage; try another
+            };
+            for t in tried.iter_mut() {
+                *t = false;
+            }
+
+            // ---- pivot row: shortest eligible row (Markowitz), tie on |a|.
+            let threshold = MARKOWITZ_TAU * colmax;
+            let mut best: Option<(usize, f64)> = None; // (row, value)
+            let mut best_len = usize::MAX;
+            for &(i, v) in &pivcol {
+                if v.abs() < threshold || v.abs() <= sing_tol {
+                    continue;
+                }
+                let len = rows[i].len();
+                let better = match best {
+                    None => true,
+                    Some((_, bv)) => len < best_len || (len == best_len && v.abs() > bv.abs()),
+                };
+                if better {
+                    best = Some((i, v));
+                    best_len = len;
+                }
+            }
+            let (r, p) = best.expect("colmax passed the threshold, so a row exists");
+
+            // ---- retire the pivot row and column.
+            row_active[r] = false;
+            col_active[c] = false;
+            let mut prow = std::mem::take(&mut rows[r]);
+            for &(j, _) in &prow {
+                col_count[j as usize] -= 1;
+            }
+            let pk = prow
+                .iter()
+                .position(|&(j, _)| j as usize == c)
+                .expect("pivot entry is in the pivot row");
+            prow.remove(pk);
+
+            // ---- eliminate: row_i ← row_i − (a_ic / p)·prow.
+            let mut lcol: Vec<(u32, f64)> = Vec::new();
+            for &(i, a_ic) in &pivcol {
+                if i == r {
+                    continue;
+                }
+                let l = a_ic / p;
+                lcol.push((i as u32, l));
+                let row = std::mem::take(&mut rows[i]);
+                merged.clear();
+                merged.reserve(row.len() + prow.len());
+                let mut a = row.iter().peekable();
+                let mut b = prow.iter().peekable();
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(&&(ja, va)), Some(&&(jb, vb))) => {
+                            if ja < jb {
+                                if ja as usize != c {
+                                    merged.push((ja, va));
+                                }
+                                a.next();
+                            } else if jb < ja {
+                                // Fill-in candidate.
+                                let nv = -l * vb;
+                                if nv.abs() > drop_tol {
+                                    merged.push((jb, nv));
+                                    col_count[jb as usize] += 1;
+                                }
+                                b.next();
+                            } else {
+                                if ja as usize != c {
+                                    let nv = va - l * vb;
+                                    if nv.abs() > drop_tol {
+                                        merged.push((ja, nv));
+                                    } else {
+                                        col_count[ja as usize] -= 1;
+                                    }
+                                }
+                                a.next();
+                                b.next();
+                            }
+                        }
+                        (Some(&&(ja, va)), None) => {
+                            if ja as usize != c {
+                                merged.push((ja, va));
+                            }
+                            a.next();
+                        }
+                        (None, Some(&&(jb, vb))) => {
+                            let nv = -l * vb;
+                            if nv.abs() > drop_tol {
+                                merged.push((jb, nv));
+                                col_count[jb as usize] += 1;
+                            }
+                            b.next();
+                        }
+                        (None, None) => break,
+                    }
+                }
+                // Install the merged row and recycle the old allocation as
+                // the next merge scratch.
+                rows[i] = std::mem::take(&mut merged);
+                merged = row;
+            }
+
+            lu.perm_row.push(r as u32);
+            lu.perm_col.push(c as u32);
+            lu.pivots.push(p);
+            lu.lcols.push(lcol);
+            lu.urows.push(prow);
+        }
+        Some(lu)
+    }
+
+    /// Factorizes from explicit per-position sparse columns (test helper and
+    /// small-matrix convenience).
+    pub fn factor_cols(m: usize, cols: &[Vec<(u32, f64)>]) -> Option<SparseLu> {
+        debug_assert_eq!(cols.len(), m);
+        SparseLu::factor(m, |pos, buf| buf.extend_from_slice(&cols[pos]))
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Nonzeros stored in the `L` and `U` factors (pivots included).
+    pub fn nnz_factors(&self) -> usize {
+        let l: usize = self.lcols.iter().map(Vec::len).sum();
+        let u: usize = self.urows.iter().map(Vec::len).sum();
+        l + u + self.m
+    }
+
+    /// Fill-in: factor nonzeros beyond the input matrix's nonzeros.
+    pub fn fill_in(&self) -> usize {
+        self.nnz_factors().saturating_sub(self.nnz_input)
+    }
+
+    /// Solves `B·x = v` in place (`v` becomes `x`), skipping elimination
+    /// stages whose pivot-row value is exactly zero — the sparse-RHS fast
+    /// path for FTRANs of sparse entering columns.
+    ///
+    /// `&mut self` only touches the internal scratch buffer; the factors
+    /// themselves are immutable.
+    pub fn solve(&mut self, v: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(v.len(), m);
+        // Forward replay of the elimination on the RHS (row-indexed).
+        for k in 0..m {
+            let vk = v[self.perm_row[k] as usize];
+            if vk != 0.0 {
+                for &(i, l) in &self.lcols[k] {
+                    v[i as usize] -= l * vk;
+                }
+            }
+        }
+        // Back substitution into a column-indexed result. Every position of
+        // the scratch is written exactly once (the pivot columns form a
+        // permutation) and entries are only read after their own stage, so
+        // no zeroing is needed.
+        let x = &mut self.scratch;
+        for k in (0..m).rev() {
+            let mut s = v[self.perm_row[k] as usize];
+            for &(j, u) in &self.urows[k] {
+                let xj = x[j as usize];
+                if xj != 0.0 {
+                    s -= u * xj;
+                }
+            }
+            x[self.perm_col[k] as usize] = s / self.pivots[k];
+        }
+        v.copy_from_slice(x);
+    }
+
+    /// Solves `Bᵀ·y = w` in place (`w` becomes `y`); `w` is indexed by basis
+    /// position on entry and by row on exit.
+    ///
+    /// `&mut self` only touches the internal scratch buffer; the factors
+    /// themselves are immutable.
+    pub fn solve_t(&mut self, w: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(w.len(), m);
+        // Forward pass over stages: Uᵀ·t = w, scattering each resolved t
+        // into the still-pending positions. The scratch needs no zeroing:
+        // every pivot row is written before any backward-pass read.
+        let t = &mut self.scratch;
+        for k in 0..m {
+            let tk = w[self.perm_col[k] as usize] / self.pivots[k];
+            t[self.perm_row[k] as usize] = tk;
+            if tk != 0.0 {
+                for &(j, u) in &self.urows[k] {
+                    w[j as usize] -= u * tk;
+                }
+            }
+        }
+        // Backward pass: apply the transposed eliminations in reverse.
+        for k in (0..m).rev() {
+            let mut s = t[self.perm_row[k] as usize];
+            for &(i, l) in &self.lcols[k] {
+                s -= l * t[i as usize];
+            }
+            t[self.perm_row[k] as usize] = s;
+        }
+        w.copy_from_slice(t);
+    }
+}
+
 /// One product-form update: the basis column at position `r` was replaced by
-/// a column whose FTRAN image (through everything to its left) is `alpha`.
+/// a column whose FTRAN image (through everything to its left) is `α`,
+/// stored sparsely.
 #[derive(Debug, Clone)]
 pub struct Eta {
     /// Basis position that pivoted.
     pub r: usize,
-    /// Dense transformed column `α = B⁻¹·a_q` at pivot time.
-    pub alpha: Vec<f64>,
+    /// Pivot element `α_r`.
+    pub diag: f64,
+    /// Off-pivot nonzeros of `α` as `(position, value)`.
+    pub nz: Vec<(u32, f64)>,
 }
 
 /// A factorized basis: `B = LU · E₁ · E₂ · … · E_k`.
 #[derive(Debug, Clone)]
 pub struct Factorization {
-    lu: Lu,
+    lu: SparseLu,
     etas: Vec<Eta>,
 }
 
 impl Factorization {
     /// Wraps a fresh LU factorization with an empty eta file.
-    pub fn new(lu: Lu) -> Self {
+    pub fn new(lu: SparseLu) -> Self {
         Factorization {
             lu,
             etas: Vec::new(),
         }
+    }
+
+    /// A factorization of the 0 × 0 matrix (placeholder / empty problems).
+    pub fn empty() -> Self {
+        Factorization::new(SparseLu::factor_cols(0, &[]).expect("0×0 factorizes trivially"))
+    }
+
+    /// Basis dimension this factorization covers.
+    pub fn dim(&self) -> usize {
+        self.lu.dim()
     }
 
     /// Number of eta updates accumulated since the last refactorization.
@@ -158,42 +539,48 @@ impl Factorization {
         self.etas.len()
     }
 
-    /// Records a pivot: position `r` now holds a column with FTRAN image
-    /// `alpha` (as returned by [`Factorization::ftran`] *before* the pivot).
-    pub fn push_eta(&mut self, r: usize, alpha: Vec<f64>) {
-        self.etas.push(Eta { r, alpha });
+    /// Records a pivot: position `r` now holds a column with the dense FTRAN
+    /// image `alpha` (as returned by [`Factorization::ftran`] *before* the
+    /// pivot). Only the nonzeros are stored.
+    pub fn push_eta(&mut self, r: usize, alpha: &[f64]) {
+        let nz: Vec<(u32, f64)> = alpha
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        self.etas.push(Eta {
+            r,
+            diag: alpha[r],
+            nz,
+        });
     }
 
-    /// FTRAN: solves `B·x = v` in place.
-    pub fn ftran(&self, v: &mut [f64]) {
+    /// FTRAN: solves `B·x = v` in place (`&mut self` for solve scratch only).
+    pub fn ftran(&mut self, v: &mut [f64]) {
         self.lu.solve(v);
         // B = LU·E₁·…·E_k ⇒ x = E_k⁻¹·…·E₁⁻¹·(LU)⁻¹·v.
         for eta in &self.etas {
-            let xr = v[eta.r] / eta.alpha[eta.r];
-            for (i, &ai) in eta.alpha.iter().enumerate() {
-                if i == eta.r {
-                    continue;
-                }
-                if ai != 0.0 {
-                    v[i] -= ai * xr;
+            let xr = v[eta.r] / eta.diag;
+            if xr != 0.0 {
+                for &(i, a) in &eta.nz {
+                    v[i as usize] -= a * xr;
                 }
             }
             v[eta.r] = xr;
         }
     }
 
-    /// BTRAN: solves `Bᵀ·y = w` in place.
-    pub fn btran(&self, w: &mut [f64]) {
+    /// BTRAN: solves `Bᵀ·y = w` in place (`&mut self` for solve scratch only).
+    pub fn btran(&mut self, w: &mut [f64]) {
         // Bᵀ = E_kᵀ·…·E₁ᵀ·(LU)ᵀ ⇒ peel the eta transposes first, newest
         // outermost, then finish with the LU transpose solve.
         for eta in self.etas.iter().rev() {
             let mut s = w[eta.r];
-            for (i, &ai) in eta.alpha.iter().enumerate() {
-                if i != eta.r && ai != 0.0 {
-                    s -= ai * w[i];
-                }
+            for &(i, a) in &eta.nz {
+                s -= a * w[i as usize];
             }
-            w[eta.r] = s / eta.alpha[eta.r];
+            w[eta.r] = s / eta.diag;
         }
         self.lu.solve_t(w);
     }
@@ -212,6 +599,18 @@ mod tests {
     fn mat_t_vec(a: &[f64], m: usize, x: &[f64]) -> Vec<f64> {
         (0..m)
             .map(|j| (0..m).map(|i| a[i * m + j] * x[i]).sum())
+            .collect()
+    }
+
+    /// Dense row-major → per-column sparse form.
+    fn dense_to_cols(a: &[f64], m: usize) -> Vec<Vec<(u32, f64)>> {
+        (0..m)
+            .map(|j| {
+                (0..m)
+                    .filter(|&i| a[i * m + j] != 0.0)
+                    .map(|i| (i as u32, a[i * m + j]))
+                    .collect()
+            })
             .collect()
     }
 
@@ -234,10 +633,88 @@ mod tests {
     }
 
     #[test]
+    fn sparse_lu_roundtrip_small() {
+        let m = 3;
+        let a = vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0];
+        let mut lu = SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("nonsingular");
+        let x_true = vec![1.0, -2.0, 3.0];
+        let mut v = mat_vec(&a, m, &x_true);
+        lu.solve(&mut v);
+        for (got, want) in v.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+        let mut w = mat_t_vec(&a, m, &x_true);
+        lu.solve_t(&mut w);
+        for (got, want) in w.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
     fn singular_detected() {
         let m = 2;
         let a = vec![1.0, 2.0, 2.0, 4.0];
-        assert!(Lu::factor(a, m).is_none());
+        assert!(Lu::factor(a.clone(), m).is_none());
+        assert!(SparseLu::factor_cols(m, &dense_to_cols(&a, m)).is_none());
+        // Structurally singular: an empty column.
+        assert!(SparseLu::factor_cols(2, &[vec![(0, 1.0), (1, 1.0)], vec![]]).is_none());
+    }
+
+    #[test]
+    fn badly_scaled_nonsingular_basis_factorizes() {
+        // Regression for the absolute SINGULAR_TOL: every entry is far below
+        // the old 1e-11 absolute threshold, yet the matrix is perfectly
+        // conditioned relative to its own scale.
+        let m = 3;
+        let s = 1e-13;
+        let a: Vec<f64> = [4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]
+            .iter()
+            .map(|v| v * s)
+            .collect();
+        let lu = Lu::factor(a.clone(), m).expect("relative tolerance must accept");
+        let mut slu = SparseLu::factor_cols(m, &dense_to_cols(&a, m))
+            .expect("relative tolerance must accept (sparse)");
+        let x_true = vec![1.0, -2.0, 3.0];
+        let mut v = mat_vec(&a, m, &x_true);
+        lu.solve(&mut v);
+        let mut vs = mat_vec(&a, m, &x_true);
+        slu.solve(&mut vs);
+        for (got, want) in v.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6, "dense: {got} vs {want}");
+        }
+        for (got, want) in vs.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6, "sparse: {got} vs {want}");
+        }
+        // …while a genuinely singular matrix at the same scale is rejected.
+        let sing: Vec<f64> = [1.0, 2.0, 0.0, 2.0, 4.0, 0.0, 0.0, 0.0, 1.0]
+            .iter()
+            .map(|v| v * s)
+            .collect();
+        assert!(Lu::factor(sing.clone(), m).is_none());
+        assert!(SparseLu::factor_cols(m, &dense_to_cols(&sing, m)).is_none());
+    }
+
+    #[test]
+    fn sparse_lu_tracks_fill_in() {
+        // An arrow matrix: dense last row/column forces fill unless the
+        // Markowitz order eliminates the dense row/col last.
+        let m = 6;
+        let mut a = vec![0.0; m * m];
+        for i in 0..m {
+            a[i * m + i] = 2.0 + i as f64;
+            a[(m - 1) * m + i] = 1.0;
+            a[i * m + (m - 1)] = 1.0;
+        }
+        let mut lu = SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("nonsingular");
+        // Markowitz keeps the arrow fill-free: only the pre-existing
+        // nonzeros appear in the factors.
+        assert_eq!(lu.fill_in(), 0, "arrow matrix should factor without fill");
+        let x_true: Vec<f64> = (0..m).map(|i| (i as f64) - 2.5).collect();
+        let mut v = mat_vec(&a, m, &x_true);
+        lu.solve(&mut v);
+        for (got, want) in v.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
     }
 
     #[test]
@@ -249,7 +726,7 @@ mod tests {
         for i in 0..m {
             b[i * m + i] = 1.0;
         }
-        let mut fact = Factorization::new(Lu::factor(b.clone(), m).unwrap());
+        let mut fact = Factorization::new(SparseLu::factor_cols(m, &dense_to_cols(&b, m)).unwrap());
 
         let replacements: Vec<(usize, Vec<f64>)> = vec![
             (2, vec![1.0, 0.5, 2.0, -1.0]),
@@ -259,7 +736,7 @@ mod tests {
         for (r, col) in replacements {
             let mut alpha = col.clone();
             fact.ftran(&mut alpha);
-            fact.push_eta(r, alpha);
+            fact.push_eta(r, &alpha);
             for i in 0..m {
                 b[i * m + r] = col[i];
             }

@@ -1,4 +1,5 @@
-//! Bounded-variable **revised simplex** with explicit, reusable bases.
+//! Bounded-variable **revised simplex** with explicit, reusable bases and
+//! persistent factorizations.
 //!
 //! This is the warm-start engine behind the Benders / branch-and-bound hot
 //! path. Where the dense tableau solver (`crate::simplex`) canonicalises
@@ -8,15 +9,24 @@
 //! * keeps every variable's box bounds **native** — no extra rows or column
 //!   blowup, so a problem with `n` variables and `m` constraints is solved
 //!   on an `m × m` basis no matter how many bounds are finite;
-//! * maintains a **factorized basis** (dense LU, product-form eta updates,
-//!   periodic refactorization) and prices via BTRAN/FTRAN instead of
-//!   updating a full tableau;
+//! * maintains a **sparse factorized basis** (CSC constraint matrix, sparse
+//!   LU with Markowitz pivoting, sparse product-form eta updates, periodic
+//!   refactorization — see `lu.rs`) and prices via BTRAN/FTRAN instead of
+//!   updating a full tableau, with **devex pricing** in the primal phases;
 //! * exposes the basis as a value ([`Basis`]) so the *next* solve of a
 //!   perturbed problem can resume from it: after a variable-bound change
 //!   (branch-and-bound) or an RHS change / appended constraint (Benders),
 //!   the stored basis stays **dual feasible** and the [`solve_warm`] entry
 //!   point restores primal feasibility with a handful of **dual simplex**
-//!   pivots instead of two cold phases.
+//!   pivots instead of two cold phases;
+//! * **persists the factorization inside the [`Basis`]**: a re-solve after
+//!   edits that leave the basis *matrix* untouched (RHS changes, bound
+//!   changes, objective changes) starts from the stored factors and performs
+//!   **zero refactorizations** — the last O(·) startup cost a warm solve
+//!   used to pay. Only row appends (the basis matrix grows) or a changed
+//!   basic set force a fresh factorization, and
+//!   [`LpStats::factorization_reuses`] / [`LpStats::refactorizations`] make
+//!   the difference observable.
 //!
 //! ## When is a warm start valid?
 //!
@@ -40,12 +50,14 @@
 
 mod canon;
 mod engine;
-mod lu;
+pub(crate) mod lu;
 
 use crate::model::Problem;
 use crate::simplex::{Outcome, SimplexOptions, Solution, SolveError};
 use canon::Canon;
 use engine::{DualEnd, Engine, PrimalEnd};
+use lu::Factorization;
+use std::sync::Arc;
 
 /// Where a column currently sits relative to the basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +85,17 @@ pub struct Basis {
     status: Vec<VarStatus>,
     /// Basic column per row position.
     basic: Vec<usize>,
+    /// The factorization of the basis matrix at the end of the solve that
+    /// produced this value, shared cheaply across clones (branch-and-bound
+    /// hands every child frame a copy). A later `solve_warm` whose basis
+    /// matrix is unchanged resumes from it without refactorizing.
+    fact: Option<Arc<Factorization>>,
+    /// Fingerprint of the structural constraint matrix the factorization
+    /// was built against. Reuse requires an exact match, so a basis handed
+    /// to a *different* problem of identical shape (outside the documented
+    /// contract, but silently accepted by the shape checks) refactorizes
+    /// from the real matrix instead of replaying stale factors.
+    matrix_fp: u64,
 }
 
 impl Basis {
@@ -96,8 +119,19 @@ pub struct LpStats {
     pub phase2_pivots: usize,
     /// Dual simplex pivots (warm restarts).
     pub dual_pivots: usize,
-    /// Basis refactorizations (one per solve minimum).
+    /// Basis refactorizations. A solve that resumes from a persisted
+    /// [`Basis`] factorization can be **zero** here; a cold solve pays at
+    /// least one.
     pub refactorizations: usize,
+    /// Solves that skipped the initial refactorization because the
+    /// caller-supplied basis carried a still-valid factorization.
+    pub factorization_reuses: usize,
+    /// Total sparse-LU fill-in (factor nonzeros beyond the basis matrix's
+    /// nonzeros), summed over all refactorizations.
+    pub fill_in: usize,
+    /// Eta-file length at solve end, summed across solves (how much
+    /// product-form state each solve handed to the next).
+    pub eta_len_end: usize,
     /// Solves that resumed from a caller-supplied basis.
     pub warm_starts: usize,
     /// Solves performed from the all-logical cold basis.
@@ -116,6 +150,9 @@ impl LpStats {
         self.phase2_pivots += other.phase2_pivots;
         self.dual_pivots += other.dual_pivots;
         self.refactorizations += other.refactorizations;
+        self.factorization_reuses += other.factorization_reuses;
+        self.fill_in += other.fill_in;
+        self.eta_len_end += other.eta_len_end;
         self.warm_starts += other.warm_starts;
         self.cold_starts += other.cold_starts;
     }
@@ -186,6 +223,16 @@ fn adapt_basis(c: &Canon, b: &Basis) -> Option<(Vec<VarStatus>, Vec<usize>)> {
                     VarStatus::Free
                 };
             }
+            // A free column pinned at 0 whose bounds have since become
+            // finite must move onto a bound, or the implied nonbasic value
+            // would sit outside its box.
+            VarStatus::Free if c.lb[j].is_finite() || c.ub[j].is_finite() => {
+                *st = if c.lb[j].is_finite() {
+                    VarStatus::AtLower
+                } else {
+                    VarStatus::AtUpper
+                };
+            }
             _ => {}
         }
     }
@@ -211,6 +258,20 @@ pub fn solve_warm(
     let adapted = warm.and_then(|b| adapt_basis(&canon, b));
     let warm_used = adapted.is_some();
 
+    // The persisted factorization survives exactly when the basis *matrix*
+    // is unchanged: same row count (no appended constraints, so `adapt_basis`
+    // did not extend the basic set), the same basic columns, and the same
+    // structural coefficients (fingerprint match — guards against a basis
+    // from a different problem that happens to share the shape). RHS /
+    // bound / objective edits all qualify.
+    let matrix_fp = canon.a.fingerprint();
+    let reuse: Option<Arc<Factorization>> = match warm {
+        Some(b) if warm_used && b.matrix_fp == matrix_fp => {
+            b.fact.clone().filter(|f| f.dim() == canon.m)
+        }
+        _ => None,
+    };
+
     let mut stats = LpStats::default();
     if warm_used {
         stats.warm_starts += 1;
@@ -219,28 +280,32 @@ pub fn solve_warm(
     }
 
     let (status, basic) = adapted.unwrap_or_else(|| cold_state(&canon));
-    let mut eng = match Engine::new(&canon, options, status, basic, stats) {
+    let mut eng = match Engine::new(&canon, options, status, basic, stats, reuse.as_deref()) {
         Some(e) => e,
         None => {
             // Stored basis went singular (heavy problem edits): cold restart.
             let (status, basic) = cold_state(&canon);
             let mut stats = LpStats::default();
             stats.cold_starts += 1;
-            Engine::new(&canon, options, status, basic, stats)
+            Engine::new(&canon, options, status, basic, stats, None)
                 .expect("the all-logical basis is the identity and always factorizes")
         }
     };
 
     let outcome = run(&mut eng, warm_used)?;
+    let (status, basic) = (eng.status.clone(), eng.basic.clone());
+    let (fact, stats) = eng.into_parts();
     let basis = Basis {
         n_vars: canon.n,
-        status: eng.status.clone(),
-        basic: eng.basic.clone(),
+        status,
+        basic,
+        fact: Some(Arc::new(fact)),
+        matrix_fp,
     };
     Ok(WarmSolve {
         outcome,
         basis,
-        stats: eng.into_stats(),
+        stats,
     })
 }
 

@@ -706,6 +706,256 @@ fn objective_flip_with_unrepairable_column_stays_feasible() {
     let _ = cap;
 }
 
+// --------------------------------------- persistent-factorization contract
+
+#[test]
+fn pure_rhs_resolve_skips_refactorization() {
+    // Benders-slave shape: only the RHS moves between solves, so the basis
+    // matrix is bit-identical and the persisted factorization must be
+    // resumed — the re-solve performs *zero* refactorizations.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, -3.0);
+    let y = p.add_var(0.0, f64::INFINITY, -2.0);
+    let z = p.add_var(0.0, 6.0, -4.0);
+    let cap1 = p.add_cons(&[(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Le, 10.0);
+    let cap2 = p.add_cons(&[(x, 2.0), (y, 1.0)], Cmp::Le, 15.0);
+    let cap3 = p.add_cons(&[(y, 1.0), (z, 3.0)], Cmp::Le, 12.0);
+    let first = p.solve_warm(None).unwrap();
+    assert!(first.stats.refactorizations >= 1, "cold solve factorizes");
+    assert_eq!(first.stats.factorization_reuses, 0);
+
+    p.set_rhs(cap1, 8.0);
+    p.set_rhs(cap2, 18.0);
+    p.set_rhs(cap3, 9.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_eq!(warm.stats.warm_starts, 1);
+    assert_eq!(
+        warm.stats.refactorizations, 0,
+        "pure-RHS re-solve must reuse the persisted factorization"
+    );
+    assert_eq!(warm.stats.factorization_reuses, 1);
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(warm.outcome.unwrap_optimal().objective, reference, 1e-7);
+}
+
+#[test]
+fn bound_change_resolve_skips_refactorization() {
+    // Branch-and-bound shape: a bound edit leaves the basis matrix intact.
+    let mut p = Problem::new();
+    let a = p.add_var(0.0, 1.0, -10.0);
+    let b = p.add_var(0.0, 1.0, -13.0);
+    let c = p.add_var(0.0, 1.0, -7.0);
+    p.add_cons(&[(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+    let first = p.solve_warm(None).unwrap();
+
+    p.set_bounds(b, 0.0, 0.0); // branch down
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_eq!(warm.stats.refactorizations, 0);
+    assert_eq!(warm.stats.factorization_reuses, 1);
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(warm.outcome.unwrap_optimal().objective, reference, 1e-7);
+}
+
+#[test]
+fn appended_row_invalidates_factorization_but_not_basis() {
+    // A Benders cut grows the basis matrix: the stored factorization no
+    // longer fits and a refactorization is required, but the warm basis
+    // itself still restarts the solve.
+    let mut p = Problem::new();
+    let u1 = p.add_var(0.0, 1.0, -5.0);
+    let u2 = p.add_var(0.0, 1.0, -4.0);
+    let theta = p.add_var(-100.0, f64::INFINITY, 1.0);
+    p.add_cons(&[(u1, 1.0), (u2, 1.0)], Cmp::Le, 2.0);
+    let first = p.solve_warm(None).unwrap();
+
+    p.add_cons(&[(theta, -1.0), (u1, 3.0), (u2, 2.0)], Cmp::Le, 50.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_eq!(warm.stats.warm_starts, 1);
+    assert_eq!(warm.stats.factorization_reuses, 0);
+    assert!(warm.stats.refactorizations >= 1);
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(warm.outcome.unwrap_optimal().objective, reference, 1e-7);
+}
+
+#[test]
+fn basis_from_different_same_shape_problem_refactorizes() {
+    // Outside the documented contract: a basis from a *different* problem
+    // that happens to share the shape. The shape checks accept it (as they
+    // did pre-persistence), but the factorization fingerprint must reject
+    // the stale factors so the solve refactorizes from the real matrix.
+    let mut p1 = Problem::new();
+    let x = p1.add_var(0.0, f64::INFINITY, -3.0);
+    let y = p1.add_var(0.0, f64::INFINITY, -2.0);
+    p1.add_cons(&[(x, 1.0), (y, 2.0)], Cmp::Le, 10.0);
+    p1.add_cons(&[(x, 3.0), (y, 1.0)], Cmp::Le, 15.0);
+    let w1 = p1.solve_warm(None).unwrap();
+
+    let mut p2 = Problem::new();
+    let x2 = p2.add_var(0.0, f64::INFINITY, -3.0);
+    let y2 = p2.add_var(0.0, f64::INFINITY, -2.0);
+    p2.add_cons(&[(x2, 2.0), (y2, 1.0)], Cmp::Le, 10.0);
+    p2.add_cons(&[(x2, 1.0), (y2, 4.0)], Cmp::Le, 15.0);
+    let w2 = p2.solve_warm(Some(&w1.basis)).unwrap();
+    assert_eq!(
+        w2.stats.factorization_reuses, 0,
+        "stale factors from another problem must not be reused"
+    );
+    assert!(w2.stats.refactorizations >= 1);
+    let reference = solve_r(&p2).unwrap_optimal().objective;
+    assert_close(w2.outcome.unwrap_optimal().objective, reference, 1e-7);
+}
+
+#[test]
+fn warm_chain_reports_factorization_counters() {
+    // Over an RHS-only warm chain every re-solve reuses the factorization
+    // (until an eta-file overflow forces a refresh, which this short chain
+    // cannot hit), and fill-in / eta-length telemetry flows through absorb.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 8.0, -3.0);
+    let y = p.add_var(0.0, 8.0, -5.0);
+    let r1 = p.add_cons(&[(x, 1.0), (y, 2.0)], Cmp::Le, 14.0);
+    let r2 = p.add_cons(&[(x, 3.0), (y, 1.0)], Cmp::Le, 12.0);
+
+    let mut basis: Option<Basis> = None;
+    let mut stats = LpStats::default();
+    for k in 0..10 {
+        let t = k as f64;
+        p.set_rhs(r1, 10.0 + 4.0 * ((0.4 * t).sin().abs()));
+        p.set_rhs(r2, 8.0 + 4.0 * ((0.6 * t).cos().abs()));
+        let w = p.solve_warm(basis.as_ref()).unwrap();
+        stats.absorb(&w.stats);
+        basis = Some(w.basis);
+    }
+    assert_eq!(stats.cold_starts, 1);
+    assert_eq!(stats.warm_starts, 9);
+    assert_eq!(stats.factorization_reuses, 9);
+    assert_eq!(stats.refactorizations, 1, "only the cold solve factorizes");
+}
+
+// ------------------------------------ sparse kernel vs dense oracle (prop)
+
+mod sparse_kernel_props {
+    use crate::revised::lu::{Lu, SparseLu};
+    use proptest::prelude::*;
+
+    /// Dense row-major → per-column sparse form.
+    fn dense_to_cols(a: &[f64], m: usize) -> Vec<Vec<(u32, f64)>> {
+        (0..m)
+            .map(|j| {
+                (0..m)
+                    .filter(|&i| a[i * m + j] != 0.0)
+                    .map(|i| (i as u32, a[i * m + j]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn mat_vec(a: &[f64], m: usize, x: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|i| (0..m).map(|j| a[i * m + j] * x[j]).sum())
+            .collect()
+    }
+
+    fn mat_t_vec(a: &[f64], m: usize, x: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|j| (0..m).map(|i| a[i * m + j] * x[i]).sum())
+            .collect()
+    }
+
+    /// Assembles a random sparse, strictly diagonally dominant (hence
+    /// nonsingular) `m × m` matrix from flat value/mask pools.
+    fn build_matrix(m: usize, vals: &[f64], mask: &[f64]) -> Vec<f64> {
+        let mut a = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                if i != j && mask[i * m + j] < 0.35 {
+                    a[i * m + j] = vals[i * m + j];
+                }
+            }
+        }
+        for i in 0..m {
+            let row_sum: f64 = (0..m).filter(|&j| j != i).map(|j| a[i * m + j].abs()).sum();
+            let sign = if vals[i * m + i] < 0.0 { -1.0 } else { 1.0 };
+            a[i * m + i] = sign * (row_sum + 1.0 + vals[i * m + i].abs());
+        }
+        a
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sparse_ftran_btran_match_dense_oracle(
+            m in 2usize..11,
+            vals in proptest::collection::vec(-3.0f64..3.0, 121),
+            mask in proptest::collection::vec(0.0f64..1.0, 121),
+            x in proptest::collection::vec(-5.0f64..5.0, 11),
+        ) {
+            let a = build_matrix(m, &vals, &mask);
+            let dense = Lu::factor(a.clone(), m).expect("diagonally dominant");
+            let mut sparse =
+                SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("diagonally dominant");
+            let x_true = &x[..m];
+
+            // FTRAN: both engines must reproduce x from B·x.
+            let v0 = mat_vec(&a, m, x_true);
+            let mut vd = v0.clone();
+            dense.solve(&mut vd);
+            let mut vs = v0;
+            sparse.solve(&mut vs);
+            for j in 0..m {
+                prop_assert!(
+                    (vd[j] - vs[j]).abs() <= 1e-8 * (1.0 + vd[j].abs()),
+                    "ftran mismatch at {}: dense {} vs sparse {}", j, vd[j], vs[j]
+                );
+                prop_assert!(
+                    (vs[j] - x_true[j]).abs() <= 1e-7 * (1.0 + x_true[j].abs()),
+                    "ftran wrong at {}: {} vs {}", j, vs[j], x_true[j]
+                );
+            }
+
+            // BTRAN: same through the transpose.
+            let w0 = mat_t_vec(&a, m, x_true);
+            let mut wd = w0.clone();
+            dense.solve_t(&mut wd);
+            let mut ws = w0;
+            sparse.solve_t(&mut ws);
+            for j in 0..m {
+                prop_assert!(
+                    (wd[j] - ws[j]).abs() <= 1e-8 * (1.0 + wd[j].abs()),
+                    "btran mismatch at {}: dense {} vs sparse {}", j, wd[j], ws[j]
+                );
+            }
+        }
+
+        #[test]
+        fn sparse_lu_handles_sparse_rhs(
+            m in 3usize..11,
+            vals in proptest::collection::vec(-3.0f64..3.0, 121),
+            mask in proptest::collection::vec(0.0f64..1.0, 121),
+            hot in 0usize..11,
+        ) {
+            // A singleton RHS (the FTRAN of a logical column) must take the
+            // sparse fast path and still agree with the dense oracle.
+            let a = build_matrix(m, &vals, &mask);
+            let dense = Lu::factor(a.clone(), m).expect("diagonally dominant");
+            let mut sparse =
+                SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("diagonally dominant");
+            let mut v = vec![0.0; m];
+            v[hot % m] = 1.0;
+            let mut vd = v.clone();
+            dense.solve(&mut vd);
+            sparse.solve(&mut v);
+            for j in 0..m {
+                prop_assert!(
+                    (vd[j] - v[j]).abs() <= 1e-8 * (1.0 + vd[j].abs()),
+                    "sparse-rhs ftran mismatch at {}: {} vs {}", j, vd[j], v[j]
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn review_probe_free_var_bounds_become_finite() {
     use crate::{Cmp, Problem};

@@ -55,8 +55,12 @@ pub struct MilpOptions {
     pub simplex: SimplexOptions,
     /// Thread each parent node's basis into its children so the one-bound
     /// delta re-solves via a few dual-simplex pivots instead of two cold
-    /// phases. Disable only for debugging / regression comparison — results
-    /// are identical either way, warm starts are purely a speed lever.
+    /// phases. Because a bound change leaves the basis *matrix* untouched,
+    /// the child also inherits the parent's persisted factorization and
+    /// starts with **zero refactorizations** (`LpStats::factorization_reuses`
+    /// counts the hits). Disable only for debugging / regression comparison —
+    /// results are identical either way, warm starts are purely a speed
+    /// lever.
     pub warm_start: bool,
 }
 
@@ -128,7 +132,10 @@ pub struct Milp {
     /// Root-relaxation basis kept across `solve` calls. Benders re-solves
     /// the master after appending cut rows, for which a stored basis stays
     /// valid (rows append, columns never change) — reusing it turns the new
-    /// root solve into a short dual-simplex run.
+    /// root solve into a short dual-simplex run. (The basis also carries its
+    /// factorization; appended rows grow the basis matrix, so that part is
+    /// rebuilt once per cut round, while node re-solves within a round reuse
+    /// factors untouched.)
     root_basis: Option<Basis>,
     /// Pivot statistics of the most recent `solve` call (all outcomes).
     last_lp_stats: LpStats,
@@ -181,9 +188,10 @@ impl Milp {
     /// Runs branch and bound.
     ///
     /// Node relaxations run on the revised simplex: each child node reuses
-    /// its parent's basis (one bound changed ⇒ dual-simplex restart), and
-    /// the root reuses the previous `solve` call's root basis when the
-    /// wrapped problem only grew rows since (the Benders master pattern).
+    /// its parent's basis *and* its persisted factorization (one bound
+    /// changed ⇒ dual-simplex restart with zero refactorizations), and the
+    /// root reuses the previous `solve` call's root basis when the wrapped
+    /// problem only grew rows since (the Benders master pattern).
     pub fn solve(&mut self) -> Result<MilpOutcome, SolveError> {
         let mut work = self.problem.clone();
         let mut best: Option<MilpSolution> = None;

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Sanity-check the committed BENCH_solvers.json perf snapshot.
+
+Run by the CI bench-smoke job. Validates that the snapshot
+
+* parses and covers every benchmark family and scale,
+* carries the wall-clock and sparse-LU telemetry columns (warm/cold
+  seconds, refactorization counts, factorization reuses, fill-in),
+* shows warm total pivots <= cold total pivots at every scale, and
+* shows a warm pure-RHS slave re-solve performing zero refactorizations
+  (the persisted-factorization contract).
+
+Exit code 0 on success, 1 with a message per violation otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_solvers.json"
+
+REQUIRED_FIELDS = {
+    "slave_chain": [
+        "scale",
+        "warm_seconds",
+        "cold_seconds",
+        "warm_pivots",
+        "cold_pivots",
+        "warm_refactorizations",
+        "cold_refactorizations",
+        "warm_factorization_reuses",
+        "warm_fill_in",
+        "cold_fill_in",
+        "time_speedup",
+    ],
+    "benders_bnb": [
+        "scale",
+        "warm_seconds",
+        "cold_seconds",
+        "warm_pivots",
+        "cold_pivots",
+        "warm_refactorizations",
+        "cold_refactorizations",
+        "warm_factorization_reuses",
+        "warm_fill_in",
+        "cold_fill_in",
+        "time_speedup",
+    ],
+    "slave_resolve": [
+        "scale",
+        "resolve_seconds",
+        "cold_seconds",
+        "resolve_refactorizations",
+        "resolve_factorization_reuses",
+        "resolve_pivots",
+        "cold_pivots",
+    ],
+}
+
+EXPECTED_SCALES = {"small", "paper", "10x_paper"}
+
+
+def main() -> int:
+    errors = []
+    try:
+        entries = json.loads(SNAPSHOT.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load {SNAPSHOT}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(entries, list) or not entries:
+        print("snapshot must be a non-empty JSON array", file=sys.stderr)
+        return 1
+
+    seen_scales = {name: set() for name in REQUIRED_FIELDS}
+    for entry in entries:
+        bench = entry.get("bench")
+        tag = f"{bench}/{entry.get('scale', '?')}"
+        if bench not in REQUIRED_FIELDS:
+            errors.append(f"{tag}: unknown bench family")
+            continue
+        seen_scales[bench].add(entry.get("scale"))
+        for field in REQUIRED_FIELDS[bench]:
+            if field not in entry:
+                errors.append(f"{tag}: missing field '{field}'")
+        if "warm_pivots" in entry and "cold_pivots" in entry:
+            if entry["warm_pivots"] > entry["cold_pivots"]:
+                errors.append(
+                    f"{tag}: warm pivots {entry['warm_pivots']} exceed "
+                    f"cold pivots {entry['cold_pivots']}"
+                )
+        if bench == "slave_resolve":
+            if entry.get("resolve_refactorizations", 1) != 0:
+                errors.append(
+                    f"{tag}: pure-RHS re-solve performed "
+                    f"{entry.get('resolve_refactorizations')} refactorizations "
+                    "(persisted factorization not reused)"
+                )
+            if entry.get("resolve_factorization_reuses", 0) < 1:
+                errors.append(f"{tag}: re-solve did not reuse a factorization")
+
+    # Every family must cover every scale (benders_bnb intentionally skips
+    # the largest scale in the snapshot's criterion pass).
+    for bench, scales in seen_scales.items():
+        want = EXPECTED_SCALES - ({"10x_paper"} if bench == "benders_bnb" else set())
+        missing = want - scales
+        if missing:
+            errors.append(f"{bench}: missing scales {sorted(missing)}")
+
+    if errors:
+        for e in errors:
+            print(f"BENCH_solvers.json sanity: {e}", file=sys.stderr)
+        return 1
+    print(f"BENCH_solvers.json sanity: {len(entries)} entries OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
