@@ -13,7 +13,8 @@ use ovnes::problem::{AcrrInstance, PathPolicy, TenantInput};
 use ovnes::slice::{SliceClass, SliceTemplate};
 use ovnes::solver::slave::{solve_slave, SlaveContext};
 use ovnes::solver::{baseline, benders, kac, oneshot};
-use ovnes_lp::LpStats;
+use ovnes_lp::revised::gen::{random_bound_edit, random_lp, GenRng, LpGenConfig};
+use ovnes_lp::{Basis, LpStats};
 use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
 use std::time::Instant;
 
@@ -115,6 +116,25 @@ fn benders_opts(warm: bool) -> benders::BendersOptions {
     }
 }
 
+/// The randomized LP torture chain shared with the test layers: `cases`
+/// random bounded LPs from the common generator, each warm-restarted
+/// through `links` bound edits. Returns the accumulated pivot stats.
+fn lp_torture_chain(seed: u64, cases: usize, links: usize, cfg: &LpGenConfig) -> LpStats {
+    let mut rng = GenRng::new(seed);
+    let mut stats = LpStats::default();
+    for _ in 0..cases {
+        let mut p = random_lp(&mut rng, cfg);
+        let mut basis: Option<Basis> = None;
+        for _ in 0..links {
+            let w = p.solve_warm(basis.as_ref()).expect("torture solve");
+            stats.absorb(&w.stats);
+            basis = Some(w.basis);
+            random_bound_edit(&mut rng, &mut p);
+        }
+    }
+    stats
+}
+
 fn bench_solvers(c: &mut Criterion) {
     let inst = instance(true, 6);
     let inst_nov = instance(false, 6);
@@ -160,6 +180,10 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
             b.iter(|| benders::solve(&inst, &benders_opts(false)).unwrap())
         });
     }
+    c.bench_function("lp_torture_warm_chains", |b| {
+        let cfg = LpGenConfig::torture();
+        b.iter(|| lp_torture_chain(0xBE7C_BE7C, 10, 5, &cfg))
+    });
     emit_snapshot();
 }
 
@@ -182,6 +206,9 @@ fn emit_snapshot() {
                 "\"warm_refactorizations\": {}, \"cold_refactorizations\": {}, ",
                 "\"warm_factorization_reuses\": {}, ",
                 "\"warm_fill_in\": {}, \"cold_fill_in\": {}, ",
+                "\"warm_bound_flips\": {}, \"cold_bound_flips\": {}, ",
+                "\"warm_pricing_scans\": {}, \"cold_pricing_scans\": {}, ",
+                "\"warm_candidate_refreshes\": {}, ",
                 "\"pivot_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
             ),
             label,
@@ -195,6 +222,11 @@ fn emit_snapshot() {
             sw.factorization_reuses,
             sw.fill_in,
             sc.fill_in,
+            sw.bound_flips,
+            sc.bound_flips,
+            sw.pricing_scans,
+            sc.pricing_scans,
+            sw.candidate_refreshes,
             sc.total_pivots() as f64 / sw.total_pivots().max(1) as f64,
             tc / tw.max(1e-12),
         ));
@@ -218,7 +250,9 @@ fn emit_snapshot() {
                 "  {{\"bench\": \"slave_resolve\", \"scale\": \"{}\", ",
                 "\"resolve_seconds\": {:.6}, \"cold_seconds\": {:.6}, ",
                 "\"resolve_refactorizations\": {}, \"resolve_factorization_reuses\": {}, ",
-                "\"resolve_pivots\": {}, \"cold_pivots\": {}, \"time_speedup\": {:.2}}}"
+                "\"resolve_pivots\": {}, \"resolve_bound_flips\": {}, ",
+                "\"resolve_pricing_scans\": {}, ",
+                "\"cold_pivots\": {}, \"time_speedup\": {:.2}}}"
             ),
             label,
             t_resolve,
@@ -226,6 +260,8 @@ fn emit_snapshot() {
             after.refactorizations - before.refactorizations,
             after.factorization_reuses - before.factorization_reuses,
             after.total_pivots() - before.total_pivots(),
+            after.bound_flips - before.bound_flips,
+            after.pricing_scans - before.pricing_scans,
             cold_ctx.stats.total_pivots(),
             t_cold / t_resolve.max(1e-12),
         ));
@@ -251,6 +287,9 @@ fn emit_snapshot() {
                     "\"warm_refactorizations\": {}, \"cold_refactorizations\": {}, ",
                     "\"warm_factorization_reuses\": {}, ",
                     "\"warm_fill_in\": {}, \"cold_fill_in\": {}, ",
+                    "\"warm_bound_flips\": {}, \"cold_bound_flips\": {}, ",
+                    "\"warm_pricing_scans\": {}, \"cold_pricing_scans\": {}, ",
+                    "\"warm_candidate_refreshes\": {}, ",
                     "\"warm_hits\": {}, \"pivot_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
                 ),
                 label,
@@ -264,12 +303,41 @@ fn emit_snapshot() {
                 aw.stats.lp.factorization_reuses,
                 aw.stats.lp.fill_in,
                 ac.stats.lp.fill_in,
+                aw.stats.lp.bound_flips,
+                ac.stats.lp.bound_flips,
+                aw.stats.lp.pricing_scans,
+                ac.stats.lp.pricing_scans,
+                aw.stats.lp.candidate_refreshes,
                 aw.stats.lp.warm_starts,
                 ac.stats.lp.total_pivots() as f64 / aw.stats.lp.total_pivots().max(1) as f64,
                 tc / tw.max(1e-12),
             ));
         }
     }
+
+    // The randomized LP torture chain (shared generator with the unit and
+    // integration suites): pivot/flip/pricing telemetry for the engine
+    // itself, independent of the AC-RR instance shapes.
+    let cfg = LpGenConfig::torture();
+    let t0 = Instant::now();
+    let ts = lp_torture_chain(0xBE7C_BE7C, 40, 5, &cfg);
+    let t_torture = t0.elapsed().as_secs_f64();
+    entries.push(format!(
+        concat!(
+            "  {{\"bench\": \"lp_torture\", \"scale\": \"torture\", ",
+            "\"seconds\": {:.6}, \"warm_starts\": {}, \"cold_starts\": {}, ",
+            "\"pivots\": {}, \"dual_pivots\": {}, \"bound_flips\": {}, ",
+            "\"pricing_scans\": {}, \"candidate_refreshes\": {}}}"
+        ),
+        t_torture,
+        ts.warm_starts,
+        ts.cold_starts,
+        ts.total_pivots(),
+        ts.dual_pivots,
+        ts.bound_flips,
+        ts.pricing_scans,
+        ts.candidate_refreshes,
+    ));
 
     let json = format!("[\n{}\n]\n", entries.join(",\n"));
     // Repo root: two levels up from the bench crate manifest.

@@ -172,8 +172,18 @@ fn main() {
     // ---- Ablation 4: warm-start engine ------------------------------------
     println!("\nAblation 4 — revised-simplex warm starts on the Benders hot path\n");
     let header = format!(
-        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8} {:>12}",
-        "mode", "pivots", "phase1", "dual", "warm hits", "refactor", "reused", "fill", "seconds"
+        "{:<8} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>10} {:>9} {:>12}",
+        "mode",
+        "pivots",
+        "phase1",
+        "dual",
+        "flips",
+        "warm hits",
+        "refactor",
+        "reused",
+        "scans",
+        "refresh",
+        "seconds"
     );
     println!("{header}");
     ovnes_bench::rule(&header);
@@ -213,15 +223,17 @@ fn main() {
         let alloc = ovnes::solver::benders::solve(&inst, &opts).expect("benders");
         let secs = t0.elapsed().as_secs_f64();
         println!(
-            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8} {:>12.4}",
+            "{:<8} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>10} {:>9} {:>12.4}",
             mode,
             alloc.stats.lp.total_pivots(),
             alloc.stats.lp.phase1_pivots,
             alloc.stats.lp.dual_pivots,
+            alloc.stats.lp.bound_flips,
             alloc.stats.lp.warm_starts,
             alloc.stats.lp.refactorizations,
             alloc.stats.lp.factorization_reuses,
-            alloc.stats.lp.fill_in,
+            alloc.stats.lp.pricing_scans,
+            alloc.stats.lp.candidate_refreshes,
             secs,
         );
         allocs.push(alloc);

@@ -352,18 +352,22 @@ impl SolveStats {
     /// Human-oriented one-line summary of the pivot-level counters.
     pub fn lp_summary(&self) -> String {
         format!(
-            "pivots {} (p1 {} / p2 {} / dual {}), warm {} / cold {}, \
-             refactor {} (reused {}, fill {}, etas-at-end {})",
+            "pivots {} (p1 {} / p2 {} / dual {}), flips {}, warm {} / cold {}, \
+             refactor {} (reused {}, fill {}, etas-at-end {}), \
+             pricing scans {} (list refreshes {})",
             self.lp.total_pivots(),
             self.lp.phase1_pivots,
             self.lp.phase2_pivots,
             self.lp.dual_pivots,
+            self.lp.bound_flips,
             self.lp.warm_starts,
             self.lp.cold_starts,
             self.lp.refactorizations,
             self.lp.factorization_reuses,
             self.lp.fill_in,
             self.lp.eta_len_end,
+            self.lp.pricing_scans,
+            self.lp.candidate_refreshes,
         )
     }
 }

@@ -8,26 +8,36 @@
 //! s.t. Σ_{legs→c} b_τ·z − δ_c ≤ C_c − Σ_τ a_τ·ū_{τ,c}      ∀ CU c     (2/14)
 //!      Σ_{legs∋e} η_e·z − δ_b ≤ C_e                        ∀ link e   (3/15)
 //!      Σ_{legs@b} z/η_b − δ_r ≤ C_b                        ∀ BS b     (4/16)
-//!      z ≤ Λ·ū_{τ,c}                                       ∀ leg      (17)
-//!      z ≥ λ̂·ū_{τ,c}                                      ∀ leg      (18)
+//!      λ̂·ū_{τ,c} ≤ z ≤ Λ·ū_{τ,c}                          ∀ leg    (17/18)
 //! ```
 //!
-//! Every right-hand side is affine in `u`, so any dual-feasible vector `y`
-//! yields the affine lower bound `g(u) = Σ_i y_i·rhs_i(u) ≤ slave_opt(u)`
-//! (optimality cut `θ ≥ g(u)`), and a Farkas certificate yields the validity
-//! condition `g(u) ≤ 0` (feasibility cut). The paper's `y`/linearisation
-//! variables are unnecessary here because the slave sees `x` as a constant —
-//! see DESIGN.md.
+//! The paper's reservation-window rows (17)/(18) are **native variable
+//! bounds** here, not constraint rows: the revised simplex handles box
+//! bounds for free, so the basis is `(CUs + links + BSs)²` instead of
+//! growing by two rows per leg — and the window edits a new admission
+//! vector implies are exactly the bound-heavy dual-simplex re-solves the
+//! engine's long-step (bound-flipping) ratio test is built for.
+//!
+//! Every right-hand side *and bound* is affine in `u`, so a dual solution
+//! still yields an affine lower bound `g(u) ≤ slave_opt(u)`: the row part
+//! `Σ_i y_i·rhs_i(u)` as before, plus the window part priced through
+//! **reduced costs** — a leg nonbasic at a window edge contributes
+//! `d·λ̂·u` (at the lower edge, `d ≥ 0`) or `d·Λ·u` (at the upper edge,
+//! `d ≤ 0`), the Lagrangian `inf` over the box. Farkas certificates do the
+//! same with the residuals `h_j = Σ_i y_i·a_ij`, using the `sup` over the
+//! box. The paper's `y`/linearisation variables are unnecessary because the
+//! slave sees `x` as a constant — see DESIGN.md.
 //!
 //! ## Incremental re-pricing
 //!
-//! Only the right-hand sides depend on `ū`. [`SlaveContext`] therefore
-//! builds the LP **once** per instance, and each [`SlaveContext::solve_for`]
-//! call rewrites the affected RHS entries and re-solves **warm** from the
-//! previous admission's basis: consecutive Benders iterations differ by a
-//! few flipped `u` entries, so the dual simplex typically needs a handful of
-//! pivots where a cold solve needs two full phases. Because an RHS edit
-//! leaves the basis matrix untouched, the stored basis also carries a
+//! Only right-hand sides and window bounds depend on `ū`. [`SlaveContext`]
+//! therefore builds the LP **once** per instance, and each
+//! [`SlaveContext::solve_for`] call rewrites the affected RHS entries and
+//! leg bounds and re-solves **warm** from the previous admission's basis:
+//! consecutive Benders iterations differ by a few flipped `u` entries, so
+//! the dual simplex typically needs a handful of pivots (plus a few bound
+//! flips) where a cold solve needs two full phases. Because RHS and bound
+//! edits leave the basis matrix untouched, the stored basis also carries a
 //! still-valid **factorization** — a re-priced solve starts with zero
 //! refactorizations and replays the persisted sparse LU + eta file directly
 //! (`stats.factorization_reuses` counts the hits).
@@ -92,14 +102,21 @@ struct RowSpec {
 /// A persistent, warm-started slave LP for one [`AcrrInstance`].
 ///
 /// Build once, then call [`SlaveContext::solve_for`] with each admission
-/// vector. The LP structure never changes — only RHS values move — so the
-/// previous solve's [`Basis`] restarts every subsequent solve.
+/// vector. The LP structure never changes — only RHS values and leg bounds
+/// move — so the previous solve's [`Basis`] restarts every subsequent solve.
 pub struct SlaveContext<'a> {
     instance: &'a AcrrInstance,
     problem: Problem,
     z_vars: Vec<VarId>,
     deficit_vars: Option<(VarId, VarId, VarId)>,
     rows: Vec<RowSpec>,
+    /// Per-leg reservation window `[λ̂, Λ]`, applied as variable bounds
+    /// scaled by the admission binary.
+    leg_window: Vec<(f64, f64)>,
+    /// Per-leg sparse constraint column: (constraint index, coefficient).
+    /// Used to price reduced costs / Farkas residuals into cut
+    /// coefficients without reaching into the LP's internals.
+    leg_cols: Vec<Vec<(usize, f64)>>,
     basis: Option<Basis>,
     warm: bool,
     /// Pivot statistics accumulated over every `solve_for` call.
@@ -112,12 +129,25 @@ impl<'a> SlaveContext<'a> {
     pub fn new(instance: &'a AcrrInstance) -> SlaveContext<'a> {
         let mut p = Problem::new();
 
-        // Reservation variable per leg.
+        // Reservation variable per leg, carrying its window natively as
+        // bounds. The all-rejected start pins every leg at [0, 0];
+        // `solve_for` rescales the box by the admission binary.
         let z_vars: Vec<VarId> = instance
             .legs
             .iter()
-            .map(|leg| p.add_var(0.0, f64::INFINITY, -instance.leg_q(leg)))
+            .map(|leg| p.add_var(0.0, 0.0, -instance.leg_q(leg)))
             .collect();
+        let leg_window: Vec<(f64, f64)> = instance
+            .legs
+            .iter()
+            .map(|leg| {
+                (
+                    instance.leg_forecast(leg),
+                    instance.tenants[leg.tenant].sla_mbps,
+                )
+            })
+            .collect();
+        let mut leg_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); instance.legs.len()];
 
         // Domain-wide deficit variables (paper §3.4: one per domain).
         let deficit_vars = instance.deficit_cost.map(|m| {
@@ -138,6 +168,7 @@ impl<'a> SlaveContext<'a> {
                     let b = instance.tenants[leg.tenant].service.cores_per_mbps;
                     if b != 0.0 {
                         coeffs.push((z_vars[li], b));
+                        leg_cols[li].push((rows.len(), b));
                     }
                 }
             }
@@ -162,9 +193,11 @@ impl<'a> SlaveContext<'a> {
         // (3/15) Link capacity.
         for (e, &cap) in instance.link_caps.iter().enumerate() {
             let mut coeffs: Vec<(VarId, f64)> = Vec::new();
+            let mut members: Vec<usize> = Vec::new();
             for (li, leg) in instance.legs.iter().enumerate() {
                 if leg.links.contains(&e) {
                     coeffs.push((z_vars[li], instance.eta_transport));
+                    members.push(li);
                 }
             }
             if coeffs.is_empty() {
@@ -175,6 +208,9 @@ impl<'a> SlaveContext<'a> {
             }
             if let Some((_, db, _)) = deficit_vars {
                 coeffs.push((db, -1.0));
+            }
+            for li in members {
+                leg_cols[li].push((rows.len(), instance.eta_transport));
             }
             let id = p.add_cons(&coeffs, Cmp::Le, cap);
             rows.push(RowSpec {
@@ -191,6 +227,7 @@ impl<'a> SlaveContext<'a> {
             for (li, leg) in instance.legs.iter().enumerate() {
                 if leg.bs == b {
                     coeffs.push((z_vars[li], 1.0 / eff));
+                    leg_cols[li].push((rows.len(), 1.0 / eff));
                 }
             }
             if let Some((dr, _, _)) = deficit_vars {
@@ -204,27 +241,7 @@ impl<'a> SlaveContext<'a> {
             });
         }
 
-        // (17)/(18) Reservation window per leg, parametric in u.
-        for (li, leg) in instance.legs.iter().enumerate() {
-            let t = &instance.tenants[leg.tenant];
-            let pair = (leg.tenant, leg.cu);
-            let lam = t.sla_mbps;
-            let lam_hat = instance.leg_forecast(leg);
-
-            let id = p.add_cons(&[(z_vars[li], 1.0)], Cmp::Le, 0.0);
-            rows.push(RowSpec {
-                r0: 0.0,
-                u_coeffs: vec![(pair, lam)],
-                id,
-            });
-
-            let id = p.add_cons(&[(z_vars[li], 1.0)], Cmp::Ge, 0.0);
-            rows.push(RowSpec {
-                r0: 0.0,
-                u_coeffs: vec![(pair, lam_hat)],
-                id,
-            });
-        }
+        // (17)/(18) live as native bounds on `z_vars` — see the module docs.
 
         SlaveContext {
             instance,
@@ -232,6 +249,8 @@ impl<'a> SlaveContext<'a> {
             z_vars,
             deficit_vars,
             rows,
+            leg_window,
+            leg_cols,
             basis: None,
             warm: true,
             stats: LpStats::default(),
@@ -254,7 +273,7 @@ impl<'a> SlaveContext<'a> {
     ) -> Result<SlaveResult, ovnes_lp::SolveError> {
         assert_eq!(assigned.len(), self.instance.tenants.len());
 
-        // Re-price: every RHS is affine in u.
+        // Re-price the rows: every RHS is affine in u.
         for spec in &self.rows {
             if spec.u_coeffs.is_empty() {
                 continue;
@@ -267,6 +286,17 @@ impl<'a> SlaveContext<'a> {
             }
             self.problem.set_rhs(spec.id, rhs);
         }
+        // Re-price the windows: each leg's box is its window scaled by the
+        // admission binary. Pure bound edits — the basis matrix (and the
+        // persisted factorization) survive untouched.
+        for (li, leg) in self.instance.legs.iter().enumerate() {
+            let (lam_hat, lam) = self.leg_window[li];
+            if assigned[leg.tenant] == Some(leg.cu) {
+                self.problem.set_bounds(self.z_vars[li], lam_hat, lam);
+            } else {
+                self.problem.set_bounds(self.z_vars[li], 0.0, 0.0);
+            }
+        }
 
         let ws = self.problem.solve_warm(self.basis.as_ref())?;
         self.stats.absorb(&ws.stats);
@@ -274,10 +304,12 @@ impl<'a> SlaveContext<'a> {
             self.basis = Some(ws.basis);
         }
 
-        let make_cut = |multipliers: &[f64]| -> CutExpr {
+        // Row part of a cut: `Σ_i y_i·rhs_i(u)`, identical for optimality
+        // and feasibility cuts.
+        let row_cut = |multipliers: &[f64]| -> CutExpr {
             let mut cut = CutExpr::default();
-            for (i, spec) in self.rows.iter().enumerate() {
-                let y = multipliers[i];
+            for spec in &self.rows {
+                let y = multipliers[spec.id.index()];
                 if y == 0.0 {
                     continue;
                 }
@@ -288,6 +320,15 @@ impl<'a> SlaveContext<'a> {
             }
             cut
         };
+        // Residual `h_j = Σ_i y_i·a_ij` of a leg column against a row
+        // multiplier vector.
+        let residual = |multipliers: &[f64], li: usize| -> f64 {
+            self.leg_cols[li]
+                .iter()
+                .map(|&(ri, a)| multipliers[self.rows[ri].id.index()] * a)
+                .sum()
+        };
+        const BOUND_DUAL_TOL: f64 = 1e-9;
 
         match ws.outcome {
             Outcome::Optimal(sol) => {
@@ -296,7 +337,23 @@ impl<'a> SlaveContext<'a> {
                     .deficit_vars
                     .map(|(r, b, c)| (sol.value(r), sol.value(b), sol.value(c)))
                     .unwrap_or((0.0, 0.0, 0.0));
-                let cut = make_cut(&sol.duals);
+                // Window part of the optimality cut: the Lagrangian `inf`
+                // over the box. A leg with reduced cost `d = c_j − y'A_j`
+                // contributes `d·λ̂·u` when `d ≥ 0` (rests at the lower
+                // edge) and `d·Λ·u` when `d < 0` (upper edge); strong
+                // duality makes the cut tight at the generating admission.
+                let mut cut = row_cut(&sol.duals);
+                for (li, leg) in self.instance.legs.iter().enumerate() {
+                    let d = -self.instance.leg_q(leg) - residual(&sol.duals, li);
+                    if d.abs() <= BOUND_DUAL_TOL {
+                        continue;
+                    }
+                    let (lam_hat, lam) = self.leg_window[li];
+                    let w = if d > 0.0 { d * lam_hat } else { d * lam };
+                    if w != 0.0 {
+                        *cut.coeffs.entry((leg.tenant, leg.cu)).or_insert(0.0) += w;
+                    }
+                }
                 Ok(SlaveResult::Feasible {
                     value: sol.objective,
                     z,
@@ -305,7 +362,22 @@ impl<'a> SlaveContext<'a> {
                 })
             }
             Outcome::Infeasible(farkas) => {
-                let cut = make_cut(&farkas.row_multipliers);
+                // Window part of the feasibility cut: subtract the `sup`
+                // over the box of the certificate residuals, so `g(u) ≤ 0`
+                // stays necessary for feasibility while the generating
+                // admission is still cut off.
+                let mut cut = row_cut(&farkas.row_multipliers);
+                for (li, leg) in self.instance.legs.iter().enumerate() {
+                    let h = residual(&farkas.row_multipliers, li);
+                    if h.abs() <= BOUND_DUAL_TOL {
+                        continue;
+                    }
+                    let (lam_hat, lam) = self.leg_window[li];
+                    let w = if h > 0.0 { h * lam } else { h * lam_hat };
+                    if w != 0.0 {
+                        *cut.coeffs.entry((leg.tenant, leg.cu)).or_insert(0.0) -= w;
+                    }
+                }
                 Ok(SlaveResult::Infeasible { cut })
             }
             Outcome::Unbounded => unreachable!("slave objective is bounded (q ≥ 0, z ≤ Λ)"),

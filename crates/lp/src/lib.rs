@@ -35,12 +35,24 @@
 //! periodic refactorization. FTRAN exploits right-hand-side sparsity (the
 //! entering column touches a handful of rows), pricing runs **devex**
 //! reference weights instead of Dantzig's rule (which stalls on degenerate
-//! slave LPs), and — the point of the exercise — the final **[`Basis`] is a
+//! slave LPs) over a **candidate list** on large problems (partial pricing:
+//! a rotating bucket of attractive columns, refreshed by a cyclic scan only
+//! when stale, so per-iteration pricing stops scaling with total column
+//! count), and — the point of the exercise — the final **[`Basis`] is a
 //! value you can keep**. [`Problem::solve_warm`] resumes from a stored
 //! basis after problem edits, using the **dual simplex** when the edit
 //! preserved dual feasibility (bound changes, RHS changes, appended rows —
 //! exactly the branch-and-bound and Benders deltas) so a re-solve costs a
-//! handful of pivots instead of two cold phases.
+//! handful of pivots instead of two cold phases. The dual ratio test is the
+//! **long-step (bound-flipping)** variant: breakpoint columns that can
+//! simply move to their opposite finite bound are flipped through (one
+//! aggregated FTRAN) and the step continues, collapsing chains of
+//! degenerate dual pivots into a single basis change — exactly the shape of
+//! the bound-heavy slave/node re-solves this engine exists for. Ratio-test
+//! tie-breaking and flip thresholds are tunable via
+//! [`SimplexOptions::ratio_tie_tol`] / [`SimplexOptions::flip_tol`], and
+//! [`LpStats::bound_flips`], [`LpStats::pricing_scans`], and
+//! [`LpStats::candidate_refreshes`] observe the new machinery.
 //!
 //! ## The `Basis` contract
 //!

@@ -27,6 +27,23 @@
 //! `SimplexOptions::bland_after` iterations in a phase as the cycling
 //! backstop.
 //!
+//! On large problems pricing runs over a **candidate list** (partial
+//! pricing): a rotating bucket of attractive nonbasic columns is scanned
+//! each iteration instead of the whole column set, and the bucket is
+//! refreshed by a cyclic full scan only when it goes stale. Per-iteration
+//! pricing cost therefore stops scaling with total column count;
+//! [`LpStats::pricing_scans`] and [`LpStats::candidate_refreshes`] make the
+//! difference observable. Optimality is still only declared after a full
+//! refresh scan finds no eligible column, and Bland mode always scans
+//! everything, so the cycling guarantee is untouched.
+//!
+//! The dual simplex uses the **long-step (bound-flipping) ratio test**: when
+//! the cheapest dual breakpoint belongs to a boxed column, the column is
+//! flipped to its opposite bound (one aggregated FTRAN updates `x_B`) and
+//! the scan continues to a later breakpoint, turning a chain of
+//! degenerate-length dual pivots into a single long step. Flips are counted
+//! in [`LpStats::bound_flips`].
+//!
 //! An engine can be seeded with a [`Factorization`] persisted from a
 //! previous solve of the same basis (see [`super::Basis`]): a pure RHS or
 //! bound edit leaves the basis matrix untouched, so the solve starts with
@@ -49,6 +66,22 @@ const DUAL_TOL: f64 = 1e-7;
 const REFACTOR_EVERY: usize = 64;
 /// Devex weights above this trigger a reference-framework reset.
 const DEVEX_RESET: f64 = 1e8;
+
+/// Problems with fewer total columns than this are priced by a full scan:
+/// the candidate-list machinery only pays for itself once the column set is
+/// large enough that a full scan dominates the iteration cost.
+const PARTIAL_PRICING_MIN_COLS: usize = 256;
+
+/// One eligible dual-ratio-test breakpoint.
+#[derive(Clone, Copy)]
+struct DualCand {
+    /// Candidate entering column.
+    j: usize,
+    /// Pivot-row entry `α_rj = e_rᵀB⁻¹A_j`.
+    arow: f64,
+    /// Dual step length `|d_j / α_rj|` at which `d_j` reaches zero.
+    ratio: f64,
+}
 
 /// Where a phase ended.
 pub(super) enum PrimalEnd {
@@ -90,6 +123,14 @@ pub(super) struct Engine<'a> {
     ybuf: Vec<f64>,
     /// Devex reference weights per column (primal pricing).
     devex: Vec<f64>,
+    /// Candidate list for partial primal pricing (empty ⇒ stale).
+    plist: Vec<usize>,
+    /// Rotating start position for candidate-list refresh scans.
+    plist_cursor: usize,
+    /// Scratch buffer of eligible dual-ratio-test breakpoints.
+    dual_cand: Vec<DualCand>,
+    /// Scratch column accumulating the aggregated bound-flip delta.
+    flipbuf: Vec<f64>,
 }
 
 impl<'a> Engine<'a> {
@@ -126,6 +167,10 @@ impl<'a> Engine<'a> {
             rowbuf: vec![0.0; m],
             ybuf: vec![0.0; m],
             devex: vec![1.0; canon.n + m],
+            plist: Vec::new(),
+            plist_cursor: 0,
+            dual_cand: Vec::new(),
+            flipbuf: vec![0.0; m],
         };
         match reuse {
             Some(f) if f.dim() == m => {
@@ -264,6 +309,11 @@ impl<'a> Engine<'a> {
     /// The Forrest–Goldfarb recurrence needs the pivot row
     /// `α_r· = e_rᵀ B⁻¹ N`: one BTRAN plus one sparse dot per nonbasic
     /// column — the same cost shape as a pricing pass.
+    ///
+    /// Under partial pricing only the candidate-list columns are updated —
+    /// off-list weights go stale and are only consulted again at the next
+    /// refresh, which is the usual devex/partial-pricing compromise (the
+    /// weights are a selection heuristic, not a correctness input).
     fn update_devex(&mut self, q: usize, r: usize) {
         let m = self.c.m;
         let n_total = self.c.n + m;
@@ -280,19 +330,31 @@ impl<'a> Engine<'a> {
         let wq = self.devex[q].max(1.0);
         let inv2 = 1.0 / (alpha_rq * alpha_rq);
         let mut wmax = 0.0f64;
-        for j in 0..n_total {
-            if j == q || self.status[j] == VarStatus::Basic {
-                continue;
+        let partial = Self::pricing_list_cap(n_total) > 0;
+        let plist = std::mem::take(&mut self.plist);
+        let mut touch = |eng: &mut Engine<'a>, j: usize| {
+            if j == q || eng.status[j] == VarStatus::Basic {
+                return;
             }
-            let arj = self.c.col_dot(&rho, j);
+            let arj = eng.c.col_dot(&rho, j);
             if arj != 0.0 {
                 let cand = arj * arj * inv2 * wq;
-                if cand > self.devex[j] {
-                    self.devex[j] = cand;
+                if cand > eng.devex[j] {
+                    eng.devex[j] = cand;
                 }
             }
-            wmax = wmax.max(self.devex[j]);
+            wmax = wmax.max(eng.devex[j]);
+        };
+        if partial {
+            for &j in &plist {
+                touch(self, j);
+            }
+        } else {
+            for j in 0..n_total {
+                touch(self, j);
+            }
         }
+        self.plist = plist;
         // The leaving variable joins the nonbasic set with the reference
         // weight of the edge it just traversed.
         let leaving = self.basic[r];
@@ -302,6 +364,93 @@ impl<'a> Engine<'a> {
             // Reference framework drifted too far: restart from unit weights.
             self.devex.iter_mut().for_each(|w| *w = 1.0);
         }
+    }
+
+    // -------------------------------------------------------------- pricing
+
+    /// Candidate-list size for partial primal pricing; 0 disables it (small
+    /// problems price faster with a plain full scan).
+    fn pricing_list_cap(n_total: usize) -> usize {
+        if n_total < PARTIAL_PRICING_MIN_COLS {
+            0
+        } else {
+            ((n_total as f64).sqrt() as usize * 4).max(64)
+        }
+    }
+
+    /// Prices one column against the (phase-specific) pricing vector `y`:
+    /// returns its reduced cost when the column is eligible to enter.
+    #[inline]
+    fn price_one(&self, y: &[f64], phase1: bool, j: usize) -> Option<f64> {
+        let st = self.status[j];
+        if st == VarStatus::Basic {
+            return None;
+        }
+        if self.c.lb[j] == self.c.ub[j] && st != VarStatus::Free {
+            return None; // fixed columns cannot move
+        }
+        let cost_j = if phase1 { 0.0 } else { self.c.cost[j] };
+        let d = cost_j - self.c.col_dot(y, j);
+        let eligible = match st {
+            VarStatus::AtLower => d < -DUAL_TOL,
+            VarStatus::AtUpper => d > DUAL_TOL,
+            VarStatus::Free => d.abs() > DUAL_TOL,
+            VarStatus::Basic => unreachable!(),
+        };
+        eligible.then_some(d)
+    }
+
+    /// Best devex-scored eligible column in the candidate list, as
+    /// `(col, d, score)`.
+    fn scan_candidates(&self, y: &[f64], phase1: bool) -> Option<(usize, f64, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &j in &self.plist {
+            let Some(d) = self.price_one(y, phase1, j) else {
+                continue;
+            };
+            let score = d * d / self.devex[j];
+            match best {
+                Some((_, _, b)) if score <= b => {}
+                _ => best = Some((j, d, score)),
+            }
+        }
+        best
+    }
+
+    /// Rebuilds the candidate list with a cyclic scan starting at the
+    /// rotating cursor, keeping the `list_cap` best-scored eligible columns.
+    /// Returns the number of columns scanned and the best entry as
+    /// `(col, d, score)` — the refresh already priced every kept column, so
+    /// the caller never re-prices the fresh list. Scans the full cycle
+    /// unless it collects plenty of candidates early; a full-cycle scan that
+    /// finds nothing (`None`) is the optimality proof the caller relies on.
+    fn refresh_candidates(
+        &mut self,
+        y: &[f64],
+        phase1: bool,
+        list_cap: usize,
+    ) -> (usize, Option<(usize, f64, f64)>) {
+        let n_total = self.c.n + self.c.m;
+        let collect_cap = 8 * list_cap;
+        let start = self.plist_cursor % n_total.max(1);
+        let mut found: Vec<(usize, f64, f64)> = Vec::with_capacity(list_cap);
+        let mut scanned = 0usize;
+        for k in 0..n_total {
+            let j = (start + k) % n_total;
+            scanned += 1;
+            if let Some(d) = self.price_one(y, phase1, j) {
+                found.push((j, d, d * d / self.devex[j]));
+                if found.len() >= collect_cap {
+                    break;
+                }
+            }
+        }
+        self.plist_cursor = (start + scanned) % n_total.max(1);
+        found.sort_unstable_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        found.truncate(list_cap);
+        self.plist.clear();
+        self.plist.extend(found.iter().map(|&(j, _, _)| j));
+        (scanned, found.first().copied())
     }
 
     /// Makes the current basis dual feasible by bound flips where possible:
@@ -342,6 +491,7 @@ impl<'a> Engine<'a> {
             }
         }
         if !flips.is_empty() {
+            self.stats.bound_flips += flips.len();
             for &(j, st) in &flips {
                 self.status[j] = st;
             }
@@ -359,8 +509,11 @@ impl<'a> Engine<'a> {
         let n_total = self.c.n + self.c.m;
         let m = self.c.m;
         let mut local_iters = 0usize;
-        // Fresh reference framework per phase: the phase objective changed.
+        // Fresh reference framework per phase: the phase objective changed,
+        // so both the devex weights and the candidate list are stale.
         self.devex.iter_mut().for_each(|w| *w = 1.0);
+        self.plist.clear();
+        let list_cap = Self::pricing_list_cap(n_total);
 
         loop {
             self.maybe_refactorize()?;
@@ -395,36 +548,43 @@ impl<'a> Engine<'a> {
             }
             self.fact.btran(&mut y);
 
-            // Entering column: best devex-weighted improvement `d²/w` (or
-            // least index under Bland's rule).
+            // Entering column: best devex-weighted improvement `d²/w` over
+            // the candidate list (refreshed when stale), a full scan on
+            // small problems, or least index under Bland's rule (always a
+            // full scan — the cycling guarantee needs it).
             let mut enter: Option<(usize, f64, f64)> = None; // (col, d, score)
-            for j in 0..n_total {
-                let st = self.status[j];
-                if st == VarStatus::Basic {
-                    continue;
+            if use_bland {
+                for j in 0..n_total {
+                    self.stats.pricing_scans += 1;
+                    if let Some(d) = self.price_one(&y, phase1, j) {
+                        enter = Some((j, d, 0.0));
+                        break;
+                    }
                 }
-                if self.c.lb[j] == self.c.ub[j] && st != VarStatus::Free {
-                    continue; // fixed columns cannot move
+            } else if list_cap == 0 {
+                self.stats.pricing_scans += n_total;
+                for j in 0..n_total {
+                    let Some(d) = self.price_one(&y, phase1, j) else {
+                        continue;
+                    };
+                    let score = d * d / self.devex[j];
+                    match enter {
+                        Some((_, _, best)) if score <= best => {}
+                        _ => enter = Some((j, d, score)),
+                    }
                 }
-                let cost_j = if phase1 { 0.0 } else { self.c.cost[j] };
-                let d = cost_j - self.c.col_dot(&y, j);
-                let eligible = match st {
-                    VarStatus::AtLower => d < -DUAL_TOL,
-                    VarStatus::AtUpper => d > DUAL_TOL,
-                    VarStatus::Free => d.abs() > DUAL_TOL,
-                    VarStatus::Basic => unreachable!(),
-                };
-                if !eligible {
-                    continue;
-                }
-                if use_bland {
-                    enter = Some((j, d, 0.0));
-                    break;
-                }
-                let score = d * d / self.devex[j];
-                match enter {
-                    Some((_, _, best)) if score <= best => {}
-                    _ => enter = Some((j, d, score)),
+            } else {
+                self.stats.pricing_scans += self.plist.len();
+                enter = self.scan_candidates(&y, phase1);
+                if enter.is_none() {
+                    // List went stale: refresh it with a rotating wider scan,
+                    // which also hands back the best fresh entry. Finding
+                    // nothing on the (then full-cycle) refresh is the
+                    // optimality proof.
+                    let (scanned, best) = self.refresh_candidates(&y, phase1, list_cap);
+                    self.stats.candidate_refreshes += 1;
+                    self.stats.pricing_scans += scanned;
+                    enter = best;
                 }
             }
             let Some((q, d_q, _)) = enter else {
@@ -486,8 +646,9 @@ impl<'a> Engine<'a> {
                 if t_i < 0.0 {
                     t_i = 0.0; // degenerate: beyond the bound by roundoff
                 }
-                let better = t_i < t_best - 1e-10
-                    || (t_i < t_best + 1e-10
+                let tie = self.opts.ratio_tie_tol;
+                let better = t_i < t_best - tie
+                    || (t_i < t_best + tie
                         && leave.as_ref().is_some_and(|&(l, _)| {
                             if use_bland {
                                 self.basic[i] < self.basic[l]
@@ -525,6 +686,7 @@ impl<'a> Engine<'a> {
                 None => {
                     // Bound flip: the entering column walks to its other
                     // bound; the basis is unchanged.
+                    self.stats.bound_flips += 1;
                     let step = sigma * t_best;
                     for (i, x) in self.xb.iter_mut().enumerate() {
                         *x -= step * self.alpha[i];
@@ -558,6 +720,18 @@ impl<'a> Engine<'a> {
 
     /// Runs the dual simplex from a dual-feasible basis until primal
     /// feasibility (or a proof of primal infeasibility).
+    ///
+    /// The entering choice is the **long-step (bound-flipping) ratio test**:
+    /// all eligible breakpoints are collected and sorted by dual step
+    /// length; as long as the cheapest breakpoint belongs to a boxed column
+    /// whose flip capacity `|α_rj|·(ub_j − lb_j)` leaves the leaving row
+    /// still violated, the column is *flipped* to its opposite bound instead
+    /// of entering — the dual objective's slope stays positive past its
+    /// breakpoint, so the step legitimately continues — and a later
+    /// breakpoint's column performs the actual basis change. All flips are
+    /// applied with one FTRAN of the aggregated flip column. Under Bland's
+    /// rule the classic shortest-step test is used unchanged (the
+    /// anti-cycling argument needs it).
     pub fn dual(&mut self) -> Result<DualEnd, SolveError> {
         let n_total = self.c.n + self.c.m;
         let m = self.c.m;
@@ -597,7 +771,7 @@ impl<'a> Engine<'a> {
                     leave = Some((i, below, viol));
                 }
             }
-            let Some((r, below, _)) = leave else {
+            let Some((r, below, viol)) = leave else {
                 return Ok(DualEnd::PrimalFeasible);
             };
 
@@ -617,11 +791,13 @@ impl<'a> Engine<'a> {
             }
             self.fact.btran(&mut y);
 
-            // Entering column: dual ratio test. The leaving variable exits
-            // at its violated bound; entering candidates must push the basic
-            // value toward it while keeping every reduced cost feasible.
-            let mut enter: Option<(usize, f64)> = None; // (col, |ratio|)
-            let mut enter_arow = 0.0f64;
+            // Collect every eligible dual-ratio-test breakpoint. The leaving
+            // variable exits at its violated bound; entering candidates must
+            // push the basic value toward it while keeping every reduced
+            // cost feasible.
+            let mut cand = std::mem::take(&mut self.dual_cand);
+            cand.clear();
+            self.stats.pricing_scans += n_total;
             for j in 0..n_total {
                 let st = self.status[j];
                 if st == VarStatus::Basic || self.c.lb[j] == self.c.ub[j] {
@@ -655,50 +831,132 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 let d = self.c.cost[j] - self.c.col_dot(&y, j);
-                let ratio = (d / arow).abs();
-                let better = match &enter {
-                    None => true,
-                    Some((e, best)) => {
-                        if use_bland {
-                            ratio < *best - 1e-12 || (ratio < *best + 1e-12 && j < *e)
-                        } else {
-                            ratio < *best - 1e-12
-                                || (ratio < *best + 1e-12 && arow.abs() > enter_arow.abs())
-                        }
-                    }
-                };
-                if better {
-                    enter = Some((j, ratio));
-                    enter_arow = arow;
-                }
+                cand.push(DualCand {
+                    j,
+                    arow,
+                    ratio: (d / arow).abs(),
+                });
             }
             self.ybuf = y;
 
-            let Some((q, _)) = enter else {
+            if cand.is_empty() {
                 // No column can absorb the violation: primal infeasible.
                 // Orient the certificate so its value is positive.
                 let sign = if below { -1.0 } else { 1.0 };
                 let y_cert: Vec<f64> = rho.iter().map(|&v| sign * v).collect();
                 self.rowbuf = rho;
+                self.dual_cand = cand;
                 return Ok(DualEnd::Infeasible { y: y_cert });
-            };
+            }
             self.rowbuf = rho;
 
-            // FTRAN the entering column and pivot the violated row to its
-            // bound.
+            let tie = self.opts.ratio_tie_tol;
+            // `flip_upto`: candidates `cand[..flip_upto]` are flipped through
+            // (long step). Selection only — no state mutates until the
+            // entering pivot below is validated, so the refactorize-and-retry
+            // path leaves the dual-feasibility invariant intact.
+            let (q, flip_upto) = if use_bland {
+                // Classic shortest step, least index on ties, no flips (the
+                // anti-cycling argument needs the plain rule).
+                let mut best = 0usize;
+                for (i, c) in cand.iter().enumerate().skip(1) {
+                    let b = &cand[best];
+                    if c.ratio < b.ratio - tie || (c.ratio < b.ratio + tie && c.j < b.j) {
+                        best = i;
+                    }
+                }
+                (cand[best].j, 0)
+            } else {
+                // Long step: walk the breakpoints in dual-step order,
+                // flipping boxed columns through as long as the slope (the
+                // remaining primal violation) stays positive.
+                cand.sort_unstable_by(|a, b| {
+                    a.ratio
+                        .partial_cmp(&b.ratio)
+                        .unwrap()
+                        .then(b.arow.abs().partial_cmp(&a.arow.abs()).unwrap())
+                });
+                let flip_tol = self.opts.flip_tol;
+                let mut remaining = viol;
+                let mut chosen = cand.len() - 1;
+                for (i, c) in cand.iter().enumerate() {
+                    let range = self.c.ub[c.j] - self.c.lb[c.j];
+                    let capacity = range * c.arow.abs();
+                    let flippable = i + 1 < cand.len()
+                        && capacity.is_finite()
+                        && capacity > flip_tol
+                        && remaining - capacity > FEAS_TOL;
+                    if flippable {
+                        remaining -= capacity;
+                    } else {
+                        chosen = i;
+                        break;
+                    }
+                }
+                // Within the tie window past the chosen breakpoint, prefer
+                // the largest pivot (same stabilisation as the primal test).
+                let limit = cand[chosen].ratio + tie;
+                let mut best = chosen;
+                for (i, c) in cand.iter().enumerate().skip(chosen + 1) {
+                    if c.ratio > limit {
+                        break;
+                    }
+                    if c.arow.abs() > cand[best].arow.abs() {
+                        best = i;
+                    }
+                }
+                (cand[best].j, chosen)
+            };
+
+            // FTRAN the entering column and validate the pivot before any
+            // state changes.
             self.alpha.iter_mut().for_each(|v| *v = 0.0);
             self.c.scatter_col(q, &mut self.alpha);
             self.fact.ftran(&mut self.alpha);
             let alpha_r = self.alpha[r];
             if alpha_r.abs() <= PIVOT_TOL {
                 // The FTRAN image disagrees with the BTRAN row estimate:
-                // refactorize and retry once with cleaner numbers.
+                // refactorize and retry once with cleaner numbers. Nothing
+                // was flipped yet, so the basis state is untouched.
+                self.dual_cand = cand;
                 if !self.refactorize() {
                     return Err(SolveError::Numerical);
                 }
                 self.compute_xb();
                 continue;
             }
+
+            // Apply the pass-through flips (everything before the chosen
+            // breakpoint): statuses move to the opposite bound and x_B
+            // absorbs the aggregated flip column through a single FTRAN.
+            if flip_upto > 0 {
+                let mut w = std::mem::take(&mut self.flipbuf);
+                w.clear();
+                w.resize(m, 0.0);
+                for c in &cand[..flip_upto] {
+                    let range = self.c.ub[c.j] - self.c.lb[c.j];
+                    let (dv, st) = match self.status[c.j] {
+                        VarStatus::AtLower => (range, VarStatus::AtUpper),
+                        VarStatus::AtUpper => (-range, VarStatus::AtLower),
+                        _ => unreachable!("only boxed bound columns flip"),
+                    };
+                    if c.j < self.c.n {
+                        for (i, a) in self.c.a.col_iter(c.j) {
+                            w[i as usize] += a * dv;
+                        }
+                    } else {
+                        w[c.j - self.c.n] += dv;
+                    }
+                    self.status[c.j] = st;
+                }
+                self.fact.ftran(&mut w);
+                for (i, x) in self.xb.iter_mut().enumerate() {
+                    *x -= w[i];
+                }
+                self.stats.bound_flips += flip_upto;
+                self.flipbuf = w;
+            }
+            self.dual_cand = cand;
             let k = self.basic[r];
             let (target, leave_status) = if below {
                 (self.c.lb[k], VarStatus::AtLower)

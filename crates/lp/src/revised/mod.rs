@@ -12,7 +12,10 @@
 //! * maintains a **sparse factorized basis** (CSC constraint matrix, sparse
 //!   LU with Markowitz pivoting, sparse product-form eta updates, periodic
 //!   refactorization — see `lu.rs`) and prices via BTRAN/FTRAN instead of
-//!   updating a full tableau, with **devex pricing** in the primal phases;
+//!   updating a full tableau, with **devex pricing** in the primal phases
+//!   (over a rotating **candidate list** once the column count is large —
+//!   see the engine docs) and a **long-step bound-flipping ratio test** in
+//!   the dual simplex;
 //! * exposes the basis as a value ([`Basis`]) so the *next* solve of a
 //!   perturbed problem can resume from it: after a variable-bound change
 //!   (branch-and-bound) or an RHS change / appended constraint (Benders),
@@ -50,6 +53,8 @@
 
 mod canon;
 mod engine;
+#[cfg(any(test, feature = "testgen"))]
+pub mod gen;
 pub(crate) mod lu;
 
 use crate::model::Problem;
@@ -136,6 +141,18 @@ pub struct LpStats {
     pub warm_starts: usize,
     /// Solves performed from the all-logical cold basis.
     pub cold_starts: usize,
+    /// Nonbasic columns flipped between their finite bounds without a basis
+    /// change: primal ratio-test flips plus the long-step (bound-flipping)
+    /// dual ratio test's pass-through breakpoints. Each flip replaces what
+    /// would otherwise be a full pivot.
+    pub bound_flips: usize,
+    /// Columns examined by the entering-candidate scans (primal pricing and
+    /// the dual ratio test). With candidate-list partial pricing this grows
+    /// sublinearly in total column count per iteration.
+    pub pricing_scans: usize,
+    /// Candidate-list rebuilds: the rotating pricing bucket went stale (no
+    /// attractive column left in it) and was refreshed from a wider scan.
+    pub candidate_refreshes: usize,
 }
 
 impl LpStats {
@@ -155,6 +172,9 @@ impl LpStats {
         self.eta_len_end += other.eta_len_end;
         self.warm_starts += other.warm_starts;
         self.cold_starts += other.cold_starts;
+        self.bound_flips += other.bound_flips;
+        self.pricing_scans += other.pricing_scans;
+        self.candidate_refreshes += other.candidate_refreshes;
     }
 }
 

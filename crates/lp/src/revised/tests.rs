@@ -139,6 +139,7 @@ fn degenerate_beale_does_not_cycle() {
     let opts = SimplexOptions {
         max_iterations: 10_000,
         bland_after: 16,
+        ..SimplexOptions::default()
     };
     let s = revised::solve(&p, &opts).unwrap().unwrap_optimal();
     assert_close(s.objective, -0.05, 1e-7);
@@ -377,64 +378,12 @@ fn long_warm_chain_stays_exact() {
 }
 
 // ---------------------------------------- dense-tableau cross-check (prop)
+//
+// The random LPs come from the shared fixture generator
+// (`crate::revised::gen`), which the integration cross-checks and the bench
+// torture probes reuse — one generator, three test layers.
 
-/// Deterministic uniform in [lo, hi) from a cheap hash — keeps the
-/// cross-check free of dev-dependency wiring beyond the rand stub.
-struct XorShift(u64);
-
-impl XorShift {
-    fn next_f64(&mut self) -> f64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        (self.0 >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + (hi - lo) * self.next_f64()
-    }
-
-    fn index(&mut self, n: usize) -> usize {
-        (self.next_f64() * n as f64) as usize % n.max(1)
-    }
-}
-
-/// Builds a random bounded LP with a mix of bound shapes and row senses.
-fn random_lp(rng: &mut XorShift) -> Problem {
-    let nv = 1 + rng.index(7);
-    let nc = 1 + rng.index(7);
-    let mut p = Problem::new();
-    let mut vars = Vec::new();
-    for _ in 0..nv {
-        let shape = rng.index(5);
-        let (lb, ub) = match shape {
-            0 => (0.0, f64::INFINITY),
-            1 => (0.0, rng.uniform(0.5, 8.0)),
-            2 => (rng.uniform(-5.0, 0.0), rng.uniform(0.5, 8.0)),
-            3 => (f64::NEG_INFINITY, rng.uniform(0.0, 8.0)),
-            _ => {
-                let v = rng.uniform(-2.0, 2.0);
-                (v, v) // fixed
-            }
-        };
-        vars.push(p.add_var(lb, ub, rng.uniform(-3.0, 3.0)));
-    }
-    for _ in 0..nc {
-        let mut row: Vec<(VarId, f64)> = Vec::new();
-        for &v in &vars {
-            if rng.next_f64() < 0.8 {
-                row.push((v, rng.uniform(-4.0, 4.0)));
-            }
-        }
-        let cmp = match rng.index(4) {
-            0 => Cmp::Ge,
-            1 => Cmp::Eq,
-            _ => Cmp::Le,
-        };
-        p.add_cons(&row, cmp, rng.uniform(-6.0, 10.0));
-    }
-    p
-}
+use crate::revised::gen::{random_bound_edit, random_lp, GenRng, LpGenConfig};
 
 /// Strong-duality + complementary-slackness validation of a solution.
 fn check_solution(p: &Problem, obj: f64, x: &[f64], duals: &[f64], tag: &str) {
@@ -557,12 +506,13 @@ fn check_farkas(p: &Problem, f: &Farkas, tag: &str) {
 
 #[test]
 fn cross_check_revised_vs_dense_on_200_random_lps() {
-    let mut rng = XorShift(0x00C0_FFEE_D00D_5EED);
+    let mut rng = GenRng::new(0x00C0_FFEE_D00D_5EED);
+    let cfg = LpGenConfig::default();
     let mut optimal = 0;
     let mut infeasible = 0;
     let mut unbounded = 0;
     for case in 0..200 {
-        let p = random_lp(&mut rng);
+        let p = random_lp(&mut rng, &cfg);
         let dense = p
             .solve()
             .unwrap_or_else(|e| panic!("case {case}: dense failed: {e}"));
@@ -623,9 +573,10 @@ fn kind(o: &Outcome) -> &'static str {
 fn cross_check_warm_chains_against_dense() {
     // Random base LP, then a chain of bound tightenings (B&B-style); the
     // warm path must track the dense oracle at every step.
-    let mut rng = XorShift(0xBEEF_BEEF_BEEF_0001);
+    let mut rng = GenRng::new(0xBEEF_BEEF_BEEF_0001);
+    let cfg = LpGenConfig::default();
     for case in 0..40 {
-        let mut p = random_lp(&mut rng);
+        let mut p = random_lp(&mut rng, &cfg);
         let mut basis: Option<Basis> = None;
         for step in 0..6 {
             let w = p
@@ -651,30 +602,7 @@ fn cross_check_warm_chains_against_dense() {
             }
             basis = Some(w.basis);
             // Tighten a random variable's box, keeping lb ≤ ub.
-            if p.num_vars() > 0 {
-                let j = rng.index(p.num_vars());
-                let v = VarId(j);
-                let (lb, ub) = p.bounds(v);
-                if rng.next_f64() < 0.5 {
-                    let new_ub = if ub.is_finite() {
-                        ub * 0.6
-                    } else {
-                        rng.uniform(0.0, 4.0)
-                    };
-                    if new_ub >= lb {
-                        p.set_bounds(v, lb, new_ub);
-                    }
-                } else {
-                    let new_lb = if lb.is_finite() {
-                        lb * 0.5 + 0.1
-                    } else {
-                        rng.uniform(-3.0, 0.0)
-                    };
-                    if new_lb <= ub {
-                        p.set_bounds(v, new_lb, ub);
-                    }
-                }
-            }
+            random_bound_edit(&mut rng, &mut p);
         }
     }
 }
@@ -704,6 +632,276 @@ fn objective_flip_with_unrepairable_column_stays_feasible() {
     );
     assert_close(s.objective, -10.0, 1e-7);
     let _ = cap;
+}
+
+// ------------------------------- warm-restart chain oracle + nasty pivots
+
+mod warm_chain_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Warm-restart chains of random bound edits against the dense
+        /// oracle: classification and objective agree at every link, a warm
+        /// bound-edit re-solve never needs phase 1 (dual feasibility is
+        /// preserved across the repair/long-step bound flips), and warm
+        /// pivots never exceed a cold solve of the same link.
+        #[test]
+        fn warm_bound_edit_chains_match_dense_oracle(seed in 0u64..1u64 << 48) {
+            let mut rng = GenRng::new(seed);
+            let cfg = LpGenConfig {
+                boxed: 0.5,
+                bound_tightness: 0.6,
+                ..LpGenConfig::default()
+            };
+            let mut p = random_lp(&mut rng, &cfg);
+            let mut basis: Option<Basis> = None;
+            let mut prev_optimal = false;
+            for link in 0..6 {
+                let warm = p.solve_warm(basis.as_ref()).unwrap();
+                let dense = p.solve().unwrap();
+                match (&dense, &warm.outcome) {
+                    (Outcome::Optimal(a), Outcome::Optimal(b)) => {
+                        prop_assert!(
+                            (a.objective - b.objective).abs()
+                                <= 1e-6 * (1.0 + a.objective.abs()),
+                            "link {}: dense {} vs warm {}", link, a.objective, b.objective
+                        );
+                    }
+                    (Outcome::Infeasible(_), Outcome::Infeasible(f)) => {
+                        check_farkas(&p, f, &format!("link {link} warm"));
+                    }
+                    (Outcome::Unbounded, Outcome::Unbounded) => {}
+                    other => prop_assert!(
+                        false,
+                        "link {}: dense {:?} vs warm {:?}", link, kind(other.0), kind(other.1)
+                    ),
+                }
+                if basis.is_some() && prev_optimal {
+                    prop_assert_eq!(
+                        warm.stats.phase1_pivots, 0,
+                        "link {}: a bound edit must preserve dual feasibility", link
+                    );
+                    // +1 slack: a degenerate-lucky cold start can prove its
+                    // outcome with zero pivots where the warm re-solve pays
+                    // a single closing pivot (same rationale as the bench
+                    // snapshot gate).
+                    let cold = p.solve_warm(None).unwrap();
+                    prop_assert!(
+                        warm.stats.total_pivots() <= cold.stats.total_pivots() + 1,
+                        "link {}: warm {} pivots vs cold {}",
+                        link, warm.stats.total_pivots(), cold.stats.total_pivots()
+                    );
+                }
+                prev_optimal = matches!(warm.outcome, Outcome::Optimal(_));
+                basis = Some(warm.basis);
+                random_bound_edit(&mut rng, &mut p);
+            }
+        }
+    }
+}
+
+#[test]
+fn long_step_dual_resolve_flips_bounds() {
+    // A knapsack-relaxation re-solve whose capacity collapses: the single
+    // dual pivot must walk through the cheap breakpoints by *flipping* the
+    // boxed columns (long-step ratio test) instead of pivoting them one by
+    // one. Hand-computable: with capacity 2 only the two most valuable
+    // variables stay up, so three columns flip and one enters.
+    let mut p = Problem::new();
+    let vars: Vec<VarId> = (0..8)
+        .map(|j| p.add_var(0.0, 1.0, -((j + 1) as f64)))
+        .collect();
+    let row: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+    let cap = p.add_cons(&row, Cmp::Le, 6.5);
+    let first = p.solve_warm(None).unwrap();
+    assert_close(first.outcome.unwrap_optimal().objective, -34.0, 1e-7);
+
+    p.set_rhs(cap, 2.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_close(warm.outcome.unwrap_optimal().objective, -15.0, 1e-7);
+    assert!(
+        warm.stats.bound_flips >= 3,
+        "expected a long step through >= 3 bound flips, got {}",
+        warm.stats.bound_flips
+    );
+    assert!(
+        warm.stats.dual_pivots <= 2,
+        "the long step should need at most 2 pivots, took {}",
+        warm.stats.dual_pivots
+    );
+}
+
+#[test]
+fn candidate_list_pricing_on_wide_lp_matches_dense() {
+    // 300+ columns put the solve on the partial-pricing path (candidate
+    // list + rotating refresh); the optimum must still match the dense
+    // oracle, and the stats must show the list machinery actually engaged.
+    let mut rng = GenRng::new(0xFACE_0FF5);
+    let mut p = Problem::new();
+    let vars: Vec<VarId> = (0..300)
+        .map(|j| p.add_var(0.0, 1.0 + (j % 7) as f64 * 0.5, -rng.uniform(0.5, 3.0)))
+        .collect();
+    for r in 0..12 {
+        let row: Vec<(VarId, f64)> = vars
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| (j + r) % 3 != 0)
+            .map(|(_, &v)| (v, rng.uniform(0.2, 2.0)))
+            .collect();
+        p.add_cons(&row, Cmp::Le, rng.uniform(40.0, 80.0));
+    }
+    let w = p.solve_warm(None).unwrap();
+    let dense = p.solve().unwrap().unwrap_optimal();
+    let s = w.outcome.unwrap_optimal();
+    assert!(
+        (s.objective - dense.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()),
+        "partial pricing diverged: revised {} vs dense {}",
+        s.objective,
+        dense.objective
+    );
+    assert!(
+        w.stats.candidate_refreshes >= 1,
+        "expected at least one candidate-list refresh on a 312-column LP"
+    );
+    assert!(w.stats.pricing_scans > 0);
+}
+
+#[test]
+fn randomized_wide_lps_exercise_candidate_list_pricing() {
+    // The wide torture preset guarantees every draw crosses the
+    // partial-pricing threshold, so the candidate-list scan/refresh path
+    // gets *randomized* coverage (the fixed-seed test above only pins one
+    // instance). Each case runs a short warm chain against the dense
+    // oracle.
+    let mut rng = GenRng::new(0x51DE_CA51_0000_0001);
+    let cfg = LpGenConfig::torture_wide();
+    let mut stats = LpStats::default();
+    for case in 0..6 {
+        let mut p = random_lp(&mut rng, &cfg);
+        let mut basis: Option<Basis> = None;
+        for link in 0..2 {
+            let w = p
+                .solve_warm(basis.as_ref())
+                .unwrap_or_else(|e| panic!("case {case} link {link}: {e}"));
+            stats.absorb(&w.stats);
+            let dense = p.solve().unwrap();
+            match (&dense, &w.outcome) {
+                (Outcome::Optimal(a), Outcome::Optimal(b)) => assert!(
+                    (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                    "case {case} link {link}: dense {} vs revised {}",
+                    a.objective,
+                    b.objective
+                ),
+                (Outcome::Infeasible(_), Outcome::Infeasible(_)) => {}
+                (Outcome::Unbounded, Outcome::Unbounded) => {}
+                other => panic!(
+                    "case {case} link {link}: dense {:?} vs revised {:?}",
+                    kind(other.0),
+                    kind(other.1)
+                ),
+            }
+            basis = Some(w.basis);
+            random_bound_edit(&mut rng, &mut p);
+        }
+    }
+    assert!(
+        stats.candidate_refreshes > 0,
+        "wide chains never refreshed a candidate list"
+    );
+}
+
+#[test]
+fn all_degenerate_dual_steps_fall_back_to_bland() {
+    // Fully degenerate instances (every row tight at the generator's
+    // reference point) re-solved warm with `bland_after = 0`: the dual pass
+    // must run the classic least-index ratio test — no long steps — and
+    // still match the dense oracle at every link.
+    let mut rng = GenRng::new(0xD15E_A5ED_0000_0007);
+    let cfg = LpGenConfig {
+        degeneracy: 1.0,
+        boxed: 0.6,
+        ..LpGenConfig::default()
+    };
+    let opts = SimplexOptions {
+        bland_after: 0,
+        ..SimplexOptions::default()
+    };
+    for case in 0..40 {
+        let mut p = random_lp(&mut rng, &cfg);
+        let first = p
+            .solve_warm_with(None, &opts)
+            .unwrap_or_else(|e| panic!("case {case}: cold solve failed: {e}"));
+        random_bound_edit(&mut rng, &mut p);
+        let warm = p
+            .solve_warm_with(Some(&first.basis), &opts)
+            .unwrap_or_else(|e| panic!("case {case}: warm solve failed: {e}"));
+        let dense = p.solve().unwrap();
+        match (&dense, &warm.outcome) {
+            (Outcome::Optimal(a), Outcome::Optimal(b)) => assert!(
+                (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                "case {case}: dense {} vs warm-Bland {}",
+                a.objective,
+                b.objective
+            ),
+            (Outcome::Infeasible(_), Outcome::Infeasible(_)) => {}
+            (Outcome::Unbounded, Outcome::Unbounded) => {}
+            other => panic!(
+                "case {case}: dense {:?} vs warm-Bland {:?}",
+                kind(other.0),
+                kind(other.1)
+            ),
+        }
+    }
+}
+
+#[test]
+fn coinciding_bounds_column_is_never_flipped() {
+    // A fixed column (lb == ub) with a seductively negative cost sits among
+    // boxed flip candidates. The ratio tests must skip it — "flipping"
+    // between coinciding bounds is a no-op that would only corrupt the
+    // status bookkeeping — and it must stay pinned in the solution.
+    let mut p = Problem::new();
+    let a = p.add_var(0.0, 1.0, -4.0);
+    let b = p.add_var(0.0, 1.0, -3.0);
+    let f = p.add_var(2.0, 2.0, -100.0);
+    let c = p.add_var(0.0, 1.0, -2.0);
+    let cap = p.add_cons(&[(a, 1.0), (b, 1.0), (f, 1.0), (c, 1.0)], Cmp::Le, 4.5);
+    let first = p.solve_warm(None).unwrap();
+    let s0 = first.outcome.clone().unwrap_optimal();
+    assert_close(s0.value(f), 2.0, 1e-9);
+
+    p.set_rhs(cap, 2.5); // fixed column alone consumes 2.0 of it
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    let s = warm.outcome.unwrap_optimal();
+    assert_close(s.value(f), 2.0, 1e-9);
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(s.objective, reference, 1e-7);
+}
+
+#[test]
+fn warm_dual_certificate_on_box_infeasible_node() {
+    // A bound edit drives the node primal-infeasible while every entering
+    // candidate is a boxed column: the dual pass exhausts its flips and
+    // must return a separating Farkas certificate (the unbounded-dual ray).
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 2.0, 1.0);
+    let y = p.add_var(0.0, 2.0, 2.0);
+    let z = p.add_var(0.0, 2.0, 3.0);
+    p.add_cons(&[(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Ge, 3.0);
+    let first = p.solve_warm(None).unwrap();
+    assert!(first.outcome.is_optimal());
+
+    p.set_bounds(x, 0.0, 0.5);
+    p.set_bounds(y, 0.0, 1.0);
+    p.set_bounds(z, 0.0, 0.75);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    match warm.outcome {
+        Outcome::Infeasible(f) => check_farkas(&p, &f, "box-infeasible node"),
+        other => panic!("expected infeasible, got {other:?}"),
+    }
 }
 
 // --------------------------------------- persistent-factorization contract

@@ -38,6 +38,17 @@ pub struct SimplexOptions {
     /// phase 1, phase 2, and (in the revised engine) each dual-simplex pass
     /// each get a fresh `bland_after` budget of Dantzig pivots.
     pub bland_after: usize,
+    /// Tie window for the primal and dual ratio tests (revised engine):
+    /// candidates whose ratio lies within this of the best are considered
+    /// tied, and the tie is broken by pivot magnitude (or least index under
+    /// Bland's rule). One tolerance, applied consistently in both tests.
+    pub ratio_tie_tol: f64,
+    /// Long-step dual ratio test threshold (revised engine): a breakpoint
+    /// column is flipped through — instead of entering — only when its flip
+    /// capacity `|α_j|·(ub_j − lb_j)` exceeds this *and* leaves at least this
+    /// much primal violation for the eventual entering pivot. Guards against
+    /// churning on bound ranges that are numerically zero.
+    pub flip_tol: f64,
 }
 
 impl Default for SimplexOptions {
@@ -45,6 +56,8 @@ impl Default for SimplexOptions {
         Self {
             max_iterations: 200_000,
             bland_after: 10_000,
+            ratio_tie_tol: 1e-10,
+            flip_tol: 1e-9,
         }
     }
 }

@@ -256,6 +256,7 @@ fn degenerate_does_not_cycle() {
     let opts = SimplexOptions {
         max_iterations: 10_000,
         bland_after: 16,
+        ..SimplexOptions::default()
     };
     let s = p.solve_with(&opts).unwrap().unwrap_optimal();
     assert_close(s.objective, -0.05, 1e-7);

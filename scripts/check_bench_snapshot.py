@@ -4,11 +4,21 @@
 Run by the CI bench-smoke job. Validates that the snapshot
 
 * parses and covers every benchmark family and scale,
-* carries the wall-clock and sparse-LU telemetry columns (warm/cold
-  seconds, refactorization counts, factorization reuses, fill-in),
-* shows warm total pivots <= cold total pivots at every scale, and
-* shows a warm pure-RHS slave re-solve performing zero refactorizations
-  (the persisted-factorization contract).
+* carries the wall-clock, sparse-LU, and long-step/pricing telemetry
+  columns (warm/cold seconds, refactorization counts, factorization
+  reuses, fill-in, bound flips, pricing scans, candidate refreshes),
+* shows warm total pivots <= cold total pivots at every scale (modulo a
+  per-solve slack: since the bound-native slave, a degenerate-lucky cold
+  start can legitimately prove its outcome with zero pivots while the
+  warm re-solve pays a single closing pivot),
+* never regresses warm pivots past the committed PR-2 snapshot values —
+  the gate that keeps the long-step dual ratio test and candidate-list
+  pricing from silently rotting,
+* shows a warm pure-RHS/bound slave re-solve performing zero
+  refactorizations (the persisted-factorization contract) with at least
+  one long-step bound flip (the bound-flipping ratio test contract), and
+* shows the randomized LP torture chain exercising warm starts and
+  bound flips at all.
 
 Exit code 0 on success, 1 with a message per violation otherwise.
 """
@@ -22,6 +32,7 @@ SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_solvers.json"
 REQUIRED_FIELDS = {
     "slave_chain": [
         "scale",
+        "solves",
         "warm_seconds",
         "cold_seconds",
         "warm_pivots",
@@ -31,6 +42,11 @@ REQUIRED_FIELDS = {
         "warm_factorization_reuses",
         "warm_fill_in",
         "cold_fill_in",
+        "warm_bound_flips",
+        "cold_bound_flips",
+        "warm_pricing_scans",
+        "cold_pricing_scans",
+        "warm_candidate_refreshes",
         "time_speedup",
     ],
     "benders_bnb": [
@@ -44,6 +60,11 @@ REQUIRED_FIELDS = {
         "warm_factorization_reuses",
         "warm_fill_in",
         "cold_fill_in",
+        "warm_bound_flips",
+        "cold_bound_flips",
+        "warm_pricing_scans",
+        "cold_pricing_scans",
+        "warm_candidate_refreshes",
         "time_speedup",
     ],
     "slave_resolve": [
@@ -53,11 +74,38 @@ REQUIRED_FIELDS = {
         "resolve_refactorizations",
         "resolve_factorization_reuses",
         "resolve_pivots",
+        "resolve_bound_flips",
+        "resolve_pricing_scans",
         "cold_pivots",
+    ],
+    "lp_torture": [
+        "scale",
+        "seconds",
+        "warm_starts",
+        "cold_starts",
+        "pivots",
+        "dual_pivots",
+        "bound_flips",
+        "pricing_scans",
+        "candidate_refreshes",
     ],
 }
 
 EXPECTED_SCALES = {"small", "paper", "10x_paper"}
+
+# Warm pivot counts of the PR-2 snapshot (pre long-step / pre
+# candidate-list). The candidate-list + bound-flipping paths must never
+# be slower, pivot-wise, than the engine they replaced.
+PRIOR_WARM_PIVOTS = {
+    ("slave_chain", "small"): 38,
+    ("slave_chain", "paper"): 429,
+    ("slave_chain", "10x_paper"): 485,
+    ("benders_bnb", "small"): 43,
+    ("benders_bnb", "paper"): 177,
+    ("slave_resolve", "small"): 0,
+    ("slave_resolve", "paper"): 35,
+    ("slave_resolve", "10x_paper"): 24,
+}
 
 
 def main() -> int:
@@ -82,26 +130,60 @@ def main() -> int:
         for field in REQUIRED_FIELDS[bench]:
             if field not in entry:
                 errors.append(f"{tag}: missing field '{field}'")
-        if "warm_pivots" in entry and "cold_pivots" in entry:
-            if entry["warm_pivots"] > entry["cold_pivots"]:
+
+        warm_pivots = entry.get("warm_pivots", entry.get("resolve_pivots"))
+        if warm_pivots is not None and "cold_pivots" in entry:
+            # Per-solve slack: a degenerate-lucky cold start may need zero
+            # pivots where the warm re-solve pays one closing pivot.
+            slack = entry.get("solves", 1)
+            if warm_pivots > entry["cold_pivots"] + slack:
                 errors.append(
-                    f"{tag}: warm pivots {entry['warm_pivots']} exceed "
-                    f"cold pivots {entry['cold_pivots']}"
+                    f"{tag}: warm pivots {warm_pivots} exceed "
+                    f"cold pivots {entry['cold_pivots']} (+{slack} slack)"
                 )
+
+        prior = PRIOR_WARM_PIVOTS.get((bench, entry.get("scale")))
+        if prior is not None and warm_pivots is not None and warm_pivots > prior:
+            errors.append(
+                f"{tag}: warm pivots {warm_pivots} regressed past the "
+                f"PR-2 snapshot value {prior} — the long-step/candidate-list "
+                "path got slower"
+            )
+
         if bench == "slave_resolve":
             if entry.get("resolve_refactorizations", 1) != 0:
                 errors.append(
-                    f"{tag}: pure-RHS re-solve performed "
+                    f"{tag}: pure-RHS/bound re-solve performed "
                     f"{entry.get('resolve_refactorizations')} refactorizations "
                     "(persisted factorization not reused)"
                 )
             if entry.get("resolve_factorization_reuses", 0) < 1:
                 errors.append(f"{tag}: re-solve did not reuse a factorization")
+            if entry.get("resolve_bound_flips", 0) <= 0:
+                errors.append(
+                    f"{tag}: re-solve performed no bound flips — the "
+                    "long-step dual ratio test is not engaging on the "
+                    "bound-native slave"
+                )
+
+        if bench == "lp_torture":
+            if entry.get("bound_flips", 0) <= 0:
+                errors.append(f"{tag}: torture chain produced no bound flips")
+            if entry.get("warm_starts", 0) <= entry.get("cold_starts", 0):
+                errors.append(f"{tag}: torture chains were not warm-started")
+            if entry.get("pivots", 0) <= 0:
+                errors.append(f"{tag}: torture chain performed no pivots")
 
     # Every family must cover every scale (benders_bnb intentionally skips
-    # the largest scale in the snapshot's criterion pass).
+    # the largest scale in the snapshot's criterion pass; the torture chain
+    # has its own single scale).
     for bench, scales in seen_scales.items():
-        want = EXPECTED_SCALES - ({"10x_paper"} if bench == "benders_bnb" else set())
+        if bench == "lp_torture":
+            want = {"torture"}
+        elif bench == "benders_bnb":
+            want = EXPECTED_SCALES - {"10x_paper"}
+        else:
+            want = EXPECTED_SCALES
         missing = want - scales
         if missing:
             errors.append(f"{bench}: missing scales {sorted(missing)}")

@@ -1,10 +1,14 @@
 //! Cross-crate solver validation on *generated operator topologies* (the
 //! in-crate unit tests use hand-built toys; this exercises the full
-//! topology → instance → solver path).
+//! topology → instance → solver path), plus a randomized LP torture
+//! harness driving the warm-start engine through the same shared fixture
+//! generator the `ovnes-lp` unit tests and the bench probes use.
 
 use ovnes::problem::{AcrrInstance, PathPolicy, TenantInput};
 use ovnes::slice::{SliceClass, SliceTemplate};
 use ovnes::solver::{baseline, benders, kac, oneshot};
+use ovnes_lp::revised::gen::{random_bound_edit, random_lp, GenRng, LpGenConfig};
+use ovnes_lp::{Basis, LpStats, Outcome};
 use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
 
 fn tenants_on(model: &NetworkModel, classes: &[(SliceClass, f64, f64)]) -> Vec<TenantInput> {
@@ -104,6 +108,67 @@ fn solvers_agree_under_extreme_penalties() {
     let b = benders::solve(&inst, &benders::BendersOptions::default()).unwrap();
     let o = oneshot::solve(&inst).unwrap();
     assert!((b.objective - o.objective).abs() < 1e-5);
+}
+
+#[test]
+fn randomized_lp_torture_warm_chains_match_dense_oracle() {
+    // Larger instances than the unit-level cross-checks (the generator is
+    // shared; only the knobs differ): tight boxes and heavy degeneracy, a
+    // chain of bound edits per instance, every link checked against the
+    // dense tableau oracle. Warm pivots must never exceed the cold solve of
+    // the same link, and warm bound-edit restarts must never need phase 1.
+    let mut rng = GenRng::new(0x7012_7012_7012_7012);
+    let cfg = LpGenConfig::torture();
+    let mut stats = LpStats::default();
+    for case in 0..60 {
+        let mut p = random_lp(&mut rng, &cfg);
+        let mut basis: Option<Basis> = None;
+        let mut prev_optimal = false;
+        for link in 0..5 {
+            let tag = format!("case {case} link {link}");
+            let warm = p
+                .solve_warm(basis.as_ref())
+                .unwrap_or_else(|e| panic!("{tag}: warm solve failed: {e}"));
+            stats.absorb(&warm.stats);
+            let dense = p.solve().unwrap_or_else(|e| panic!("{tag}: dense: {e}"));
+            match (&dense, &warm.outcome) {
+                (Outcome::Optimal(a), Outcome::Optimal(b)) => assert!(
+                    (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                    "{tag}: dense {} vs warm {}",
+                    a.objective,
+                    b.objective
+                ),
+                (Outcome::Infeasible(_), Outcome::Infeasible(_)) => {}
+                (Outcome::Unbounded, Outcome::Unbounded) => {}
+                _ => panic!("{tag}: engines disagree on classification"),
+            }
+            if basis.is_some() && prev_optimal {
+                assert_eq!(
+                    warm.stats.phase1_pivots, 0,
+                    "{tag}: bound edits must keep the warm basis dual feasible"
+                );
+                // +1 slack: a degenerate-lucky cold start can prove its
+                // outcome with zero pivots where the warm re-solve pays a
+                // single closing pivot (same rationale as the bench gate).
+                let cold = p.solve_warm(None).unwrap();
+                assert!(
+                    warm.stats.total_pivots() <= cold.stats.total_pivots() + 1,
+                    "{tag}: warm {} pivots vs cold {}",
+                    warm.stats.total_pivots(),
+                    cold.stats.total_pivots()
+                );
+            }
+            prev_optimal = matches!(warm.outcome, Outcome::Optimal(_));
+            basis = Some(warm.basis);
+            random_bound_edit(&mut rng, &mut p);
+        }
+    }
+    // The torture mix must actually exercise the long-step machinery.
+    assert!(
+        stats.bound_flips > 0,
+        "no bound flips across the whole torture run"
+    );
+    assert!(stats.warm_starts > 100, "chains were not warm-started");
 }
 
 #[test]
