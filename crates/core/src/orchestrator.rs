@@ -30,6 +30,12 @@ use std::collections::HashMap;
 pub struct OrchestratorConfig {
     /// Which AC-RR algorithm to run each epoch.
     pub solver: SolverKind,
+    /// Branch-and-bound worker threads for the epoch solves (Benders
+    /// master / one-shot / baseline MILPs fan their node relaxations across
+    /// this many `std::thread::scope` workers; admission decisions are
+    /// deterministic in it). Defaults to [`ovnes_milp::default_threads`]
+    /// (the `OVNES_MILP_THREADS` environment variable, or 1).
+    pub threads: usize,
     /// Overbooking on/off (off ⇒ the no-overbooking baseline semantics).
     pub overbooking: bool,
     /// Monitoring samples per epoch (the paper's κ; testbed uses 12 × 5 min).
@@ -79,6 +85,7 @@ impl Default for OrchestratorConfig {
     fn default() -> Self {
         Self {
             solver: SolverKind::Benders,
+            threads: ovnes_milp::default_threads(),
             overbooking: true,
             samples_per_epoch: 12,
             season_epochs: 6,
@@ -299,7 +306,7 @@ impl Orchestrator {
         } else {
             SolverKind::NoOverbooking
         };
-        let allocation = solver::solve(&instance, kind)?;
+        let allocation = solver::solve_threaded(&instance, kind, self.config.threads)?;
 
         // 4. Apply the decision: update active set, return rejects to queue.
         // Under adaptive reservations the enforced z is trimmed down to the

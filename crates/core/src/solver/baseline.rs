@@ -12,12 +12,19 @@ use crate::problem::{AcrrInstance, Allocation, SolveStats};
 use ovnes_lp::{Cmp, Problem, VarId};
 use ovnes_milp::{Milp, MilpOutcome};
 
-/// Solves the no-overbooking admission problem optimally.
+/// Solves the no-overbooking admission problem optimally (worker count from
+/// [`ovnes_milp::default_threads`]).
 ///
 /// # Panics
 /// Panics if the instance was built with `overbooking = true` — the
 /// baseline must price full-SLA reservations.
 pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
+    solve_threaded(instance, ovnes_milp::default_threads())
+}
+
+/// [`solve`] with an explicit branch-and-bound worker count (results are
+/// deterministic in it).
+pub fn solve_threaded(instance: &AcrrInstance, threads: usize) -> Result<Allocation, AcrrError> {
     assert!(
         !instance.overbooking,
         "baseline requires an instance built with overbooking = false"
@@ -123,6 +130,7 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
     for (_, v) in &u_vars {
         milp.mark_integer(*v);
     }
+    milp.set_threads(threads);
     let sol = match milp.solve()? {
         MilpOutcome::Optimal(s) => s,
         MilpOutcome::Infeasible => return Err(AcrrError::Infeasible),

@@ -24,7 +24,9 @@ pub struct BendersOptions {
     pub max_iterations: usize,
     /// Convergence threshold on `UB − LB` (absolute, on the Ψ scale).
     pub epsilon: f64,
-    /// Node budget per master MILP solve.
+    /// Node budget, worker-thread count, and simplex options per master
+    /// MILP solve (`milp.threads` is the parallel branch-and-bound knob —
+    /// admission decisions are deterministic in it).
     pub milp: MilpOptions,
     /// Reuse bases across iterations: the slave re-prices warm from the
     /// previous admission's basis and the master resumes its stored root

@@ -65,12 +65,31 @@ impl From<ovnes_lp::SolveError> for AcrrError {
     }
 }
 
-/// Dispatches an instance to the chosen solver.
+/// Dispatches an instance to the chosen solver (branch-and-bound worker
+/// count from [`ovnes_milp::default_threads`]).
 pub fn solve(instance: &AcrrInstance, kind: SolverKind) -> Result<Allocation, AcrrError> {
+    solve_threaded(instance, kind, ovnes_milp::default_threads())
+}
+
+/// Dispatches with an explicit branch-and-bound worker count — the knob the
+/// orchestrator threads down from
+/// [`OrchestratorConfig::threads`](crate::orchestrator::OrchestratorConfig).
+/// Every MILP-backed solver (Benders master, one-shot, baseline) fans its
+/// node relaxations across that many workers; KAC is LP-only and ignores
+/// it. Results are deterministic in `threads` for all solvers.
+pub fn solve_threaded(
+    instance: &AcrrInstance,
+    kind: SolverKind,
+    threads: usize,
+) -> Result<Allocation, AcrrError> {
     match kind {
-        SolverKind::Benders => benders::solve(instance, &benders::BendersOptions::default()),
+        SolverKind::Benders => {
+            let mut options = benders::BendersOptions::default();
+            options.milp.threads = threads.max(1);
+            benders::solve(instance, &options)
+        }
         SolverKind::Kac => kac::solve(instance, &kac::KacOptions::default()),
-        SolverKind::OneShot => oneshot::solve(instance),
-        SolverKind::NoOverbooking => baseline::solve(instance),
+        SolverKind::OneShot => oneshot::solve_threaded(instance, threads),
+        SolverKind::NoOverbooking => baseline::solve_threaded(instance, threads),
     }
 }

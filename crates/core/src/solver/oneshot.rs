@@ -10,8 +10,16 @@ use crate::problem::{AcrrInstance, Allocation, SolveStats};
 use ovnes_lp::{Cmp, Problem, VarId};
 use ovnes_milp::{Milp, MilpOutcome};
 
-/// Solves the AC-RR instance as a single MILP.
+/// Solves the AC-RR instance as a single MILP (worker count from
+/// [`ovnes_milp::default_threads`]).
 pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
+    solve_threaded(instance, ovnes_milp::default_threads())
+}
+
+/// [`solve`] with an explicit branch-and-bound worker count — the one-shot
+/// tree is the deepest in the codebase, so it benefits the most from the
+/// parallel node fan-out. Results are deterministic in `threads`.
+pub fn solve_threaded(instance: &AcrrInstance, threads: usize) -> Result<Allocation, AcrrError> {
     if !instance.forced_feasible() {
         return Err(AcrrError::ForcedInfeasible);
     }
@@ -142,6 +150,7 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
     for (_, v) in &u_vars {
         milp.mark_integer(*v);
     }
+    milp.set_threads(threads);
     let sol = match milp.solve()? {
         MilpOutcome::Optimal(s) => s,
         MilpOutcome::Infeasible => return Err(AcrrError::Infeasible),

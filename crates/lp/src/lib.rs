@@ -48,7 +48,11 @@
 //! simply move to their opposite finite bound are flipped through (one
 //! aggregated FTRAN) and the step continues, collapsing chains of
 //! degenerate dual pivots into a single basis change — exactly the shape of
-//! the bound-heavy slave/node re-solves this engine exists for. Ratio-test
+//! the bound-heavy slave/node re-solves this engine exists for. The dual
+//! simplex also picks its **leaving row by dual devex weights**
+//! (`violation²/w_i`, Forrest–Goldfarb row weights updated from each pivot
+//! column) rather than the raw worst violation, the dual-side mirror of the
+//! primal pricing. Ratio-test
 //! tie-breaking and flip thresholds are tunable via
 //! [`SimplexOptions::ratio_tie_tol`] / [`SimplexOptions::flip_tol`], and
 //! [`LpStats::bound_flips`], [`LpStats::pricing_scans`], and
@@ -83,6 +87,31 @@
 //! callers can report phase-1/phase-2/dual pivots, warm-start hits,
 //! refactorizations, factorization reuses, sparse-LU fill-in, and
 //! end-of-solve eta-file length.
+//!
+//! ## Threading contract
+//!
+//! The revised engine's hot-path state is split so that parallel callers
+//! (the `ovnes-milp` branch-and-bound fans node re-solves across
+//! `std::thread::scope` workers) share everything expensive and own only
+//! scratch:
+//!
+//! * **Shared immutably** (`Send + Sync`, enforced by compile-time
+//!   assertions): [`Problem`], the CSC [`SparseMatrix`], [`SimplexOptions`],
+//!   and [`Basis`] — including the `Arc`-shared factorization persisted
+//!   inside it. The sparse-LU factors are immutable after construction;
+//!   FTRAN/BTRAN replay them through caller-supplied scratch, so a parent
+//!   basis cloned to N children never copies the factors and never races.
+//! * **Per-worker** [`Workspace`]: every scratch buffer a solve needs —
+//!   triangular-solve scratch, FTRAN/BTRAN images, pricing vectors, primal
+//!   devex weights, dual devex row weights, the pricing candidate list,
+//!   dual ratio-test breakpoints, and the aggregated bound-flip column.
+//!   A workspace is reset on entry and carries **no state between solves**:
+//!   its reuse pattern can never change a result, only allocation traffic.
+//!
+//! [`Problem::solve_warm_in`] is the per-worker entry point;
+//! [`Problem::solve_warm`] remains the single-threaded convenience that
+//! allocates a throwaway workspace. See the [`revised`] module docs for the
+//! full contract.
 //!
 //! ## Conventions
 //!
@@ -144,7 +173,7 @@ mod simplex;
 pub mod sparse;
 
 pub use model::{Cmp, ConsId, Problem, VarId};
-pub use revised::{Basis, LpStats, WarmSolve};
+pub use revised::{Basis, LpStats, WarmSolve, Workspace};
 pub use simplex::{Farkas, Outcome, SimplexOptions, Solution, SolveError};
 pub use sparse::SparseMatrix;
 

@@ -129,6 +129,12 @@ impl Problem {
         self.cons.len()
     }
 
+    /// Iterates the handles of all variables in creation order (handles are
+    /// stable — variables are never removed).
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.vars.len()).map(VarId)
+    }
+
     /// Overrides the bounds of an existing variable (used by branch-and-bound
     /// to fix binaries at nodes).
     ///
@@ -215,5 +221,19 @@ impl Problem {
         options: &SimplexOptions,
     ) -> Result<crate::WarmSolve, SolveError> {
         crate::revised::solve_warm(self, warm, options)
+    }
+
+    /// [`Problem::solve_warm_with`] solving through a caller-owned
+    /// [`Workspace`](crate::Workspace) — the per-worker entry point of the
+    /// threading contract (see the `revised` module docs). The workspace
+    /// never affects results; holding one per worker amortises scratch
+    /// allocations across a warm chain.
+    pub fn solve_warm_in(
+        &self,
+        warm: Option<&crate::Basis>,
+        options: &SimplexOptions,
+        ws: &mut crate::Workspace,
+    ) -> Result<crate::WarmSolve, SolveError> {
+        crate::revised::solve_warm_in(self, warm, options, ws)
     }
 }

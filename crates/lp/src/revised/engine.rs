@@ -44,11 +44,35 @@
 //! degenerate-length dual pivots into a single long step. Flips are counted
 //! in [`LpStats::bound_flips`].
 //!
+//! The dual simplex's **leaving-row choice runs dual devex**: per-row
+//! reference weights `w_i` approximating `‖B⁻¹eᵢ‖²` are kept in the
+//! workspace, the leaving row maximises `violation² / w_i` instead of the
+//! raw violation, and the weights are updated from the entering column's
+//! FTRAN image after every dual pivot (the dual-side Forrest–Goldfarb
+//! recurrence). Like primal devex this accounts for how *long* the dual
+//! edge is, which matters on the degenerate bound-heavy re-solves the warm
+//! path lives on. Bland mode ignores the weights (the anti-cycling argument
+//! needs the plain least-index rule).
+//!
 //! An engine can be seeded with a [`Factorization`] persisted from a
 //! previous solve of the same basis (see [`super::Basis`]): a pure RHS or
 //! bound edit leaves the basis matrix untouched, so the solve starts with
 //! **zero refactorizations** — FTRAN/BTRAN replay the stored factors
 //! directly.
+//!
+//! ## Threading contract
+//!
+//! The engine owns **no hidden scratch**: every temporary buffer — the
+//! triangular-solve scratch, FTRAN/BTRAN images, pricing vectors, devex
+//! weights (primal and dual), the candidate list, the dual ratio-test
+//! breakpoints, the aggregated flip column — lives in an explicit
+//! [`Workspace`] the caller lends for the duration of one solve. The shared
+//! inputs ([`Canon`], [`SimplexOptions`], a reused [`Factorization`]) are
+//! read-only, so any number of engines can run concurrently over the same
+//! problem data as long as each brings its own `Workspace`. A workspace is
+//! pure scratch: it is reset at engine construction, carries no information
+//! between solves, and therefore never affects results — only allocation
+//! traffic.
 
 use super::canon::Canon;
 use super::lu::{Factorization, SparseLu};
@@ -72,8 +96,70 @@ const DEVEX_RESET: f64 = 1e8;
 /// large enough that a full scan dominates the iteration cost.
 const PARTIAL_PRICING_MIN_COLS: usize = 256;
 
+/// Per-worker scratch for the revised engine: every buffer a solve needs
+/// beyond the immutable problem data and the (restartable) basis itself.
+///
+/// Lend one to [`super::solve_warm_in`] per solve; reuse it across solves to
+/// amortise allocations. Contents are overwritten at engine construction, so
+/// a workspace carries **no state between solves** — two solves of the same
+/// problem through different (or differently-used) workspaces produce
+/// bit-identical results. This is what makes the parallel branch-and-bound
+/// deterministic: workers share `Problem` / `SparseMatrix` /
+/// `Arc<Factorization>` read-only and keep all mutation in here.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Triangular-solve scratch for the sparse LU (was hidden inside
+    /// `SparseLu` when the engine was single-threaded).
+    lu: Vec<f64>,
+    /// Scratch column buffer (entering column / FTRAN image).
+    alpha: Vec<f64>,
+    /// Scratch row buffer (BTRAN rows in the dual simplex / devex updates).
+    rowbuf: Vec<f64>,
+    /// Scratch row buffer (pricing vectors / duals).
+    ybuf: Vec<f64>,
+    /// Devex reference weights per column (primal pricing).
+    devex: Vec<f64>,
+    /// Devex reference weights per row (dual leaving-row pricing).
+    dual_devex: Vec<f64>,
+    /// Candidate list for partial primal pricing (empty ⇒ stale).
+    plist: Vec<usize>,
+    /// Scratch buffer of eligible dual-ratio-test breakpoints.
+    dual_cand: Vec<DualCand>,
+    /// Scratch column accumulating the aggregated bound-flip delta.
+    flipbuf: Vec<f64>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Sizes and resets every buffer for a solve over `m` rows and
+    /// `n_total` columns. Called by the engine on construction — after this
+    /// no trace of any previous solve remains.
+    fn prepare(&mut self, m: usize, n_total: usize) {
+        self.lu.clear();
+        self.lu.resize(m, 0.0);
+        self.alpha.clear();
+        self.alpha.resize(m, 0.0);
+        self.rowbuf.clear();
+        self.rowbuf.resize(m, 0.0);
+        self.ybuf.clear();
+        self.ybuf.resize(m, 0.0);
+        self.devex.clear();
+        self.devex.resize(n_total, 1.0);
+        self.dual_devex.clear();
+        self.dual_devex.resize(m, 1.0);
+        self.plist.clear();
+        self.dual_cand.clear();
+        self.flipbuf.clear();
+        self.flipbuf.resize(m, 0.0);
+    }
+}
+
 /// One eligible dual-ratio-test breakpoint.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct DualCand {
     /// Candidate entering column.
     j: usize,
@@ -115,34 +201,27 @@ pub(super) struct Engine<'a> {
     pub xb: Vec<f64>,
     iterations_left: usize,
     pub stats: LpStats,
-    /// Scratch column buffer (entering column / FTRAN image).
-    alpha: Vec<f64>,
-    /// Scratch row buffer (BTRAN rows in the dual simplex / devex updates).
-    rowbuf: Vec<f64>,
-    /// Scratch row buffer (pricing vectors / duals).
-    ybuf: Vec<f64>,
-    /// Devex reference weights per column (primal pricing).
-    devex: Vec<f64>,
-    /// Candidate list for partial primal pricing (empty ⇒ stale).
-    plist: Vec<usize>,
-    /// Rotating start position for candidate-list refresh scans.
+    /// Caller-lent scratch: every temporary buffer of the solve (see the
+    /// module docs' threading contract).
+    ws: &'a mut Workspace,
+    /// Rotating start position for candidate-list refresh scans (reset per
+    /// solve — results never depend on previous solves).
     plist_cursor: usize,
-    /// Scratch buffer of eligible dual-ratio-test breakpoints.
-    dual_cand: Vec<DualCand>,
-    /// Scratch column accumulating the aggregated bound-flip delta.
-    flipbuf: Vec<f64>,
 }
 
 impl<'a> Engine<'a> {
-    /// Builds an engine over `status`/`basic` (already sized for `canon`).
+    /// Builds an engine over `status`/`basic` (already sized for `canon`),
+    /// with all scratch in the caller's `ws` (reset here).
     ///
     /// When `reuse` carries a factorization of the *same* basis matrix
     /// (dimension match is the caller's contract: the basic set and the
     /// constraint columns are unchanged since it was built), the engine
     /// starts from it and skips the initial refactorization entirely.
     ///
-    /// Returns `None` when the supplied basis matrix is singular — callers
-    /// fall back to a cold (all-logical) basis, which is always factorizable.
+    /// A supplied basis whose matrix turns out singular (heavy problem
+    /// edits) is discarded in favour of a cold all-logical restart — the
+    /// identity always factorizes — with the statistics reset to a single
+    /// cold start, exactly as if no basis had been supplied.
     pub fn new(
         canon: &'a Canon,
         opts: &'a SimplexOptions,
@@ -150,10 +229,12 @@ impl<'a> Engine<'a> {
         basic: Vec<usize>,
         stats: LpStats,
         reuse: Option<&Factorization>,
-    ) -> Option<Engine<'a>> {
+        ws: &'a mut Workspace,
+    ) -> Engine<'a> {
         let m = canon.m;
         debug_assert_eq!(status.len(), canon.n + m);
         debug_assert_eq!(basic.len(), m);
+        ws.prepare(m, canon.n + m);
         let mut eng = Engine {
             c: canon,
             opts,
@@ -163,28 +244,33 @@ impl<'a> Engine<'a> {
             xb: vec![0.0; m],
             iterations_left: opts.max_iterations,
             stats,
-            alpha: vec![0.0; m],
-            rowbuf: vec![0.0; m],
-            ybuf: vec![0.0; m],
-            devex: vec![1.0; canon.n + m],
-            plist: Vec::new(),
+            ws,
             plist_cursor: 0,
-            dual_cand: Vec::new(),
-            flipbuf: vec![0.0; m],
         };
         match reuse {
             Some(f) if f.dim() == m => {
+                // Cheap: the LU factors are Arc-shared, only the (short) eta
+                // file is copied into this engine's private state.
                 eng.fact = f.clone();
                 eng.stats.factorization_reuses += 1;
             }
             _ => {
                 if !eng.refactorize() {
-                    return None;
+                    // Stored basis went singular: cold restart.
+                    let (status, basic) = super::cold_state(canon);
+                    eng.status = status;
+                    eng.basic = basic;
+                    eng.stats = LpStats::default();
+                    eng.stats.cold_starts += 1;
+                    assert!(
+                        eng.refactorize(),
+                        "the all-logical basis is the identity and always factorizes"
+                    );
                 }
             }
         }
         eng.compute_xb();
-        Some(eng)
+        eng
     }
 
     /// The value a nonbasic column currently sits at.
@@ -234,7 +320,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        self.fact.ftran(&mut rhs);
+        self.fact.ftran(&mut rhs, &mut self.ws.lu);
         self.xb = rhs;
     }
 
@@ -259,7 +345,7 @@ impl<'a> Engine<'a> {
         for (pos, &j) in self.basic.iter().enumerate() {
             cb[pos] = self.c.cost[j];
         }
-        self.fact.btran(&mut cb);
+        self.fact.btran(&mut cb, &mut self.ws.lu);
         cb
     }
 
@@ -291,7 +377,7 @@ impl<'a> Engine<'a> {
         let step = sigma * t;
         if step != 0.0 {
             for (i, x) in self.xb.iter_mut().enumerate() {
-                *x -= step * self.alpha[i];
+                *x -= step * self.ws.alpha[i];
             }
         }
         let leaving = self.basic[r];
@@ -299,7 +385,7 @@ impl<'a> Engine<'a> {
         self.status[q] = VarStatus::Basic;
         self.basic[r] = q;
         self.xb[r] = entering_val;
-        self.fact.push_eta(r, &self.alpha);
+        self.fact.push_eta(r, &self.ws.alpha);
     }
 
     /// Devex weight update after deciding to pivot entering `q` against row
@@ -317,21 +403,21 @@ impl<'a> Engine<'a> {
     fn update_devex(&mut self, q: usize, r: usize) {
         let m = self.c.m;
         let n_total = self.c.n + m;
-        let alpha_rq = self.alpha[r];
+        let alpha_rq = self.ws.alpha[r];
         if alpha_rq == 0.0 {
             return;
         }
-        let mut rho = std::mem::take(&mut self.rowbuf);
+        let mut rho = std::mem::take(&mut self.ws.rowbuf);
         rho.clear();
         rho.resize(m, 0.0);
         rho[r] = 1.0;
-        self.fact.btran(&mut rho);
+        self.fact.btran(&mut rho, &mut self.ws.lu);
 
-        let wq = self.devex[q].max(1.0);
+        let wq = self.ws.devex[q].max(1.0);
         let inv2 = 1.0 / (alpha_rq * alpha_rq);
         let mut wmax = 0.0f64;
         let partial = Self::pricing_list_cap(n_total) > 0;
-        let plist = std::mem::take(&mut self.plist);
+        let plist = std::mem::take(&mut self.ws.plist);
         let mut touch = |eng: &mut Engine<'a>, j: usize| {
             if j == q || eng.status[j] == VarStatus::Basic {
                 return;
@@ -339,11 +425,11 @@ impl<'a> Engine<'a> {
             let arj = eng.c.col_dot(&rho, j);
             if arj != 0.0 {
                 let cand = arj * arj * inv2 * wq;
-                if cand > eng.devex[j] {
-                    eng.devex[j] = cand;
+                if cand > eng.ws.devex[j] {
+                    eng.ws.devex[j] = cand;
                 }
             }
-            wmax = wmax.max(eng.devex[j]);
+            wmax = wmax.max(eng.ws.devex[j]);
         };
         if partial {
             for &j in &plist {
@@ -354,15 +440,15 @@ impl<'a> Engine<'a> {
                 touch(self, j);
             }
         }
-        self.plist = plist;
+        self.ws.plist = plist;
         // The leaving variable joins the nonbasic set with the reference
         // weight of the edge it just traversed.
         let leaving = self.basic[r];
-        self.devex[leaving] = (wq * inv2).max(1.0);
-        self.rowbuf = rho;
-        if wmax.max(self.devex[leaving]) > DEVEX_RESET {
+        self.ws.devex[leaving] = (wq * inv2).max(1.0);
+        self.ws.rowbuf = rho;
+        if wmax.max(self.ws.devex[leaving]) > DEVEX_RESET {
             // Reference framework drifted too far: restart from unit weights.
-            self.devex.iter_mut().for_each(|w| *w = 1.0);
+            self.ws.devex.iter_mut().for_each(|w| *w = 1.0);
         }
     }
 
@@ -404,11 +490,11 @@ impl<'a> Engine<'a> {
     /// `(col, d, score)`.
     fn scan_candidates(&self, y: &[f64], phase1: bool) -> Option<(usize, f64, f64)> {
         let mut best: Option<(usize, f64, f64)> = None;
-        for &j in &self.plist {
+        for &j in &self.ws.plist {
             let Some(d) = self.price_one(y, phase1, j) else {
                 continue;
             };
-            let score = d * d / self.devex[j];
+            let score = d * d / self.ws.devex[j];
             match best {
                 Some((_, _, b)) if score <= b => {}
                 _ => best = Some((j, d, score)),
@@ -439,7 +525,7 @@ impl<'a> Engine<'a> {
             let j = (start + k) % n_total;
             scanned += 1;
             if let Some(d) = self.price_one(y, phase1, j) {
-                found.push((j, d, d * d / self.devex[j]));
+                found.push((j, d, d * d / self.ws.devex[j]));
                 if found.len() >= collect_cap {
                     break;
                 }
@@ -448,8 +534,8 @@ impl<'a> Engine<'a> {
         self.plist_cursor = (start + scanned) % n_total.max(1);
         found.sort_unstable_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
         found.truncate(list_cap);
-        self.plist.clear();
-        self.plist.extend(found.iter().map(|&(j, _, _)| j));
+        self.ws.plist.clear();
+        self.ws.plist.extend(found.iter().map(|&(j, _, _)| j));
         (scanned, found.first().copied())
     }
 
@@ -511,8 +597,8 @@ impl<'a> Engine<'a> {
         let mut local_iters = 0usize;
         // Fresh reference framework per phase: the phase objective changed,
         // so both the devex weights and the candidate list are stale.
-        self.devex.iter_mut().for_each(|w| *w = 1.0);
-        self.plist.clear();
+        self.ws.devex.iter_mut().for_each(|w| *w = 1.0);
+        self.ws.plist.clear();
         let list_cap = Self::pricing_list_cap(n_total);
 
         loop {
@@ -520,9 +606,9 @@ impl<'a> Engine<'a> {
             let use_bland = local_iters >= self.opts.bland_after;
 
             // Phase costs on the basic set, priced into the reusable buffer
-            // (taken out of `self` so later `&mut self` calls stay legal;
-            // every path below hands it back or consumes it).
-            let mut y = std::mem::take(&mut self.ybuf);
+            // (taken out of the workspace so later `&mut self` calls stay
+            // legal; every path below hands it back or consumes it).
+            let mut y = std::mem::take(&mut self.ws.ybuf);
             y.clear();
             y.resize(m, 0.0);
             if phase1 {
@@ -538,7 +624,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 if inf <= FEAS_TOL {
-                    self.ybuf = y;
+                    self.ws.ybuf = y;
                     return Ok(PrimalEnd::Optimal);
                 }
             } else {
@@ -546,7 +632,7 @@ impl<'a> Engine<'a> {
                     y[pos] = self.c.cost[j];
                 }
             }
-            self.fact.btran(&mut y);
+            self.fact.btran(&mut y, &mut self.ws.lu);
 
             // Entering column: best devex-weighted improvement `d²/w` over
             // the candidate list (refreshed when stale), a full scan on
@@ -567,14 +653,14 @@ impl<'a> Engine<'a> {
                     let Some(d) = self.price_one(&y, phase1, j) else {
                         continue;
                     };
-                    let score = d * d / self.devex[j];
+                    let score = d * d / self.ws.devex[j];
                     match enter {
                         Some((_, _, best)) if score <= best => {}
                         _ => enter = Some((j, d, score)),
                     }
                 }
             } else {
-                self.stats.pricing_scans += self.plist.len();
+                self.stats.pricing_scans += self.ws.plist.len();
                 enter = self.scan_candidates(&y, phase1);
                 if enter.is_none() {
                     // List went stale: refresh it with a rotating wider scan,
@@ -594,12 +680,12 @@ impl<'a> Engine<'a> {
                     // the next pricing pass re-sizes the (now empty) buffer.
                     Ok(PrimalEnd::Infeasible { y })
                 } else {
-                    self.ybuf = y;
+                    self.ws.ybuf = y;
                     Ok(PrimalEnd::Optimal)
                 };
             };
             // Pricing complete: hand the buffer back before mutating state.
-            self.ybuf = y;
+            self.ws.ybuf = y;
 
             // Direction: AtLower/free-with-negative-d move up, otherwise down.
             let sigma = match self.status[q] {
@@ -609,9 +695,9 @@ impl<'a> Engine<'a> {
             };
 
             // FTRAN the entering column.
-            self.alpha.iter_mut().for_each(|v| *v = 0.0);
-            self.c.scatter_col(q, &mut self.alpha);
-            self.fact.ftran(&mut self.alpha);
+            self.ws.alpha.iter_mut().for_each(|v| *v = 0.0);
+            self.c.scatter_col(q, &mut self.ws.alpha);
+            self.fact.ftran(&mut self.ws.alpha, &mut self.ws.lu);
 
             // Ratio test. Basic value rates: dx_B/dt = −σ·α.
             let mut t_best = if self.status[q] == VarStatus::Free {
@@ -622,7 +708,7 @@ impl<'a> Engine<'a> {
             let mut leave: Option<(usize, VarStatus)> = None;
             let mut leave_piv = 0.0f64;
             for i in 0..m {
-                let delta = -sigma * self.alpha[i];
+                let delta = -sigma * self.ws.alpha[i];
                 if delta.abs() <= PIVOT_TOL {
                     continue;
                 }
@@ -653,13 +739,13 @@ impl<'a> Engine<'a> {
                             if use_bland {
                                 self.basic[i] < self.basic[l]
                             } else {
-                                self.alpha[i].abs() > leave_piv.abs()
+                                self.ws.alpha[i].abs() > leave_piv.abs()
                             }
                         }));
                 if better {
                     t_best = t_i;
                     leave = Some((i, st));
-                    leave_piv = self.alpha[i];
+                    leave_piv = self.ws.alpha[i];
                 }
             }
 
@@ -689,7 +775,7 @@ impl<'a> Engine<'a> {
                     self.stats.bound_flips += 1;
                     let step = sigma * t_best;
                     for (i, x) in self.xb.iter_mut().enumerate() {
-                        *x -= step * self.alpha[i];
+                        *x -= step * self.ws.alpha[i];
                     }
                     self.status[q] = match self.status[q] {
                         VarStatus::AtLower => VarStatus::AtUpper,
@@ -736,14 +822,19 @@ impl<'a> Engine<'a> {
         let n_total = self.c.n + self.c.m;
         let m = self.c.m;
         let mut local_iters = 0usize;
+        // Fresh dual reference framework per dual pass.
+        self.ws.dual_devex.iter_mut().for_each(|w| *w = 1.0);
 
         loop {
             self.maybe_refactorize()?;
             let use_bland = local_iters >= self.opts.bland_after;
 
-            // Leaving row: worst bound violation (Dantzig-like) or least
-            // basic column index (Bland).
+            // Leaving row: best devex-weighted violation `viol²/w_i`
+            // (steepest-edge-flavoured — a violation reachable along a short
+            // dual edge beats a nominally larger one along a long edge), or
+            // least basic column index under Bland's rule.
             let mut leave: Option<(usize, bool, f64)> = None; // (row, below, viol)
+            let mut leave_score = 0.0f64;
             for i in 0..m {
                 let k = self.basic[i];
                 let x = self.xb[i];
@@ -757,18 +848,20 @@ impl<'a> Engine<'a> {
                 if viol <= FEAS_TOL {
                     continue;
                 }
+                let score = viol * viol / self.ws.dual_devex[i];
                 let better = match &leave {
                     None => true,
-                    Some((l, _, best)) => {
+                    Some((l, _, _)) => {
                         if use_bland {
                             self.basic[i] < self.basic[*l]
                         } else {
-                            viol > *best
+                            score > leave_score
                         }
                     }
                 };
                 if better {
                     leave = Some((i, below, viol));
+                    leave_score = score;
                 }
             }
             let Some((r, below, viol)) = leave else {
@@ -776,26 +869,27 @@ impl<'a> Engine<'a> {
             };
 
             // BTRAN row r and the current duals, both priced into the
-            // reusable buffers (taken out of `self` so later `&mut self`
-            // calls stay legal; every path below hands them back).
-            let mut rho = std::mem::take(&mut self.rowbuf);
+            // reusable buffers (taken out of the workspace so later
+            // `&mut self` calls stay legal; every path below hands them
+            // back).
+            let mut rho = std::mem::take(&mut self.ws.rowbuf);
             rho.clear();
             rho.resize(m, 0.0);
             rho[r] = 1.0;
-            self.fact.btran(&mut rho);
-            let mut y = std::mem::take(&mut self.ybuf);
+            self.fact.btran(&mut rho, &mut self.ws.lu);
+            let mut y = std::mem::take(&mut self.ws.ybuf);
             y.clear();
             y.resize(m, 0.0);
             for (pos, &j) in self.basic.iter().enumerate() {
                 y[pos] = self.c.cost[j];
             }
-            self.fact.btran(&mut y);
+            self.fact.btran(&mut y, &mut self.ws.lu);
 
             // Collect every eligible dual-ratio-test breakpoint. The leaving
             // variable exits at its violated bound; entering candidates must
             // push the basic value toward it while keeping every reduced
             // cost feasible.
-            let mut cand = std::mem::take(&mut self.dual_cand);
+            let mut cand = std::mem::take(&mut self.ws.dual_cand);
             cand.clear();
             self.stats.pricing_scans += n_total;
             for j in 0..n_total {
@@ -837,18 +931,18 @@ impl<'a> Engine<'a> {
                     ratio: (d / arow).abs(),
                 });
             }
-            self.ybuf = y;
+            self.ws.ybuf = y;
 
             if cand.is_empty() {
                 // No column can absorb the violation: primal infeasible.
                 // Orient the certificate so its value is positive.
                 let sign = if below { -1.0 } else { 1.0 };
                 let y_cert: Vec<f64> = rho.iter().map(|&v| sign * v).collect();
-                self.rowbuf = rho;
-                self.dual_cand = cand;
+                self.ws.rowbuf = rho;
+                self.ws.dual_cand = cand;
                 return Ok(DualEnd::Infeasible { y: y_cert });
             }
-            self.rowbuf = rho;
+            self.ws.rowbuf = rho;
 
             let tie = self.opts.ratio_tie_tol;
             // `flip_upto`: candidates `cand[..flip_upto]` are flipped through
@@ -910,15 +1004,15 @@ impl<'a> Engine<'a> {
 
             // FTRAN the entering column and validate the pivot before any
             // state changes.
-            self.alpha.iter_mut().for_each(|v| *v = 0.0);
-            self.c.scatter_col(q, &mut self.alpha);
-            self.fact.ftran(&mut self.alpha);
-            let alpha_r = self.alpha[r];
+            self.ws.alpha.iter_mut().for_each(|v| *v = 0.0);
+            self.c.scatter_col(q, &mut self.ws.alpha);
+            self.fact.ftran(&mut self.ws.alpha, &mut self.ws.lu);
+            let alpha_r = self.ws.alpha[r];
             if alpha_r.abs() <= PIVOT_TOL {
                 // The FTRAN image disagrees with the BTRAN row estimate:
                 // refactorize and retry once with cleaner numbers. Nothing
                 // was flipped yet, so the basis state is untouched.
-                self.dual_cand = cand;
+                self.ws.dual_cand = cand;
                 if !self.refactorize() {
                     return Err(SolveError::Numerical);
                 }
@@ -930,7 +1024,7 @@ impl<'a> Engine<'a> {
             // breakpoint): statuses move to the opposite bound and x_B
             // absorbs the aggregated flip column through a single FTRAN.
             if flip_upto > 0 {
-                let mut w = std::mem::take(&mut self.flipbuf);
+                let mut w = std::mem::take(&mut self.ws.flipbuf);
                 w.clear();
                 w.resize(m, 0.0);
                 for c in &cand[..flip_upto] {
@@ -949,14 +1043,14 @@ impl<'a> Engine<'a> {
                     }
                     self.status[c.j] = st;
                 }
-                self.fact.ftran(&mut w);
+                self.fact.ftran(&mut w, &mut self.ws.lu);
                 for (i, x) in self.xb.iter_mut().enumerate() {
                     *x -= w[i];
                 }
                 self.stats.bound_flips += flip_upto;
-                self.flipbuf = w;
+                self.ws.flipbuf = w;
             }
-            self.dual_cand = cand;
+            self.ws.dual_cand = cand;
             let k = self.basic[r];
             let (target, leave_status) = if below {
                 (self.c.lb[k], VarStatus::AtLower)
@@ -969,15 +1063,55 @@ impl<'a> Engine<'a> {
             local_iters += 1;
             self.stats.dual_pivots += 1;
 
+            if !use_bland {
+                self.update_dual_devex(r);
+            }
             let entering_val = self.nb_val(q) + delta;
             for (i, x) in self.xb.iter_mut().enumerate() {
-                *x -= delta * self.alpha[i];
+                *x -= delta * self.ws.alpha[i];
             }
             self.status[k] = leave_status;
             self.status[q] = VarStatus::Basic;
             self.basic[r] = q;
             self.xb[r] = entering_val;
-            self.fact.push_eta(r, &self.alpha);
+            self.fact.push_eta(r, &self.ws.alpha);
+        }
+    }
+
+    /// Dual devex weight update after committing to a dual pivot on row `r`
+    /// (the entering column's FTRAN image is already in the workspace's
+    /// `alpha`, the factorization not yet updated).
+    ///
+    /// The dual Forrest–Goldfarb recurrence needs exactly that image: with
+    /// pivot `α_r`, every row moves by `w_i ← max(w_i, (α_i/α_r)²·w_r)` and
+    /// the pivot row restarts at `max(w_r/α_r², 1)`. Costs one pass over a
+    /// vector already in cache — no extra BTRAN.
+    fn update_dual_devex(&mut self, r: usize) {
+        let ws = &mut *self.ws;
+        let alpha_r = ws.alpha[r];
+        if alpha_r == 0.0 {
+            return;
+        }
+        let wr = ws.dual_devex[r].max(1.0);
+        let inv2 = 1.0 / (alpha_r * alpha_r);
+        let mut wmax = 0.0f64;
+        for (i, w) in ws.dual_devex.iter_mut().enumerate() {
+            if i == r {
+                continue;
+            }
+            let ai = ws.alpha[i];
+            if ai != 0.0 {
+                let cand = ai * ai * inv2 * wr;
+                if cand > *w {
+                    *w = cand;
+                }
+            }
+            wmax = wmax.max(*w);
+        }
+        ws.dual_devex[r] = (wr * inv2).max(1.0);
+        if wmax.max(ws.dual_devex[r]) > DEVEX_RESET {
+            // Reference framework drifted too far: restart from unit weights.
+            ws.dual_devex.iter_mut().for_each(|w| *w = 1.0);
         }
     }
 

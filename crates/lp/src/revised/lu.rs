@@ -34,8 +34,21 @@
 //! nonsingular basis (all entries tiny) factorizes fine, while a genuinely
 //! rank-deficient one is rejected at any scale.
 //!
+//! ## Threading contract
+//!
+//! A [`SparseLu`] is **immutable once factorized**: the triangular solves
+//! take `&self` and write only into a caller-supplied scratch buffer, so a
+//! single factorization can be replayed concurrently from any number of
+//! threads (each with its own scratch — see the engine's
+//! [`Workspace`](super::Workspace)). [`Factorization`] therefore holds its
+//! `SparseLu` behind an [`Arc`]: cloning a factorization (which every
+//! branch-and-bound child does through its parent [`Basis`](super::Basis))
+//! shares the factors and copies only the short eta file.
+//!
 //! The classic dense LU ([`Lu`]) is retained as the slow-path oracle for
 //! tests and cross-checks.
+
+use std::sync::Arc;
 
 /// Relative pivot threshold below which a basis matrix is declared singular:
 /// a pivot must exceed `SINGULAR_TOL × max|B|`. (An *absolute* threshold
@@ -195,9 +208,6 @@ pub struct SparseLu {
     urows: Vec<Vec<(u32, f64)>>,
     /// Nonzeros of the input matrix (for the fill-in statistic).
     nnz_input: usize,
-    /// Reusable solve scratch (every entry is overwritten before being
-    /// read, so it carries no state between calls).
-    scratch: Vec<f64>,
 }
 
 impl SparseLu {
@@ -243,7 +253,6 @@ impl SparseLu {
             lcols: Vec::with_capacity(m),
             urows: Vec::with_capacity(m),
             nnz_input,
-            scratch: vec![0.0; m],
         };
         let mut row_active = vec![true; m];
         let mut col_active = vec![true; m];
@@ -430,11 +439,15 @@ impl SparseLu {
     /// stages whose pivot-row value is exactly zero — the sparse-RHS fast
     /// path for FTRANs of sparse entering columns.
     ///
-    /// `&mut self` only touches the internal scratch buffer; the factors
-    /// themselves are immutable.
-    pub fn solve(&mut self, v: &mut [f64]) {
+    /// The factors are immutable: all intermediate state goes into
+    /// `scratch` (resized as needed, every read position written first), so
+    /// concurrent solves of one factorization only need distinct scratches.
+    pub fn solve(&self, v: &mut [f64], scratch: &mut Vec<f64>) {
         let m = self.m;
         debug_assert_eq!(v.len(), m);
+        if scratch.len() < m {
+            scratch.resize(m, 0.0);
+        }
         // Forward replay of the elimination on the RHS (row-indexed).
         for k in 0..m {
             let vk = v[self.perm_row[k] as usize];
@@ -448,7 +461,7 @@ impl SparseLu {
         // the scratch is written exactly once (the pivot columns form a
         // permutation) and entries are only read after their own stage, so
         // no zeroing is needed.
-        let x = &mut self.scratch;
+        let x = &mut scratch[..m];
         for k in (0..m).rev() {
             let mut s = v[self.perm_row[k] as usize];
             for &(j, u) in &self.urows[k] {
@@ -465,15 +478,18 @@ impl SparseLu {
     /// Solves `Bᵀ·y = w` in place (`w` becomes `y`); `w` is indexed by basis
     /// position on entry and by row on exit.
     ///
-    /// `&mut self` only touches the internal scratch buffer; the factors
-    /// themselves are immutable.
-    pub fn solve_t(&mut self, w: &mut [f64]) {
+    /// Same contract as [`SparseLu::solve`]: immutable factors, all state in
+    /// the caller's scratch.
+    pub fn solve_t(&self, w: &mut [f64], scratch: &mut Vec<f64>) {
         let m = self.m;
         debug_assert_eq!(w.len(), m);
+        if scratch.len() < m {
+            scratch.resize(m, 0.0);
+        }
         // Forward pass over stages: Uᵀ·t = w, scattering each resolved t
         // into the still-pending positions. The scratch needs no zeroing:
         // every pivot row is written before any backward-pass read.
-        let t = &mut self.scratch;
+        let t = &mut scratch[..m];
         for k in 0..m {
             let tk = w[self.perm_col[k] as usize] / self.pivots[k];
             t[self.perm_row[k] as usize] = tk;
@@ -509,9 +525,17 @@ pub struct Eta {
 }
 
 /// A factorized basis: `B = LU · E₁ · E₂ · … · E_k`.
+///
+/// The LU factors sit behind an [`Arc`]: cloning a `Factorization` shares
+/// them (they are immutable after [`SparseLu::factor`]) and copies only the
+/// eta file, so handing a persisted factorization to every branch-and-bound
+/// child is cheap and thread-safe. The solves ([`Factorization::ftran`] /
+/// [`Factorization::btran`]) take `&self`; mutation is confined to
+/// [`Factorization::push_eta`], which only grows the owner's private eta
+/// file.
 #[derive(Debug, Clone)]
 pub struct Factorization {
-    lu: SparseLu,
+    lu: Arc<SparseLu>,
     etas: Vec<Eta>,
 }
 
@@ -519,7 +543,7 @@ impl Factorization {
     /// Wraps a fresh LU factorization with an empty eta file.
     pub fn new(lu: SparseLu) -> Self {
         Factorization {
-            lu,
+            lu: Arc::new(lu),
             etas: Vec::new(),
         }
     }
@@ -556,9 +580,10 @@ impl Factorization {
         });
     }
 
-    /// FTRAN: solves `B·x = v` in place (`&mut self` for solve scratch only).
-    pub fn ftran(&mut self, v: &mut [f64]) {
-        self.lu.solve(v);
+    /// FTRAN: solves `B·x = v` in place. The factors stay immutable; all
+    /// intermediate state lives in `scratch`.
+    pub fn ftran(&self, v: &mut [f64], scratch: &mut Vec<f64>) {
+        self.lu.solve(v, scratch);
         // B = LU·E₁·…·E_k ⇒ x = E_k⁻¹·…·E₁⁻¹·(LU)⁻¹·v.
         for eta in &self.etas {
             let xr = v[eta.r] / eta.diag;
@@ -571,8 +596,9 @@ impl Factorization {
         }
     }
 
-    /// BTRAN: solves `Bᵀ·y = w` in place (`&mut self` for solve scratch only).
-    pub fn btran(&mut self, w: &mut [f64]) {
+    /// BTRAN: solves `Bᵀ·y = w` in place. Same scratch contract as
+    /// [`Factorization::ftran`].
+    pub fn btran(&self, w: &mut [f64], scratch: &mut Vec<f64>) {
         // Bᵀ = E_kᵀ·…·E₁ᵀ·(LU)ᵀ ⇒ peel the eta transposes first, newest
         // outermost, then finish with the LU transpose solve.
         for eta in self.etas.iter().rev() {
@@ -582,7 +608,7 @@ impl Factorization {
             }
             w[eta.r] = s / eta.diag;
         }
-        self.lu.solve_t(w);
+        self.lu.solve_t(w, scratch);
     }
 }
 
@@ -636,15 +662,16 @@ mod tests {
     fn sparse_lu_roundtrip_small() {
         let m = 3;
         let a = vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0];
-        let mut lu = SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("nonsingular");
+        let lu = SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("nonsingular");
+        let mut scratch = Vec::new();
         let x_true = vec![1.0, -2.0, 3.0];
         let mut v = mat_vec(&a, m, &x_true);
-        lu.solve(&mut v);
+        lu.solve(&mut v, &mut scratch);
         for (got, want) in v.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-10, "{got} vs {want}");
         }
         let mut w = mat_t_vec(&a, m, &x_true);
-        lu.solve_t(&mut w);
+        lu.solve_t(&mut w, &mut scratch);
         for (got, want) in w.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-10, "{got} vs {want}");
         }
@@ -672,13 +699,14 @@ mod tests {
             .map(|v| v * s)
             .collect();
         let lu = Lu::factor(a.clone(), m).expect("relative tolerance must accept");
-        let mut slu = SparseLu::factor_cols(m, &dense_to_cols(&a, m))
+        let slu = SparseLu::factor_cols(m, &dense_to_cols(&a, m))
             .expect("relative tolerance must accept (sparse)");
+        let mut scratch = Vec::new();
         let x_true = vec![1.0, -2.0, 3.0];
         let mut v = mat_vec(&a, m, &x_true);
         lu.solve(&mut v);
         let mut vs = mat_vec(&a, m, &x_true);
-        slu.solve(&mut vs);
+        slu.solve(&mut vs, &mut scratch);
         for (got, want) in v.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-6, "dense: {got} vs {want}");
         }
@@ -705,13 +733,14 @@ mod tests {
             a[(m - 1) * m + i] = 1.0;
             a[i * m + (m - 1)] = 1.0;
         }
-        let mut lu = SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("nonsingular");
+        let lu = SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("nonsingular");
         // Markowitz keeps the arrow fill-free: only the pre-existing
         // nonzeros appear in the factors.
         assert_eq!(lu.fill_in(), 0, "arrow matrix should factor without fill");
         let x_true: Vec<f64> = (0..m).map(|i| (i as f64) - 2.5).collect();
         let mut v = mat_vec(&a, m, &x_true);
-        lu.solve(&mut v);
+        let mut scratch = Vec::new();
+        lu.solve(&mut v, &mut scratch);
         for (got, want) in v.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-9, "{got} vs {want}");
         }
@@ -727,6 +756,7 @@ mod tests {
             b[i * m + i] = 1.0;
         }
         let mut fact = Factorization::new(SparseLu::factor_cols(m, &dense_to_cols(&b, m)).unwrap());
+        let mut scratch = Vec::new();
 
         let replacements: Vec<(usize, Vec<f64>)> = vec![
             (2, vec![1.0, 0.5, 2.0, -1.0]),
@@ -735,7 +765,7 @@ mod tests {
         ];
         for (r, col) in replacements {
             let mut alpha = col.clone();
-            fact.ftran(&mut alpha);
+            fact.ftran(&mut alpha, &mut scratch);
             fact.push_eta(r, &alpha);
             for i in 0..m {
                 b[i * m + r] = col[i];
@@ -744,7 +774,7 @@ mod tests {
 
             let v0 = vec![1.0, 2.0, -1.0, 0.5];
             let mut via_eta = v0.clone();
-            fact.ftran(&mut via_eta);
+            fact.ftran(&mut via_eta, &mut scratch);
             let mut via_direct = v0.clone();
             direct.solve(&mut via_direct);
             for (a, c) in via_eta.iter().zip(&via_direct) {
@@ -752,7 +782,7 @@ mod tests {
             }
 
             let mut wt_eta = v0.clone();
-            fact.btran(&mut wt_eta);
+            fact.btran(&mut wt_eta, &mut scratch);
             let mut wt_direct = v0;
             direct.solve_t(&mut wt_direct);
             for (a, c) in wt_eta.iter().zip(&wt_direct) {

@@ -50,6 +50,32 @@
 //!
 //! The solver's outcomes, dual values, and Farkas certificates follow the
 //! same conventions as the dense engine (see the crate-level docs).
+//!
+//! ## Threading contract
+//!
+//! The hot-path state splits into two halves:
+//!
+//! * **Immutable, shared** — [`Problem`], its canonical form, the CSC
+//!   [`SparseMatrix`](crate::SparseMatrix), a [`Basis`], and the
+//!   `Arc<Factorization>` persisted inside it are all `Send + Sync` plain
+//!   data. Any number of threads may solve the *same* problem (or
+//!   per-thread clones perturbed with bound/RHS edits) concurrently, each
+//!   resuming from clones of the same parent `Basis`; the LU factors behind
+//!   the `Arc` are shared, never copied, and never written after
+//!   construction.
+//! * **Per-worker scratch** — every temporary the engine needs
+//!   (FTRAN/BTRAN images and triangular-solve scratch, pricing vectors,
+//!   primal and dual devex weights, the pricing candidate list, dual
+//!   ratio-test breakpoints, the aggregated bound-flip column) lives in an
+//!   explicit [`Workspace`]. Lend one per solve via [`solve_warm_in`]
+//!   (reusing it across a worker's solves amortises allocations); a
+//!   workspace is reset on entry and carries **no state between solves**,
+//!   so its reuse pattern can never change a result.
+//!
+//! [`solve_warm`] remains the single-threaded convenience that allocates a
+//! throwaway workspace internally. The parallel branch-and-bound in
+//! `ovnes-milp` is the canonical consumer of the split: one shared problem
+//! + basis pool, one `Workspace` per worker thread.
 
 mod canon;
 mod engine;
@@ -60,9 +86,27 @@ pub(crate) mod lu;
 use crate::model::Problem;
 use crate::simplex::{Outcome, SimplexOptions, Solution, SolveError};
 use canon::Canon;
+pub use engine::Workspace;
 use engine::{DualEnd, Engine, PrimalEnd};
 use lu::Factorization;
 use std::sync::Arc;
+
+// The shared half of the threading contract, enforced at compile time: a
+// `Basis` (with its Arc-shared factorization) and the problem data it came
+// from must be shareable across `std::thread::scope` workers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Problem>();
+    assert_send_sync::<crate::sparse::SparseMatrix>();
+    assert_send_sync::<SimplexOptions>();
+    assert_send_sync::<Basis>();
+    assert_send_sync::<Factorization>();
+    assert_send_sync::<Arc<Factorization>>();
+    assert_send_sync::<WarmSolve>();
+    // Workspaces are per-worker (`Send`, handed to a thread, never shared).
+    const fn assert_send<T: Send>() {}
+    assert_send::<Workspace>();
+};
 
 /// Where a column currently sits relative to the basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,10 +313,29 @@ pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveErro
 /// See the module docs for which problem edits keep a basis reusable. An
 /// incompatible basis is not an error — the solve silently falls back to a
 /// cold start (visible in [`LpStats::cold_starts`]).
+///
+/// Allocates a throwaway [`Workspace`]; hot loops (branch-and-bound
+/// workers, Benders iterations) should hold one and call [`solve_warm_in`].
 pub fn solve_warm(
     p: &Problem,
     warm: Option<&Basis>,
     options: &SimplexOptions,
+) -> Result<WarmSolve, SolveError> {
+    solve_warm_in(p, warm, options, &mut Workspace::new())
+}
+
+/// [`solve_warm`] with an explicit per-worker [`Workspace`] for every
+/// scratch buffer of the solve.
+///
+/// The workspace is reset on entry and never influences the result; reusing
+/// one across a worker's solves only saves allocations. This is the
+/// thread-safe entry point: `p`, `warm`, and `options` are read-only, so
+/// concurrent solves need nothing beyond one workspace per thread.
+pub fn solve_warm_in(
+    p: &Problem,
+    warm: Option<&Basis>,
+    options: &SimplexOptions,
+    ws: &mut Workspace,
 ) -> Result<WarmSolve, SolveError> {
     let canon = Canon::build(p);
     let adapted = warm.and_then(|b| adapt_basis(&canon, b));
@@ -300,17 +363,9 @@ pub fn solve_warm(
     }
 
     let (status, basic) = adapted.unwrap_or_else(|| cold_state(&canon));
-    let mut eng = match Engine::new(&canon, options, status, basic, stats, reuse.as_deref()) {
-        Some(e) => e,
-        None => {
-            // Stored basis went singular (heavy problem edits): cold restart.
-            let (status, basic) = cold_state(&canon);
-            let mut stats = LpStats::default();
-            stats.cold_starts += 1;
-            Engine::new(&canon, options, status, basic, stats, None)
-                .expect("the all-logical basis is the identity and always factorizes")
-        }
-    };
+    // A singular stored basis falls back to a cold restart inside
+    // `Engine::new` (statistics reset to a single cold start).
+    let mut eng = Engine::new(&canon, options, status, basic, stats, reuse.as_deref(), ws);
 
     let outcome = run(&mut eng, warm_used)?;
     let (status, basic) = (eng.status.clone(), eng.basic.clone());

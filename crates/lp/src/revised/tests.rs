@@ -1091,8 +1091,9 @@ mod sparse_kernel_props {
         ) {
             let a = build_matrix(m, &vals, &mask);
             let dense = Lu::factor(a.clone(), m).expect("diagonally dominant");
-            let mut sparse =
+            let sparse =
                 SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("diagonally dominant");
+            let mut scratch = Vec::new();
             let x_true = &x[..m];
 
             // FTRAN: both engines must reproduce x from B·x.
@@ -1100,7 +1101,7 @@ mod sparse_kernel_props {
             let mut vd = v0.clone();
             dense.solve(&mut vd);
             let mut vs = v0;
-            sparse.solve(&mut vs);
+            sparse.solve(&mut vs, &mut scratch);
             for j in 0..m {
                 prop_assert!(
                     (vd[j] - vs[j]).abs() <= 1e-8 * (1.0 + vd[j].abs()),
@@ -1117,7 +1118,7 @@ mod sparse_kernel_props {
             let mut wd = w0.clone();
             dense.solve_t(&mut wd);
             let mut ws = w0;
-            sparse.solve_t(&mut ws);
+            sparse.solve_t(&mut ws, &mut scratch);
             for j in 0..m {
                 prop_assert!(
                     (wd[j] - ws[j]).abs() <= 1e-8 * (1.0 + wd[j].abs()),
@@ -1137,13 +1138,14 @@ mod sparse_kernel_props {
             // sparse fast path and still agree with the dense oracle.
             let a = build_matrix(m, &vals, &mask);
             let dense = Lu::factor(a.clone(), m).expect("diagonally dominant");
-            let mut sparse =
+            let sparse =
                 SparseLu::factor_cols(m, &dense_to_cols(&a, m)).expect("diagonally dominant");
+            let mut scratch = Vec::new();
             let mut v = vec![0.0; m];
             v[hot % m] = 1.0;
             let mut vd = v.clone();
             dense.solve(&mut vd);
-            sparse.solve(&mut v);
+            sparse.solve(&mut v, &mut scratch);
             for j in 0..m {
                 prop_assert!(
                     (vd[j] - v[j]).abs() <= 1e-8 * (1.0 + vd[j].abs()),

@@ -1,20 +1,61 @@
-//! # ovnes-milp — branch-and-bound mixed-integer linear programming
+//! # ovnes-milp — parallel branch-and-bound mixed-integer linear programming
 //!
-//! A depth-first branch-and-bound MILP solver built on the [`ovnes_lp`]
-//! simplex. It substitutes for IBM CPLEX in the CoNEXT'18 slice-overbooking
-//! reproduction: the Benders **master problem** (binary slice-admission
-//! variables plus the continuous surrogate cost θ) and the one-shot AC-RR
-//! MILP are both solved through this crate.
+//! A work-sharing **parallel best-first branch-and-bound** MILP solver built
+//! on the [`ovnes_lp`] revised simplex. It substitutes for IBM CPLEX in the
+//! CoNEXT'18 slice-overbooking reproduction: the Benders **master problem**
+//! (binary slice-admission variables plus the continuous surrogate cost θ)
+//! and the one-shot AC-RR MILP are both solved through this crate.
 //!
 //! Capabilities:
 //!
 //! * binary / general-integer variable marking on top of an `ovnes_lp`
 //!   [`Problem`],
-//! * depth-first search with best-bound pruning,
+//! * best-first search over a global node queue, drained by
+//!   `std::thread::scope` workers ([`MilpOptions::threads`]) — node
+//!   relaxations are independent LP re-solves, which is exactly the unit of
+//!   parallelism the engine's `Send + Sync` split was built for,
+//! * **deterministic results at every worker count** (see below),
 //! * most-fractional branching, exploring the nearer integer side first,
+//! * parent→child warm-start basis threading per node (each child resumes
+//!   its parent's basis *and* Arc-shared factorization, whichever worker
+//!   picks it up),
 //! * warm-start incumbents (used to seed Benders masters with the KAC
 //!   heuristic solution),
 //! * node limits with a best-effort solution flagged as truncated.
+//!
+//! ## Parallel architecture and determinism
+//!
+//! The search state splits along the `ovnes_lp` threading contract:
+//!
+//! * **shared, immutable** — the wrapped [`Problem`] (each worker clones it
+//!   once and only ever toggles variable bounds), parent [`Basis`] values
+//!   with their Arc-shared factorizations, and the options;
+//! * **per worker** — one [`ovnes_lp::Workspace`] holding every scratch
+//!   buffer of the simplex, plus the worker's problem clone;
+//! * **shared, mutable** — a mutex-protected node queue / result cache, and
+//!   the incumbent objective mirrored as an **atomic `f64` bit pattern**
+//!   that workers re-check lock-free between claiming a node and starting
+//!   its (expensive) LP solve, dropping work a freshly applied incumbent
+//!   has already pruned. The cutoff only ever decreases, so a skipped node
+//!   is guaranteed to be discarded at application — the shortcut saves
+//!   wall-clock, never changes a result.
+//!
+//! The search advances in **deterministic rounds**: each round moves the
+//! up-to-[`ROUND_WIDTH`] best open nodes (lower parent bound first, ties
+//! broken on node ids) from the queue into an active window whose
+//! membership is a pure function of the search state — never of the worker
+//! count or OS scheduling. Workers solve the window's relaxations in any
+//! order and in parallel, but results are **applied strictly in window
+//! order**, so incumbent updates, pruning decisions, branching, and node
+//! ids unfold in one canonical sequence; children always enter a later
+//! round. A result whose node gets pruned before application is discarded
+//! (wasted wall-clock, never a changed answer). Consequently the
+//! objective, the solution vector, the node count, and even the pivot
+//! statistics are identical at 1, 2, or N workers — a single worker walks
+//! the very same rounds alone; `tests/solver_cross_check.rs` asserts this
+//! on seeded torture MILPs. (The window is what buys wall-clock: applying
+//! in *global* best-first order instead would chase each freshly branched
+//! child, a parent→child chain of LP solves no speculation can overlap.)
 //!
 //! ## Example
 //!
@@ -38,15 +79,50 @@
 //! }
 //! ```
 
-use ovnes_lp::{Basis, LpStats, Outcome as LpOutcome, Problem, SimplexOptions, SolveError, VarId};
+use ovnes_lp::{
+    Basis, LpStats, Outcome as LpOutcome, Problem, SimplexOptions, SolveError, VarId, WarmSolve,
+    Workspace,
+};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Tolerance for considering an LP value integral.
 const INT_EPS: f64 = 1e-6;
 
+/// The root node's id (fixed: ids are assigned in application order and the
+/// root is always applied first).
+const ROOT_ID: u64 = 0;
+
+/// Nodes per deterministic round: the active window workers draw from.
+/// A constant (never derived from the worker count!) so the round
+/// decomposition — and therefore every result — is identical at any
+/// parallelism. Sized a little above the worker counts we deploy (2–8) so
+/// the window keeps every core fed; oversizing only risks solving a few
+/// end-of-search nodes an incumbent discovered mid-round would have pruned.
+const ROUND_WIDTH: usize = 8;
+
+/// Default branch-and-bound worker count: the `OVNES_MILP_THREADS`
+/// environment variable when set to a positive integer, otherwise 1.
+///
+/// This is how the CI matrix runs the *entire* test suite through the
+/// parallel path (`OVNES_MILP_THREADS=4 cargo test`) without every call
+/// site growing a knob — determinism guarantees the answers are identical,
+/// so any divergence is a real bug.
+pub fn default_threads() -> usize {
+    std::env::var("OVNES_MILP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
 /// Options controlling the branch-and-bound search.
 #[derive(Debug, Clone)]
 pub struct MilpOptions {
-    /// Maximum number of branch-and-bound nodes explored.
+    /// Maximum number of branch-and-bound nodes applied (counted in the
+    /// deterministic application order, so truncation is reproducible at
+    /// any worker count).
     pub max_nodes: usize,
     /// Absolute optimality gap at which a node is pruned against the
     /// incumbent. Also the guarantee on the returned solution.
@@ -58,10 +134,15 @@ pub struct MilpOptions {
     /// phases. Because a bound change leaves the basis *matrix* untouched,
     /// the child also inherits the parent's persisted factorization and
     /// starts with **zero refactorizations** (`LpStats::factorization_reuses`
-    /// counts the hits). Disable only for debugging / regression comparison —
-    /// results are identical either way, warm starts are purely a speed
-    /// lever.
+    /// counts the hits) — the factorization is Arc-shared, so this works
+    /// identically when the child lands on a different worker thread.
+    /// Disable only for debugging / regression comparison — results are
+    /// identical either way, warm starts are purely a speed lever.
     pub warm_start: bool,
+    /// Worker threads draining the node queue (clamped to ≥ 1). Results are
+    /// deterministic in this knob; it is purely a wall-clock lever.
+    /// Defaults to [`default_threads`].
+    pub threads: usize,
 }
 
 impl Default for MilpOptions {
@@ -71,6 +152,7 @@ impl Default for MilpOptions {
             abs_gap: 1e-7,
             simplex: SimplexOptions::default(),
             warm_start: true,
+            threads: default_threads(),
         }
     }
 }
@@ -82,12 +164,14 @@ pub struct MilpSolution {
     pub objective: f64,
     /// Variable values; integer-marked entries are exactly rounded.
     pub x: Vec<f64>,
-    /// Number of nodes explored.
+    /// Number of nodes applied by the search (deterministic; speculative
+    /// solves discarded by pruning are not counted).
     pub nodes: usize,
     /// True when the node limit stopped the search before the tree was
     /// exhausted; the solution is then best-effort rather than proven optimal.
     pub truncated: bool,
-    /// Pivot-level LP statistics aggregated over every node relaxation.
+    /// Pivot-level LP statistics aggregated over every applied node
+    /// relaxation (deterministic at any worker count).
     pub lp_stats: LpStats,
 }
 
@@ -118,6 +202,112 @@ impl MilpOutcome {
             MilpOutcome::Unbounded => panic!("MILP unbounded, expected optimal"),
         }
     }
+}
+
+/// Maps an `f64` onto bits whose unsigned order matches the float order
+/// (the classic sign-flip trick; total over ±∞).
+fn ord_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Queue priority: parent bound ascending, then node id **ascending** —
+/// node ids are the deterministic tie-breaker of the whole search order.
+/// Oldest-first ties keep the open frontier *wide*: the next nodes to apply
+/// are usually siblings/cousins whose parents were applied long ago, so
+/// their relaxations can be (and usually already have been) solved in
+/// parallel. A newest-first (plunging) rule would chase each freshly
+/// created child, turning the application sequence into a parent→child
+/// chain whose every link waits on an LP solve — no parallel speedup.
+fn queue_key(bound: f64, id: u64) -> (u64, u64) {
+    (ord_bits(bound), id)
+}
+
+/// A queued subproblem: the root problem narrowed by the bound overrides
+/// along its tree path, to be re-solved from its parent's basis.
+struct Node {
+    id: u64,
+    /// The parent relaxation objective: a lower bound on every solution in
+    /// this subtree (`-∞` for the root).
+    bound: f64,
+    /// Absolute bound overrides along the root→node path, in branching
+    /// order (later entries narrow earlier ones).
+    path: Vec<(VarId, f64, f64)>,
+    /// Parent basis to warm-start from (`None` on the root without a stored
+    /// basis, or when warm starts are disabled).
+    basis: Option<Basis>,
+}
+
+/// What a worker takes off the queue to solve (the node itself stays queued
+/// until its result is applied in canonical order).
+struct WorkItem {
+    id: u64,
+    /// Parent bound, for the lock-free prunability re-check right before
+    /// the (expensive) LP solve.
+    bound: f64,
+    path: Vec<(VarId, f64, f64)>,
+    basis: Option<Basis>,
+}
+
+/// Mutex-protected search state.
+struct SearchState {
+    /// Open nodes awaiting a future round, in canonical order (see
+    /// [`queue_key`]).
+    queue: BTreeMap<(u64, u64), Node>,
+    /// The active round: node ids in application order. Formed
+    /// deterministically from the queue front whenever the previous round
+    /// has fully drained.
+    round: VecDeque<u64>,
+    /// The active round's nodes (moved out of the queue).
+    round_nodes: HashMap<u64, Node>,
+    /// Node ids currently being solved by some worker.
+    claimed: HashSet<u64>,
+    /// Round LP results awaiting application.
+    results: HashMap<u64, Result<WarmSolve, SolveError>>,
+    /// Solves in flight (claimed, lock released).
+    inflight: usize,
+    next_id: u64,
+    /// Nodes applied so far, in canonical order.
+    applied: usize,
+    truncated: bool,
+    /// Objective value new solutions must beat by `abs_gap` (incumbent
+    /// objective, or the caller's warm bound, or `+∞`). Mirrored into
+    /// [`Shared::incumbent_bits`] on every change.
+    cutoff: f64,
+    /// Best integral solution: (objective, rounded x, node id).
+    best: Option<(f64, Vec<f64>, u64)>,
+    root_basis: Option<Basis>,
+    unbounded: bool,
+    error: Option<SolveError>,
+    lp_stats: LpStats,
+    done: bool,
+}
+
+/// State shared across workers.
+struct Shared {
+    state: Mutex<SearchState>,
+    cv: Condvar,
+    /// Bit pattern of [`SearchState::cutoff`]: the shared incumbent bound,
+    /// readable without the lock so workers can decline speculative solves
+    /// that can no longer affect the result. Advisory only — the
+    /// authoritative pruning happens under the lock in application order,
+    /// which is what keeps the search deterministic.
+    incumbent_bits: AtomicU64,
+}
+
+/// Immutable per-solve context handed to every worker.
+struct Ctx<'a> {
+    shared: &'a Shared,
+    problem: &'a Problem,
+    integers: &'a [VarId],
+    options: &'a MilpOptions,
+    /// Root bounds of every integer variable (`v.index()` keyed): what a
+    /// worker restores after un-applying a node path.
+    base_bounds: HashMap<usize, (f64, f64)>,
 }
 
 /// A mixed-integer linear program: an LP plus integrality marks.
@@ -167,6 +357,12 @@ impl Milp {
         self.options = options;
     }
 
+    /// Sets only the worker-thread count (a convenience for callers
+    /// threading the orchestration-level knob through).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.options.threads = threads.max(1);
+    }
+
     /// Provides a known feasible objective value to prune against from the
     /// start (warm start). The bound must come from a genuinely feasible
     /// integral point or the optimum may be pruned away.
@@ -185,163 +381,358 @@ impl Milp {
         &self.problem
     }
 
-    /// Runs branch and bound.
+    /// Runs branch and bound across [`MilpOptions::threads`] workers.
     ///
     /// Node relaxations run on the revised simplex: each child node reuses
-    /// its parent's basis *and* its persisted factorization (one bound
-    /// changed ⇒ dual-simplex restart with zero refactorizations), and the
-    /// root reuses the previous `solve` call's root basis when the wrapped
-    /// problem only grew rows since (the Benders master pattern).
+    /// its parent's basis *and* its persisted Arc-shared factorization (one
+    /// bound changed ⇒ dual-simplex restart with zero refactorizations)
+    /// regardless of which worker solves it, and the root reuses the
+    /// previous `solve` call's root basis when the wrapped problem only
+    /// grew rows since (the Benders master pattern). Results — outcome,
+    /// node count, pivot statistics — are deterministic in the worker
+    /// count; see the crate docs.
     pub fn solve(&mut self) -> Result<MilpOutcome, SolveError> {
-        let mut work = self.problem.clone();
-        let mut best: Option<MilpSolution> = None;
-        let mut best_obj = self.incumbent_bound.unwrap_or(f64::INFINITY);
-        let mut nodes = 0usize;
-        let mut truncated = false;
-        let mut lp_stats = LpStats::default();
+        let threads = self.options.threads.max(1);
         let warm = self.options.warm_start;
+        let root_basis = if warm { self.root_basis.take() } else { None };
 
-        // Explicit DFS stack of bound overrides. An `Enter` frame narrows a
-        // variable's bounds for its subtree (carrying the parent node's
-        // post-solve basis); the matching `Restore` frame (pushed on entry)
-        // reinstates the outer bounds afterwards.
-        struct Frame {
-            var: VarId,
-            lb: f64,
-            ub: f64,
-            basis: Option<Basis>,
-        }
-        enum Item {
-            Enter(Frame),
-            Restore { var: VarId, lb: f64, ub: f64 },
-            Root,
-        }
-        let mut stack: Vec<Item> = vec![Item::Root];
-        // Basis the *current* node resumes from (set by Root/Enter frames).
-        let mut node_basis: Option<Basis>;
+        let base_bounds: HashMap<usize, (f64, f64)> = self
+            .integers
+            .iter()
+            .map(|&v| (v.index(), self.problem.bounds(v)))
+            .collect();
 
-        while let Some(item) = stack.pop() {
-            match item {
-                Item::Root => {
-                    node_basis = if warm { self.root_basis.take() } else { None };
-                }
-                Item::Restore { var, lb, ub } => {
-                    work.set_bounds(var, lb, ub);
-                    continue;
-                }
-                Item::Enter(f) => {
-                    let (olb, oub) = work.bounds(f.var);
-                    stack.push(Item::Restore {
-                        var: f.var,
-                        lb: olb,
-                        ub: oub,
-                    });
-                    if f.lb > f.ub {
-                        continue; // empty domain: prune without an LP solve
-                    }
-                    work.set_bounds(f.var, f.lb, f.ub);
-                    node_basis = f.basis;
-                }
-            }
+        let cutoff = self.incumbent_bound.unwrap_or(f64::INFINITY);
+        let mut state = SearchState {
+            queue: BTreeMap::new(),
+            round: VecDeque::new(),
+            round_nodes: HashMap::new(),
+            claimed: HashSet::new(),
+            results: HashMap::new(),
+            inflight: 0,
+            next_id: ROOT_ID + 1,
+            applied: 0,
+            truncated: false,
+            cutoff,
+            best: None,
+            root_basis: None,
+            unbounded: false,
+            error: None,
+            lp_stats: LpStats::default(),
+            done: false,
+        };
+        state.queue.insert(
+            queue_key(f64::NEG_INFINITY, ROOT_ID),
+            Node {
+                id: ROOT_ID,
+                bound: f64::NEG_INFINITY,
+                path: Vec::new(),
+                basis: root_basis,
+            },
+        );
 
-            if nodes >= self.options.max_nodes {
-                truncated = true;
-                continue; // keep draining Restore frames only
-            }
-            nodes += 1;
-            let is_root = nodes == 1;
+        let shared = Shared {
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            incumbent_bits: AtomicU64::new(cutoff.to_bits()),
+        };
+        let ctx = Ctx {
+            shared: &shared,
+            problem: &self.problem,
+            integers: &self.integers,
+            options: &self.options,
+            base_bounds,
+        };
 
-            let ws = work.solve_warm_with(node_basis.as_ref(), &self.options.simplex)?;
-            lp_stats.absorb(&ws.stats);
-            let solved_basis = ws.basis;
-            if is_root && warm {
-                // Keep the root basis for the next solve() of this Milp
-                // (valid as long as only rows are appended in between).
-                self.root_basis = Some(solved_basis.clone());
-            }
-            let sol = match ws.outcome {
-                LpOutcome::Optimal(s) => s,
-                LpOutcome::Infeasible(_) => continue,
-                LpOutcome::Unbounded => {
-                    if is_root {
-                        self.last_lp_stats = lp_stats;
-                        return Ok(MilpOutcome::Unbounded);
-                    }
-                    // A node of a bounded root cannot be unbounded; prune
-                    // defensively.
-                    continue;
+        if threads == 1 {
+            // Serial: same code path, no thread overhead — by construction
+            // identical to any multi-worker run.
+            Self::worker(&ctx);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| Self::worker(&ctx));
                 }
-            };
-            if sol.objective >= best_obj - self.options.abs_gap {
-                continue; // bound: cannot beat the incumbent
-            }
-
-            // Find the most fractional integer variable.
-            let mut branch: Option<(VarId, f64)> = None;
-            let mut best_frac_dist = INT_EPS;
-            for &v in &self.integers {
-                let val = sol.x[v.index()];
-                let frac = (val - val.round()).abs();
-                if frac > best_frac_dist {
-                    best_frac_dist = frac;
-                    branch = Some((v, val));
-                }
-            }
-
-            match branch {
-                None => {
-                    // Integral: new incumbent.
-                    let mut x = sol.x.clone();
-                    for &v in &self.integers {
-                        x[v.index()] = x[v.index()].round();
-                    }
-                    best_obj = sol.objective;
-                    best = Some(MilpSolution {
-                        objective: sol.objective,
-                        x,
-                        nodes,
-                        truncated: false,
-                        lp_stats: LpStats::default(),
-                    });
-                }
-                Some((v, val)) => {
-                    let (lb, ub) = work.bounds(v);
-                    let parent = warm.then(|| solved_basis.clone());
-                    let down = Frame {
-                        var: v,
-                        lb,
-                        ub: val.floor().min(ub),
-                        basis: parent.clone(),
-                    };
-                    let up = Frame {
-                        var: v,
-                        lb: val.ceil().max(lb),
-                        ub,
-                        basis: parent,
-                    };
-                    // Push the farther side first so the nearer side is
-                    // explored first (LIFO order).
-                    if val - val.floor() > 0.5 {
-                        stack.push(Item::Enter(down));
-                        stack.push(Item::Enter(up));
-                    } else {
-                        stack.push(Item::Enter(up));
-                        stack.push(Item::Enter(down));
-                    }
-                }
-            }
+            });
         }
 
-        self.last_lp_stats = lp_stats;
-        match best {
-            Some(mut s) => {
-                s.nodes = nodes;
-                s.truncated = truncated;
-                s.lp_stats = lp_stats;
-                Ok(MilpOutcome::Optimal(s))
-            }
+        let state = shared.state.into_inner().expect("no worker panicked");
+        self.last_lp_stats = state.lp_stats;
+        if warm {
+            self.root_basis = state.root_basis;
+        }
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+        if state.unbounded {
+            return Ok(MilpOutcome::Unbounded);
+        }
+        match state.best {
+            Some((objective, x, _id)) => Ok(MilpOutcome::Optimal(MilpSolution {
+                objective,
+                x,
+                nodes: state.applied,
+                truncated: state.truncated,
+                lp_stats: state.lp_stats,
+            })),
             None => Ok(MilpOutcome::Infeasible),
         }
+    }
+
+    /// One worker: repeatedly apply ready results in canonical order, then
+    /// solve the best claimable node speculatively; park on the condvar
+    /// when neither is possible.
+    fn worker(ctx: &Ctx<'_>) {
+        let mut local = ctx.problem.clone();
+        let mut ws = Workspace::new();
+        let mut guard = ctx.shared.state.lock().expect("search mutex");
+        loop {
+            Self::drain(ctx, &mut guard);
+            if guard.done {
+                ctx.shared.cv.notify_all();
+                return;
+            }
+            if let Some(work) = Self::claim(ctx, &mut guard) {
+                guard.inflight += 1;
+                drop(guard);
+                // Lock-free incumbent re-check before the expensive solve:
+                // an incumbent applied since this node was claimed may
+                // already dominate it. Skipping is always safe — the cutoff
+                // only decreases, so drain will discard the node at the
+                // round front without ever needing its result, and claim
+                // will not hand it out again.
+                let cutoff = f64::from_bits(ctx.shared.incumbent_bits.load(Ordering::Relaxed));
+                let result = (work.bound < cutoff - ctx.options.abs_gap)
+                    .then(|| Self::solve_node(ctx, &mut local, &mut ws, &work));
+                guard = ctx.shared.state.lock().expect("search mutex");
+                guard.inflight -= 1;
+                guard.claimed.remove(&work.id);
+                // A result for a node pruned mid-solve is dead — drop it.
+                if let Some(result) = result {
+                    if guard.round_nodes.contains_key(&work.id) {
+                        guard.results.insert(work.id, result);
+                    }
+                }
+                ctx.shared.cv.notify_all();
+            } else {
+                guard = ctx.shared.cv.wait(guard).expect("search mutex");
+            }
+        }
+    }
+
+    /// Applies ready results in canonical round order (forming the next
+    /// round whenever the current one has drained), pruning as it goes.
+    /// This is the *only* place search decisions are made, and it runs
+    /// under the lock in a deterministic sequence — the heart of the
+    /// any-worker-count determinism guarantee.
+    fn drain(ctx: &Ctx<'_>, st: &mut SearchState) {
+        loop {
+            if st.error.is_some() || st.unbounded {
+                st.queue.clear();
+                st.round.clear();
+                st.round_nodes.clear();
+                st.results.clear();
+            }
+            let Some(&id) = st.round.front() else {
+                // Round drained: form the next one from the queue front,
+                // skipping (discarding) nodes already prunable. Membership
+                // depends only on the search state — never on workers.
+                while st.round.len() < ROUND_WIDTH {
+                    let Some((&key, front)) = st.queue.first_key_value() else {
+                        break;
+                    };
+                    if front.bound >= st.cutoff - ctx.options.abs_gap {
+                        st.queue.remove(&key);
+                        continue;
+                    }
+                    let node = st.queue.remove(&key).expect("queue front");
+                    st.round.push_back(node.id);
+                    st.round_nodes.insert(node.id, node);
+                }
+                if st.round.is_empty() {
+                    if st.inflight == 0 {
+                        st.done = true;
+                    }
+                    return;
+                }
+                continue;
+            };
+            // Prune on the parent bound: an incumbent found earlier in this
+            // round may have overtaken the node since it was selected.
+            // Checked before the node budget so a tree that is effectively
+            // exhausted (every remaining node dominated) is never spuriously
+            // reported as truncated.
+            let node_bound = st.round_nodes[&id].bound;
+            if node_bound >= st.cutoff - ctx.options.abs_gap {
+                st.round.pop_front();
+                st.round_nodes.remove(&id);
+                st.results.remove(&id);
+                continue;
+            }
+            // Node budget: the canonical order would apply this node next.
+            if st.applied >= ctx.options.max_nodes {
+                st.truncated = true;
+                st.queue.clear();
+                st.round.clear();
+                st.round_nodes.clear();
+                st.results.clear();
+                continue;
+            }
+            // The round front must be applied next; stall until some worker
+            // delivers its relaxation (the rest of the round keeps solving
+            // in parallel meanwhile).
+            let Some(result) = st.results.remove(&id) else {
+                return;
+            };
+            st.round.pop_front();
+            let node = st.round_nodes.remove(&id).expect("round member");
+            st.applied += 1;
+            match result {
+                Err(e) => st.error = Some(e),
+                Ok(solved) => Self::apply(ctx, st, node, solved),
+            }
+        }
+    }
+
+    /// Applies one node's LP result: incumbent update or branching.
+    fn apply(ctx: &Ctx<'_>, st: &mut SearchState, node: Node, solved: WarmSolve) {
+        st.lp_stats.absorb(&solved.stats);
+        let warm = ctx.options.warm_start;
+        if node.id == ROOT_ID && warm {
+            // Keep the root basis for the next solve() of this Milp (valid
+            // as long as only rows are appended in between).
+            st.root_basis = Some(solved.basis.clone());
+        }
+        let sol = match solved.outcome {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Infeasible(_) => return,
+            LpOutcome::Unbounded => {
+                if node.id == ROOT_ID {
+                    st.unbounded = true;
+                }
+                // A node of a bounded root cannot be unbounded; prune
+                // defensively.
+                return;
+            }
+        };
+        if sol.objective >= st.cutoff - ctx.options.abs_gap {
+            return; // bound: cannot beat the incumbent
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch: Option<(VarId, f64)> = None;
+        let mut best_frac_dist = INT_EPS;
+        for &v in ctx.integers {
+            let val = sol.x[v.index()];
+            let frac = (val - val.round()).abs();
+            if frac > best_frac_dist {
+                best_frac_dist = frac;
+                branch = Some((v, val));
+            }
+        }
+
+        match branch {
+            None => {
+                // Integral: new incumbent. Application order is canonical,
+                // so which of two near-tied solutions wins is a function of
+                // the tree alone, never of worker scheduling.
+                let mut x = sol.x;
+                for &v in ctx.integers {
+                    x[v.index()] = x[v.index()].round();
+                }
+                st.cutoff = sol.objective;
+                ctx.shared
+                    .incumbent_bits
+                    .store(sol.objective.to_bits(), Ordering::Relaxed);
+                st.best = Some((sol.objective, x, node.id));
+            }
+            Some((v, val)) => {
+                // Effective bounds of the branch variable at this node.
+                let (lb, ub) = node
+                    .path
+                    .iter()
+                    .rev()
+                    .find(|&&(pv, _, _)| pv == v)
+                    .map(|&(_, l, u)| (l, u))
+                    .unwrap_or_else(|| ctx.base_bounds[&v.index()]);
+                let down = (lb, val.floor().min(ub));
+                let up = (val.ceil().max(lb), ub);
+                // Push the nearer side first: it gets the smaller id, and
+                // the queue breaks bound ties toward smaller ids, so the
+                // nearer integer side is explored first.
+                let near_down = val - val.floor() <= 0.5;
+                let ordered = if near_down { [down, up] } else { [up, down] };
+                let parent = warm.then_some(solved.basis);
+                for (clb, cub) in ordered {
+                    if clb > cub {
+                        continue; // empty domain: prune without an LP solve
+                    }
+                    let id = st.next_id;
+                    st.next_id += 1;
+                    let mut path = node.path.clone();
+                    path.push((v, clb, cub));
+                    st.queue.insert(
+                        queue_key(sol.objective, id),
+                        Node {
+                            id,
+                            bound: sol.objective,
+                            path,
+                            basis: parent.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Picks the next solvable node of the active round: not already
+    /// claimed or solved, and not prunable under the current incumbent —
+    /// solving a node an incumbent already dominates is pure waste, and
+    /// skipping it here cannot change the outcome because the
+    /// authoritative prune happens again at application.
+    fn claim(ctx: &Ctx<'_>, st: &mut SearchState) -> Option<WorkItem> {
+        let cutoff = st.cutoff;
+        let gap = ctx.options.abs_gap;
+        for i in 0..st.round.len() {
+            let id = st.round[i];
+            if st.claimed.contains(&id) || st.results.contains_key(&id) {
+                continue;
+            }
+            let node = st.round_nodes.get_mut(&id).expect("round member");
+            if node.bound >= cutoff - gap {
+                continue; // will be discarded once it reaches the front
+            }
+            st.claimed.insert(id);
+            return Some(WorkItem {
+                id,
+                bound: node.bound,
+                path: node.path.clone(),
+                // The basis is only needed for this solve; taking it (rather
+                // than cloning) keeps window memory flat.
+                basis: node.basis.take(),
+            });
+        }
+        None
+    }
+
+    /// Solves one node's relaxation on the worker's private problem clone
+    /// and workspace: apply the path's bound overrides, solve warm from the
+    /// parent basis, restore the root bounds.
+    fn solve_node(
+        ctx: &Ctx<'_>,
+        local: &mut Problem,
+        ws: &mut Workspace,
+        work: &WorkItem,
+    ) -> Result<WarmSolve, SolveError> {
+        for &(v, lb, ub) in &work.path {
+            local.set_bounds(v, lb, ub);
+        }
+        let result = local.solve_warm_in(work.basis.as_ref(), &ctx.options.simplex, ws);
+        for &(v, _, _) in &work.path {
+            let (lb, ub) = ctx.base_bounds[&v.index()];
+            local.set_bounds(v, lb, ub);
+        }
+        result
     }
 
     /// Pivot statistics of the most recent completed [`Milp::solve`] call —

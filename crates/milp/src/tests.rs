@@ -1,6 +1,6 @@
 //! Tests for branch-and-bound, cross-checked against brute-force enumeration.
 
-use crate::{Milp, MilpOptions, MilpOutcome};
+use crate::{Milp, MilpOptions, MilpOutcome, MilpSolution};
 use ovnes_lp::{Cmp, Problem, VarId};
 use proptest::prelude::*;
 
@@ -279,6 +279,71 @@ proptest! {
         prop_assert!((-s.objective - best).abs() < 1e-6,
             "milp {} vs brute {}", -s.objective, best);
     }
+}
+
+// ------------------------------------------------------ parallel determinism
+
+/// The parallel search must return bit-identical results — objective,
+/// solution vector, node count, pivot statistics — at every worker count.
+/// Speculative solves may be wasted, but application order is canonical.
+#[test]
+fn worker_count_never_changes_results() {
+    // A knapsack family with correlated weights (forces real branching)
+    // plus the multi-constraint instance.
+    let values: Vec<f64> = (0..14).map(|i| 10.0 + (i as f64) * 0.618).collect();
+    let weights: Vec<f64> = (0..14).map(|i| 7.0 + ((i * 37) % 11) as f64).collect();
+    for cap in [20.0, 40.0, 55.0] {
+        let mut reference: Option<MilpSolution> = None;
+        for threads in [1usize, 2, 4] {
+            let mut m = knapsack_milp(&values, &weights, cap);
+            m.set_options(MilpOptions {
+                threads,
+                ..MilpOptions::default()
+            });
+            let s = m.solve().unwrap().unwrap_optimal();
+            match &reference {
+                None => reference = Some(s),
+                Some(r) => {
+                    assert_eq!(
+                        r.objective.to_bits(),
+                        s.objective.to_bits(),
+                        "cap {cap}: objective differs at {threads} workers"
+                    );
+                    assert_eq!(r.x, s.x, "cap {cap}: solution differs at {threads} workers");
+                    assert_eq!(
+                        r.nodes, s.nodes,
+                        "cap {cap}: node count differs at {threads} workers"
+                    );
+                    assert_eq!(
+                        r.lp_stats, s.lp_stats,
+                        "cap {cap}: pivot stats differ at {threads} workers"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Truncation by the node budget is part of the deterministic contract too.
+#[test]
+fn truncation_is_deterministic_across_workers() {
+    let values: Vec<f64> = (0..14).map(|i| 10.0 + (i as f64) * 0.618).collect();
+    let weights: Vec<f64> = (0..14).map(|i| 7.0 + ((i * 37) % 11) as f64).collect();
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 3] {
+        let mut m = knapsack_milp(&values, &weights, 40.0);
+        m.set_options(MilpOptions {
+            max_nodes: 9,
+            threads,
+            ..MilpOptions::default()
+        });
+        match m.solve().unwrap() {
+            MilpOutcome::Optimal(s) => outcomes.push((s.objective.to_bits(), s.nodes, s.truncated)),
+            MilpOutcome::Infeasible => outcomes.push((0, 0, true)),
+            MilpOutcome::Unbounded => panic!("bounded problem"),
+        }
+    }
+    assert_eq!(outcomes[0], outcomes[1], "truncated runs diverged");
 }
 
 // ----------------------------------------------------- warm-start regression

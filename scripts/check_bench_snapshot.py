@@ -11,12 +11,18 @@ Run by the CI bench-smoke job. Validates that the snapshot
   per-solve slack: since the bound-native slave, a degenerate-lucky cold
   start can legitimately prove its outcome with zero pivots while the
   warm re-solve pays a single closing pivot),
-* never regresses warm pivots past the committed PR-2 snapshot values —
-  the gate that keeps the long-step dual ratio test and candidate-list
-  pricing from silently rotting,
+* never regresses warm pivots past the committed PR-4 snapshot values —
+  the gate that keeps the long-step dual ratio test, the dual devex
+  leaving-row pricing, and candidate-list pricing from silently rotting,
 * shows a warm pure-RHS/bound slave re-solve performing zero
   refactorizations (the persisted-factorization contract) with at least
-  one long-step bound flip (the bound-flipping ratio test contract), and
+  one long-step bound flip (the bound-flipping ratio test contract),
+* shows the parallel branch-and-bound probe (`milp_parallel`) solving
+  deterministically (bit-identical objective and admission set at 1 and
+  N workers), recording the worker count, and not regressing wall-clock
+  versus serial (a small tolerance covers single-core machines, where
+  the deterministic rounds degenerate to exactly the serial work and
+  parity is the physical optimum), and
 * shows the randomized LP torture chain exercising warm starts and
   bound flips at all.
 
@@ -78,6 +84,17 @@ REQUIRED_FIELDS = {
         "resolve_pricing_scans",
         "cold_pivots",
     ],
+    "milp_parallel": [
+        "scale",
+        "workers",
+        "nodes",
+        "deterministic",
+        "serial_objective",
+        "parallel_objective",
+        "serial_seconds",
+        "parallel_seconds",
+        "speedup",
+    ],
     "lp_torture": [
         "scale",
         "seconds",
@@ -93,17 +110,23 @@ REQUIRED_FIELDS = {
 
 EXPECTED_SCALES = {"small", "paper", "10x_paper"}
 
-# Warm pivot counts of the PR-2 snapshot (pre long-step / pre
-# candidate-list). The candidate-list + bound-flipping paths must never
-# be slower, pivot-wise, than the engine they replaced.
+# Wall-clock tolerance for the parallel B&B probe: deterministic rounds do
+# the identical LP work at any worker count, so on a single-core machine
+# parity (plus scheduler noise) is the physical optimum; multi-core
+# machines must still never regress past this.
+PARALLEL_SLACK = 1.05
+
+# Warm pivot counts of the PR-4 snapshot (dual devex leaving-row pricing +
+# the feasible 10x admission chain). The warm path must never get slower,
+# pivot-wise, than the engine that produced these numbers.
 PRIOR_WARM_PIVOTS = {
-    ("slave_chain", "small"): 38,
-    ("slave_chain", "paper"): 429,
-    ("slave_chain", "10x_paper"): 485,
-    ("benders_bnb", "small"): 43,
-    ("benders_bnb", "paper"): 177,
+    ("slave_chain", "small"): 13,
+    ("slave_chain", "paper"): 166,
+    ("slave_chain", "10x_paper"): 222,
+    ("benders_bnb", "small"): 21,
+    ("benders_bnb", "paper"): 62,
     ("slave_resolve", "small"): 0,
-    ("slave_resolve", "paper"): 35,
+    ("slave_resolve", "paper"): 14,
     ("slave_resolve", "10x_paper"): 24,
 }
 
@@ -166,6 +189,32 @@ def main() -> int:
                     "bound-native slave"
                 )
 
+        if bench == "milp_parallel":
+            if entry.get("deterministic") is not True:
+                errors.append(
+                    f"{tag}: parallel B&B diverged from serial "
+                    "(objective/admission set mismatch)"
+                )
+            if entry.get("serial_objective") != entry.get("parallel_objective"):
+                errors.append(
+                    f"{tag}: serial objective {entry.get('serial_objective')} != "
+                    f"parallel {entry.get('parallel_objective')}"
+                )
+            if entry.get("workers", 0) < 2:
+                errors.append(f"{tag}: probe ran with fewer than 2 workers")
+            serial_s = entry.get("serial_seconds", 0.0)
+            parallel_s = entry.get("parallel_seconds", float("inf"))
+            if parallel_s > serial_s * PARALLEL_SLACK:
+                errors.append(
+                    f"{tag}: parallel wall-clock {parallel_s:.6f}s regressed past "
+                    f"serial {serial_s:.6f}s (x{PARALLEL_SLACK} tolerance)"
+                )
+            if entry.get("nodes", 0) < 16:
+                errors.append(
+                    f"{tag}: probe tree has only {entry.get('nodes')} nodes — "
+                    "too shallow to exercise the round scheduler"
+                )
+
         if bench == "lp_torture":
             if entry.get("bound_flips", 0) <= 0:
                 errors.append(f"{tag}: torture chain produced no bound flips")
@@ -180,6 +229,8 @@ def main() -> int:
     for bench, scales in seen_scales.items():
         if bench == "lp_torture":
             want = {"torture"}
+        elif bench == "milp_parallel":
+            want = {"paper"}
         elif bench == "benders_bnb":
             want = EXPECTED_SCALES - {"10x_paper"}
         else:

@@ -6,9 +6,10 @@
 
 use ovnes::problem::{AcrrInstance, PathPolicy, TenantInput};
 use ovnes::slice::{SliceClass, SliceTemplate};
-use ovnes::solver::{baseline, benders, kac, oneshot};
+use ovnes::solver::{baseline, benders, kac, oneshot, solve_threaded, SolverKind};
 use ovnes_lp::revised::gen::{random_bound_edit, random_lp, GenRng, LpGenConfig};
 use ovnes_lp::{Basis, LpStats, Outcome};
+use ovnes_milp::{Milp, MilpOptions, MilpOutcome};
 use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
 
 fn tenants_on(model: &NetworkModel, classes: &[(SliceClass, f64, f64)]) -> Vec<TenantInput> {
@@ -169,6 +170,150 @@ fn randomized_lp_torture_warm_chains_match_dense_oracle() {
         "no bound flips across the whole torture run"
     );
     assert!(stats.warm_starts > 100, "chains were not warm-started");
+}
+
+/// The parallel branch-and-bound must be schedule-independent: seeded
+/// torture MILPs (the shared random-LP generator with every boxed column
+/// integer-marked) solved at 1, 2, and 4 workers must agree on the outcome
+/// class, the objective bits, the full solution vector, the node count, and
+/// the pivot statistics.
+#[test]
+fn parallel_bnb_is_deterministic_on_torture_milps() {
+    let mut rng = GenRng::new(0xD17E_4A11_CE55_0001);
+    let cfg = LpGenConfig::torture();
+    let mut branched_cases = 0usize;
+    let mut attempts = 0usize;
+    let mut case = 0usize;
+    while case < 24 && attempts < 400 {
+        attempts += 1;
+        let p = random_lp(&mut rng, &cfg);
+        // Keep only draws whose relaxation is optimal — infeasible/unbounded
+        // roots never branch, and the point here is queue contention.
+        if !matches!(p.solve_warm(None).unwrap().outcome, Outcome::Optimal(_)) {
+            continue;
+        }
+        case += 1;
+        let integers: Vec<_> = p
+            .var_ids()
+            .filter(|&v| {
+                let (lb, ub) = p.bounds(v);
+                lb.is_finite() && ub.is_finite()
+            })
+            .collect();
+        let mut reference: Option<(u64, Vec<f64>, usize, LpStats)> = None;
+        let mut ref_class = String::new();
+        for threads in [1usize, 2, 4] {
+            let mut m = Milp::new(p.clone());
+            for &v in &integers {
+                m.mark_integer(v);
+            }
+            m.set_options(MilpOptions {
+                threads,
+                ..MilpOptions::default()
+            });
+            match m.solve().unwrap_or_else(|e| panic!("case {case}: {e}")) {
+                MilpOutcome::Optimal(s) => {
+                    if s.nodes > 1 && threads == 1 {
+                        branched_cases += 1;
+                    }
+                    match &reference {
+                        None => {
+                            reference =
+                                Some((s.objective.to_bits(), s.x.clone(), s.nodes, s.lp_stats));
+                            ref_class = "optimal".into();
+                        }
+                        Some((obj, x, nodes, stats)) => {
+                            assert_eq!(ref_class, "optimal", "case {case}: class changed");
+                            assert_eq!(
+                                *obj,
+                                s.objective.to_bits(),
+                                "case {case}: objective differs at {threads} workers"
+                            );
+                            assert_eq!(
+                                x, &s.x,
+                                "case {case}: solution differs at {threads} workers"
+                            );
+                            assert_eq!(
+                                *nodes, s.nodes,
+                                "case {case}: node count differs at {threads} workers"
+                            );
+                            assert_eq!(
+                                stats, &s.lp_stats,
+                                "case {case}: pivot stats differ at {threads} workers"
+                            );
+                        }
+                    }
+                }
+                MilpOutcome::Infeasible => {
+                    if reference.is_none() && ref_class.is_empty() {
+                        ref_class = "infeasible".into();
+                    } else {
+                        assert_eq!(ref_class, "infeasible", "case {case}: class changed");
+                    }
+                }
+                MilpOutcome::Unbounded => {
+                    if reference.is_none() && ref_class.is_empty() {
+                        ref_class = "unbounded".into();
+                    } else {
+                        assert_eq!(ref_class, "unbounded", "case {case}: class changed");
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        branched_cases >= 5,
+        "torture mix produced only {branched_cases} branching trees — not exercising the queue"
+    );
+}
+
+/// End-to-end determinism on the AC-RR layer: at 1, 2, and 4 workers the
+/// one-shot oracle and full Benders must return the identical objective
+/// *and* the identical admission set (tenant → CU assignment).
+#[test]
+fn parallel_acrr_solvers_match_serial_admissions() {
+    for (op, specs) in [
+        (
+            Operator::Romanian,
+            vec![
+                (SliceClass::Embb, 0.3, 0.2),
+                (SliceClass::Urllc, 0.4, 0.3),
+                (SliceClass::Mmtc, 0.2, 0.05),
+            ],
+        ),
+        (
+            Operator::Swiss,
+            vec![
+                (SliceClass::Embb, 0.5, 0.2),
+                (SliceClass::Embb, 0.2, 0.1),
+                (SliceClass::Urllc, 0.4, 0.3),
+                (SliceClass::Mmtc, 0.3, 0.1),
+            ],
+        ),
+    ] {
+        let model = tiny_model(op);
+        let tenants = tenants_on(&model, &specs);
+        let inst = AcrrInstance::build(&model, tenants, PathPolicy::Spread, true, None);
+        for kind in [SolverKind::OneShot, SolverKind::Benders] {
+            let serial = solve_threaded(&inst, kind, 1).unwrap();
+            for threads in [2usize, 4] {
+                let par = solve_threaded(&inst, kind, threads).unwrap();
+                assert_eq!(
+                    serial.objective.to_bits(),
+                    par.objective.to_bits(),
+                    "{op:?}/{kind:?}: objective differs at {threads} workers"
+                );
+                assert_eq!(
+                    serial.assigned_cu, par.assigned_cu,
+                    "{op:?}/{kind:?}: admission set differs at {threads} workers"
+                );
+                assert_eq!(
+                    serial.stats.lp, par.stats.lp,
+                    "{op:?}/{kind:?}: pivot stats differ at {threads} workers"
+                );
+            }
+        }
+    }
 }
 
 #[test]
