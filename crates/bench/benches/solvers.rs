@@ -6,7 +6,10 @@
 //! on the two hot paths (Benders + branch-and-bound, and the slave
 //! re-pricing chain) at three instance scales, and dumps a machine-readable
 //! `BENCH_solvers.json` snapshot — wall-clock medians *and* pivot counts —
-//! so subsequent PRs can track the perf trajectory.
+//! so subsequent PRs can track the perf trajectory. The snapshot also
+//! carries the scenario-engine probes: one preset day end to end
+//! (`scenario_day`) and the default named sweep at 1 vs 4 workers with its
+//! deterministic fingerprint (`scenario_sweep`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ovnes::problem::{AcrrInstance, PathPolicy, TenantInput};
@@ -358,21 +361,22 @@ fn emit_snapshot() {
     // round scheduler, so the objective and admission set must match the
     // serial run bit-for-bit; wall-clock must not regress (on a single-core
     // machine the rounds degenerate to the identical serial work — parity —
-    // while multi-core machines see real speedup). Median of 3 passes per
+    // while multi-core machines see real speedup). Min of 5 passes per
     // mode to keep the committed numbers stable.
     {
         const WORKERS: usize = 4;
         let inst = instance_at(0.04, 14, true);
-        let time3 = |threads: usize| {
-            let mut times: Vec<f64> = (0..3)
+        // Min-of-5 per mode: the parity gate sits at 1.05x, and on a
+        // single-core box scheduler noise alone swings a median past it —
+        // the minimum is the standard noise-robust wall-clock statistic.
+        let time_min = |threads: usize| {
+            (0..5)
                 .map(|_| {
                     let t0 = Instant::now();
                     oneshot::solve_threaded(&inst, threads).expect("oneshot");
                     t0.elapsed().as_secs_f64()
                 })
-                .collect();
-            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            times[1]
+                .fold(f64::INFINITY, f64::min)
         };
         let serial = oneshot::solve_threaded(&inst, 1).expect("oneshot serial");
         let parallel = oneshot::solve_threaded(&inst, WORKERS).expect("oneshot parallel");
@@ -384,8 +388,8 @@ fn emit_snapshot() {
             "parallel B&B diverged from serial: {} vs {}",
             serial.objective, parallel.objective
         );
-        let t_serial = time3(1);
-        let t_parallel = time3(WORKERS);
+        let t_serial = time_min(1);
+        let t_parallel = time_min(WORKERS);
         entries.push(format!(
             concat!(
                 "  {{\"bench\": \"milp_parallel\", \"scale\": \"paper\", ",
@@ -402,6 +406,83 @@ fn emit_snapshot() {
             t_serial,
             t_parallel,
             t_serial / t_parallel.max(1e-12),
+        ));
+    }
+
+    // Scenario-engine probes: one named preset day end to end
+    // (`scenario_day`), and the full default sweep at 1 vs 4 workers with
+    // the bit-identical-report guarantee checked and recorded
+    // (`scenario_sweep`). Wall-clock columns track the workload engine's
+    // perf trajectory; the fingerprint column pins the deterministic
+    // observables.
+    {
+        let spec = ovnes_scenario::presets::fig5(Operator::Romanian);
+        let t0 = Instant::now();
+        let day = ovnes_scenario::run_scenario(&spec).expect("scenario_day probe");
+        let t_day = t0.elapsed().as_secs_f64();
+        entries.push(format!(
+            concat!(
+                "  {{\"bench\": \"scenario_day\", \"scale\": \"paper\", ",
+                "\"name\": \"{}\", \"epochs\": {}, \"arrivals\": {}, ",
+                "\"accepted\": {}, \"acceptance_ratio\": {:.6}, ",
+                "\"violation_rate\": {:.6}, \"net_revenue\": {:.6}, ",
+                "\"lp_solves\": {}, \"lp_pivots\": {}, ",
+                "\"wall_seconds\": {:.6}}}"
+            ),
+            day.name,
+            day.epochs,
+            day.arrivals,
+            day.accepted,
+            day.acceptance_ratio,
+            day.violation_rate,
+            day.net_revenue,
+            day.lp_solves,
+            day.lp_pivots,
+            t_day,
+        ));
+
+        const SWEEP_WORKERS: usize = 4;
+        let specs = ovnes_scenario::presets::default_sweep();
+        // Min-of-3 per worker count, for the same reason as the MILP
+        // probe above: the parity gate must not trip on scheduler noise.
+        let sweep_min = |workers: usize| {
+            (0..3)
+                .map(|_| ovnes_scenario::run_sweep(&specs, workers).expect("sweep"))
+                .min_by(|a, b| a.wall_seconds.partial_cmp(&b.wall_seconds).unwrap())
+                .expect("three sweep passes")
+        };
+        let serial = sweep_min(1);
+        let parallel = sweep_min(SWEEP_WORKERS);
+        let deterministic = serial.fingerprint() == parallel.fingerprint();
+        assert!(
+            deterministic,
+            "sweep diverged between 1 and {SWEEP_WORKERS} workers"
+        );
+        entries.push(format!(
+            concat!(
+                "  {{\"bench\": \"scenario_sweep\", \"scale\": \"paper\", ",
+                "\"scenarios\": {}, \"workers\": {}, \"deterministic\": {}, ",
+                "\"fingerprint\": \"{:#018x}\", ",
+                "\"arrivals\": {}, \"accepted\": {}, \"acceptance_ratio\": {:.6}, ",
+                "\"violation_rate\": {:.6}, \"net_revenue\": {:.6}, ",
+                "\"lp_solves\": {}, \"lp_pivots\": {}, ",
+                "\"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, ",
+                "\"speedup\": {:.2}}}"
+            ),
+            serial.scenarios.len(),
+            SWEEP_WORKERS,
+            deterministic,
+            serial.fingerprint(),
+            serial.total_arrivals,
+            serial.total_accepted,
+            serial.acceptance_ratio,
+            serial.violation_rate,
+            serial.total_net_revenue,
+            serial.total_lp_solves,
+            serial.total_lp_pivots,
+            serial.wall_seconds,
+            parallel.wall_seconds,
+            serial.wall_seconds / parallel.wall_seconds.max(1e-12),
         ));
     }
 

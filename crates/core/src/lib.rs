@@ -22,7 +22,11 @@
 //!
 //! Substrates (each its own crate): `ovnes-lp` (simplex), `ovnes-milp`
 //! (branch & bound), `ovnes-forecast` (Holt-Winters), `ovnes-topology`
-//! (operator networks), `ovnes-netsim` (traffic + middlebox).
+//! (operator networks), `ovnes-netsim` (traffic + middlebox). On top sits
+//! `ovnes-scenario`: city-scale generated workloads (arrival processes,
+//! churn, flash crowds) driven through
+//! [`orchestrator::Orchestrator::run_horizon`] and swept in parallel with
+//! bit-identical aggregated reports.
 //!
 //! ## Quickstart
 //!

@@ -36,6 +36,13 @@ pub struct OrchestratorConfig {
     /// deterministic in it). Defaults to [`ovnes_milp::default_threads`]
     /// (the `OVNES_MILP_THREADS` environment variable, or 1).
     pub threads: usize,
+    /// Branch-and-bound nodes per deterministic round for the epoch solves
+    /// (see [`ovnes_milp::MilpOptions::round_width`]). Unlike `threads`,
+    /// different widths walk different (each internally deterministic)
+    /// search sequences, so callers that fingerprint solver telemetry pin
+    /// this explicitly. Defaults to [`ovnes_milp::default_round_width`]
+    /// (the `OVNES_MILP_ROUND_WIDTH` environment variable, or 8).
+    pub round_width: usize,
     /// Overbooking on/off (off ⇒ the no-overbooking baseline semantics).
     pub overbooking: bool,
     /// Monitoring samples per epoch (the paper's κ; testbed uses 12 × 5 min).
@@ -77,6 +84,15 @@ pub struct OrchestratorConfig {
     /// The `L` factor in `ξ = σ̂·L` (1.0 = per-epoch risk accounting, see
     /// DESIGN.md).
     pub duration_weight: f64,
+    /// Total admission attempts a rejected request gets before abandoning,
+    /// counting the attempt at its arrival epoch: with patience `P`, a
+    /// request arriving at epoch `a` applies at epochs `a .. a+P` and is
+    /// dropped after the rejection at `a+P−1`. `u32::MAX` = unlimited, the
+    /// paper's semantics where every tenant re-applies each epoch.
+    /// Long-horizon workload scenarios set a finite patience so the
+    /// pending queue — and with it the per-epoch AC-RR instance — stays
+    /// bounded under churn.
+    pub reapply_epochs: u32,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -86,6 +102,7 @@ impl Default for OrchestratorConfig {
         Self {
             solver: SolverKind::Benders,
             threads: ovnes_milp::default_threads(),
+            round_width: ovnes_milp::default_round_width(),
             overbooking: true,
             samples_per_epoch: 12,
             season_epochs: 6,
@@ -99,6 +116,7 @@ impl Default for OrchestratorConfig {
             path_policy: PathPolicy::Spread,
             deficit_cost: 1e4,
             duration_weight: 1.0,
+            reapply_epochs: u32::MAX,
             seed: 7,
         }
     }
@@ -121,8 +139,16 @@ pub struct EpochOutcome {
     pub epoch: u32,
     /// Tenants admitted this epoch (including continuing ones).
     pub admitted: Vec<u32>,
+    /// Tenants admitted for the *first* time this epoch (the subset of
+    /// [`EpochOutcome::admitted`] that was pending at the start of the
+    /// epoch) — the numerator of an acceptance-ratio metric.
+    pub newly_admitted: Vec<u32>,
     /// Pending tenants rejected this epoch.
     pub rejected: Vec<u32>,
+    /// Rejected tenants that abandoned this epoch (their
+    /// [`OrchestratorConfig::reapply_epochs`] patience ran out; they will
+    /// not re-apply).
+    pub abandoned: Vec<u32>,
     /// Net revenue = rewards − penalties.
     pub net_revenue: f64,
     /// Gross rewards collected.
@@ -193,6 +219,27 @@ impl Orchestrator {
     /// Tenants currently admitted.
     pub fn active_tenants(&self) -> Vec<u32> {
         self.active.iter().map(|a| a.request.tenant).collect()
+    }
+
+    /// Requests queued or re-applying (not yet admitted or abandoned).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs `epochs` decision epochs, handing each [`EpochOutcome`] to
+    /// `observer` as it is produced. This is the streaming entry point for
+    /// multi-day scenario horizons: the caller aggregates metrics epoch by
+    /// epoch instead of materialising the whole trajectory.
+    pub fn run_horizon(
+        &mut self,
+        epochs: usize,
+        mut observer: impl FnMut(&EpochOutcome),
+    ) -> Result<(), AcrrError> {
+        for _ in 0..epochs {
+            let outcome = self.step()?;
+            observer(&outcome);
+        }
+        Ok(())
     }
 
     /// The underlying network model.
@@ -306,7 +353,12 @@ impl Orchestrator {
         } else {
             SolverKind::NoOverbooking
         };
-        let allocation = solver::solve_threaded(&instance, kind, self.config.threads)?;
+        let allocation = solver::solve_tuned(
+            &instance,
+            kind,
+            self.config.threads,
+            self.config.round_width,
+        )?;
 
         // 4. Apply the decision: update active set, return rejects to queue.
         // Under adaptive reservations the enforced z is trimmed down to the
@@ -327,7 +379,9 @@ impl Orchestrator {
         };
         let n_active_before = self.active.len();
         let mut admitted = Vec::new();
+        let mut newly_admitted = Vec::new();
         let mut rejected = Vec::new();
+        let mut abandoned = Vec::new();
         for (ti, cu) in allocation.assigned_cu.iter().enumerate() {
             let req = &req_of[ti];
             if ti < n_active_before {
@@ -345,10 +399,19 @@ impl Orchestrator {
                             reservations: effective_z(ti),
                         });
                         admitted.push(req.tenant);
+                        newly_admitted.push(req.tenant);
                     }
                     None => {
                         rejected.push(req.tenant);
-                        self.queue.push(req.clone());
+                        // Patience: a rejected request re-applies next epoch
+                        // only while it is still within `reapply_epochs` of
+                        // its arrival; afterwards the tenant walks away.
+                        let waited = (epoch + 1).saturating_sub(req.arrival_epoch);
+                        if waited < self.config.reapply_epochs {
+                            self.queue.push(req.clone());
+                        } else {
+                            abandoned.push(req.tenant);
+                        }
                     }
                 }
             }
@@ -481,7 +544,9 @@ impl Orchestrator {
         Ok(EpochOutcome {
             epoch,
             admitted,
+            newly_admitted,
             rejected,
+            abandoned,
             net_revenue: reward - penalty,
             reward,
             penalty,

@@ -25,6 +25,17 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
 /// [`solve`] with an explicit branch-and-bound worker count (results are
 /// deterministic in it).
 pub fn solve_threaded(instance: &AcrrInstance, threads: usize) -> Result<Allocation, AcrrError> {
+    solve_tuned(instance, threads, ovnes_milp::default_round_width())
+}
+
+/// [`solve_threaded`] with the nodes-per-round window also explicit (see
+/// [`ovnes_milp::MilpOptions::round_width`]); results are deterministic in
+/// `threads` for any fixed `round_width`.
+pub fn solve_tuned(
+    instance: &AcrrInstance,
+    threads: usize,
+    round_width: usize,
+) -> Result<Allocation, AcrrError> {
     assert!(
         !instance.overbooking,
         "baseline requires an instance built with overbooking = false"
@@ -131,6 +142,7 @@ pub fn solve_threaded(instance: &AcrrInstance, threads: usize) -> Result<Allocat
         milp.mark_integer(*v);
     }
     milp.set_threads(threads);
+    milp.set_round_width(round_width);
     let sol = match milp.solve()? {
         MilpOutcome::Optimal(s) => s,
         MilpOutcome::Infeasible => return Err(AcrrError::Infeasible),

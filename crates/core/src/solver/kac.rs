@@ -302,7 +302,11 @@ fn greedy_pack(
             (pair, phi)
         })
         .collect();
-    items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    // Total order: priority ratio first, then (tenant, CU) — `items` was
+    // collected in HashMap order, and a stable sort on φ alone would let
+    // that arbitrary order decide ties, making admissions differ from run
+    // to run (φ ties are common: same-class tenants share γ and w̄).
+    items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
 
     for ((t, c), _) in items {
         if assigned[t].is_some() {

@@ -82,14 +82,31 @@ pub fn solve_threaded(
     kind: SolverKind,
     threads: usize,
 ) -> Result<Allocation, AcrrError> {
+    solve_tuned(instance, kind, threads, ovnes_milp::default_round_width())
+}
+
+/// Dispatches with both branch-and-bound knobs explicit: `threads` (purely
+/// a wall-clock lever, results identical at any value) and `round_width`
+/// (the nodes-per-deterministic-round window — results are bit-identical
+/// at any worker count *for a fixed width*, but different widths walk
+/// different search sequences). Callers that fingerprint solver telemetry
+/// (the scenario sweeps) pin `round_width` so their reports never depend
+/// on the ambient `OVNES_MILP_ROUND_WIDTH`.
+pub fn solve_tuned(
+    instance: &AcrrInstance,
+    kind: SolverKind,
+    threads: usize,
+    round_width: usize,
+) -> Result<Allocation, AcrrError> {
     match kind {
         SolverKind::Benders => {
             let mut options = benders::BendersOptions::default();
             options.milp.threads = threads.max(1);
+            options.milp.round_width = round_width.max(1);
             benders::solve(instance, &options)
         }
         SolverKind::Kac => kac::solve(instance, &kac::KacOptions::default()),
-        SolverKind::OneShot => oneshot::solve_threaded(instance, threads),
-        SolverKind::NoOverbooking => baseline::solve_threaded(instance, threads),
+        SolverKind::OneShot => oneshot::solve_tuned(instance, threads, round_width),
+        SolverKind::NoOverbooking => baseline::solve_tuned(instance, threads, round_width),
     }
 }

@@ -20,6 +20,17 @@ pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
 /// tree is the deepest in the codebase, so it benefits the most from the
 /// parallel node fan-out. Results are deterministic in `threads`.
 pub fn solve_threaded(instance: &AcrrInstance, threads: usize) -> Result<Allocation, AcrrError> {
+    solve_tuned(instance, threads, ovnes_milp::default_round_width())
+}
+
+/// [`solve_threaded`] with the nodes-per-round window also explicit (see
+/// [`ovnes_milp::MilpOptions::round_width`]); results are deterministic in
+/// `threads` for any fixed `round_width`.
+pub fn solve_tuned(
+    instance: &AcrrInstance,
+    threads: usize,
+    round_width: usize,
+) -> Result<Allocation, AcrrError> {
     if !instance.forced_feasible() {
         return Err(AcrrError::ForcedInfeasible);
     }
@@ -151,6 +162,7 @@ pub fn solve_threaded(instance: &AcrrInstance, threads: usize) -> Result<Allocat
         milp.mark_integer(*v);
     }
     milp.set_threads(threads);
+    milp.set_round_width(round_width);
     let sol = match milp.solve()? {
         MilpOutcome::Optimal(s) => s,
         MilpOutcome::Infeasible => return Err(AcrrError::Infeasible),

@@ -41,7 +41,7 @@
 //!   wall-clock, never changes a result.
 //!
 //! The search advances in **deterministic rounds**: each round moves the
-//! up-to-[`ROUND_WIDTH`] best open nodes (lower parent bound first, ties
+//! up-to-[`MilpOptions::round_width`] best open nodes (lower parent bound first, ties
 //! broken on node ids) from the queue into an active window whose
 //! membership is a pure function of the search state — never of the worker
 //! count or OS scheduling. Workers solve the window's relaxations in any
@@ -94,13 +94,12 @@ const INT_EPS: f64 = 1e-6;
 /// root is always applied first).
 const ROOT_ID: u64 = 0;
 
-/// Nodes per deterministic round: the active window workers draw from.
-/// A constant (never derived from the worker count!) so the round
-/// decomposition — and therefore every result — is identical at any
-/// parallelism. Sized a little above the worker counts we deploy (2–8) so
-/// the window keeps every core fed; oversizing only risks solving a few
-/// end-of-search nodes an incumbent discovered mid-round would have pruned.
-const ROUND_WIDTH: usize = 8;
+/// Fallback nodes-per-round when neither [`MilpOptions::round_width`] nor
+/// `OVNES_MILP_ROUND_WIDTH` says otherwise. Sized a little above the worker
+/// counts we historically deploy (2–8) so the window keeps every core fed;
+/// oversizing only risks solving a few end-of-search nodes an incumbent
+/// discovered mid-round would have pruned.
+const FALLBACK_ROUND_WIDTH: usize = 8;
 
 /// Default branch-and-bound worker count: the `OVNES_MILP_THREADS`
 /// environment variable when set to a positive integer, otherwise 1.
@@ -115,6 +114,23 @@ pub fn default_threads() -> usize {
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&t| t >= 1)
         .unwrap_or(1)
+}
+
+/// Default nodes per deterministic round: the `OVNES_MILP_ROUND_WIDTH`
+/// environment variable when set to a positive integer, otherwise 8.
+///
+/// The round width is a hardware-tuning lever: wider rounds keep more
+/// cores fed on big machines at the cost of occasionally solving
+/// end-of-search nodes a mid-round incumbent would have pruned. Unlike
+/// [`default_threads`], changing the width changes *which* canonical
+/// search sequence is walked — results are bit-identical at any worker
+/// count **for a fixed width**, not across widths.
+pub fn default_round_width() -> usize {
+    std::env::var("OVNES_MILP_ROUND_WIDTH")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(FALLBACK_ROUND_WIDTH)
 }
 
 /// Options controlling the branch-and-bound search.
@@ -143,6 +159,15 @@ pub struct MilpOptions {
     /// deterministic in this knob; it is purely a wall-clock lever.
     /// Defaults to [`default_threads`].
     pub threads: usize,
+    /// Nodes per deterministic round (clamped to ≥ 1): the active window
+    /// workers draw from. Never derived from the worker count, so the round
+    /// decomposition — and therefore every result — is identical at any
+    /// parallelism. Widen it on many-core hardware to keep every worker
+    /// fed; note that different widths walk different (each internally
+    /// deterministic) search sequences. Defaults to
+    /// [`default_round_width`] (the `OVNES_MILP_ROUND_WIDTH` environment
+    /// variable, or 8).
+    pub round_width: usize,
 }
 
 impl Default for MilpOptions {
@@ -153,6 +178,7 @@ impl Default for MilpOptions {
             simplex: SimplexOptions::default(),
             warm_start: true,
             threads: default_threads(),
+            round_width: default_round_width(),
         }
     }
 }
@@ -363,6 +389,14 @@ impl Milp {
         self.options.threads = threads.max(1);
     }
 
+    /// Sets only the nodes-per-round window (see
+    /// [`MilpOptions::round_width`]). Callers that fingerprint solver
+    /// telemetry pin this so results never depend on the ambient
+    /// `OVNES_MILP_ROUND_WIDTH`.
+    pub fn set_round_width(&mut self, round_width: usize) {
+        self.options.round_width = round_width.max(1);
+    }
+
     /// Provides a known feasible objective value to prune against from the
     /// start (warm start). The bound must come from a genuinely feasible
     /// integral point or the optimum may be pruned away.
@@ -537,7 +571,7 @@ impl Milp {
                 // Round drained: form the next one from the queue front,
                 // skipping (discarding) nodes already prunable. Membership
                 // depends only on the search state — never on workers.
-                while st.round.len() < ROUND_WIDTH {
+                while st.round.len() < ctx.options.round_width.max(1) {
                     let Some((&key, front)) = st.queue.first_key_value() else {
                         break;
                     };

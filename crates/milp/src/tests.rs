@@ -324,6 +324,50 @@ fn worker_count_never_changes_results() {
     }
 }
 
+/// The round width is a hardware-tuning lever: every width must find the
+/// same optimum, and any fixed width must stay bit-identical across
+/// worker counts (the determinism contract is per width, not across
+/// widths — node counts may legitimately differ between widths).
+#[test]
+fn round_width_preserves_optimum_and_per_width_determinism() {
+    let values: Vec<f64> = (0..14).map(|i| 10.0 + (i as f64) * 0.618).collect();
+    let weights: Vec<f64> = (0..14).map(|i| 7.0 + ((i * 37) % 11) as f64).collect();
+    let solve = |round_width: usize, threads: usize| {
+        let mut m = knapsack_milp(&values, &weights, 40.0);
+        m.set_options(MilpOptions {
+            round_width,
+            threads,
+            ..MilpOptions::default()
+        });
+        m.solve().unwrap().unwrap_optimal()
+    };
+    let reference = solve(8, 1);
+    for width in [1usize, 2, 4, 16, 64] {
+        let serial = solve(width, 1);
+        assert!(
+            (serial.objective - reference.objective).abs() < 1e-9,
+            "width {width}: objective {} vs {}",
+            serial.objective,
+            reference.objective
+        );
+        let parallel = solve(width, 4);
+        assert_eq!(
+            serial.objective.to_bits(),
+            parallel.objective.to_bits(),
+            "width {width}: objective differs at 4 workers"
+        );
+        assert_eq!(serial.x, parallel.x, "width {width}: solution differs");
+        assert_eq!(
+            serial.nodes, parallel.nodes,
+            "width {width}: node count differs"
+        );
+        assert_eq!(
+            serial.lp_stats, parallel.lp_stats,
+            "width {width}: pivot stats differ"
+        );
+    }
+}
+
 /// Truncation by the node budget is part of the deterministic contract too.
 #[test]
 fn truncation_is_deterministic_across_workers() {

@@ -1,0 +1,377 @@
+//! The simulation driver: expands a [`ScenarioSpec`] into a workload,
+//! wraps a [`ovnes::orchestrator::Orchestrator`] over the multi-day
+//! horizon via `run_horizon`, and aggregates the metrics pipeline into a
+//! [`ScenarioReport`].
+
+use crate::metrics::{CdfSummary, ScenarioReport};
+use crate::workload::WorkloadSpec;
+use ovnes::orchestrator::{EpochOutcome, Orchestrator, OrchestratorConfig};
+use ovnes::slice::SliceRequest;
+use ovnes::solver::{AcrrError, SolverKind};
+use ovnes::testbed;
+use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Which data-plane model a scenario runs on.
+#[derive(Debug, Clone)]
+pub enum ModelSpec {
+    /// A generated operator topology (paper Fig. 4, scaled).
+    Generated {
+        /// Operator to model (N1/N2/N3).
+        operator: Operator,
+        /// Generator knobs (scale, seed, k-paths).
+        topology: GeneratorConfig,
+    },
+    /// The §5 testbed data plane (Fig. 7 / Table 2).
+    Testbed,
+}
+
+/// How the request stream is produced.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Expanded from a seeded [`WorkloadSpec`].
+    Generated(WorkloadSpec),
+    /// An explicit, hand-written request list (e.g. the testbed day).
+    Explicit(Vec<SliceRequest>),
+}
+
+/// One fully specified, independently runnable scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Display / preset name (flows into reports and fingerprints).
+    pub name: String,
+    /// Data-plane model.
+    pub model: ModelSpec,
+    /// The request stream.
+    pub workload: Workload,
+    /// Horizon length in epochs.
+    pub horizon_epochs: usize,
+    /// AC-RR algorithm for the overbooking runs.
+    pub solver: SolverKind,
+    /// Overbooking on/off (off ⇒ the no-overbooking baseline).
+    pub overbooking: bool,
+    /// Enforce head-roomed-forecast reservations (§2.1.3 adaptive mode).
+    pub adaptive_reservations: bool,
+    /// Re-apply patience handed to the orchestrator (bounds the pending
+    /// queue under churn; see `OrchestratorConfig::reapply_epochs`).
+    pub reapply_epochs: u32,
+    /// Branch-and-bound worker threads per epoch solve; 0 ⇒ inherit the
+    /// orchestrator default (`OVNES_MILP_THREADS`, or 1). Safe to leave
+    /// ambient: epoch solves are bit-identical at any worker count.
+    pub threads: usize,
+    /// Branch-and-bound nodes per deterministic round for the epoch
+    /// solves. Unlike `threads`, different widths walk different search
+    /// sequences (node/pivot counts differ), so the builder **pins** this
+    /// to 8 rather than inheriting `OVNES_MILP_ROUND_WIDTH` — a scenario
+    /// report, and therefore every sweep fingerprint, stays a pure
+    /// function of its spec regardless of the environment.
+    pub round_width: usize,
+    /// Master seed: drives both the workload expansion and the simulator.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// Starts a builder for a named scenario with library defaults: a
+    /// harness-scale Romanian (N1) topology, the default generated
+    /// workload, a 2-day horizon, the KAC solver, overbooking on.
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            spec: ScenarioSpec {
+                name: name.into(),
+                model: ModelSpec::Generated {
+                    operator: Operator::Romanian,
+                    topology: GeneratorConfig {
+                        scale: 0.03,
+                        seed: 18,
+                        k_paths: 4,
+                    },
+                },
+                workload: Workload::Generated(WorkloadSpec::default()),
+                horizon_epochs: 48,
+                solver: SolverKind::Kac,
+                overbooking: true,
+                adaptive_reservations: true,
+                reapply_epochs: 8,
+                threads: 0,
+                round_width: 8,
+                seed: 7,
+            },
+        }
+    }
+}
+
+/// Chainable construction for [`ScenarioSpec`] — the small API every
+/// preset (and every future workload PR) builds on.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Generated operator topology at `scale` of the paper's size.
+    pub fn operator(mut self, operator: Operator, scale: f64) -> Self {
+        self.spec.model = ModelSpec::Generated {
+            operator,
+            topology: GeneratorConfig {
+                scale,
+                seed: 18,
+                k_paths: 4,
+            },
+        };
+        self
+    }
+
+    /// Run on the §5 testbed data plane instead of a generated topology.
+    pub fn testbed(mut self) -> Self {
+        self.spec.model = ModelSpec::Testbed;
+        self
+    }
+
+    /// Replace the whole workload spec.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.spec.workload = Workload::Generated(workload);
+        self
+    }
+
+    /// Mutate the current generated workload in place (no-op after
+    /// [`ScenarioBuilder::requests`]).
+    pub fn tune_workload(mut self, f: impl FnOnce(&mut WorkloadSpec)) -> Self {
+        if let Workload::Generated(ref mut w) = self.spec.workload {
+            f(w);
+        }
+        self
+    }
+
+    /// Use an explicit request list instead of a generated workload.
+    pub fn requests(mut self, requests: Vec<SliceRequest>) -> Self {
+        self.spec.workload = Workload::Explicit(requests);
+        self
+    }
+
+    /// Horizon in epochs.
+    pub fn horizon(mut self, epochs: usize) -> Self {
+        self.spec.horizon_epochs = epochs;
+        self
+    }
+
+    /// Horizon in 24-epoch days.
+    pub fn days(self, days: usize) -> Self {
+        self.horizon(days * 24)
+    }
+
+    /// AC-RR algorithm.
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.spec.solver = solver;
+        self
+    }
+
+    /// Overbooking on/off.
+    pub fn overbooking(mut self, on: bool) -> Self {
+        self.spec.overbooking = on;
+        self
+    }
+
+    /// Adaptive (forecast-floor) reservations on/off.
+    pub fn adaptive_reservations(mut self, on: bool) -> Self {
+        self.spec.adaptive_reservations = on;
+        self
+    }
+
+    /// Rejected-request patience in epochs.
+    pub fn reapply_epochs(mut self, epochs: u32) -> Self {
+        self.spec.reapply_epochs = epochs;
+        self
+    }
+
+    /// Per-epoch branch-and-bound worker threads (0 = inherit default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.spec.threads = threads;
+        self
+    }
+
+    /// Per-epoch branch-and-bound round width (clamped to ≥ 1; changes
+    /// the — still deterministic — search sequence, and with it the
+    /// report fingerprint).
+    pub fn round_width(mut self, round_width: usize) -> Self {
+        self.spec.round_width = round_width.max(1);
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Finalises the spec.
+    pub fn build(self) -> ScenarioSpec {
+        self.spec
+    }
+}
+
+/// Builds the scenario's data-plane model.
+pub fn build_model(spec: &ScenarioSpec) -> NetworkModel {
+    match &spec.model {
+        ModelSpec::Generated { operator, topology } => NetworkModel::generate(*operator, topology),
+        ModelSpec::Testbed => testbed::testbed_model(),
+    }
+}
+
+/// Runs one scenario end to end.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, AcrrError> {
+    run_scenario_on(spec, build_model(spec))
+}
+
+/// Runs one scenario on a pre-built model (reuse across ablation pairs).
+pub fn run_scenario_on(
+    spec: &ScenarioSpec,
+    model: NetworkModel,
+) -> Result<ScenarioReport, AcrrError> {
+    let t0 = Instant::now();
+    let mut requests: Vec<SliceRequest> = match &spec.workload {
+        Workload::Generated(w) => w.generate(spec.seed, spec.horizon_epochs),
+        Workload::Explicit(reqs) => reqs
+            .iter()
+            .filter(|r| (r.arrival_epoch as usize) < spec.horizon_epochs)
+            .cloned()
+            .collect(),
+    };
+    // Arrival order within an epoch is preserved (generated streams are
+    // already sorted; explicit lists may not be).
+    requests.sort_by_key(|r| r.arrival_epoch);
+    let arrivals = requests.len();
+
+    // Static capacities, captured before the model moves into the
+    // orchestrator.
+    let bs_capacity: Vec<f64> = model.base_stations.iter().map(|b| b.capacity_mhz).collect();
+    let cu_capacity: Vec<f64> = model.compute_units.iter().map(|c| c.cores).collect();
+    let link_capacity: Vec<f64> = model.graph.links().map(|(_, l)| l.capacity_mbps).collect();
+
+    let mut config = OrchestratorConfig {
+        solver: spec.solver,
+        overbooking: spec.overbooking,
+        adaptive_reservations: spec.adaptive_reservations,
+        reapply_epochs: spec.reapply_epochs,
+        round_width: spec.round_width.max(1),
+        seed: spec.seed,
+        ..Default::default()
+    };
+    if spec.threads >= 1 {
+        config.threads = spec.threads;
+    }
+    let mut orch = Orchestrator::new(model, config);
+
+    // Streaming aggregation state.
+    let mut accepted = 0usize;
+    let mut abandoned = 0usize;
+    let mut reward = 0.0f64;
+    let mut penalty = 0.0f64;
+    let mut cumulative = 0.0f64;
+    let mut trajectory = Vec::with_capacity(spec.horizon_epochs);
+    let mut violated = 0usize;
+    let mut samples = 0usize;
+    let mut worst_drop = 0.0f64;
+    let mut peak_active = 0usize;
+    let mut active_sum = 0usize;
+    let mut bs_res_sum = vec![0.0f64; bs_capacity.len()];
+    let mut cu_res_sum = vec![0.0f64; cu_capacity.len()];
+    let mut link_res_sum: HashMap<usize, f64> = HashMap::new();
+    let mut lp_solves = 0usize;
+    let mut lp_pivots = 0usize;
+
+    // Epoch loop with *batched* submission: each epoch receives only its
+    // own arrivals, so the orchestrator's pending queue holds re-applicants
+    // (bounded by the patience knob) rather than the entire multi-day
+    // future — at city scale, submitting everything up front would make
+    // every epoch re-scan ~all generated requests. The closure mirrors the
+    // `run_horizon` observer contract.
+    let mut arrival_stream = requests.into_iter().peekable();
+    let mut observe = |out: &EpochOutcome| {
+        accepted += out.newly_admitted.len();
+        abandoned += out.abandoned.len();
+        reward += out.reward;
+        penalty += out.penalty;
+        cumulative += out.net_revenue;
+        trajectory.push(cumulative);
+        violated += out.violation_samples.0;
+        samples += out.violation_samples.1;
+        worst_drop = worst_drop.max(out.worst_drop_fraction);
+        peak_active = peak_active.max(out.admitted.len());
+        active_sum += out.admitted.len();
+        for (b, &r) in out.bs_reserved_mhz.iter().enumerate() {
+            bs_res_sum[b] += r;
+        }
+        for (c, &r) in out.cu_reserved_cores.iter().enumerate() {
+            cu_res_sum[c] += r;
+        }
+        for (&gid, &r) in &out.link_reserved_mbps {
+            *link_res_sum.entry(gid).or_insert(0.0) += r;
+        }
+        lp_solves += out.solver_stats.lp_solves;
+        lp_pivots += out.solver_stats.lp.total_pivots();
+    };
+    for epoch in 0..spec.horizon_epochs as u32 {
+        while arrival_stream
+            .peek()
+            .is_some_and(|r| r.arrival_epoch <= epoch)
+        {
+            orch.submit(arrival_stream.next().expect("peeked arrival"));
+        }
+        orch.run_horizon(1, &mut observe)?;
+    }
+
+    let epochs = spec.horizon_epochs.max(1) as f64;
+    let utilisation = |sums: &[f64], caps: &[f64]| {
+        CdfSummary::from_samples(
+            sums.iter()
+                .zip(caps)
+                .map(|(&s, &c)| s / epochs / c.max(1e-9))
+                .collect(),
+        )
+    };
+    // Only links that ever carried a reservation enter the transport CDF
+    // (idle backbone links would drown the signal in zeros); iterate in
+    // link-id order so the sample vector — and the fingerprint — is
+    // deterministic.
+    let mut link_util: Vec<f64> = Vec::new();
+    let mut used: Vec<usize> = link_res_sum.keys().copied().collect();
+    used.sort_unstable();
+    for gid in used {
+        let cap = link_capacity.get(gid).copied().unwrap_or(1e-9);
+        link_util.push(link_res_sum[&gid] / epochs / cap.max(1e-9));
+    }
+
+    Ok(ScenarioReport {
+        name: spec.name.clone(),
+        epochs: spec.horizon_epochs,
+        arrivals,
+        accepted,
+        abandoned,
+        acceptance_ratio: if arrivals > 0 {
+            accepted as f64 / arrivals as f64
+        } else {
+            0.0
+        },
+        reward,
+        penalty,
+        net_revenue: reward - penalty,
+        revenue_trajectory: trajectory,
+        violated_samples: violated,
+        total_samples: samples,
+        violation_rate: if samples > 0 {
+            violated as f64 / samples as f64
+        } else {
+            0.0
+        },
+        worst_drop_fraction: worst_drop,
+        peak_active,
+        mean_active: active_sum as f64 / epochs,
+        bs_utilisation: utilisation(&bs_res_sum, &bs_capacity),
+        cu_utilisation: utilisation(&cu_res_sum, &cu_capacity),
+        link_utilisation: CdfSummary::from_samples(link_util),
+        lp_solves,
+        lp_pivots,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    })
+}

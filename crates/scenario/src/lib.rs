@@ -1,0 +1,77 @@
+//! # ovnes-scenario — city-scale workloads and parallel scenario sweeps
+//!
+//! The paper's headline results (Figs. 5–6) come from *long-horizon,
+//! multi-tenant* simulations: weeks of diurnal traffic, slices continuously
+//! arriving and departing, overbooking ablations across three operator
+//! networks. PRs 1–4 made each decision epoch solve fast and parallel; this
+//! crate is the subsystem that **generates and runs those workloads at
+//! scale** — the platform every future workload experiment plugs into.
+//!
+//! ## Layers
+//!
+//! * [`workload`] — seeded arrival processes: Poisson and Markov-modulated
+//!   request streams with diurnal modulation, uRLLC/mMTC/eMBB class mixes,
+//!   geometric slice lifetimes, tenant populations with churn, and
+//!   flash-crowd bursts. A `(spec, seed, horizon)` triple always expands to
+//!   the identical [`ovnes::slice::SliceRequest`] stream.
+//! * [`driver`] — [`driver::ScenarioSpec`] (built through a small builder
+//!   API) plus [`driver::run_scenario`], which wraps the
+//!   [`ovnes::orchestrator::Orchestrator`] over the multi-day horizon via
+//!   its streaming `run_horizon` hook and aggregates the metrics pipeline:
+//!   acceptance ratio, revenue trajectory, SLA-violation rate, per-BS /
+//!   per-CU / per-link utilisation CDF summaries — the Fig. 5/6 observables.
+//! * [`presets`] — the named scenario library: the §5 testbed day, Fig. 5/6
+//!   reproductions per operator (N1/N2/N3), a stadium flash crowd, a 10×
+//!   overload, and the overbooking on/off ablation pair.
+//! * [`sweep`] — the parallel sweep runner: independent seeded scenarios
+//!   fanned across `std::thread::scope` workers (reusing the PR-4
+//!   `Send + Sync` solver contract inside each epoch solve), with
+//!   deterministic slot-ordered aggregation.
+//!
+//! ## Determinism contract
+//!
+//! Scenario reports are pure functions of their spec: the workload
+//! expansion and the simulator share one seeded PRNG stream each, the
+//! epoch solves are deterministic at any `OVNES_MILP_THREADS` (the PR-4
+//! guarantee), and scenarios share no mutable state. The aggregated
+//! [`sweep::SweepReport`] is therefore **bit-identical at any worker
+//! count**; [`sweep::SweepReport::fingerprint`] states that guarantee as a
+//! single build-stable `u64` (wall-clock fields are excluded — they are
+//! the only machine-dependent quantity in a report).
+//!
+//! ## Example
+//!
+//! ```
+//! use ovnes_scenario::presets;
+//! use ovnes_scenario::sweep::run_sweep;
+//! use ovnes_topology::operators::Operator;
+//!
+//! // One short smoke scenario per operator, swept across 2 workers.
+//! let specs: Vec<_> = Operator::all().into_iter().map(presets::smoke).collect();
+//! let report = run_sweep(&specs, 2).unwrap();
+//! assert_eq!(report.scenarios.len(), 3);
+//! // Bit-identical at any worker count.
+//! assert_eq!(
+//!     report.fingerprint(),
+//!     run_sweep(&specs, 1).unwrap().fingerprint(),
+//! );
+//! ```
+
+pub mod driver;
+pub mod metrics;
+pub mod presets;
+pub mod sweep;
+pub mod workload;
+
+pub use driver::{
+    run_scenario, run_scenario_on, ModelSpec, ScenarioBuilder, ScenarioSpec, Workload,
+};
+pub use metrics::{CdfSummary, Fnv64, ScenarioReport};
+pub use sweep::{run_sweep, SweepReport};
+pub use workload::{
+    ArrivalProcess, BurstEvent, ClassMix, DiurnalProfile, DurationModel, TenantPopulation,
+    WorkloadSpec,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,186 @@
+//! Metrics pipeline: per-scenario reports, utilisation CDF summaries, and
+//! the deterministic fingerprint the sweep runner's bit-identical-report
+//! guarantee is stated against.
+//!
+//! Wall-clock timings are first-class report fields but are **excluded**
+//! from [`ScenarioReport::hash_into`] — they are the only
+//! machine-dependent quantity in a report, and keeping them out of the
+//! fingerprint is what lets `fingerprint()` assert bit-identical results
+//! across worker counts and across runs.
+
+/// Quantile summary of a utilisation distribution (the Fig. 5/6-style
+/// per-resource CDF observables, compressed to the points we track).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfSummary {
+    /// Resources summarised (0 ⇒ every other field is 0).
+    pub count: usize,
+    /// Mean across resources.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl CdfSummary {
+    /// Summarises a sample set (empty ⇒ all-zero summary).
+    pub fn from_samples(mut xs: Vec<f64>) -> Self {
+        if xs.is_empty() {
+            return CdfSummary {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                max: 0.0,
+            };
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("utilisation is finite"));
+        let n = xs.len();
+        let q = |frac: f64| xs[(((n - 1) as f64) * frac).round() as usize];
+        CdfSummary {
+            count: n,
+            mean: xs.iter().sum::<f64>() / n as f64,
+            p50: q(0.5),
+            p90: q(0.9),
+            max: xs[n - 1],
+        }
+    }
+
+    fn hash_into(&self, h: &mut Fnv64) {
+        h.write_u64(self.count as u64);
+        h.write_f64(self.mean);
+        h.write_f64(self.p50);
+        h.write_f64(self.p90);
+        h.write_f64(self.max);
+    }
+}
+
+/// Everything one scenario run produced, aggregated over its horizon.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Preset / builder name.
+    pub name: String,
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Requests issued within the horizon.
+    pub arrivals: usize,
+    /// Distinct tenants admitted at least once.
+    pub accepted: usize,
+    /// Requests that ran out of re-apply patience.
+    pub abandoned: usize,
+    /// `accepted / arrivals` (0 when nothing arrived).
+    pub acceptance_ratio: f64,
+    /// Gross rewards over the horizon.
+    pub reward: f64,
+    /// Penalties paid over the horizon.
+    pub penalty: f64,
+    /// `reward − penalty`.
+    pub net_revenue: f64,
+    /// Cumulative net revenue after each epoch (the Fig. 5 trajectory).
+    pub revenue_trajectory: Vec<f64>,
+    /// SLA-violating (flow, sample) pairs.
+    pub violated_samples: usize,
+    /// All (flow, sample) pairs.
+    pub total_samples: usize,
+    /// `violated_samples / total_samples`.
+    pub violation_rate: f64,
+    /// Worst single-sample traffic-drop fraction seen.
+    pub worst_drop_fraction: f64,
+    /// Most tenants simultaneously active.
+    pub peak_active: usize,
+    /// Mean tenants active per epoch.
+    pub mean_active: f64,
+    /// Time-mean radio utilisation per BS, summarised across BSs.
+    pub bs_utilisation: CdfSummary,
+    /// Time-mean core utilisation per CU, summarised across CUs.
+    pub cu_utilisation: CdfSummary,
+    /// Time-mean transport utilisation per used link, across used links.
+    pub link_utilisation: CdfSummary,
+    /// LP solves across every epoch's AC-RR.
+    pub lp_solves: usize,
+    /// Simplex pivots across every epoch's AC-RR.
+    pub lp_pivots: usize,
+    /// Wall-clock of the run in seconds — machine-dependent, **excluded**
+    /// from the fingerprint.
+    pub wall_seconds: f64,
+}
+
+impl ScenarioReport {
+    /// Folds every deterministic field (not `wall_seconds`) into `h`.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        h.write_bytes(self.name.as_bytes());
+        h.write_u64(self.epochs as u64);
+        h.write_u64(self.arrivals as u64);
+        h.write_u64(self.accepted as u64);
+        h.write_u64(self.abandoned as u64);
+        h.write_f64(self.acceptance_ratio);
+        h.write_f64(self.reward);
+        h.write_f64(self.penalty);
+        h.write_f64(self.net_revenue);
+        for &r in &self.revenue_trajectory {
+            h.write_f64(r);
+        }
+        h.write_u64(self.violated_samples as u64);
+        h.write_u64(self.total_samples as u64);
+        h.write_f64(self.violation_rate);
+        h.write_f64(self.worst_drop_fraction);
+        h.write_u64(self.peak_active as u64);
+        h.write_f64(self.mean_active);
+        self.bs_utilisation.hash_into(h);
+        self.cu_utilisation.hash_into(h);
+        self.link_utilisation.hash_into(h);
+        h.write_u64(self.lp_solves as u64);
+        h.write_u64(self.lp_pivots as u64);
+    }
+
+    /// Fingerprint of this single report (see [`ScenarioReport::hash_into`]).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+}
+
+/// FNV-1a 64-bit: a tiny, explicit, build-stable hasher. The std
+/// `DefaultHasher` is randomly keyed per process, which would defeat the
+/// cross-run fingerprint comparisons the bench snapshot records.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` by bit pattern — "bit-identical" is meant literally.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,198 @@
+//! The parallel scenario-sweep runner.
+//!
+//! Scenarios are embarrassingly parallel — each one owns its model, its
+//! orchestrator, and its seeded PRNGs — so the runner fans them across
+//! `std::thread::scope` workers through a shared atomic work index (the
+//! same shape as the PR-4 branch-and-bound worker pool, one level up the
+//! stack: here the unit of work is a whole simulation rather than a node
+//! relaxation; the `Send + Sync` solver core is what lets the epoch solves
+//! inside different workers coexist).
+//!
+//! **Determinism contract:** each scenario's report depends only on its
+//! spec (worker assignment never leaks in — there is no shared mutable
+//! state between scenarios), results are slotted by scenario index, and
+//! aggregation walks the slots in spec order. The aggregated
+//! [`SweepReport`] is therefore bit-identical at any worker count; only
+//! the wall-clock fields differ, and those are excluded from
+//! [`SweepReport::fingerprint`].
+
+use crate::driver::{run_scenario, ScenarioSpec};
+use crate::metrics::{Fnv64, ScenarioReport};
+use ovnes::solver::AcrrError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregated result of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-scenario reports, in spec order.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Requests issued across all scenarios.
+    pub total_arrivals: usize,
+    /// Distinct tenants admitted across all scenarios.
+    pub total_accepted: usize,
+    /// `total_accepted / total_arrivals`.
+    pub acceptance_ratio: f64,
+    /// Net revenue summed across scenarios.
+    pub total_net_revenue: f64,
+    /// SLA-violating samples across scenarios.
+    pub total_violated: usize,
+    /// All samples across scenarios.
+    pub total_samples: usize,
+    /// `total_violated / total_samples`.
+    pub violation_rate: f64,
+    /// LP solves across every epoch of every scenario.
+    pub total_lp_solves: usize,
+    /// Simplex pivots across every epoch of every scenario.
+    pub total_lp_pivots: usize,
+    /// Workers the sweep ran with (informational; the report does not
+    /// depend on it).
+    pub workers: usize,
+    /// Sweep wall-clock in seconds — machine-dependent, excluded from the
+    /// fingerprint.
+    pub wall_seconds: f64,
+}
+
+impl SweepReport {
+    /// Order-independent-by-construction fingerprint over every
+    /// deterministic field of every scenario report plus the aggregates.
+    /// Two sweeps of the same specs agree on this value at *any* worker
+    /// count — the bit-identical-report guarantee, stated as one `u64`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.scenarios.len() as u64);
+        for s in &self.scenarios {
+            s.hash_into(&mut h);
+        }
+        h.write_u64(self.total_arrivals as u64);
+        h.write_u64(self.total_accepted as u64);
+        h.write_f64(self.acceptance_ratio);
+        h.write_f64(self.total_net_revenue);
+        h.write_u64(self.total_violated as u64);
+        h.write_u64(self.total_samples as u64);
+        h.write_u64(self.total_lp_solves as u64);
+        h.write_u64(self.total_lp_pivots as u64);
+        h.finish()
+    }
+
+    /// Renders the deterministic part of the report as an aligned table
+    /// (no wall-clock columns — the rendering is identical across runs
+    /// and worker counts).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let header = format!(
+            "{:<22} {:>6} {:>8} {:>8} {:>6} {:>10} {:>8} {:>8} {:>8}",
+            "scenario",
+            "epochs",
+            "arrivals",
+            "accepted",
+            "acc%",
+            "net rev",
+            "viol%",
+            "bs p90",
+            "cu p90"
+        );
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&"-".repeat(header.len()));
+        out.push('\n');
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "{:<22} {:>6} {:>8} {:>8} {:>5.1}% {:>10.2} {:>7.3}% {:>8.3} {:>8.3}\n",
+                s.name,
+                s.epochs,
+                s.arrivals,
+                s.accepted,
+                100.0 * s.acceptance_ratio,
+                s.net_revenue,
+                100.0 * s.violation_rate,
+                s.bs_utilisation.p90,
+                s.cu_utilisation.p90,
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} arrivals, {} accepted ({:.1}%), net revenue {:.2}, \
+             violation rate {:.4}%, {} LP solves / {} pivots\n",
+            self.total_arrivals,
+            self.total_accepted,
+            100.0 * self.acceptance_ratio,
+            self.total_net_revenue,
+            100.0 * self.violation_rate,
+            self.total_lp_solves,
+            self.total_lp_pivots,
+        ));
+        out.push_str(&format!("fingerprint: {:#018x}\n", self.fingerprint()));
+        out
+    }
+}
+
+/// Runs every scenario across `workers` threads and aggregates in spec
+/// order. An error in any scenario fails the sweep; when several fail,
+/// the error of the lowest-index scenario is returned (deterministic at
+/// any worker count).
+pub fn run_sweep(specs: &[ScenarioSpec], workers: usize) -> Result<SweepReport, AcrrError> {
+    let t0 = Instant::now();
+    let workers = workers.max(1).min(specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<ScenarioReport, AcrrError>>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let result = run_scenario(&specs[i]);
+                *slots[i].lock().expect("sweep slot") = Some(result);
+            });
+        }
+    });
+
+    let mut scenarios = Vec::with_capacity(specs.len());
+    for slot in slots {
+        match slot.into_inner().expect("sweep slot") {
+            Some(Ok(report)) => scenarios.push(report),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every sweep slot is filled before the scope ends"),
+        }
+    }
+
+    let total_arrivals: usize = scenarios.iter().map(|s| s.arrivals).sum();
+    let total_accepted: usize = scenarios.iter().map(|s| s.accepted).sum();
+    let total_violated: usize = scenarios.iter().map(|s| s.violated_samples).sum();
+    let total_samples: usize = scenarios.iter().map(|s| s.total_samples).sum();
+    let mut total_net_revenue = 0.0;
+    let mut total_lp_solves = 0usize;
+    let mut total_lp_pivots = 0usize;
+    for s in &scenarios {
+        total_net_revenue += s.net_revenue;
+        total_lp_solves += s.lp_solves;
+        total_lp_pivots += s.lp_pivots;
+    }
+
+    Ok(SweepReport {
+        scenarios,
+        total_arrivals,
+        total_accepted,
+        acceptance_ratio: if total_arrivals > 0 {
+            total_accepted as f64 / total_arrivals as f64
+        } else {
+            0.0
+        },
+        total_net_revenue,
+        total_violated,
+        total_samples,
+        violation_rate: if total_samples > 0 {
+            total_violated as f64 / total_samples as f64
+        } else {
+            0.0
+        },
+        total_lp_solves,
+        total_lp_pivots,
+        workers,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    })
+}

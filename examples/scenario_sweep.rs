@@ -1,0 +1,65 @@
+//! The default scenario sweep: eight named city-scale workloads (all
+//! three operators, a flash crowd, a 10× overload, the §5 testbed day,
+//! and the overbooking on/off ablation pair on N1) fanned across parallel
+//! sweep workers, with the bit-identical-report guarantee checked live.
+//!
+//! Run with: `cargo run --release --example scenario_sweep`
+//!
+//! * `--smoke` — one short preset per operator instead of the full sweep
+//!   (the CI smoke leg).
+//! * `--workers N` — parallel sweep workers for the second pass
+//!   (default 4; the first pass is always serial for the comparison).
+
+use ovnes_scenario::presets;
+use ovnes_scenario::sweep::run_sweep;
+use ovnes_topology::operators::Operator;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workers: usize = arg_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let specs = if smoke {
+        Operator::all().into_iter().map(presets::smoke).collect()
+    } else {
+        presets::default_sweep()
+    };
+    let label = if smoke {
+        "smoke sweep"
+    } else {
+        "default sweep"
+    };
+    println!("{label}: {} scenarios\n", specs.len());
+
+    let serial = run_sweep(&specs, 1).expect("serial sweep");
+    let parallel = run_sweep(&specs, workers).expect("parallel sweep");
+
+    print!("{}", parallel.render());
+    println!(
+        "\nwall-clock: serial {:.2}s, {} workers {:.2}s ({:.2}x)",
+        serial.wall_seconds,
+        parallel.workers,
+        parallel.wall_seconds,
+        serial.wall_seconds / parallel.wall_seconds.max(1e-9),
+    );
+
+    let identical = serial.fingerprint() == parallel.fingerprint();
+    println!(
+        "deterministic across worker counts: {} ({:#018x})",
+        identical,
+        parallel.fingerprint()
+    );
+    assert!(
+        identical,
+        "sweep reports diverged between 1 and {} workers",
+        parallel.workers
+    );
+}

@@ -1,0 +1,97 @@
+//! Long-horizon determinism of the scenario engine (the ISSUE-5
+//! acceptance criterion): the same scenario seed must produce the
+//! identical multi-day trajectory — admissions, revenue, violations —
+//! regardless of the per-epoch branch-and-bound worker count, and the
+//! default named sweep must aggregate bit-identically at 1/2/4 sweep
+//! workers.
+
+use ovnes::solver::SolverKind;
+use ovnes_scenario::driver::{run_scenario, ScenarioSpec};
+use ovnes_scenario::presets;
+use ovnes_scenario::sweep::run_sweep;
+use ovnes_scenario::workload::ArrivalProcess;
+use ovnes_topology::operators::Operator;
+
+/// A multi-day scenario small enough for the debug-mode test budget but
+/// long enough to cycle slices through arrival, expiry, and abandonment.
+fn horizon_spec(threads: usize) -> ScenarioSpec {
+    ScenarioSpec::builder("horizon-det")
+        .operator(Operator::Romanian, 0.02)
+        .days(2)
+        .tune_workload(|w| {
+            w.arrivals = ArrivalProcess::Poisson { rate: 1.0 };
+            w.duration.mean_epochs = 8.0;
+        })
+        .reapply_epochs(4)
+        .threads(threads)
+        .seed(7)
+        .build()
+}
+
+/// Same seed ⇒ identical multi-day trajectory at B&B threads ∈ {1, 4}.
+/// The fingerprint covers admissions, the cumulative revenue trajectory,
+/// violation counts, utilisation CDFs, and the pivot-level LP counters —
+/// so this is the PR-4 any-worker-count guarantee, observed end-to-end
+/// through a whole simulated horizon.
+#[test]
+fn multi_day_trajectory_identical_across_bnb_threads() {
+    let serial = run_scenario(&horizon_spec(1)).expect("threads=1 run");
+    let parallel = run_scenario(&horizon_spec(4)).expect("threads=4 run");
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "trajectory diverged between 1 and 4 B&B threads"
+    );
+    assert_eq!(serial.revenue_trajectory.len(), 48);
+    assert!(serial.accepted > 0, "horizon scenario admitted nothing");
+}
+
+/// The Benders path (branch-and-bound master each epoch) through the same
+/// contract: the testbed-day preset solved optimally at 1 and 4 threads.
+#[test]
+fn testbed_day_identical_across_bnb_threads() {
+    let mut base = presets::testbed_day();
+    assert_eq!(base.solver, SolverKind::Benders);
+    base.threads = 1;
+    let serial = run_scenario(&base).expect("testbed threads=1");
+    base.threads = 4;
+    let parallel = run_scenario(&base).expect("testbed threads=4");
+    assert_eq!(serial.fingerprint(), parallel.fingerprint());
+}
+
+/// The full default sweep (≥ 6 named scenarios incl. the overbooking
+/// ablation pair on N1) aggregates bit-identically at 1/2/4 sweep
+/// workers — report, rendering, and fingerprint.
+#[test]
+fn default_sweep_bit_identical_at_1_2_4_workers() {
+    let specs = presets::default_sweep();
+    assert!(specs.len() >= 6, "sweep must cover at least 6 scenarios");
+    assert!(
+        specs.iter().any(|s| s.name == "overbook-n1-on")
+            && specs.iter().any(|s| s.name == "overbook-n1-off"),
+        "sweep must include the N1 overbooking ablation pair"
+    );
+    let r1 = run_sweep(&specs, 1).expect("1-worker sweep");
+    let r2 = run_sweep(&specs, 2).expect("2-worker sweep");
+    let r4 = run_sweep(&specs, 4).expect("4-worker sweep");
+    assert_eq!(r1.fingerprint(), r2.fingerprint(), "1 vs 2 workers");
+    assert_eq!(r1.fingerprint(), r4.fingerprint(), "1 vs 4 workers");
+    assert_eq!(r1.render(), r4.render(), "rendered reports differ");
+
+    // The ablation pair carries the paper's signal: overbooking strictly
+    // increases net revenue on the identical workload.
+    let on = &r1.scenarios[0];
+    let off = &r1.scenarios[1];
+    assert_eq!(on.name, "overbook-n1-on");
+    assert_eq!(off.name, "overbook-n1-off");
+    assert!(
+        on.net_revenue > off.net_revenue,
+        "overbooking ({}) must out-earn the baseline ({})",
+        on.net_revenue,
+        off.net_revenue
+    );
+    assert!(
+        on.accepted >= off.accepted,
+        "overbooking should admit at least as many tenants"
+    );
+}
