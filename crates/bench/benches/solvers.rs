@@ -484,6 +484,43 @@ fn emit_snapshot() {
             parallel.wall_seconds,
             serial.wall_seconds / parallel.wall_seconds.max(1e-12),
         ));
+
+        // The chaos probe (`scenario_outage`): the outage-storm preset —
+        // scripted edge-CU blackout + background faults under a starved
+        // deterministic solve budget — run twice, with the replay
+        // fingerprint equality recorded. The snapshot gate asserts the
+        // storm actually bites: events applied, epochs degraded, slices
+        // evicted with their penalties booked, and the run reproducible.
+        let spec = ovnes_scenario::presets::chaos_outage();
+        let t0 = Instant::now();
+        let storm = ovnes_scenario::run_scenario(&spec).expect("scenario_outage probe");
+        let t_storm = t0.elapsed().as_secs_f64();
+        let replay = ovnes_scenario::run_scenario(&spec).expect("scenario_outage replay");
+        let reproducible = storm.deterministic && storm.fingerprint() == replay.fingerprint();
+        assert!(reproducible, "outage storm must replay bit-identically");
+        entries.push(format!(
+            concat!(
+                "  {{\"bench\": \"scenario_outage\", \"scale\": \"paper\", ",
+                "\"name\": \"{}\", \"epochs\": {}, \"infra_events\": {}, ",
+                "\"degraded_epochs\": {}, \"deferred_epochs\": {}, ",
+                "\"evictions\": {}, \"rehomes\": {}, ",
+                "\"eviction_penalty\": {:.6}, \"net_revenue\": {:.6}, ",
+                "\"deterministic\": {}, \"fingerprint\": \"{:#018x}\", ",
+                "\"wall_seconds\": {:.6}}}"
+            ),
+            storm.name,
+            storm.epochs,
+            storm.infra_events,
+            storm.degraded_epochs,
+            storm.deferred_epochs,
+            storm.evictions,
+            storm.rehomes,
+            storm.eviction_penalty,
+            storm.net_revenue,
+            reproducible,
+            storm.fingerprint(),
+            t_storm,
+        ));
     }
 
     // The randomized LP torture chain (shared generator with the unit and

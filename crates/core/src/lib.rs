@@ -28,6 +28,28 @@
 //! [`orchestrator::Orchestrator::run_horizon`] and swept in parallel with
 //! bit-identical aggregated reports.
 //!
+//! ## Failure semantics (fault-tolerant admission)
+//!
+//! The orchestrator is built so that **no solver condition aborts a
+//! horizon**:
+//!
+//! * **Infrastructure events** ([`orchestrator::InfraEvent`]) — BS outages
+//!   and recoveries, link degradations, CU capacity losses — mutate the
+//!   live model at epoch boundaries. Shrinkage triggers deterministic
+//!   revalidation of active slices: re-home to a delay-feasible CU with
+//!   room, else evict with a one-time SLA-break penalty; over-committed
+//!   radios are trimmed proportionally.
+//! * **Solve budgets** ([`solver::SolveBudget`]) cap pivots, B&B nodes and
+//!   Benders rounds per epoch (deterministic counters; an opt-in wall-clock
+//!   deadline is the only non-deterministic knob). Exhaustion degrades the
+//!   decision down the ladder of [`solver::solve_controlled`]: best
+//!   incumbent → KAC greedy → defer the epoch — the rung is recorded in
+//!   [`orchestrator::EpochOutcome::degradation`].
+//! * **Fault injection** (`ovnes_lp::FaultConfig`, seeded) poisons LP warm
+//!   state to exercise the cold-restart recovery paths; injection is a pure
+//!   function of seed and problem fingerprints, so chaos runs stay
+//!   bit-identical at any thread count.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -65,10 +87,12 @@ pub mod testbed;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::orchestrator::{EpochOutcome, Orchestrator, OrchestratorConfig};
+    pub use crate::orchestrator::{
+        EpochOutcome, InfraEvent, InfraEventKind, Orchestrator, OrchestratorConfig,
+    };
     pub use crate::problem::{AcrrInstance, Allocation, PathPolicy, TenantInput};
     pub use crate::slice::{ServiceModel, SliceClass, SliceRequest, SliceTemplate};
-    pub use crate::solver::{AcrrError, SolverKind};
+    pub use crate::solver::{AcrrError, Degradation, SolveBudget, SolveControls, SolverKind};
     pub use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
 }
 

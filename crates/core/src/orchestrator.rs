@@ -15,15 +15,17 @@
 //! 5. records monitoring peaks and accounts revenue: rewards for admitted
 //!    slices minus penalties `K·(worst SLA deficit)/Λ` for violations.
 
-use crate::problem::{AcrrInstance, PathPolicy, TenantInput};
+use crate::problem::{AcrrInstance, PathPolicy, TenantInput, MBPS_PER_MHZ};
 use crate::slice::SliceRequest;
-use crate::solver::{self, AcrrError, SolverKind};
+use crate::solver::{self, AcrrError, Degradation, SolveBudget, SolveControls, SolverKind};
 use ovnes_forecast::predict_next;
 use ovnes_netsim::{run_epoch, Flow, MonitorStore, TrafficGenerator};
+use ovnes_topology::graph::LinkId;
 use ovnes_topology::operators::NetworkModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Orchestrator configuration.
 #[derive(Debug, Clone)]
@@ -95,6 +97,14 @@ pub struct OrchestratorConfig {
     pub reapply_epochs: u32,
     /// Simulation seed.
     pub seed: u64,
+    /// Compute budget per epoch solve. Exhaustion never aborts the epoch:
+    /// the decision degrades down the ladder (incumbent → KAC greedy →
+    /// defer) and the rung is recorded in
+    /// [`EpochOutcome::degradation`]. Default unlimited.
+    pub budget: SolveBudget,
+    /// Seeded LP fault injection threaded into the MILP-backed epoch solves
+    /// (chaos testing; see [`ovnes_lp::FaultConfig`]). Default `None`.
+    pub lp_fault: Option<ovnes_lp::FaultConfig>,
 }
 
 impl Default for OrchestratorConfig {
@@ -118,8 +128,68 @@ impl Default for OrchestratorConfig {
             duration_weight: 1.0,
             reapply_epochs: u32::MAX,
             seed: 7,
+            budget: SolveBudget::default(),
+            lp_fault: None,
         }
     }
+}
+
+/// What happens to the infrastructure (an event's effect is applied to the
+/// live network model at the start of its epoch, *before* that epoch's
+/// admission decision).
+///
+/// Capacity factors are **absolute fractions of the as-built ("base")
+/// capacity**, not of the current one — so a repair is simply a second
+/// event with `factor: 1.0`, and two degradations never compound by
+/// accident.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InfraEventKind {
+    /// A base station goes dark: its radio capacity drops to zero and
+    /// demand forecasts at that BS are clamped to zero until recovery.
+    /// Active slices keep their admission (their other BSs still serve) but
+    /// their reservations at the dead BS are trimmed to zero, so traffic
+    /// arriving there registers as SLA violations — the paper's penalty
+    /// accounting prices the outage.
+    BsOutage {
+        /// Base-station index.
+        bs: usize,
+    },
+    /// The base station comes back at full capacity.
+    BsRecovery {
+        /// Base-station index.
+        bs: usize,
+    },
+    /// A transport link's capacity changes to `factor` × its base capacity
+    /// (clamped to `[0, 1]`; `1.0` = fully repaired). Topology and
+    /// precomputed path sets are untouched — path *delay* metrics keep their
+    /// nominal-capacity values, only the capacity rows of subsequent
+    /// admission solves see the degradation.
+    LinkDegradation {
+        /// Graph link index.
+        link: usize,
+        /// Remaining fraction of base capacity.
+        factor: f64,
+    },
+    /// A compute unit's core capacity changes to `factor` × its base
+    /// capacity (clamped to `[0, 1]`; `1.0` = fully repaired). Shrinkage
+    /// triggers revalidation of the active slices hosted there: overloading
+    /// slices are re-homed to another delay-feasible CU with room, or
+    /// evicted with a one-time SLA-break penalty.
+    CuCapacityLoss {
+        /// Compute-unit index.
+        cu: usize,
+        /// Remaining fraction of base capacity.
+        factor: f64,
+    },
+}
+
+/// A scheduled infrastructure event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfraEvent {
+    /// Epoch at whose start the event takes effect.
+    pub epoch: u32,
+    /// What happens.
+    pub kind: InfraEventKind,
 }
 
 /// An admitted slice with its remaining lifetime and current reservations.
@@ -149,6 +219,20 @@ pub struct EpochOutcome {
     /// [`OrchestratorConfig::reapply_epochs`] patience ran out; they will
     /// not re-apply).
     pub abandoned: Vec<u32>,
+    /// Active slices evicted by infrastructure shrinkage this epoch (no
+    /// delay-feasible CU with room was left for them). Each eviction is
+    /// charged a one-time SLA-break penalty, included in
+    /// [`EpochOutcome::penalty`] and itemised in
+    /// [`EpochOutcome::eviction_penalty`].
+    pub evicted: Vec<u32>,
+    /// Active slices moved to a different CU by revalidation this epoch
+    /// (their old CU shrank; a delay-feasible CU with room existed).
+    pub rehomed: Vec<u32>,
+    /// One-time SLA-break penalties charged for this epoch's evictions
+    /// (a subcomponent of [`EpochOutcome::penalty`]).
+    pub eviction_penalty: f64,
+    /// Infrastructure events applied at the start of this epoch.
+    pub infra_events: usize,
     /// Net revenue = rewards − penalties.
     pub net_revenue: f64,
     /// Gross rewards collected.
@@ -175,6 +259,21 @@ pub struct EpochOutcome {
     pub link_load_mbps: HashMap<usize, f64>,
     /// Solver diagnostics.
     pub solver_stats: crate::problem::SolveStats,
+    /// How far down the degradation ladder this epoch's admission decision
+    /// fell (see [`solver::solve_controlled`]).
+    pub degradation: Degradation,
+    /// The primary-solver error, when one occurred (recorded even when a
+    /// fallback rung produced the decision).
+    pub solver_error: Option<String>,
+    /// Wall-clock seconds spent in the admission solve (the ladder, end to
+    /// end). **Not deterministic** — scenario fingerprints exclude it.
+    pub decision_seconds: f64,
+    /// Enforced reservations in excess of current capacity, summed per
+    /// resource class: (radio MHz, transport Mb/s, compute cores) — the
+    /// same order as [`EpochOutcome::deficit`]. Bounded by the deficit the
+    /// big-M relaxation reported (plus stale reservations on deferred
+    /// epochs); the chaos suite asserts the bound.
+    pub overcommit: (f64, f64, f64),
 }
 
 /// The end-to-end orchestrator.
@@ -188,12 +287,25 @@ pub struct Orchestrator {
     sample_index: u64,
     active: Vec<ActiveSlice>,
     queue: Vec<SliceRequest>,
+    /// Scheduled infrastructure events not yet applied.
+    events: Vec<InfraEvent>,
+    /// As-built capacities (events express factors relative to these).
+    base_bs_mhz: Vec<f64>,
+    base_cu_cores: Vec<f64>,
+    base_link_mbps: Vec<f64>,
+    /// Per-BS availability factor (0 during an outage): demand forecasts
+    /// are scaled by it so solves stop reserving at dark radios.
+    bs_factor: Vec<f64>,
 }
 
 impl Orchestrator {
     /// Creates an orchestrator over a network model.
     pub fn new(model: NetworkModel, config: OrchestratorConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let base_bs_mhz: Vec<f64> = model.base_stations.iter().map(|b| b.capacity_mhz).collect();
+        let base_cu_cores: Vec<f64> = model.compute_units.iter().map(|c| c.cores).collect();
+        let base_link_mbps: Vec<f64> = model.graph.links().map(|(_, l)| l.capacity_mbps).collect();
+        let bs_factor = vec![1.0; base_bs_mhz.len()];
         Self {
             model,
             config,
@@ -203,12 +315,30 @@ impl Orchestrator {
             sample_index: 0,
             active: Vec::new(),
             queue: Vec::new(),
+            events: Vec::new(),
+            base_bs_mhz,
+            base_cu_cores,
+            base_link_mbps,
+            bs_factor,
         }
     }
 
     /// Queues a slice request (takes effect from its `arrival_epoch`).
     pub fn submit(&mut self, request: SliceRequest) {
         self.queue.push(request);
+    }
+
+    /// Schedules an infrastructure event. Events are applied at the start
+    /// of their epoch, in submission order within an epoch (submit them in
+    /// a deterministic order to keep runs reproducible). Out-of-range
+    /// indices are ignored at application time.
+    pub fn schedule_event(&mut self, event: InfraEvent) {
+        self.events.push(event);
+    }
+
+    /// Infrastructure events scheduled but not yet applied.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
     }
 
     /// Current epoch index.
@@ -230,6 +360,14 @@ impl Orchestrator {
     /// `observer` as it is produced. This is the streaming entry point for
     /// multi-day scenario horizons: the caller aggregates metrics epoch by
     /// epoch instead of materialising the whole trajectory.
+    ///
+    /// **Resilience contract:** solver failures never abort the horizon.
+    /// [`Orchestrator::step`] routes every per-epoch solve through the
+    /// degradation ladder ([`solver::solve_controlled`]), so a failed or
+    /// budget-starved solve degrades *that epoch* — recorded in
+    /// [`EpochOutcome::degradation`] / [`EpochOutcome::solver_error`] — and
+    /// the loop continues. An `Err` here signals a non-recoverable
+    /// configuration error, not a transient solver condition.
     pub fn run_horizon(
         &mut self,
         epochs: usize,
@@ -280,13 +418,179 @@ impl Orchestrator {
                 observed = true;
             }
         }
+        // Availability clamp: a BS in outage serves nothing, so reserving
+        // for demand there is pure waste (and, for forced slices, would
+        // drive the radio row straight into the big-M deficit).
+        for (b, f) in self.bs_factor.iter().enumerate() {
+            lam_hat[b] *= f;
+        }
         (lam_hat, sigma.clamp(self.config.min_sigma, 1.0))
     }
 
+    /// Applies every scheduled event due at `epoch` to the live model;
+    /// returns how many were applied.
+    fn apply_due_events(&mut self, epoch: u32) -> usize {
+        let mut due: Vec<InfraEvent> = Vec::new();
+        self.events.retain(|e| {
+            if e.epoch <= epoch {
+                due.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        for event in &due {
+            match event.kind {
+                InfraEventKind::BsOutage { bs } => {
+                    if bs < self.base_bs_mhz.len() {
+                        self.bs_factor[bs] = 0.0;
+                        self.model.base_stations[bs].capacity_mhz = 0.0;
+                    }
+                }
+                InfraEventKind::BsRecovery { bs } => {
+                    if bs < self.base_bs_mhz.len() {
+                        self.bs_factor[bs] = 1.0;
+                        self.model.base_stations[bs].capacity_mhz = self.base_bs_mhz[bs];
+                    }
+                }
+                InfraEventKind::LinkDegradation { link, factor } => {
+                    if link < self.base_link_mbps.len() {
+                        let cap = self.base_link_mbps[link] * factor.clamp(0.0, 1.0);
+                        self.model.graph.set_link_capacity(LinkId(link), cap);
+                    }
+                }
+                InfraEventKind::CuCapacityLoss { cu, factor } => {
+                    if cu < self.base_cu_cores.len() {
+                        self.model.compute_units[cu].cores =
+                            self.base_cu_cores[cu] * factor.clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        due.len()
+    }
+
+    /// Cores an active slice occupies on its CU at its current reservations.
+    fn slice_cores(a: &ActiveSlice) -> f64 {
+        let s = &a.request.template.service;
+        s.base_cores + s.cores_per_mbps * a.reservations.iter().sum::<f64>()
+    }
+
+    /// True when `cu` is delay-reachable from *every* BS within `budget_us`
+    /// — the same rule [`AcrrInstance::build`] uses to allow a (tenant, CU)
+    /// pair, so a re-homed slice's pin survives the next instance build.
+    fn cu_delay_feasible(&self, cu: usize, budget_us: f64) -> bool {
+        (0..self.model.base_stations.len()).all(|b| {
+            self.model.paths[b][cu]
+                .iter()
+                .any(|p| p.delay_us <= budget_us)
+        })
+    }
+
+    /// Revalidates the active set against the (possibly shrunken) model:
+    ///
+    /// * **CU overload** — while a CU's occupied cores exceed its capacity,
+    ///   the least-valuable slice there (lowest reward, then lowest tenant
+    ///   id — deterministic) is re-homed to the lowest-indexed delay-feasible
+    ///   CU with room, or evicted with a one-time SLA-break penalty.
+    /// * **BS overload** — reservations at an over-committed radio are
+    ///   scaled down proportionally (to zero at a dark BS); the slices stay
+    ///   admitted and the traffic they now drop is priced by the ordinary
+    ///   violation accounting.
+    ///
+    /// Transport links are not trimmed here: link fit is re-established by
+    /// this epoch's admission solve against the degraded capacity rows.
+    fn revalidate_active(&mut self) -> (Vec<u32>, Vec<u32>, f64) {
+        let n_cu = self.model.compute_units.len();
+        let mut evicted = Vec::new();
+        let mut rehomed = Vec::new();
+        let mut eviction_penalty = 0.0;
+
+        let cu_load = |active: &[ActiveSlice], c: usize| -> f64 {
+            active
+                .iter()
+                .filter(|a| a.cu == c)
+                .map(Self::slice_cores)
+                .sum()
+        };
+        for c in 0..n_cu {
+            loop {
+                let capacity = self.model.compute_units[c].cores;
+                if cu_load(&self.active, c) <= capacity + 1e-9 {
+                    break;
+                }
+                // Deterministic victim: least valuable first.
+                let Some(vi) = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.cu == c)
+                    .min_by(|(_, a), (_, b)| {
+                        a.request
+                            .template
+                            .reward
+                            .total_cmp(&b.request.template.reward)
+                            .then(a.request.tenant.cmp(&b.request.tenant))
+                    })
+                    .map(|(i, _)| i)
+                else {
+                    break; // base capacity shrank below zero load: nothing hosted
+                };
+                let need = Self::slice_cores(&self.active[vi]);
+                let budget_us = self.active[vi].request.template.delay_budget_us;
+                let new_home = (0..n_cu).find(|&c2| {
+                    c2 != c
+                        && self.cu_delay_feasible(c2, budget_us)
+                        && cu_load(&self.active, c2) + need
+                            <= self.model.compute_units[c2].cores + 1e-9
+                });
+                match new_home {
+                    Some(c2) => {
+                        self.active[vi].cu = c2;
+                        rehomed.push(self.active[vi].request.tenant);
+                    }
+                    None => {
+                        let victim = self.active.remove(vi);
+                        eviction_penalty += victim.request.penalty;
+                        evicted.push(victim.request.tenant);
+                    }
+                }
+            }
+        }
+
+        // Proportional radio trim.
+        for b in 0..self.model.base_stations.len() {
+            let cap_mbps = self.model.base_stations[b].capacity_mhz * MBPS_PER_MHZ;
+            let reserved: f64 = self.active.iter().map(|a| a.reservations[b]).sum();
+            if reserved > cap_mbps + 1e-9 {
+                let scale = if reserved > 0.0 {
+                    cap_mbps / reserved
+                } else {
+                    0.0
+                };
+                for a in self.active.iter_mut() {
+                    a.reservations[b] *= scale;
+                }
+            }
+        }
+
+        (evicted, rehomed, eviction_penalty)
+    }
+
     /// Advances one decision epoch; returns what happened.
+    ///
+    /// Under the fault-tolerance contract the admission solve cannot abort
+    /// the epoch: failures degrade down the ladder (incumbent → greedy →
+    /// defer) and the epoch completes with the degradation recorded.
     pub fn step(&mut self) -> Result<EpochOutcome, AcrrError> {
         let epoch = self.epoch;
         let n_bs = self.model.base_stations.len();
+
+        // 0. Infrastructure: apply due events, then revalidate the active
+        // set against the shrunken model (re-home / evict / trim) so the
+        // admission solve below starts from an enforceable state.
+        let infra_events = self.apply_due_events(epoch);
+        let (evicted, rehomed, eviction_penalty) = self.revalidate_active();
 
         // 1. Arrivals: requests whose time has come move into consideration.
         let mut pending: Vec<SliceRequest> = Vec::new();
@@ -340,7 +644,7 @@ impl Orchestrator {
             req_of.push(r.clone());
         }
 
-        // 3. Solve AC-RR.
+        // 3. Solve AC-RR through the degradation ladder — never aborts.
         let instance = AcrrInstance::build(
             &self.model,
             tenants,
@@ -353,67 +657,90 @@ impl Orchestrator {
         } else {
             SolverKind::NoOverbooking
         };
-        let allocation = solver::solve_tuned(
-            &instance,
+        let controls = SolveControls {
             kind,
-            self.config.threads,
-            self.config.round_width,
-        )?;
+            threads: self.config.threads,
+            round_width: self.config.round_width,
+            budget: self.config.budget,
+            lp_fault: self.config.lp_fault,
+        };
+        let solve_started = Instant::now();
+        let controlled = solver::solve_controlled(&instance, &controls);
+        let decision_seconds = solve_started.elapsed().as_secs_f64();
+        let degradation = controlled.degradation;
+        let solver_error = controlled.error.as_ref().map(|e| e.to_string());
+        let allocation = controlled.allocation;
 
         // 4. Apply the decision: update active set, return rejects to queue.
         // Under adaptive reservations the enforced z is trimmed down to the
         // head-roomed forecast floor (always capacity-feasible since the
-        // solver's z is an upper envelope of it).
-        let effective_z = |ti: usize| -> Vec<f64> {
-            let z = &allocation.reservations[ti];
-            if !self.config.adaptive_reservations || !self.config.overbooking {
-                return z.clone();
-            }
-            let t = &instance.tenants[ti];
-            (0..n_bs)
-                .map(|b| {
-                    let floor = t.forecast_mbps[b].clamp(0.0, 0.999 * t.sla_mbps);
-                    z[b].min(floor)
-                })
-                .collect()
-        };
+        // solver's z is an upper envelope of it). On a deferred epoch there
+        // is no decision: active slices keep their previous reservations and
+        // every pending request is rejected (re-applying under its patience).
         let n_active_before = self.active.len();
         let mut admitted = Vec::new();
         let mut newly_admitted = Vec::new();
         let mut rejected = Vec::new();
         let mut abandoned = Vec::new();
-        for (ti, cu) in allocation.assigned_cu.iter().enumerate() {
-            let req = &req_of[ti];
-            if ti < n_active_before {
-                // Forced slices must stay admitted.
-                debug_assert!(cu.is_some(), "active slice must remain admitted");
-                self.active[ti].reservations = effective_z(ti);
-                admitted.push(req.tenant);
-            } else {
-                match cu {
-                    Some(c) => {
-                        self.active.push(ActiveSlice {
-                            request: req.clone(),
-                            cu: *c,
-                            remaining: req.duration_epochs,
-                            reservations: effective_z(ti),
-                        });
-                        admitted.push(req.tenant);
-                        newly_admitted.push(req.tenant);
-                    }
-                    None => {
-                        rejected.push(req.tenant);
-                        // Patience: a rejected request re-applies next epoch
-                        // only while it is still within `reapply_epochs` of
-                        // its arrival; afterwards the tenant walks away.
-                        let waited = (epoch + 1).saturating_sub(req.arrival_epoch);
-                        if waited < self.config.reapply_epochs {
-                            self.queue.push(req.clone());
-                        } else {
-                            abandoned.push(req.tenant);
+        let reapply_or_abandon =
+            |req: &SliceRequest, queue: &mut Vec<SliceRequest>, abandoned: &mut Vec<u32>| {
+                // Patience: a rejected request re-applies next epoch only
+                // while it is still within `reapply_epochs` of its arrival;
+                // afterwards the tenant walks away.
+                let waited = (epoch + 1).saturating_sub(req.arrival_epoch);
+                if waited < self.config.reapply_epochs {
+                    queue.push(req.clone());
+                } else {
+                    abandoned.push(req.tenant);
+                }
+            };
+        if let Some(allocation) = &allocation {
+            let effective_z = |ti: usize| -> Vec<f64> {
+                let z = &allocation.reservations[ti];
+                if !self.config.adaptive_reservations || !self.config.overbooking {
+                    return z.clone();
+                }
+                let t = &instance.tenants[ti];
+                (0..n_bs)
+                    .map(|b| {
+                        let floor = t.forecast_mbps[b].clamp(0.0, 0.999 * t.sla_mbps);
+                        z[b].min(floor)
+                    })
+                    .collect()
+            };
+            for (ti, cu) in allocation.assigned_cu.iter().enumerate() {
+                let req = &req_of[ti];
+                if ti < n_active_before {
+                    // Forced slices must stay admitted.
+                    debug_assert!(cu.is_some(), "active slice must remain admitted");
+                    self.active[ti].reservations = effective_z(ti);
+                    admitted.push(req.tenant);
+                } else {
+                    match cu {
+                        Some(c) => {
+                            self.active.push(ActiveSlice {
+                                request: req.clone(),
+                                cu: *c,
+                                remaining: req.duration_epochs,
+                                reservations: effective_z(ti),
+                            });
+                            admitted.push(req.tenant);
+                            newly_admitted.push(req.tenant);
+                        }
+                        None => {
+                            rejected.push(req.tenant);
+                            reapply_or_abandon(req, &mut self.queue, &mut abandoned);
                         }
                     }
                 }
+            }
+        } else {
+            for a in &self.active {
+                admitted.push(a.request.tenant);
+            }
+            for req in req_of.iter().skip(n_active_before) {
+                rejected.push(req.tenant);
+                reapply_or_abandon(req, &mut self.queue, &mut abandoned);
             }
         }
 
@@ -487,6 +814,10 @@ impl Orchestrator {
             }
             penalty += a.request.penalty * worst_fraction_of_sla;
         }
+        // One-time SLA-break charges for slices evicted by infrastructure
+        // shrinkage this epoch (balanced accounting: `penalty` always equals
+        // the violation penalties above plus `eviction_penalty`).
+        penalty += eviction_penalty;
 
         // 8. Utilisation series (for Fig. 8-style reporting).
         let mut bs_reserved = vec![0.0; n_bs];
@@ -532,6 +863,23 @@ impl Orchestrator {
             cu_load[a.cu] += t.service.base_cores + t.service.cores_per_mbps * sum_load;
         }
 
+        // 8b. Overcommit audit: enforced reservations in excess of the
+        // (possibly degraded) capacities, per resource class. On solved
+        // epochs this is bounded by the big-M deficit; on deferred epochs
+        // stale reservations may exceed link capacity until the next solve.
+        let mut over_radio = 0.0;
+        for b in 0..n_bs {
+            over_radio += (bs_reserved[b] - self.model.base_stations[b].capacity_mhz).max(0.0);
+        }
+        let mut over_cu = 0.0;
+        for (c, reserved) in cu_reserved.iter().enumerate() {
+            over_cu += (reserved - self.model.compute_units[c].cores).max(0.0);
+        }
+        let mut over_link = 0.0;
+        for (&gid, &reserved) in &link_reserved {
+            over_link += (reserved - self.model.graph.link(LinkId(gid)).capacity_mbps).max(0.0);
+        }
+
         // 9. Ageing: expire slices whose duration elapsed.
         for a in self.active.iter_mut() {
             if a.remaining != u32::MAX {
@@ -541,25 +889,37 @@ impl Orchestrator {
         self.active.retain(|a| a.remaining > 0);
 
         self.epoch += 1;
+        let (deficit, solver_stats) = match allocation {
+            Some(a) => (a.deficit, a.stats),
+            None => ((0.0, 0.0, 0.0), crate::problem::SolveStats::default()),
+        };
         Ok(EpochOutcome {
             epoch,
             admitted,
             newly_admitted,
             rejected,
             abandoned,
+            evicted,
+            rehomed,
+            eviction_penalty,
+            infra_events,
             net_revenue: reward - penalty,
             reward,
             penalty,
             violation_samples: (violated, total_samples),
             worst_drop_fraction: worst_drop,
-            deficit: allocation.deficit,
+            deficit,
             bs_reserved_mhz: bs_reserved,
             bs_load_mhz: bs_load,
             cu_reserved_cores: cu_reserved,
             cu_load_cores: cu_load,
             link_reserved_mbps: link_reserved,
             link_load_mbps: link_load,
-            solver_stats: allocation.stats,
+            solver_stats,
+            degradation,
+            solver_error,
+            decision_seconds,
+            overcommit: (over_radio, over_link, over_cu),
         })
     }
 }

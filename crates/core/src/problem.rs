@@ -178,10 +178,9 @@ impl AcrrInstance {
                         PathPolicy::MinDelay => feasible[0],
                         PathPolicy::MaxBottleneck => feasible
                             .iter()
-                            .max_by(|a, b| {
-                                a.bottleneck_mbps.partial_cmp(&b.bottleneck_mbps).unwrap()
-                            })
-                            .unwrap(),
+                            .max_by(|a, b| a.bottleneck_mbps.total_cmp(&b.bottleneck_mbps))
+                            .copied()
+                            .unwrap_or(feasible[0]),
                         PathPolicy::Spread => feasible[(ti + b) % feasible.len()],
                     };
                     picks.push((b, chosen));
@@ -341,6 +340,11 @@ pub struct SolveStats {
     pub lp_solves: usize,
     /// Final optimality gap (UB − LB) for Benders; 0 elsewhere.
     pub gap: f64,
+    /// True when a [`SolveBudget`](crate::solver::SolveBudget) limit cut the
+    /// search short and the allocation is a best-effort incumbent rather
+    /// than a proven optimum (Benders: outer rounds exhausted or a truncated
+    /// master; MILP solvers: node/wall limits hit).
+    pub truncated: bool,
     /// Pivot-level LP statistics aggregated across every simplex run this
     /// solve performed (master B&B nodes + slave re-pricings): phase-1/2
     /// pivots, dual (warm-restart) pivots, warm-start hits,

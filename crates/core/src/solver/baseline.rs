@@ -10,14 +10,13 @@
 use super::AcrrError;
 use crate::problem::{AcrrInstance, Allocation, SolveStats};
 use ovnes_lp::{Cmp, Problem, VarId};
-use ovnes_milp::{Milp, MilpOutcome};
+use ovnes_milp::{Milp, MilpOptions, MilpOutcome};
 
 /// Solves the no-overbooking admission problem optimally (worker count from
 /// [`ovnes_milp::default_threads`]).
 ///
-/// # Panics
-/// Panics if the instance was built with `overbooking = true` — the
-/// baseline must price full-SLA reservations.
+/// Returns [`AcrrError::Internal`] if the instance was built with
+/// `overbooking = true` — the baseline must price full-SLA reservations.
 pub fn solve(instance: &AcrrInstance) -> Result<Allocation, AcrrError> {
     solve_threaded(instance, ovnes_milp::default_threads())
 }
@@ -36,10 +35,26 @@ pub fn solve_tuned(
     threads: usize,
     round_width: usize,
 ) -> Result<Allocation, AcrrError> {
-    assert!(
-        !instance.overbooking,
-        "baseline requires an instance built with overbooking = false"
-    );
+    let options = MilpOptions {
+        threads: threads.max(1),
+        round_width: round_width.max(1),
+        ..Default::default()
+    };
+    solve_with(instance, &options)
+}
+
+/// [`solve_tuned`] with full [`MilpOptions`] — the budget-aware entry point
+/// (node/pivot/wall limits and LP fault injection arrive through here). A
+/// limited tree returns its best incumbent with `stats.truncated` set.
+///
+/// An instance built with `overbooking = true` is rejected with
+/// [`AcrrError::Internal`]: the baseline must price full-SLA reservations.
+pub fn solve_with(instance: &AcrrInstance, options: &MilpOptions) -> Result<Allocation, AcrrError> {
+    if instance.overbooking {
+        return Err(AcrrError::Internal(
+            "baseline requires an instance built with overbooking = false",
+        ));
+    }
     if !instance.forced_feasible() {
         return Err(AcrrError::ForcedInfeasible);
     }
@@ -141,12 +156,11 @@ pub fn solve_tuned(
     for (_, v) in &u_vars {
         milp.mark_integer(*v);
     }
-    milp.set_threads(threads);
-    milp.set_round_width(round_width);
+    milp.set_options(options.clone());
     let sol = match milp.solve()? {
         MilpOutcome::Optimal(s) => s,
         MilpOutcome::Infeasible => return Err(AcrrError::Infeasible),
-        MilpOutcome::Unbounded => unreachable!("bounded binaries"),
+        MilpOutcome::Unbounded => return Err(AcrrError::Internal("bounded binaries")),
     };
 
     let mut assigned: Vec<Option<usize>> = vec![None; n_t];
@@ -173,6 +187,7 @@ pub fn solve_tuned(
             iterations: 1,
             lp_solves: sol.nodes,
             gap: 0.0,
+            truncated: sol.truncated,
             lp: sol.lp_stats,
         },
     })

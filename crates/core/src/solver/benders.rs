@@ -59,7 +59,9 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
     let mut master = Problem::new();
     let mut u_vars: Vec<((usize, usize), VarId)> = Vec::with_capacity(pairs.len());
     for &(t, c) in &pairs {
-        let gamma = instance.gamma(t, c).expect("pair must be allowed");
+        let gamma = instance
+            .gamma(t, c)
+            .ok_or(AcrrError::Internal("allowed pair has no gamma"))?;
         u_vars.push(((t, c), master.add_var(0.0, 1.0, gamma)));
     }
     // θ is bounded below by the most negative achievable slave value
@@ -110,10 +112,24 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
     let mut best: Option<Incumbent> = None;
     let mut lower = f64::NEG_INFINITY;
     let mut stats = SolveStats::default();
+    let mut converged = false;
 
     for iter in 0..options.max_iterations {
         stats.iterations = iter + 1;
-        let outcome = milp.solve()?;
+        // Mid-loop failures (budget-starved or fault-injected master) fall
+        // back to the incumbent: a valid admission evaluated by the slave,
+        // just not proven optimal — flagged `truncated` so the orchestrator
+        // records the degradation.
+        let outcome = match milp.solve() {
+            Ok(o) => o,
+            Err(_) if best.is_some() => {
+                stats.lp.absorb(milp.last_lp_stats());
+                stats.lp.absorb(&slave.stats);
+                stats.truncated = true;
+                return break_out(instance, best, lower, stats);
+            }
+            Err(e) => return Err(e.into()),
+        };
         // Absorb via `last_lp_stats` so master pivots are counted even when
         // the outcome carries no solution (Infeasible/Unbounded).
         stats.lp.absorb(milp.last_lp_stats());
@@ -128,9 +144,16 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
                     None => Err(AcrrError::Infeasible),
                 };
             }
-            MilpOutcome::Unbounded => unreachable!("θ is bounded below"),
+            MilpOutcome::Unbounded => return Err(AcrrError::Internal("θ is bounded below")),
         };
-        lower = lower.max(master_sol.objective);
+        // A node-budget-truncated master yields a valid (integral) admission
+        // but its objective is not a proven lower bound — keep iterating,
+        // just remember the run is best-effort.
+        if master_sol.truncated {
+            stats.truncated = true;
+        } else {
+            lower = lower.max(master_sol.objective);
+        }
 
         // Decode the admission vector.
         let mut assigned: Vec<Option<usize>> = vec![None; n_t];
@@ -141,23 +164,30 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
         }
 
         stats.lp_solves += 1;
-        match slave.solve_for(&assigned)? {
+        let slave_result = match slave.solve_for(&assigned) {
+            Ok(r) => r,
+            Err(_) if best.is_some() => {
+                stats.lp.absorb(&slave.stats);
+                stats.truncated = true;
+                return break_out(instance, best, lower, stats);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        match slave_result {
             SlaveResult::Feasible {
                 value,
                 z,
                 deficit,
                 cut,
             } => {
-                let fixed: f64 = u_vars
-                    .iter()
-                    .map(|((t, c), _)| {
-                        if assigned[*t] == Some(*c) {
-                            instance.gamma(*t, *c).unwrap()
-                        } else {
-                            0.0
-                        }
-                    })
-                    .sum();
+                let mut fixed = 0.0;
+                for ((t, c), _) in &u_vars {
+                    if assigned[*t] == Some(*c) {
+                        fixed += instance
+                            .gamma(*t, *c)
+                            .ok_or(AcrrError::Internal("assigned pair has no gamma"))?;
+                    }
+                }
                 let total = fixed + value;
                 if best.as_ref().is_none_or(|(b, ..)| total < *b) {
                     best = Some((total, assigned.clone(), z, deficit));
@@ -184,11 +214,17 @@ pub fn solve(instance: &AcrrInstance, options: &BendersOptions) -> Result<Alloca
         if let Some((ub, ..)) = &best {
             stats.gap = ub - lower;
             if stats.gap <= options.epsilon {
+                converged = true;
                 break;
             }
         }
     }
 
+    // Outer-round budget exhausted without closing the gap: the incumbent
+    // is best-effort, not proven (covers `SolveBudget::max_rounds`).
+    if !converged {
+        stats.truncated = true;
+    }
     stats.lp.absorb(&slave.stats);
     break_out(instance, best, lower, stats)
 }

@@ -50,10 +50,13 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
     let mut slave = SlaveContext::new(&strict);
     let pairs = instance.pairs();
     let n_t = instance.tenants.len();
-    let gammas: HashMap<(usize, usize), f64> = pairs
-        .iter()
-        .map(|&(t, c)| ((t, c), instance.gamma(t, c).unwrap()))
-        .collect();
+    let mut gammas: HashMap<(usize, usize), f64> = HashMap::with_capacity(pairs.len());
+    for &(t, c) in &pairs {
+        let g = instance
+            .gamma(t, c)
+            .ok_or(AcrrError::Internal("allowed pair has no gamma"))?;
+        gammas.insert((t, c), g);
+    }
 
     // Aggregated knapsack (Eq. 29): w̄ per item, W̄ total capacity. ε_k
     // normalises each ray so no single cut dominates (the paper's recursive
@@ -101,14 +104,16 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
                             deficit = d2;
                         }
                         SlaveResult::Infeasible { .. } => {
-                            unreachable!("shedding a tenant cannot break feasibility")
+                            return Err(AcrrError::Internal(
+                                "shedding a tenant cannot break feasibility",
+                            ))
                         }
                     }
                 }
                 let fixed: f64 = assigned
                     .iter()
                     .enumerate()
-                    .filter_map(|(t, c)| c.map(|c| gammas[&(t, c)]))
+                    .filter_map(|(t, c)| c.and_then(|c| gammas.get(&(t, c))))
                     .sum();
                 let mut reservations = vec![vec![0.0; instance.n_bs]; n_t];
                 for (li, leg) in instance.legs.iter().enumerate() {
@@ -147,9 +152,9 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
                         .enumerate()
                         .filter(|(t, c)| c.is_some() && !instance.tenants[*t].must_accept)
                         .max_by(|(ta, ca), (tb, cb)| {
-                            let ga = gammas[&(*ta, ca.unwrap())];
-                            let gb = gammas[&(*tb, cb.unwrap())];
-                            ga.partial_cmp(&gb).unwrap()
+                            let ga = ca.and_then(|c| gammas.get(&(*ta, c))).copied();
+                            let gb = cb.and_then(|c| gammas.get(&(*tb, c))).copied();
+                            ga.unwrap_or(0.0).total_cmp(&gb.unwrap_or(0.0))
                         })
                         .map(|(t, _)| t);
                     match victim {
@@ -232,11 +237,14 @@ fn finish_with_deficit(
         SlaveResult::Feasible {
             value, z, deficit, ..
         } => {
-            let gammas_sum: f64 = forced
-                .iter()
-                .enumerate()
-                .filter_map(|(t, c)| c.map(|c| instance.gamma(t, c).unwrap()))
-                .sum();
+            let mut gammas_sum = 0.0;
+            for (t, c) in forced.iter().enumerate() {
+                if let Some(c) = c {
+                    gammas_sum += instance
+                        .gamma(t, *c)
+                        .ok_or(AcrrError::Internal("forced pair has no gamma"))?;
+                }
+            }
             let mut reservations = vec![vec![0.0; instance.n_bs]; instance.tenants.len()];
             for (li, leg) in instance.legs.iter().enumerate() {
                 if forced[leg.tenant] == Some(leg.cu) {
@@ -279,9 +287,10 @@ fn greedy_pack(
         if !ten.must_accept {
             continue;
         }
+        let gamma_of = |c: usize| gammas.get(&(t, c)).copied().unwrap_or(f64::INFINITY);
         let best = (0..instance.n_cu)
             .filter(|&c| instance.cu_allowed[t][c])
-            .min_by(|&a, &b| gammas[&(t, a)].partial_cmp(&gammas[&(t, b)]).unwrap());
+            .min_by(|&a, &b| gamma_of(a).total_cmp(&gamma_of(b)));
         if let Some(c) = best {
             assigned[t] = Some(c);
             if have_cuts {
@@ -306,7 +315,7 @@ fn greedy_pack(
     // collected in HashMap order, and a stable sort on φ alone would let
     // that arbitrary order decide ties, making admissions differ from run
     // to run (φ ties are common: same-class tenants share γ and w̄).
-    items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    items.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     for ((t, c), _) in items {
         if assigned[t].is_some() {

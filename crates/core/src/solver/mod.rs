@@ -19,11 +19,13 @@ pub mod oneshot;
 pub mod slave;
 
 use crate::problem::{AcrrInstance, Allocation};
+use std::time::Duration;
 
 /// Which algorithm the orchestrator runs each epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverKind {
     /// Optimal Benders decomposition (small/medium instances).
+    #[default]
     Benders,
     /// KAC heuristic (large instances; suboptimal but fast).
     Kac,
@@ -43,6 +45,10 @@ pub enum AcrrError {
     Infeasible,
     /// The underlying LP/MILP engine gave up (iteration limits).
     Engine(ovnes_lp::SolveError),
+    /// A solver invariant was violated (a state the algorithms prove
+    /// unreachable, surfaced as a recoverable error instead of a panic so
+    /// the orchestrator's degradation ladder can absorb it).
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for AcrrError {
@@ -53,6 +59,7 @@ impl std::fmt::Display for AcrrError {
             }
             AcrrError::Infeasible => write!(f, "no feasible slice assignment exists"),
             AcrrError::Engine(e) => write!(f, "solver engine error: {e}"),
+            AcrrError::Internal(what) => write!(f, "solver invariant violated: {what}"),
         }
     }
 }
@@ -98,15 +105,219 @@ pub fn solve_tuned(
     threads: usize,
     round_width: usize,
 ) -> Result<Allocation, AcrrError> {
-    match kind {
+    let controls = SolveControls {
+        kind,
+        threads,
+        round_width,
+        ..SolveControls::default()
+    };
+    solve_budgeted(instance, &controls)
+}
+
+/// A compute budget for one admission solve. All limits are optional; the
+/// default is unlimited (beyond the engines' own safety caps).
+///
+/// The counter budgets (`max_pivots`, `max_nodes`, `max_rounds`) are
+/// **deterministic**: they count algorithmic steps, so the same instance
+/// under the same budget truncates at the same point at any worker count.
+/// `wall_limit` is the only non-deterministic knob — it is opt-in,
+/// [`SolveBudget::is_deterministic`] reports `false` when set, and the
+/// scenario sweeps exclude wall-limited configurations from fingerprint
+/// comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Cap on simplex pivots per LP solve (Benders master node LPs, one-shot
+    /// and baseline node LPs). Exhaustion inside a MILP surfaces as an
+    /// engine error, which the degradation ladder absorbs.
+    pub max_pivots: Option<usize>,
+    /// Cap on branch-and-bound nodes per MILP solve; the tree returns its
+    /// best incumbent flagged `truncated`.
+    pub max_nodes: Option<usize>,
+    /// Cap on Benders outer iterations; the loop returns its incumbent
+    /// flagged `truncated`. Ignored by the other solvers.
+    pub max_rounds: Option<usize>,
+    /// Wall-clock deadline per MILP solve (**non-deterministic**; opt-in).
+    pub wall_limit: Option<Duration>,
+}
+
+impl SolveBudget {
+    /// True when every configured limit is a deterministic step counter —
+    /// i.e. no wall-clock deadline is set.
+    pub fn is_deterministic(&self) -> bool {
+        self.wall_limit.is_none()
+    }
+
+    /// Folds this budget into a set of MILP options (taking the tighter of
+    /// the existing limit and the budget's).
+    fn apply_milp(&self, options: &mut ovnes_milp::MilpOptions) {
+        if let Some(n) = self.max_nodes {
+            options.max_nodes = options.max_nodes.min(n.max(1));
+        }
+        if let Some(p) = self.max_pivots {
+            options.simplex.max_iterations = options.simplex.max_iterations.min(p.max(1));
+        }
+        if self.wall_limit.is_some() {
+            options.wall_limit = self.wall_limit;
+        }
+    }
+}
+
+/// Everything the orchestrator threads into one epoch's admission solve:
+/// the algorithm, the parallelism knobs, the compute budget, and an
+/// optional LP fault-injection plan for chaos testing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveControls {
+    /// Primary algorithm (the ladder may fall back to KAC below it).
+    pub kind: SolverKind,
+    /// Branch-and-bound worker threads (0 ⇒ engine default).
+    pub threads: usize,
+    /// Nodes-per-deterministic-round window (0 ⇒ engine default).
+    pub round_width: usize,
+    /// Compute budget; default unlimited.
+    pub budget: SolveBudget,
+    /// Seeded LP fault injection for the MILP-backed solves (Benders
+    /// master, one-shot, baseline). The slave LPs pick up faults from the
+    /// `OVNES_LP_FAULT_SEED` environment variable instead. Injection is a
+    /// pure function of (seed, matrix fingerprint, basis summary), so it is
+    /// thread-count invariant.
+    pub lp_fault: Option<ovnes_lp::FaultConfig>,
+}
+
+/// How far down the degradation ladder an epoch's admission decision fell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Degradation {
+    /// Primary solver ran to completion (proven/converged result).
+    #[default]
+    None,
+    /// A budget limit truncated the primary solver; the decision is its
+    /// best incumbent.
+    Incumbent,
+    /// The primary solver failed outright; the decision came from the KAC
+    /// greedy heuristic.
+    Greedy,
+    /// Every rung failed: no decision this epoch — the orchestrator keeps
+    /// the previous reservations and defers pending arrivals.
+    Deferred,
+}
+
+impl Degradation {
+    /// Stable small code for fingerprinting (0 = none … 3 = deferred).
+    pub fn code(self) -> u8 {
+        match self {
+            Degradation::None => 0,
+            Degradation::Incumbent => 1,
+            Degradation::Greedy => 2,
+            Degradation::Deferred => 3,
+        }
+    }
+}
+
+/// The outcome of [`solve_controlled`]: an allocation when any rung of the
+/// ladder produced one, how degraded it is, and the primary-solver error
+/// when one occurred (recorded even when a fallback succeeded).
+#[derive(Debug, Clone)]
+pub struct ControlledOutcome {
+    /// The admission decision; `None` exactly when `degradation` is
+    /// [`Degradation::Deferred`].
+    pub allocation: Option<Allocation>,
+    /// Ladder rung the decision came from.
+    pub degradation: Degradation,
+    /// The error that forced a fallback (or the final error on deferral).
+    pub error: Option<AcrrError>,
+}
+
+/// [`solve_tuned`] with a [`SolveBudget`] and optional LP fault plan, no
+/// fallback: budget truncation returns `Ok` with `stats.truncated` set;
+/// errors propagate.
+pub fn solve_budgeted(
+    instance: &AcrrInstance,
+    controls: &SolveControls,
+) -> Result<Allocation, AcrrError> {
+    let threads = if controls.threads == 0 {
+        ovnes_milp::default_threads()
+    } else {
+        controls.threads
+    };
+    let round_width = if controls.round_width == 0 {
+        ovnes_milp::default_round_width()
+    } else {
+        controls.round_width
+    };
+    let mut milp_options = ovnes_milp::MilpOptions {
+        threads: threads.max(1),
+        round_width: round_width.max(1),
+        ..Default::default()
+    };
+    controls.budget.apply_milp(&mut milp_options);
+    if controls.lp_fault.is_some() {
+        milp_options.simplex.fault = controls.lp_fault;
+    }
+    match controls.kind {
         SolverKind::Benders => {
-            let mut options = benders::BendersOptions::default();
-            options.milp.threads = threads.max(1);
-            options.milp.round_width = round_width.max(1);
+            let mut options = benders::BendersOptions {
+                milp: milp_options,
+                ..benders::BendersOptions::default()
+            };
+            if let Some(r) = controls.budget.max_rounds {
+                options.max_iterations = options.max_iterations.min(r.max(1));
+            }
             benders::solve(instance, &options)
         }
         SolverKind::Kac => kac::solve(instance, &kac::KacOptions::default()),
-        SolverKind::OneShot => oneshot::solve_tuned(instance, threads, round_width),
-        SolverKind::NoOverbooking => baseline::solve_tuned(instance, threads, round_width),
+        SolverKind::OneShot => oneshot::solve_with(instance, &milp_options),
+        SolverKind::NoOverbooking => baseline::solve_with(instance, &milp_options),
+    }
+}
+
+/// Runs the admission solve through the **degradation ladder** (the
+/// fault-tolerance contract the orchestrator relies on — this function
+/// never returns an error):
+///
+/// 1. the primary solver under the budget — a truncated-but-successful run
+///    degrades to [`Degradation::Incumbent`];
+/// 2. on primary failure (engine error, invariant violation, strict
+///    infeasibility) the KAC greedy heuristic, unbudgeted —
+///    [`Degradation::Greedy`];
+/// 3. if that also fails (or the failure is structural —
+///    [`AcrrError::ForcedInfeasible`] cannot be solved by trying harder) —
+///    [`Degradation::Deferred`] with no allocation.
+pub fn solve_controlled(instance: &AcrrInstance, controls: &SolveControls) -> ControlledOutcome {
+    match solve_budgeted(instance, controls) {
+        Ok(allocation) => {
+            let degradation = if allocation.stats.truncated {
+                Degradation::Incumbent
+            } else {
+                Degradation::None
+            };
+            ControlledOutcome {
+                allocation: Some(allocation),
+                degradation,
+                error: None,
+            }
+        }
+        Err(AcrrError::ForcedInfeasible) => ControlledOutcome {
+            allocation: None,
+            degradation: Degradation::Deferred,
+            error: Some(AcrrError::ForcedInfeasible),
+        },
+        Err(primary) if controls.kind != SolverKind::Kac => {
+            match kac::solve(instance, &kac::KacOptions::default()) {
+                Ok(allocation) => ControlledOutcome {
+                    allocation: Some(allocation),
+                    degradation: Degradation::Greedy,
+                    error: Some(primary),
+                },
+                Err(_) => ControlledOutcome {
+                    allocation: None,
+                    degradation: Degradation::Deferred,
+                    error: Some(primary),
+                },
+            }
+        }
+        Err(primary) => ControlledOutcome {
+            allocation: None,
+            degradation: Degradation::Deferred,
+            error: Some(primary),
+        },
     }
 }

@@ -8,7 +8,7 @@
 use super::AcrrError;
 use crate::problem::{AcrrInstance, Allocation, SolveStats};
 use ovnes_lp::{Cmp, Problem, VarId};
-use ovnes_milp::{Milp, MilpOutcome};
+use ovnes_milp::{Milp, MilpOptions, MilpOutcome};
 
 /// Solves the AC-RR instance as a single MILP (worker count from
 /// [`ovnes_milp::default_threads`]).
@@ -31,6 +31,19 @@ pub fn solve_tuned(
     threads: usize,
     round_width: usize,
 ) -> Result<Allocation, AcrrError> {
+    let options = MilpOptions {
+        threads: threads.max(1),
+        round_width: round_width.max(1),
+        ..Default::default()
+    };
+    solve_with(instance, &options)
+}
+
+/// [`solve_tuned`] with full [`MilpOptions`] — the budget-aware entry point
+/// ([`solve_budgeted`](super::solve_budgeted) folds node/pivot/wall limits
+/// and LP fault injection in here). A node- or wall-limited tree returns
+/// its best incumbent with `stats.truncated` set.
+pub fn solve_with(instance: &AcrrInstance, options: &MilpOptions) -> Result<Allocation, AcrrError> {
     if !instance.forced_feasible() {
         return Err(AcrrError::ForcedInfeasible);
     }
@@ -39,10 +52,13 @@ pub fn solve_tuned(
     let mut p = Problem::new();
 
     // u_{τ,c} with objective Γ_{τ,c} = Σ_b q·Λ − R.
-    let u_vars: Vec<((usize, usize), VarId)> = pairs
-        .iter()
-        .map(|&(t, c)| ((t, c), p.add_var(0.0, 1.0, instance.gamma(t, c).unwrap())))
-        .collect();
+    let mut u_vars: Vec<((usize, usize), VarId)> = Vec::with_capacity(pairs.len());
+    for &(t, c) in &pairs {
+        let gamma = instance
+            .gamma(t, c)
+            .ok_or(AcrrError::Internal("allowed pair has no gamma"))?;
+        u_vars.push(((t, c), p.add_var(0.0, 1.0, gamma)));
+    }
     let u_of = |t: usize, c: usize| -> Option<VarId> {
         u_vars
             .iter()
@@ -148,7 +164,9 @@ pub fn solve_tuned(
         let t = &instance.tenants[leg.tenant];
         let lam = t.sla_mbps;
         let lam_hat = instance.leg_forecast(leg);
-        let u = u_of(leg.tenant, leg.cu).expect("leg implies allowed pair");
+        let u = u_of(leg.tenant, leg.cu).ok_or(AcrrError::Internal(
+            "leg does not correspond to an allowed pair",
+        ))?;
         let (z, y) = (z_vars[li], y_vars[li]);
         p.add_cons(&[(z, 1.0), (u, -lam)], Cmp::Le, 0.0); // (8)  z ≤ Λu
         p.add_cons(&[(z, 1.0), (u, -lam_hat)], Cmp::Ge, 0.0); // (9)  z ≥ λ̂u
@@ -161,12 +179,15 @@ pub fn solve_tuned(
     for (_, v) in &u_vars {
         milp.mark_integer(*v);
     }
-    milp.set_threads(threads);
-    milp.set_round_width(round_width);
+    milp.set_options(options.clone());
     let sol = match milp.solve()? {
         MilpOutcome::Optimal(s) => s,
         MilpOutcome::Infeasible => return Err(AcrrError::Infeasible),
-        MilpOutcome::Unbounded => unreachable!("objective bounded: u, z, y all bounded"),
+        MilpOutcome::Unbounded => {
+            return Err(AcrrError::Internal(
+                "objective bounded: u, z, y all bounded",
+            ))
+        }
     };
 
     let mut assigned: Vec<Option<usize>> = vec![None; n_t];
@@ -193,6 +214,7 @@ pub fn solve_tuned(
             iterations: 1,
             lp_solves: sol.nodes,
             gap: 0.0,
+            truncated: sol.truncated,
             lp: sol.lp_stats,
         },
     })

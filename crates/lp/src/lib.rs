@@ -174,7 +174,9 @@ pub mod sparse;
 
 pub use model::{Cmp, ConsId, Problem, VarId};
 pub use revised::{Basis, LpStats, WarmSolve, Workspace};
-pub use simplex::{Farkas, Outcome, SimplexOptions, Solution, SolveError};
+pub use simplex::{
+    fault_injection_active, Farkas, FaultConfig, Outcome, SimplexOptions, Solution, SolveError,
+};
 pub use sparse::SparseMatrix;
 
 #[cfg(test)]

@@ -303,6 +303,18 @@ fn adapt_basis(c: &Canon, b: &Basis) -> Option<(Vec<VarStatus>, Vec<usize>)> {
     Some((status, basic))
 }
 
+/// FNV-1a fold of a basis's basic set — the per-basis component of the
+/// fault-injection roll, so distinct warm bases of the same problem draw
+/// distinct (but fully deterministic) faults.
+fn basis_summary(b: &Basis) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &j in &b.basic {
+        h ^= j as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Solves `p` cold with the revised engine.
 pub fn solve(p: &Problem, options: &SimplexOptions) -> Result<Outcome, SolveError> {
     solve_warm(p, None, options).map(|w| w.outcome)
@@ -338,6 +350,28 @@ pub fn solve_warm_in(
     ws: &mut Workspace,
 ) -> Result<WarmSolve, SolveError> {
     let canon = Canon::build(p);
+    let matrix_fp = canon.a.fingerprint();
+
+    // Seeded fault injection (chaos harness): each decision is a pure
+    // function of (seed, matrix fingerprint, basis summary, salt) — no
+    // shared RNG, no thread identity — so faults land identically at any
+    // worker count. Faults only discard or corrupt *warm* state; every
+    // recovery path re-derives the same optimum, so results are unchanged
+    // while the cold-start / refactorization / singular-fallback paths get
+    // exercised.
+    let mut warm = warm;
+    let mut drop_fact = false;
+    let mut corrupt = false;
+    if let (Some(f), Some(b)) = (options.fault, warm) {
+        let summary = basis_summary(b);
+        if f.roll(matrix_fp, summary, 0) < f.drop_basis {
+            warm = None;
+        } else {
+            drop_fact = f.roll(matrix_fp, summary, 1) < f.drop_factorization;
+            corrupt = f.roll(matrix_fp, summary, 2) < f.corrupt_basis;
+        }
+    }
+
     let adapted = warm.and_then(|b| adapt_basis(&canon, b));
     let warm_used = adapted.is_some();
 
@@ -347,9 +381,8 @@ pub fn solve_warm_in(
     // structural coefficients (fingerprint match — guards against a basis
     // from a different problem that happens to share the shape). RHS /
     // bound / objective edits all qualify.
-    let matrix_fp = canon.a.fingerprint();
     let reuse: Option<Arc<Factorization>> = match warm {
-        Some(b) if warm_used && b.matrix_fp == matrix_fp => {
+        Some(b) if warm_used && !drop_fact && !corrupt && b.matrix_fp == matrix_fp => {
             b.fact.clone().filter(|f| f.dim() == canon.m)
         }
         _ => None,
@@ -362,7 +395,14 @@ pub fn solve_warm_in(
         stats.cold_starts += 1;
     }
 
-    let (status, basic) = adapted.unwrap_or_else(|| cold_state(&canon));
+    let (status, mut basic) = adapted.unwrap_or_else(|| cold_state(&canon));
+    if corrupt && basic.len() >= 2 && basic[0] != basic[basic.len() - 1] {
+        // Duplicate a basic column: the basis matrix becomes singular, and
+        // `Engine::new`'s refactorization detects it and falls back to the
+        // all-logical cold restart (statistics reset to one cold start).
+        let last = basic.len() - 1;
+        basic[last] = basic[0];
+    }
     // A singular stored basis falls back to a cold restart inside
     // `Engine::new` (statistics reset to a single cold start).
     let mut eng = Engine::new(&canon, options, status, basic, stats, reuse.as_deref(), ws);

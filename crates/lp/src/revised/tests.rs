@@ -260,8 +260,12 @@ fn warm_start_after_rhs_change() {
     p.set_rhs(cap1, 8.0);
     p.set_rhs(cap2, 18.0);
     let warm = p.solve_warm(Some(&first.basis)).unwrap();
-    assert_eq!(warm.stats.warm_starts, 1);
-    assert_eq!(warm.stats.phase1_pivots, 0);
+    // Ambient fault injection may drop the warm basis; the objective must
+    // survive either path, the counters only the clean one.
+    if !crate::fault_injection_active() {
+        assert_eq!(warm.stats.warm_starts, 1);
+        assert_eq!(warm.stats.phase1_pivots, 0);
+    }
     let reference = solve_r(&p).unwrap_optimal().objective;
     assert_close(warm.outcome.unwrap_optimal().objective, reference, 1e-7);
 }
@@ -373,8 +377,12 @@ fn long_warm_chain_stays_exact() {
         assert_close(warm_obj, cold_obj, 1e-6);
         basis = Some(w.basis);
     }
-    assert_eq!(stats.warm_starts, 39);
-    assert_eq!(stats.cold_starts, 1);
+    // Under ambient fault injection warm bases are intentionally dropped;
+    // the exactness asserts above still hold, the path counters do not.
+    if !crate::fault_injection_active() {
+        assert_eq!(stats.warm_starts, 39);
+        assert_eq!(stats.cold_starts, 1);
+    }
 }
 
 // ---------------------------------------- dense-tableau cross-check (prop)
@@ -679,7 +687,7 @@ mod warm_chain_props {
                         "link {}: dense {:?} vs warm {:?}", link, kind(other.0), kind(other.1)
                     ),
                 }
-                if basis.is_some() && prev_optimal {
+                if basis.is_some() && prev_optimal && !crate::fault_injection_active() {
                     prop_assert_eq!(
                         warm.stats.phase1_pivots, 0,
                         "link {}: a bound edit must preserve dual feasibility", link
@@ -948,8 +956,12 @@ fn bound_change_resolve_skips_refactorization() {
 
     p.set_bounds(b, 0.0, 0.0); // branch down
     let warm = p.solve_warm(Some(&first.basis)).unwrap();
-    assert_eq!(warm.stats.refactorizations, 0);
-    assert_eq!(warm.stats.factorization_reuses, 1);
+    // Ambient fault injection may discard the stored factorization; the
+    // reuse counters are only meaningful on the clean path.
+    if !crate::fault_injection_active() {
+        assert_eq!(warm.stats.refactorizations, 0);
+        assert_eq!(warm.stats.factorization_reuses, 1);
+    }
     let reference = solve_r(&p).unwrap_optimal().objective;
     assert_close(warm.outcome.unwrap_optimal().objective, reference, 1e-7);
 }
@@ -1024,10 +1036,14 @@ fn warm_chain_reports_factorization_counters() {
         stats.absorb(&w.stats);
         basis = Some(w.basis);
     }
-    assert_eq!(stats.cold_starts, 1);
-    assert_eq!(stats.warm_starts, 9);
-    assert_eq!(stats.factorization_reuses, 9);
-    assert_eq!(stats.refactorizations, 1, "only the cold solve factorizes");
+    // Under ambient fault injection warm state is intentionally discarded,
+    // so the reuse counters below do not apply (results stay exact).
+    if !crate::fault_injection_active() {
+        assert_eq!(stats.cold_starts, 1);
+        assert_eq!(stats.warm_starts, 9);
+        assert_eq!(stats.factorization_reuses, 9);
+        assert_eq!(stats.refactorizations, 1, "only the cold solve factorizes");
+    }
 }
 
 // ------------------------------------ sparse kernel vs dense oracle (prop)

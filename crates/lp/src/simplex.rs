@@ -49,6 +49,10 @@ pub struct SimplexOptions {
     /// much primal violation for the eventual entering pivot. Guards against
     /// churning on bound ranges that are numerically zero.
     pub flip_tol: f64,
+    /// Seeded warm-path fault injection (revised engine; chaos testing).
+    /// Defaults to [`FaultConfig::from_env`] — `None` unless the
+    /// `OVNES_LP_FAULT_SEED` environment variable is set.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for SimplexOptions {
@@ -58,8 +62,83 @@ impl Default for SimplexOptions {
             bland_after: 10_000,
             ratio_tie_tol: 1e-10,
             flip_tol: 1e-9,
+            fault: FaultConfig::from_env(),
         }
     }
+}
+
+/// Seeded fault injection on the warm-start path of the revised engine.
+///
+/// Faults never change a solve's *result* — they discard warm state
+/// (basis, persisted factorization) or corrupt the basic set into a
+/// singular matrix, forcing the engine through its cold-restart /
+/// refactorization recovery paths. Every roll is a pure function of
+/// `(seed, constraint-matrix fingerprint, basis summary)`, never of
+/// thread identity or wall clock, so injected faults are **bit-identical
+/// at any worker count** and across runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed mixed into every roll.
+    pub seed: u64,
+    /// Probability a supplied warm basis is silently dropped (the solve
+    /// runs cold, exercising the `cold_starts` path).
+    pub drop_basis: f64,
+    /// Probability the persisted factorization is discarded (the warm
+    /// basis is kept but must refactorize from scratch).
+    pub drop_factorization: f64,
+    /// Probability the adapted basic set is corrupted with a duplicated
+    /// column — a singular basis matrix, driving the engine through its
+    /// singular-basis cold-restart fallback.
+    pub corrupt_basis: f64,
+}
+
+impl FaultConfig {
+    /// The default chaos profile for a seed: all three fault classes armed
+    /// at moderate rates.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_basis: 0.20,
+            drop_factorization: 0.30,
+            corrupt_basis: 0.15,
+        }
+    }
+
+    /// The ambient fault config: [`FaultConfig::chaos`] seeded from the
+    /// `OVNES_LP_FAULT_SEED` environment variable, or `None` when unset
+    /// (the production default). Read once per process.
+    pub fn from_env() -> Option<Self> {
+        use std::sync::OnceLock;
+        static ENV: OnceLock<Option<u64>> = OnceLock::new();
+        ENV.get_or_init(|| {
+            std::env::var("OVNES_LP_FAULT_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .map(FaultConfig::chaos)
+    }
+
+    /// Deterministic roll in `[0, 1)` from the seed, a solve fingerprint,
+    /// a basis summary, and a per-decision salt (splitmix64 finalizer).
+    pub fn roll(&self, fingerprint: u64, summary: u64, salt: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(fingerprint.rotate_left(17))
+            .wrapping_add(summary.rotate_left(31))
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Whether ambient (environment-driven) LP fault injection is armed for
+/// this process. Tests that assert exact pivot/refactorization counters
+/// gate on this: under injection the *results* still hold, but the warm
+/// path's statistics intentionally do not.
+pub fn fault_injection_active() -> bool {
+    FaultConfig::from_env().is_some()
 }
 
 /// Terminal failures (distinct from well-defined outcomes).

@@ -168,6 +168,14 @@ pub struct MilpOptions {
     /// [`default_round_width`] (the `OVNES_MILP_ROUND_WIDTH` environment
     /// variable, or 8).
     pub round_width: usize,
+    /// Optional wall-clock budget per `solve` call. When it expires the
+    /// search stops at the next canonical application point and returns the
+    /// best incumbent flagged `truncated` (or `Infeasible` when none was
+    /// found). **Non-deterministic by construction** — where the clock
+    /// lands depends on the machine — so callers that fingerprint results
+    /// must leave this `None` and rely on the deterministic `max_nodes`
+    /// budget instead.
+    pub wall_limit: Option<std::time::Duration>,
 }
 
 impl Default for MilpOptions {
@@ -179,6 +187,7 @@ impl Default for MilpOptions {
             warm_start: true,
             threads: default_threads(),
             round_width: default_round_width(),
+            wall_limit: None,
         }
     }
 }
@@ -334,6 +343,9 @@ struct Ctx<'a> {
     /// Root bounds of every integer variable (`v.index()` keyed): what a
     /// worker restores after un-applying a node path.
     base_bounds: HashMap<usize, (f64, f64)>,
+    /// Wall-clock cutoff of this solve ([`MilpOptions::wall_limit`] past
+    /// the solve start), `None` for unbudgeted (deterministic) searches.
+    deadline: Option<std::time::Instant>,
 }
 
 /// A mixed-integer linear program: an LP plus integrality marks.
@@ -476,6 +488,10 @@ impl Milp {
             integers: &self.integers,
             options: &self.options,
             base_bounds,
+            deadline: self
+                .options
+                .wall_limit
+                .map(|limit| std::time::Instant::now() + limit),
         };
 
         if threads == 1 {
@@ -604,7 +620,14 @@ impl Milp {
                 continue;
             }
             // Node budget: the canonical order would apply this node next.
-            if st.applied >= ctx.options.max_nodes {
+            // The wall-clock deadline shares the truncation path (checked
+            // here, at a canonical application point, so the partial tree
+            // is still internally consistent — but *which* prefix was
+            // explored depends on the machine; see
+            // [`MilpOptions::wall_limit`]).
+            if st.applied >= ctx.options.max_nodes
+                || ctx.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+            {
                 st.truncated = true;
                 st.queue.clear();
                 st.round.clear();

@@ -3,11 +3,12 @@
 //! horizon via `run_horizon`, and aggregates the metrics pipeline into a
 //! [`ScenarioReport`].
 
+use crate::faults::FaultPlan;
 use crate::metrics::{CdfSummary, ScenarioReport};
 use crate::workload::WorkloadSpec;
 use ovnes::orchestrator::{EpochOutcome, Orchestrator, OrchestratorConfig};
 use ovnes::slice::SliceRequest;
-use ovnes::solver::{AcrrError, SolverKind};
+use ovnes::solver::{AcrrError, Degradation, SolveBudget, SolverKind};
 use ovnes::testbed;
 use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
 use std::collections::HashMap;
@@ -69,6 +70,15 @@ pub struct ScenarioSpec {
     pub round_width: usize,
     /// Master seed: drives both the workload expansion and the simulator.
     pub seed: u64,
+    /// Per-epoch solve budget (pivots / nodes / rounds / opt-in wall
+    /// clock). Exhaustion degrades the epoch decision instead of failing
+    /// it; counter-only budgets keep the report deterministic.
+    pub budget: SolveBudget,
+    /// Optional seeded fault-injection plan: infrastructure events are
+    /// expanded deterministically and scheduled before the horizon starts,
+    /// and `lp_fault_seed` (if set) arms LP warm-path fault injection on
+    /// the MILP-backed epoch solves.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ScenarioSpec {
@@ -96,6 +106,8 @@ impl ScenarioSpec {
                 threads: 0,
                 round_width: 8,
                 seed: 7,
+                budget: SolveBudget::default(),
+                faults: None,
             },
         }
     }
@@ -204,6 +216,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Per-epoch solve budget (graceful degradation on exhaustion).
+    pub fn budget(mut self, budget: SolveBudget) -> Self {
+        self.spec.budget = budget;
+        self
+    }
+
+    /// Attach a seeded fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.spec.faults = Some(plan);
+        self
+    }
+
     /// Finalises the spec.
     pub fn build(self) -> ScenarioSpec {
         self.spec
@@ -255,12 +279,27 @@ pub fn run_scenario_on(
         reapply_epochs: spec.reapply_epochs,
         round_width: spec.round_width.max(1),
         seed: spec.seed,
+        budget: spec.budget,
         ..Default::default()
     };
     if spec.threads >= 1 {
         config.threads = spec.threads;
     }
+    if let Some(plan) = &spec.faults {
+        config.lp_fault = plan.lp_fault_seed.map(ovnes_lp::FaultConfig::chaos);
+    }
     let mut orch = Orchestrator::new(model, config);
+    if let Some(plan) = &spec.faults {
+        // Recoveries scheduled past the horizon simply never fire.
+        for event in plan.expand(
+            bs_capacity.len(),
+            link_capacity.len(),
+            cu_capacity.len(),
+            spec.horizon_epochs as u32,
+        ) {
+            orch.schedule_event(event);
+        }
+    }
 
     // Streaming aggregation state.
     let mut accepted = 0usize;
@@ -279,6 +318,14 @@ pub fn run_scenario_on(
     let mut link_res_sum: HashMap<usize, f64> = HashMap::new();
     let mut lp_solves = 0usize;
     let mut lp_pivots = 0usize;
+    let mut degraded_epochs = 0usize;
+    let mut deferred_epochs = 0usize;
+    let mut evictions = 0usize;
+    let mut rehomes = 0usize;
+    let mut eviction_penalty = 0.0f64;
+    let mut infra_events = 0usize;
+    let mut solver_errors = 0usize;
+    let mut max_decision_seconds = 0.0f64;
 
     // Epoch loop with *batched* submission: each epoch receives only its
     // own arrivals, so the orchestrator's pending queue holds re-applicants
@@ -310,6 +357,18 @@ pub fn run_scenario_on(
         }
         lp_solves += out.solver_stats.lp_solves;
         lp_pivots += out.solver_stats.lp.total_pivots();
+        if out.degradation != Degradation::None {
+            degraded_epochs += 1;
+        }
+        if out.degradation == Degradation::Deferred {
+            deferred_epochs += 1;
+        }
+        evictions += out.evicted.len();
+        rehomes += out.rehomed.len();
+        eviction_penalty += out.eviction_penalty;
+        infra_events += out.infra_events;
+        solver_errors += usize::from(out.solver_error.is_some());
+        max_decision_seconds = max_decision_seconds.max(out.decision_seconds);
     };
     for epoch in 0..spec.horizon_epochs as u32 {
         while arrival_stream
@@ -372,6 +431,15 @@ pub fn run_scenario_on(
         link_utilisation: CdfSummary::from_samples(link_util),
         lp_solves,
         lp_pivots,
+        degraded_epochs,
+        deferred_epochs,
+        evictions,
+        rehomes,
+        eviction_penalty,
+        infra_events,
+        solver_errors,
+        deterministic: spec.budget.is_deterministic(),
+        max_decision_seconds,
         wall_seconds: t0.elapsed().as_secs_f64(),
     })
 }

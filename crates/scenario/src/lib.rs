@@ -20,9 +20,15 @@
 //!   its streaming `run_horizon` hook and aggregates the metrics pipeline:
 //!   acceptance ratio, revenue trajectory, SLA-violation rate, per-BS /
 //!   per-CU / per-link utilisation CDF summaries — the Fig. 5/6 observables.
+//! * [`faults`] — the seeded fault-injection harness: a [`faults::FaultPlan`]
+//!   expands into a deterministic infrastructure-event schedule (BS outages,
+//!   link degradations, CU capacity losses, each with scheduled repair) and
+//!   can arm LP warm-path fault injection, exercising the orchestrator's
+//!   revalidation / degradation machinery under chaos.
 //! * [`presets`] — the named scenario library: the §5 testbed day, Fig. 5/6
 //!   reproductions per operator (N1/N2/N3), a stadium flash crowd, a 10×
-//!   overload, and the overbooking on/off ablation pair.
+//!   overload, the overbooking on/off ablation pair, and the chaos suite
+//!   (outage storm, starved solve budget, LP fault injection).
 //! * [`sweep`] — the parallel sweep runner: independent seeded scenarios
 //!   fanned across `std::thread::scope` workers (reusing the PR-4
 //!   `Send + Sync` solver contract inside each epoch solve), with
@@ -58,6 +64,7 @@
 //! ```
 
 pub mod driver;
+pub mod faults;
 pub mod metrics;
 pub mod presets;
 pub mod sweep;
@@ -66,6 +73,7 @@ pub mod workload;
 pub use driver::{
     run_scenario, run_scenario_on, ModelSpec, ScenarioBuilder, ScenarioSpec, Workload,
 };
+pub use faults::FaultPlan;
 pub use metrics::{CdfSummary, Fnv64, ScenarioReport};
 pub use sweep::{run_sweep, SweepReport};
 pub use workload::{
@@ -75,3 +83,6 @@ pub use workload::{
 
 #[cfg(test)]
 mod tests;
+
+#[cfg(test)]
+mod tests_chaos;

@@ -36,7 +36,7 @@ impl CdfSummary {
                 max: 0.0,
             };
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("utilisation is finite"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         let n = xs.len();
         let q = |frac: f64| xs[(((n - 1) as f64) * frac).round() as usize];
         CdfSummary {
@@ -102,13 +102,37 @@ pub struct ScenarioReport {
     pub lp_solves: usize,
     /// Simplex pivots across every epoch's AC-RR.
     pub lp_pivots: usize,
+    /// Epochs whose decision was degraded below a clean full solve
+    /// (incumbent, greedy fallback or deferral).
+    pub degraded_epochs: usize,
+    /// Epochs with no allocation at all (the bottom degradation rung).
+    pub deferred_epochs: usize,
+    /// Active slices evicted by infrastructure shrinkage.
+    pub evictions: usize,
+    /// Active slices re-homed to another CU instead of evicted.
+    pub rehomes: usize,
+    /// One-time SLA-break penalties paid on eviction (already included in
+    /// [`ScenarioReport::penalty`]).
+    pub eviction_penalty: f64,
+    /// Infrastructure events applied over the horizon.
+    pub infra_events: usize,
+    /// Epochs whose solver returned an error that was absorbed by the
+    /// degradation ladder.
+    pub solver_errors: usize,
+    /// True when the spec's solve budget used counters only (no wall-clock
+    /// deadline) — the precondition for the fingerprint guarantee.
+    pub deterministic: bool,
+    /// Worst per-epoch decision latency in seconds — machine-dependent,
+    /// **excluded** from the fingerprint.
+    pub max_decision_seconds: f64,
     /// Wall-clock of the run in seconds — machine-dependent, **excluded**
     /// from the fingerprint.
     pub wall_seconds: f64,
 }
 
 impl ScenarioReport {
-    /// Folds every deterministic field (not `wall_seconds`) into `h`.
+    /// Folds every deterministic field (not `wall_seconds` or
+    /// `max_decision_seconds`) into `h`.
     pub fn hash_into(&self, h: &mut Fnv64) {
         h.write_bytes(self.name.as_bytes());
         h.write_u64(self.epochs as u64);
@@ -133,6 +157,14 @@ impl ScenarioReport {
         self.link_utilisation.hash_into(h);
         h.write_u64(self.lp_solves as u64);
         h.write_u64(self.lp_pivots as u64);
+        h.write_u64(self.degraded_epochs as u64);
+        h.write_u64(self.deferred_epochs as u64);
+        h.write_u64(self.evictions as u64);
+        h.write_u64(self.rehomes as u64);
+        h.write_f64(self.eviction_penalty);
+        h.write_u64(self.infra_events as u64);
+        h.write_u64(self.solver_errors as u64);
+        h.write_u64(u64::from(self.deterministic));
     }
 
     /// Fingerprint of this single report (see [`ScenarioReport::hash_into`]).

@@ -6,15 +6,17 @@
 //! to the full-scale Figs. 5–6 setup it reproduces (pass `scale = 1.0`
 //! through the builder to run the paper-size instance).
 
-use crate::driver::ScenarioSpec;
+use crate::driver::{build_model, ScenarioSpec};
+use crate::faults::FaultPlan;
 use crate::workload::{ArrivalProcess, BurstEvent, ClassMix, DiurnalProfile};
+use ovnes::orchestrator::{InfraEvent, InfraEventKind};
 use ovnes::slice::SliceClass;
-use ovnes::solver::SolverKind;
+use ovnes::solver::{SolveBudget, SolverKind};
 use ovnes::testbed;
-use ovnes_topology::operators::Operator;
+use ovnes_topology::operators::{CuKind, Operator};
 
 /// Every preset name [`preset`] resolves.
-pub const PRESET_NAMES: [&str; 9] = [
+pub const PRESET_NAMES: [&str; 12] = [
     "testbed-day",
     "fig5-n1",
     "fig5-n2",
@@ -24,6 +26,9 @@ pub const PRESET_NAMES: [&str; 9] = [
     "load-10x",
     "overbook-n1-on",
     "overbook-n1-off",
+    "chaos-outage-n1",
+    "chaos-budget-n1",
+    "chaos-lpfault-n1",
 ];
 
 /// Resolves a named preset.
@@ -38,6 +43,9 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
         "load-10x" => load_10x(),
         "overbook-n1-on" => overbooking_ablation(true),
         "overbook-n1-off" => overbooking_ablation(false),
+        "chaos-outage-n1" => chaos_outage(),
+        "chaos-budget-n1" => chaos_budget(),
+        "chaos-lpfault-n1" => chaos_lpfault(),
         _ => return None,
     })
 }
@@ -175,6 +183,130 @@ pub fn overbooking_ablation(overbooking: bool) -> ScenarioSpec {
     .overbooking(overbooking)
     .seed(55)
     .build()
+}
+
+/// The outage storm on N1: random background faults *plus* a scripted
+/// mid-horizon total collapse of every edge CU for eight epochs, under a
+/// tight deterministic solve budget. uRLLC slices pinned to edge CUs
+/// cannot re-home across the 20 ms edge↔core link, so the storm forces
+/// evictions with SLA-break penalties; the starved Benders budget forces
+/// degraded (incumbent / greedy / deferred) epochs. The chaos acceptance
+/// scenario: a multi-day horizon that must complete with zero panics and a
+/// worker-count-invariant fingerprint.
+pub fn chaos_outage() -> ScenarioSpec {
+    let base = ScenarioSpec::builder("chaos-outage-n1")
+        .days(2)
+        .solver(SolverKind::Benders)
+        .budget(SolveBudget {
+            max_pivots: Some(20_000),
+            max_nodes: Some(64),
+            max_rounds: Some(2),
+            wall_limit: None,
+        })
+        .tune_workload(|w| {
+            w.arrivals = ArrivalProcess::Poisson { rate: 1.5 };
+            w.mix = ClassMix {
+                urllc: 0.6,
+                mmtc: 0.2,
+                embb: 0.2,
+            };
+            w.duration.mean_epochs = 12.0;
+            w.population.alpha = (0.15, 0.3);
+        })
+        .reapply_epochs(6)
+        .seed(66)
+        .build();
+    // The storm targets the model's *edge* CUs — resolve their indices
+    // from the same deterministic topology the run will build. The total
+    // loss is re-asserted every other epoch through the window so newly
+    // admitted edge slices keep hitting it, then repaired at 20.
+    let model = build_model(&base);
+    let mut scripted = Vec::new();
+    for (cu, unit) in model.compute_units.iter().enumerate() {
+        if unit.kind == CuKind::Edge {
+            for epoch in [12, 14, 16, 18] {
+                scripted.push(InfraEvent {
+                    epoch,
+                    kind: InfraEventKind::CuCapacityLoss { cu, factor: 0.0 },
+                });
+            }
+            scripted.push(InfraEvent {
+                epoch: 20,
+                kind: InfraEventKind::CuCapacityLoss { cu, factor: 1.0 },
+            });
+        }
+    }
+    let plan = FaultPlan {
+        seed: 661,
+        // Background CU chaos off: a random CU event inside the scripted
+        // window would silently "repair" the blackout.
+        cu_loss_rate: 0.0,
+        scripted,
+        ..FaultPlan::default()
+    };
+    ScenarioSpec {
+        faults: Some(plan),
+        ..base
+    }
+}
+
+/// A starved solve budget on an otherwise healthy N1 run: no
+/// infrastructure faults, but every epoch's Benders solve is capped at one
+/// round, a handful of B&B nodes and a few hundred pivots — most epochs
+/// must take a degradation rung (incumbent → greedy → defer) and the
+/// horizon must still complete deterministically.
+pub fn chaos_budget() -> ScenarioSpec {
+    ScenarioSpec::builder("chaos-budget-n1")
+        .days(1)
+        .solver(SolverKind::Benders)
+        .budget(SolveBudget {
+            max_pivots: Some(400),
+            max_nodes: Some(8),
+            max_rounds: Some(1),
+            wall_limit: None,
+        })
+        .tune_workload(|w| {
+            w.arrivals = ArrivalProcess::Poisson { rate: 1.5 };
+            w.duration.mean_epochs = 10.0;
+            w.population.alpha = (0.15, 0.3);
+        })
+        .reapply_epochs(6)
+        .seed(77)
+        .build()
+}
+
+/// Seeded LP warm-path fault injection on a Benders run: warm bases and
+/// persisted factorizations are dropped / corrupted pseudo-randomly
+/// (`ovnes_lp::FaultConfig::chaos`), exercising the simplex cold-restart
+/// recovery paths. Injection decisions are pure functions of the seed and
+/// per-solve fingerprints, so the report stays bit-identical at any
+/// worker count. A modest round budget bounds the runtime.
+pub fn chaos_lpfault() -> ScenarioSpec {
+    let mut plan = FaultPlan::scripted_only(Vec::new());
+    plan.lp_fault_seed = Some(4242);
+    ScenarioSpec::builder("chaos-lpfault-n1")
+        .operator(Operator::Romanian, 0.02)
+        .days(1)
+        .solver(SolverKind::Benders)
+        .budget(SolveBudget {
+            max_pivots: None,
+            max_nodes: None,
+            max_rounds: Some(6),
+            wall_limit: None,
+        })
+        .tune_workload(|w| {
+            w.arrivals = ArrivalProcess::Poisson { rate: 1.2 };
+            w.duration.mean_epochs = 8.0;
+        })
+        .reapply_epochs(6)
+        .seed(88)
+        .faults(plan)
+        .build()
+}
+
+/// The three chaos presets as one sweep (the CI chaos-smoke leg).
+pub fn chaos_sweep() -> Vec<ScenarioSpec> {
+    vec![chaos_outage(), chaos_budget(), chaos_lpfault()]
 }
 
 /// A short CI-smoke preset per operator: one simulated half-day at tiny

@@ -46,6 +46,12 @@ pub struct SweepReport {
     pub total_lp_solves: usize,
     /// Simplex pivots across every epoch of every scenario.
     pub total_lp_pivots: usize,
+    /// Degraded epochs (incumbent / greedy / deferred) across scenarios.
+    pub total_degraded_epochs: usize,
+    /// Infrastructure-shrinkage evictions across scenarios.
+    pub total_evictions: usize,
+    /// Infrastructure events applied across scenarios.
+    pub total_infra_events: usize,
     /// Workers the sweep ran with (informational; the report does not
     /// depend on it).
     pub workers: usize,
@@ -73,6 +79,9 @@ impl SweepReport {
         h.write_u64(self.total_samples as u64);
         h.write_u64(self.total_lp_solves as u64);
         h.write_u64(self.total_lp_pivots as u64);
+        h.write_u64(self.total_degraded_epochs as u64);
+        h.write_u64(self.total_evictions as u64);
+        h.write_u64(self.total_infra_events as u64);
         h.finish()
     }
 
@@ -122,6 +131,12 @@ impl SweepReport {
             self.total_lp_solves,
             self.total_lp_pivots,
         ));
+        if self.total_infra_events > 0 || self.total_degraded_epochs > 0 {
+            out.push_str(&format!(
+                "chaos: {} infra events, {} degraded epochs, {} evictions\n",
+                self.total_infra_events, self.total_degraded_epochs, self.total_evictions,
+            ));
+        }
         out.push_str(&format!("fingerprint: {:#018x}\n", self.fingerprint()));
         out
     }
@@ -167,10 +182,16 @@ pub fn run_sweep(specs: &[ScenarioSpec], workers: usize) -> Result<SweepReport, 
     let mut total_net_revenue = 0.0;
     let mut total_lp_solves = 0usize;
     let mut total_lp_pivots = 0usize;
+    let mut total_degraded_epochs = 0usize;
+    let mut total_evictions = 0usize;
+    let mut total_infra_events = 0usize;
     for s in &scenarios {
         total_net_revenue += s.net_revenue;
         total_lp_solves += s.lp_solves;
         total_lp_pivots += s.lp_pivots;
+        total_degraded_epochs += s.degraded_epochs;
+        total_evictions += s.evictions;
+        total_infra_events += s.infra_events;
     }
 
     Ok(SweepReport {
@@ -192,6 +213,9 @@ pub fn run_sweep(specs: &[ScenarioSpec], workers: usize) -> Result<SweepReport, 
         },
         total_lp_solves,
         total_lp_pivots,
+        total_degraded_epochs,
+        total_evictions,
+        total_infra_events,
         workers,
         wall_seconds: t0.elapsed().as_secs_f64(),
     })

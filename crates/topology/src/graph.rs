@@ -179,6 +179,13 @@ impl Graph {
         self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
     }
 
+    /// Overwrites a link's capacity (Mb/s). Infrastructure-event support:
+    /// degradation/repair of a live link changes its capacity but never the
+    /// topology, so precomputed path sets stay valid.
+    pub fn set_link_capacity(&mut self, l: LinkId, capacity_mbps: f64) {
+        self.links[l.0].capacity_mbps = capacity_mbps.max(0.0);
+    }
+
     /// Links incident to a node.
     pub fn incident(&self, n: NodeId) -> &[LinkId] {
         &self.adj[n.0]

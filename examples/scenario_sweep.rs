@@ -7,6 +7,11 @@
 //!
 //! * `--smoke` — one short preset per operator instead of the full sweep
 //!   (the CI smoke leg).
+//! * `--chaos` — the fault-injection suite instead of the full sweep: the
+//!   outage storm, the starved solve budget, and LP warm-path fault
+//!   injection (the CI chaos-smoke leg). The run must complete with zero
+//!   panics, apply infrastructure events, degrade epochs, evict slices,
+//!   and stay bit-identical across worker counts.
 //! * `--workers N` — parallel sweep workers for the second pass
 //!   (default 4; the first pass is always serial for the comparison).
 
@@ -23,19 +28,20 @@ fn arg_value(flag: &str) -> Option<String> {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let chaos = std::env::args().any(|a| a == "--chaos");
     let workers: usize = arg_value("--workers")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
 
-    let specs = if smoke {
-        Operator::all().into_iter().map(presets::smoke).collect()
+    let (specs, label): (Vec<_>, _) = if chaos {
+        (presets::chaos_sweep(), "chaos sweep")
+    } else if smoke {
+        (
+            Operator::all().into_iter().map(presets::smoke).collect(),
+            "smoke sweep",
+        )
     } else {
-        presets::default_sweep()
-    };
-    let label = if smoke {
-        "smoke sweep"
-    } else {
-        "default sweep"
+        (presets::default_sweep(), "default sweep")
     };
     println!("{label}: {} scenarios\n", specs.len());
 
@@ -62,4 +68,25 @@ fn main() {
         "sweep reports diverged between 1 and {} workers",
         parallel.workers
     );
+
+    if chaos {
+        // The chaos leg must prove the storm bites, not just that the
+        // binary exits 0.
+        assert!(
+            parallel.total_infra_events > 0,
+            "chaos sweep applied no infrastructure events"
+        );
+        assert!(
+            parallel.total_degraded_epochs > 0,
+            "chaos sweep never degraded an epoch — the budgets did not bind"
+        );
+        assert!(
+            parallel.total_evictions > 0,
+            "chaos sweep evicted no slices — the revalidation path went unexercised"
+        );
+        println!(
+            "chaos: {} infra events, {} degraded epochs, {} evictions — all gates passed",
+            parallel.total_infra_events, parallel.total_degraded_epochs, parallel.total_evictions,
+        );
+    }
 }

@@ -29,7 +29,12 @@ Run by the CI bench-smoke job. Validates that the snapshot
   multi-day preset with arrivals, admissions, and epoch solves, and
   `scenario_sweep` aggregated >= 6 named scenarios bit-identically
   across sweep worker counts (deterministic flag + 64-bit fingerprint)
-  without a parallel wall-clock regression.
+  without a parallel wall-clock regression, and
+* shows the chaos probe (`scenario_outage`) completing its multi-day
+  outage storm with the storm actually biting: infrastructure events
+  applied, at least one degraded epoch (the starved solve budget bound),
+  at least one eviction with its SLA-break penalty booked, and a
+  bit-identical replay (deterministic flag + fingerprint).
 
 Exit code 0 on success, 1 with a message per violation otherwise.
 """
@@ -140,6 +145,21 @@ REQUIRED_FIELDS = {
         "serial_seconds",
         "parallel_seconds",
         "speedup",
+    ],
+    "scenario_outage": [
+        "scale",
+        "name",
+        "epochs",
+        "infra_events",
+        "degraded_epochs",
+        "deferred_epochs",
+        "evictions",
+        "rehomes",
+        "eviction_penalty",
+        "net_revenue",
+        "deterministic",
+        "fingerprint",
+        "wall_seconds",
     ],
 }
 
@@ -287,6 +307,35 @@ def main() -> int:
                     "than one simulated day"
                 )
 
+        if bench == "scenario_outage":
+            if entry.get("epochs", 0) < 48:
+                errors.append(
+                    f"{tag}: outage-storm horizon {entry.get('epochs')} is "
+                    "shorter than two simulated days"
+                )
+            if entry.get("infra_events", 0) <= 0:
+                errors.append(f"{tag}: the storm applied no infrastructure events")
+            if entry.get("degraded_epochs", 0) < 1:
+                errors.append(
+                    f"{tag}: the starved solve budget never bound — "
+                    "no epoch was degraded"
+                )
+            if entry.get("evictions", 0) < 1:
+                errors.append(
+                    f"{tag}: the edge-CU blackout evicted no slices — "
+                    "the revalidation path went unexercised"
+                )
+            if entry.get("eviction_penalty", 0.0) <= 0.0:
+                errors.append(
+                    f"{tag}: evictions booked no SLA-break penalty "
+                    "(accounting unbalanced)"
+                )
+            if entry.get("deterministic") is not True:
+                errors.append(f"{tag}: the storm did not replay bit-identically")
+            fp = entry.get("fingerprint", "")
+            if not (isinstance(fp, str) and fp.startswith("0x") and len(fp) == 18):
+                errors.append(f"{tag}: fingerprint '{fp}' is not a 64-bit hex string")
+
         if bench == "scenario_sweep":
             if entry.get("deterministic") is not True:
                 errors.append(
@@ -317,7 +366,12 @@ def main() -> int:
     for bench, scales in seen_scales.items():
         if bench == "lp_torture":
             want = {"torture"}
-        elif bench in ("milp_parallel", "scenario_day", "scenario_sweep"):
+        elif bench in (
+            "milp_parallel",
+            "scenario_day",
+            "scenario_sweep",
+            "scenario_outage",
+        ):
             want = {"paper"}
         elif bench == "benders_bnb":
             want = EXPECTED_SCALES - {"10x_paper"}

@@ -143,7 +143,10 @@ fn randomized_lp_torture_warm_chains_match_dense_oracle() {
                 (Outcome::Unbounded, Outcome::Unbounded) => {}
                 _ => panic!("{tag}: engines disagree on classification"),
             }
-            if basis.is_some() && prev_optimal {
+            // Under ambient fault injection the warm basis is intentionally
+            // dropped sometimes, so only the exactness checks above hold;
+            // the warm-path counters are meaningful on the clean path only.
+            if basis.is_some() && prev_optimal && !ovnes_lp::fault_injection_active() {
                 assert_eq!(
                     warm.stats.phase1_pivots, 0,
                     "{tag}: bound edits must keep the warm basis dual feasible"
@@ -169,7 +172,9 @@ fn randomized_lp_torture_warm_chains_match_dense_oracle() {
         stats.bound_flips > 0,
         "no bound flips across the whole torture run"
     );
-    assert!(stats.warm_starts > 100, "chains were not warm-started");
+    if !ovnes_lp::fault_injection_active() {
+        assert!(stats.warm_starts > 100, "chains were not warm-started");
+    }
 }
 
 /// The parallel branch-and-bound must be schedule-independent: seeded
