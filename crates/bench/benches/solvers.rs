@@ -521,6 +521,95 @@ fn emit_snapshot() {
             storm.fingerprint(),
             t_storm,
         ));
+
+        // The cross-epoch incremental probe (`scenario_incremental`): the
+        // steady-state preset — an opening flash of horizon-lived slices,
+        // then pure no-churn revalidation epochs — run warm (persistent
+        // EpochSolver) and from scratch. The steady window is isolated by
+        // subtracting a settle-length prefix run (prefix stability
+        // asserted), giving the headline O(churn) observables: per-epoch
+        // pivot reduction, zero steady-state refactorizations (identity
+        // basis remap keeps the persisted factorization), bit-identical
+        // decision fingerprints, and worker-count invariance of the warm
+        // run itself. `check_bench_snapshot.py` gates all four.
+        const SETTLE: usize = 16;
+        let full = ovnes_scenario::presets::incremental_steady();
+        let mut settle = full.clone();
+        settle.horizon_epochs = SETTLE;
+        let t0 = Instant::now();
+        let warm_full = ovnes_scenario::run_scenario(&full).expect("incremental probe");
+        let t_warm = t0.elapsed().as_secs_f64();
+        let warm_settle = ovnes_scenario::run_scenario(&settle).expect("incremental settle");
+        let scratch = |spec: &ovnes_scenario::ScenarioSpec| {
+            let mut twin = spec.clone();
+            twin.incremental = false;
+            twin
+        };
+        let t0 = Instant::now();
+        let cold_full = ovnes_scenario::run_scenario(&scratch(&full)).expect("scratch probe");
+        let t_cold = t0.elapsed().as_secs_f64();
+        let cold_settle = ovnes_scenario::run_scenario(&scratch(&settle)).expect("scratch settle");
+        for i in 0..SETTLE {
+            assert_eq!(
+                warm_full.revenue_trajectory[i].to_bits(),
+                warm_settle.revenue_trajectory[i].to_bits(),
+                "incremental probe: horizon prefix unstable at epoch {i}"
+            );
+        }
+        let decision_match = warm_full.decision_fingerprint() == cold_full.decision_fingerprint();
+        assert!(
+            decision_match,
+            "incremental decisions diverged from scratch"
+        );
+        let worker_invariant = [2usize, 4].iter().all(|&threads| {
+            let mut spec = full.clone();
+            spec.threads = threads;
+            let par = ovnes_scenario::run_scenario(&spec).expect("incremental workers");
+            par.fingerprint() == warm_full.fingerprint()
+        });
+        assert!(worker_invariant, "incremental run diverged across workers");
+        let steady_epochs = full.horizon_epochs - SETTLE;
+        let steady_warm_pivots = warm_full.lp_pivots - warm_settle.lp_pivots;
+        let steady_cold_pivots = cold_full.lp_pivots - cold_settle.lp_pivots;
+        let steady_warm_refactorizations =
+            warm_full.lp_refactorizations - warm_settle.lp_refactorizations;
+        let steady_cold_refactorizations =
+            cold_full.lp_refactorizations - cold_settle.lp_refactorizations;
+        entries.push(format!(
+            concat!(
+                "  {{\"bench\": \"scenario_incremental\", \"scale\": \"paper\", ",
+                "\"name\": \"{}\", \"epochs\": {}, \"steady_epochs\": {}, ",
+                "\"decision_match\": {}, \"worker_invariant\": {}, ",
+                "\"carry_cold_restarts\": {}, \"incremental_cold_epochs\": {}, ",
+                "\"steady_warm_pivots\": {}, \"steady_cold_pivots\": {}, ",
+                "\"pivot_ratio\": {:.2}, ",
+                "\"steady_warm_refactorizations\": {}, ",
+                "\"steady_cold_refactorizations\": {}, ",
+                "\"warm_mean_decision_seconds\": {:.6}, ",
+                "\"warm_max_decision_seconds\": {:.6}, ",
+                "\"cold_mean_decision_seconds\": {:.6}, ",
+                "\"cold_max_decision_seconds\": {:.6}, ",
+                "\"warm_wall_seconds\": {:.6}, \"cold_wall_seconds\": {:.6}}}"
+            ),
+            warm_full.name,
+            warm_full.epochs,
+            steady_epochs,
+            decision_match,
+            worker_invariant,
+            warm_full.carry_cold_restarts,
+            warm_full.incremental_cold_epochs,
+            steady_warm_pivots,
+            steady_cold_pivots,
+            steady_cold_pivots as f64 / steady_warm_pivots.max(1) as f64,
+            steady_warm_refactorizations,
+            steady_cold_refactorizations,
+            warm_full.mean_decision_seconds,
+            warm_full.max_decision_seconds,
+            cold_full.mean_decision_seconds,
+            cold_full.max_decision_seconds,
+            t_warm,
+            t_cold,
+        ));
     }
 
     // The randomized LP torture chain (shared generator with the unit and

@@ -17,6 +17,8 @@
 
 use crate::problem::{AcrrInstance, PathPolicy, TenantInput, MBPS_PER_MHZ};
 use crate::slice::SliceRequest;
+use crate::solver::epoch::{EpochSolver, IncrementalReport};
+use crate::solver::slave::RowKey;
 use crate::solver::{self, AcrrError, Degradation, SolveBudget, SolveControls, SolverKind};
 use ovnes_forecast::predict_next;
 use ovnes_netsim::{run_epoch, Flow, MonitorStore, TrafficGenerator};
@@ -105,6 +107,14 @@ pub struct OrchestratorConfig {
     /// Seeded LP fault injection threaded into the MILP-backed epoch solves
     /// (chaos testing; see [`ovnes_lp::FaultConfig`]). Default `None`.
     pub lp_fault: Option<ovnes_lp::FaultConfig>,
+    /// Cross-epoch incremental re-optimization: keep a persistent
+    /// [`EpochSolver`] that carries the slave basis (and factorization),
+    /// recycles Benders cuts, and seeds each epoch's branch-and-bound with
+    /// the previous admission — making the per-epoch solve cost `O(churn)`
+    /// instead of `O(city)`. Admission decisions are unchanged; only solve
+    /// telemetry (pivots, refactorizations, latency) differs. Default
+    /// `false` (every epoch solves from scratch).
+    pub incremental: bool,
 }
 
 impl Default for OrchestratorConfig {
@@ -130,6 +140,7 @@ impl Default for OrchestratorConfig {
             seed: 7,
             budget: SolveBudget::default(),
             lp_fault: None,
+            incremental: false,
         }
     }
 }
@@ -268,6 +279,9 @@ pub struct EpochOutcome {
     /// Wall-clock seconds spent in the admission solve (the ladder, end to
     /// end). **Not deterministic** — scenario fingerprints exclude it.
     pub decision_seconds: f64,
+    /// Cross-epoch incremental telemetry; `None` when the orchestrator runs
+    /// with [`OrchestratorConfig::incremental`] off.
+    pub incremental: Option<IncrementalReport>,
     /// Enforced reservations in excess of current capacity, summed per
     /// resource class: (radio MHz, transport Mb/s, compute cores) — the
     /// same order as [`EpochOutcome::deficit`]. Bounded by the deficit the
@@ -296,6 +310,12 @@ pub struct Orchestrator {
     /// Per-BS availability factor (0 during an outage): demand forecasts
     /// are scaled by it so solves stop reserving at dark radios.
     bs_factor: Vec<f64>,
+    /// Persistent cross-epoch solver state
+    /// ([`OrchestratorConfig::incremental`]); `None` ⇒ scratch solves.
+    epoch_solver: Option<EpochSolver>,
+    /// Rows touched by infrastructure events since the last solve — fed to
+    /// [`EpochSolver::solve_epoch`] as its cut-invalidation set.
+    touched_rows: Vec<RowKey>,
 }
 
 impl Orchestrator {
@@ -306,6 +326,7 @@ impl Orchestrator {
         let base_cu_cores: Vec<f64> = model.compute_units.iter().map(|c| c.cores).collect();
         let base_link_mbps: Vec<f64> = model.graph.links().map(|(_, l)| l.capacity_mbps).collect();
         let bs_factor = vec![1.0; base_bs_mhz.len()];
+        let epoch_solver = config.incremental.then(EpochSolver::new);
         Self {
             model,
             config,
@@ -320,6 +341,8 @@ impl Orchestrator {
             base_cu_cores,
             base_link_mbps,
             bs_factor,
+            epoch_solver,
+            touched_rows: Vec::new(),
         }
     }
 
@@ -440,29 +463,37 @@ impl Orchestrator {
             }
         });
         for event in &due {
+            // Each applied event also marks the capacity row it rewrote, so
+            // the incremental epoch solver can drop recycled cuts whose dual
+            // certificates lean on that row (their usefulness died with the
+            // old capacity; validity is restored by re-pricing regardless).
             match event.kind {
                 InfraEventKind::BsOutage { bs } => {
                     if bs < self.base_bs_mhz.len() {
                         self.bs_factor[bs] = 0.0;
                         self.model.base_stations[bs].capacity_mhz = 0.0;
+                        self.touched_rows.push(RowKey::Bs(bs));
                     }
                 }
                 InfraEventKind::BsRecovery { bs } => {
                     if bs < self.base_bs_mhz.len() {
                         self.bs_factor[bs] = 1.0;
                         self.model.base_stations[bs].capacity_mhz = self.base_bs_mhz[bs];
+                        self.touched_rows.push(RowKey::Bs(bs));
                     }
                 }
                 InfraEventKind::LinkDegradation { link, factor } => {
                     if link < self.base_link_mbps.len() {
                         let cap = self.base_link_mbps[link] * factor.clamp(0.0, 1.0);
                         self.model.graph.set_link_capacity(LinkId(link), cap);
+                        self.touched_rows.push(RowKey::Link(link));
                     }
                 }
                 InfraEventKind::CuCapacityLoss { cu, factor } => {
                     if cu < self.base_cu_cores.len() {
                         self.model.compute_units[cu].cores =
                             self.base_cu_cores[cu] * factor.clamp(0.0, 1.0);
+                        self.touched_rows.push(RowKey::Cu(cu));
                     }
                 }
             }
@@ -665,7 +696,14 @@ impl Orchestrator {
             lp_fault: self.config.lp_fault,
         };
         let solve_started = Instant::now();
-        let controlled = solver::solve_controlled(&instance, &controls);
+        let (controlled, incremental) = match self.epoch_solver.as_mut() {
+            Some(es) => {
+                let touched = std::mem::take(&mut self.touched_rows);
+                let (outcome, report) = es.solve_epoch(&instance, &controls, &touched);
+                (outcome, Some(report))
+            }
+            None => (solver::solve_controlled(&instance, &controls), None),
+        };
         let decision_seconds = solve_started.elapsed().as_secs_f64();
         let degradation = controlled.degradation;
         let solver_error = controlled.error.as_ref().map(|e| e.to_string());
@@ -919,6 +957,7 @@ impl Orchestrator {
             degradation,
             solver_error,
             decision_seconds,
+            incremental,
             overcommit: (over_radio, over_link, over_cu),
         })
     }

@@ -181,7 +181,12 @@ impl AcrrInstance {
                             .max_by(|a, b| a.bottleneck_mbps.total_cmp(&b.bottleneck_mbps))
                             .copied()
                             .unwrap_or(feasible[0]),
-                        PathPolicy::Spread => feasible[(ti + b) % feasible.len()],
+                        // Keyed by the *global* tenant id, not the
+                        // instance-local index: a tenant must keep the same
+                        // spread path as its neighbours churn, or every
+                        // arrival/departure would silently re-route (and
+                        // re-coefficient) the whole city's LP.
+                        PathPolicy::Spread => feasible[(t.tenant as usize + b) % feasible.len()],
                     };
                     picks.push((b, chosen));
                 }
@@ -350,6 +355,15 @@ pub struct SolveStats {
     /// pivots, dual (warm-restart) pivots, warm-start hits,
     /// refactorizations.
     pub lp: ovnes_lp::LpStats,
+    /// Cuts recycled from previous epochs and re-priced into this solve's
+    /// master (cross-epoch incremental Benders only; 0 elsewhere).
+    pub recycled_cuts: usize,
+    /// Carried-basis warm solves discarded because the uniqueness
+    /// certificate failed, forcing an in-solve cold restart (cross-epoch
+    /// incremental KAC only; 0 elsewhere). Decisions after a restart are
+    /// exactly the from-scratch decisions — this only records that the
+    /// carry bought nothing that epoch.
+    pub carry_cold_restarts: usize,
 }
 
 impl SolveStats {

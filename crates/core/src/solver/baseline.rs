@@ -189,6 +189,8 @@ pub fn solve_with(instance: &AcrrInstance, options: &MilpOptions) -> Result<Allo
             gap: 0.0,
             truncated: sol.truncated,
             lp: sol.lp_stats,
+            recycled_cuts: 0,
+            carry_cold_restarts: 0,
         },
     })
 }

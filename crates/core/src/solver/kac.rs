@@ -12,9 +12,10 @@
 //! is to sort by `−γ/max(w̄, ε)` descending and skip unprofitable items,
 //! which is what we do.
 
-use super::slave::{SlaveContext, SlaveResult};
+use super::slave::{LpCarry, SlaveContext, SlaveResult};
 use super::AcrrError;
 use crate::problem::{AcrrInstance, Allocation, SolveStats};
+use ovnes_lp::SimplexOptions;
 use std::collections::HashMap;
 
 /// KAC controls.
@@ -23,16 +24,51 @@ pub struct KacOptions {
     /// Maximum lazy-constraint iterations before falling back to dropping
     /// the least profitable admitted tenant.
     pub max_iterations: usize,
+    /// Simplex options for every vetting-slave LP solve. This is how a
+    /// caller's `SolveControls.lp_fault` (and pivot caps, when it chooses to
+    /// set them) reach KAC — previously the greedy path silently solved
+    /// with hard-coded defaults. KAC runs no branch-and-bound, so the
+    /// `threads`/`round_width` knobs of the exact solvers have no KAC
+    /// equivalent.
+    pub simplex: SimplexOptions,
 }
 
 impl Default for KacOptions {
     fn default() -> Self {
-        Self { max_iterations: 40 }
+        Self {
+            max_iterations: 40,
+            simplex: SimplexOptions::default(),
+        }
     }
 }
 
 /// Solves the AC-RR instance with the KAC heuristic.
 pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation, AcrrError> {
+    solve_carried(instance, options, None)
+}
+
+/// [`solve`] with an optional cross-epoch LP carry: the vetting slave seeds
+/// its first solve from the previous epoch's re-keyed basis and deposits its
+/// final basis back on success.
+///
+/// **Decision-identity contract.** KAC's decisions consume the vetting
+/// LP's *certificates* (reservations `z`, Farkas rays), which are only
+/// start-point-independent when the optimum — and its basis — are unique.
+/// The carried first solve is therefore gated on
+/// [`SlaveContext::last_solve_certified_unique`]: certified ⇒ the warm
+/// solve terminated in exactly the state a cold solve reaches, and every
+/// subsequent within-epoch solve (warm-chained identically in both
+/// drivers) follows the same trajectory; not certified (including an
+/// infeasible first vet, whose ray is never certified) ⇒ the carried
+/// attempt is discarded and the whole solve restarts cold, reproducing the
+/// from-scratch path verbatim (`stats.carry_cold_restarts` counts the
+/// discards). Either way the decisions are bit-identical to
+/// [`solve`] — the carry can only change how many pivots they cost.
+pub fn solve_carried(
+    instance: &AcrrInstance,
+    options: &KacOptions,
+    mut carry: Option<&mut LpCarry>,
+) -> Result<Allocation, AcrrError> {
     if !instance.forced_feasible() {
         return Err(AcrrError::ForcedInfeasible);
     }
@@ -45,9 +81,6 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
         deficit_cost: None,
         ..instance.clone()
     };
-    // One persistent strict-slave LP: every vetting solve below re-prices
-    // the RHS and warm-starts from the previous admission's basis.
-    let mut slave = SlaveContext::new(&strict);
     let pairs = instance.pairs();
     let n_t = instance.tenants.len();
     let mut gammas: HashMap<(usize, usize), f64> = HashMap::with_capacity(pairs.len());
@@ -58,117 +91,185 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
         gammas.insert((t, c), g);
     }
 
-    // Aggregated knapsack (Eq. 29): w̄ per item, W̄ total capacity. ε_k
-    // normalises each ray so no single cut dominates (the paper's recursive
-    // ε is a scaling device; we normalise by the ray's capacity term).
-    let mut w_bar: HashMap<(usize, usize), f64> = HashMap::new();
-    let mut cap_bar = 0.0f64;
-    let mut have_cuts = false;
-    let mut stats = SolveStats::default();
-    // Tenants force-dropped by the fallback (never readmitted this epoch).
-    let mut banned: Vec<bool> = vec![false; n_t];
-
-    let mut extra_rounds = 0usize;
-    loop {
-        stats.iterations += 1;
-        let assigned = greedy_pack(instance, &gammas, &w_bar, cap_bar, have_cuts, &banned);
-
-        stats.lp_solves += 1;
-        match slave.solve_for(&assigned)? {
-            SlaveResult::Feasible {
-                value,
-                z,
-                deficit,
-                cut: _,
-            } => {
-                // Improvement pass: with the slave's priced reservations, a
-                // squeezed tenant may cost more in expected penalty than its
-                // reward (`Σ_legs q·(Λ − z) > R`). Shedding it frees room
-                // for the survivors; iterate until no tenant is net-negative
-                // (the admitted set strictly shrinks, so this terminates).
-                let (mut assigned, mut value, mut z, mut deficit) = (assigned, value, z, deficit);
-                loop {
-                    let victim = worst_net_negative(instance, &assigned, &z);
-                    let Some(t) = victim else { break };
-                    assigned[t] = None;
-                    stats.lp_solves += 1;
-                    match slave.solve_for(&assigned)? {
-                        SlaveResult::Feasible {
-                            value: v2,
-                            z: z2,
-                            deficit: d2,
-                            ..
-                        } => {
-                            value = v2;
-                            z = z2;
-                            deficit = d2;
-                        }
-                        SlaveResult::Infeasible { .. } => {
-                            return Err(AcrrError::Internal(
-                                "shedding a tenant cannot break feasibility",
-                            ))
-                        }
-                    }
-                }
-                let fixed: f64 = assigned
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(t, c)| c.and_then(|c| gammas.get(&(t, c))))
-                    .sum();
-                let mut reservations = vec![vec![0.0; instance.n_bs]; n_t];
-                for (li, leg) in instance.legs.iter().enumerate() {
-                    if assigned[leg.tenant] == Some(leg.cu) {
-                        reservations[leg.tenant][leg.bs] = z[li];
-                    }
-                }
-                stats.lp.absorb(&slave.stats);
-                return Ok(Allocation {
-                    objective: fixed + value,
-                    assigned_cu: assigned,
-                    reservations,
-                    deficit,
-                    stats,
-                });
+    // Pivot work thrown away by discarded carried attempts: still real
+    // solve cost, so it is folded into the returned stats.
+    let mut wasted = ovnes_lp::LpStats::default();
+    let mut restarts = 0usize;
+    // Attempt the carried basis only on epochs whose first vet is
+    // *predictably* feasible: with optional applicants present, the opening
+    // all-in vet is usually infeasible, and an infeasible carried solve can
+    // never certify (Farkas rays are start-dependent) — the attempt would
+    // be discarded every time, paying pivots for nothing. An all-forced
+    // epoch (no churn to admit) is the O(churn) fast path the carry exists
+    // for: one forced-only LP, identity-remapped onto the previous basis.
+    let mut use_carry = carry.is_some() && instance.tenants.iter().all(|t| t.must_accept);
+    'attempt: loop {
+        // One persistent strict-slave LP per attempt: every vetting solve
+        // below re-prices the RHS and warm-starts from the previous
+        // admission's basis. All algorithm state is rebuilt per attempt so
+        // a cold restart replays the from-scratch path exactly.
+        let mut slave = SlaveContext::new(&strict);
+        slave.set_simplex_options(options.simplex.clone());
+        let mut must_certify = false;
+        if use_carry {
+            if let Some(c) = carry.as_deref() {
+                must_certify = slave.seed_from_carry(c);
             }
-            SlaveResult::Infeasible { cut } => {
-                if stats.iterations <= options.max_iterations {
-                    // Feasibility requires cut(u) ≤ 0 ⇔ Σ coeff·u ≤ −constant.
-                    // Fold into the aggregated knapsack, normalised by the
-                    // capacity magnitude (Eq. 30's ε scaling).
-                    let cap_k = -cut.constant;
-                    let norm = cap_k.abs().max(1.0);
-                    for (&pair, &w) in &cut.coeffs {
-                        *w_bar.entry(pair).or_insert(0.0) += w / norm;
+        }
+
+        // Aggregated knapsack (Eq. 29): w̄ per item, W̄ total capacity. ε_k
+        // normalises each ray so no single cut dominates (the paper's
+        // recursive ε is a scaling device; we normalise by the ray's
+        // capacity term).
+        let mut w_bar: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut cap_bar = 0.0f64;
+        let mut have_cuts = false;
+        let mut stats = SolveStats::default();
+        // Tenants force-dropped by the fallback (never readmitted this epoch).
+        let mut banned: Vec<bool> = vec![false; n_t];
+
+        let mut extra_rounds = 0usize;
+        loop {
+            stats.iterations += 1;
+            let assigned = greedy_pack(instance, &gammas, &w_bar, cap_bar, have_cuts, &banned);
+
+            stats.lp_solves += 1;
+            let result = slave.solve_for(&assigned)?;
+            if must_certify {
+                // The carried first solve only stands if its optimum (and
+                // optimal basis) are provably unique — otherwise the warm
+                // start may have landed on a different vertex / Farkas ray
+                // than a cold solve would, and every certificate-consuming
+                // decision downstream could diverge. Discard and restart
+                // cold; the from-scratch trajectory is restored verbatim.
+                must_certify = false;
+                let certified = matches!(result, SlaveResult::Feasible { .. })
+                    && slave.last_solve_certified_unique();
+                if !certified {
+                    wasted.absorb(&slave.stats);
+                    restarts += 1;
+                    use_carry = false;
+                    continue 'attempt;
+                }
+            }
+            match result {
+                SlaveResult::Feasible {
+                    value,
+                    z,
+                    deficit,
+                    cut: _,
+                } => {
+                    // Improvement pass: with the slave's priced reservations,
+                    // a squeezed tenant may cost more in expected penalty than
+                    // its reward (`Σ_legs q·(Λ − z) > R`). Shedding it frees
+                    // room for the survivors; iterate until no tenant is
+                    // net-negative (the admitted set strictly shrinks, so this
+                    // terminates).
+                    let (mut assigned, mut value, mut z, mut deficit) =
+                        (assigned, value, z, deficit);
+                    loop {
+                        let victim = worst_net_negative(instance, &assigned, &z);
+                        let Some(t) = victim else { break };
+                        assigned[t] = None;
+                        stats.lp_solves += 1;
+                        match slave.solve_for(&assigned)? {
+                            SlaveResult::Feasible {
+                                value: v2,
+                                z: z2,
+                                deficit: d2,
+                                ..
+                            } => {
+                                value = v2;
+                                z = z2;
+                                deficit = d2;
+                            }
+                            SlaveResult::Infeasible { .. } => {
+                                return Err(AcrrError::Internal(
+                                    "shedding a tenant cannot break feasibility",
+                                ))
+                            }
+                        }
                     }
-                    cap_bar += cap_k / norm;
-                    have_cuts = true;
-                } else {
-                    // Fallback for pathological aggregation: shed the least
-                    // profitable non-forced admitted tenant. Terminates since
-                    // the admitted set strictly shrinks.
-                    extra_rounds += 1;
-                    let victim = assigned
+                    let fixed: f64 = assigned
                         .iter()
                         .enumerate()
-                        .filter(|(t, c)| c.is_some() && !instance.tenants[*t].must_accept)
-                        .max_by(|(ta, ca), (tb, cb)| {
-                            let ga = ca.and_then(|c| gammas.get(&(*ta, c))).copied();
-                            let gb = cb.and_then(|c| gammas.get(&(*tb, c))).copied();
-                            ga.unwrap_or(0.0).total_cmp(&gb.unwrap_or(0.0))
-                        })
-                        .map(|(t, _)| t);
-                    match victim {
-                        Some(t) => banned[t] = true,
-                        None => {
-                            // Only forced tenants remain and they do not fit
-                            // strictly: lean on the §3.4 relaxation.
-                            stats.lp.absorb(&slave.stats);
-                            return finish_with_deficit(instance, &assigned, stats);
+                        .filter_map(|(t, c)| c.and_then(|c| gammas.get(&(t, c))))
+                        .sum();
+                    let mut reservations = vec![vec![0.0; instance.n_bs]; n_t];
+                    for (li, leg) in instance.legs.iter().enumerate() {
+                        if assigned[leg.tenant] == Some(leg.cu) {
+                            reservations[leg.tenant][leg.bs] = z[li];
                         }
                     }
-                    if extra_rounds > n_t {
-                        stats.lp.absorb(&slave.stats);
-                        return finish_with_deficit(instance, &assigned, stats);
+                    stats.lp.absorb(&slave.stats);
+                    stats.lp.absorb(&wasted);
+                    stats.carry_cold_restarts = restarts;
+                    if let Some(c) = carry.as_deref_mut() {
+                        slave.save_carry(c);
+                    }
+                    return Ok(Allocation {
+                        objective: fixed + value,
+                        assigned_cu: assigned,
+                        reservations,
+                        deficit,
+                        stats,
+                    });
+                }
+                SlaveResult::Infeasible { cut } => {
+                    if stats.iterations <= options.max_iterations {
+                        // Feasibility requires cut(u) ≤ 0 ⇔ Σ coeff·u ≤
+                        // −constant. Fold into the aggregated knapsack,
+                        // normalised by the capacity magnitude (Eq. 30's ε
+                        // scaling).
+                        let cap_k = -cut.constant;
+                        let norm = cap_k.abs().max(1.0);
+                        for (&pair, &w) in &cut.coeffs {
+                            *w_bar.entry(pair).or_insert(0.0) += w / norm;
+                        }
+                        cap_bar += cap_k / norm;
+                        have_cuts = true;
+                    } else {
+                        // Fallback for pathological aggregation: shed the
+                        // least profitable non-forced admitted tenant.
+                        // Terminates since the admitted set strictly shrinks.
+                        extra_rounds += 1;
+                        let victim = assigned
+                            .iter()
+                            .enumerate()
+                            .filter(|(t, c)| c.is_some() && !instance.tenants[*t].must_accept)
+                            .max_by(|(ta, ca), (tb, cb)| {
+                                let ga = ca.and_then(|c| gammas.get(&(*ta, c))).copied();
+                                let gb = cb.and_then(|c| gammas.get(&(*tb, c))).copied();
+                                ga.unwrap_or(0.0).total_cmp(&gb.unwrap_or(0.0))
+                            })
+                            .map(|(t, _)| t);
+                        match victim {
+                            Some(t) => banned[t] = true,
+                            None => {
+                                // Only forced tenants remain and they do not
+                                // fit strictly: lean on the §3.4 relaxation.
+                                // The strict slave's final basis is still the
+                                // best available carry for the next epoch (the
+                                // relaxed fallback context has a different
+                                // column layout).
+                                stats.lp.absorb(&slave.stats);
+                                stats.lp.absorb(&wasted);
+                                stats.carry_cold_restarts = restarts;
+                                if let Some(c) = carry.as_deref_mut() {
+                                    slave.save_carry(c);
+                                }
+                                return finish_with_deficit(instance, &assigned, stats);
+                            }
+                        }
+                        if extra_rounds > n_t {
+                            stats.lp.absorb(&slave.stats);
+                            stats.lp.absorb(&wasted);
+                            stats.carry_cold_restarts = restarts;
+                            if let Some(c) = carry.as_deref_mut() {
+                                slave.save_carry(c);
+                            }
+                            return finish_with_deficit(instance, &assigned, stats);
+                        }
                     }
                 }
             }

@@ -14,6 +14,7 @@
 
 pub mod baseline;
 pub mod benders;
+pub mod epoch;
 pub mod kac;
 pub mod oneshot;
 pub mod slave;
@@ -175,12 +176,36 @@ pub struct SolveControls {
     pub round_width: usize,
     /// Compute budget; default unlimited.
     pub budget: SolveBudget,
-    /// Seeded LP fault injection for the MILP-backed solves (Benders
-    /// master, one-shot, baseline). The slave LPs pick up faults from the
-    /// `OVNES_LP_FAULT_SEED` environment variable instead. Injection is a
+    /// Seeded LP fault injection, threaded into **every** rung of the
+    /// ladder: the MILP-backed solves (Benders master, one-shot, baseline)
+    /// via their simplex options, and the KAC/Benders slave LPs via
+    /// [`kac::KacOptions::simplex`] / the Benders slave's options — so a
+    /// chaos preset's fault plan reaches the greedy fallback with the same
+    /// seed as the primary, and the fallback's telemetry stays
+    /// fingerprint-stable. When unset, the slave LPs still pick up the
+    /// ambient `OVNES_LP_FAULT_SEED` environment variable. Injection is a
     /// pure function of (seed, matrix fingerprint, basis summary), so it is
     /// thread-count invariant.
     pub lp_fault: Option<ovnes_lp::FaultConfig>,
+}
+
+impl SolveControls {
+    /// KAC options matching this control set: the vetting slave inherits
+    /// the fault plan (chaos presets must hit the fallback rung too) but
+    /// **not** the budget's pivot cap — `SolveBudget::max_pivots` meters
+    /// the master node LPs, and the ladder's greedy rung is deliberately
+    /// unbudgeted (its job is to produce *some* decision when the budgeted
+    /// primary could not).
+    fn kac_options(&self) -> kac::KacOptions {
+        let mut simplex = ovnes_lp::SimplexOptions::default();
+        if self.lp_fault.is_some() {
+            simplex.fault = self.lp_fault;
+        }
+        kac::KacOptions {
+            simplex,
+            ..kac::KacOptions::default()
+        }
+    }
 }
 
 /// How far down the degradation ladder an epoch's admission decision fell.
@@ -233,6 +258,19 @@ pub fn solve_budgeted(
     instance: &AcrrInstance,
     controls: &SolveControls,
 ) -> Result<Allocation, AcrrError> {
+    match controls.kind {
+        SolverKind::Benders => benders::solve(instance, &benders_options_for(controls)),
+        SolverKind::Kac => kac::solve(instance, &controls.kac_options()),
+        SolverKind::OneShot => oneshot::solve_with(instance, &milp_options_for(controls)),
+        SolverKind::NoOverbooking => baseline::solve_with(instance, &milp_options_for(controls)),
+    }
+}
+
+/// MILP options implied by a control set: explicit parallelism knobs, the
+/// budget folded in, and the fault plan on the node-relaxation simplex.
+/// Shared by [`solve_budgeted`] and the incremental
+/// [`epoch::EpochSolver`] so both paths solve with identical options.
+pub(crate) fn milp_options_for(controls: &SolveControls) -> ovnes_milp::MilpOptions {
     let threads = if controls.threads == 0 {
         ovnes_milp::default_threads()
     } else {
@@ -252,21 +290,19 @@ pub fn solve_budgeted(
     if controls.lp_fault.is_some() {
         milp_options.simplex.fault = controls.lp_fault;
     }
-    match controls.kind {
-        SolverKind::Benders => {
-            let mut options = benders::BendersOptions {
-                milp: milp_options,
-                ..benders::BendersOptions::default()
-            };
-            if let Some(r) = controls.budget.max_rounds {
-                options.max_iterations = options.max_iterations.min(r.max(1));
-            }
-            benders::solve(instance, &options)
-        }
-        SolverKind::Kac => kac::solve(instance, &kac::KacOptions::default()),
-        SolverKind::OneShot => oneshot::solve_with(instance, &milp_options),
-        SolverKind::NoOverbooking => baseline::solve_with(instance, &milp_options),
+    milp_options
+}
+
+/// Benders options implied by a control set (see [`milp_options_for`]).
+pub(crate) fn benders_options_for(controls: &SolveControls) -> benders::BendersOptions {
+    let mut options = benders::BendersOptions {
+        milp: milp_options_for(controls),
+        ..benders::BendersOptions::default()
+    };
+    if let Some(r) = controls.budget.max_rounds {
+        options.max_iterations = options.max_iterations.min(r.max(1));
     }
+    options
 }
 
 /// Runs the admission solve through the **degradation ladder** (the
@@ -301,7 +337,7 @@ pub fn solve_controlled(instance: &AcrrInstance, controls: &SolveControls) -> Co
             error: Some(AcrrError::ForcedInfeasible),
         },
         Err(primary) if controls.kind != SolverKind::Kac => {
-            match kac::solve(instance, &kac::KacOptions::default()) {
+            match kac::solve(instance, &controls.kac_options()) {
                 Ok(allocation) => ControlledOutcome {
                     allocation: Some(allocation),
                     degradation: Degradation::Greedy,

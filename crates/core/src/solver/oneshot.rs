@@ -44,6 +44,21 @@ pub fn solve_tuned(
 /// and LP fault injection in here). A node- or wall-limited tree returns
 /// its best incumbent with `stats.truncated` set.
 pub fn solve_with(instance: &AcrrInstance, options: &MilpOptions) -> Result<Allocation, AcrrError> {
+    solve_with_incumbent(instance, options, None)
+}
+
+/// [`solve_with`] with an optional warm branch-and-bound cutoff: the
+/// objective of a known-feasible admission (e.g. last epoch's, re-evaluated
+/// against this epoch's instance). The caller must pass a *slightly relaxed*
+/// bound — `objective + abs_gap + ε` — because the search prunes nodes at
+/// `bound ≥ cutoff − abs_gap` and would otherwise prune the optimum itself.
+/// Seeding only changes which nodes are explored, never the returned
+/// objective.
+pub fn solve_with_incumbent(
+    instance: &AcrrInstance,
+    options: &MilpOptions,
+    incumbent_bound: Option<f64>,
+) -> Result<Allocation, AcrrError> {
     if !instance.forced_feasible() {
         return Err(AcrrError::ForcedInfeasible);
     }
@@ -180,6 +195,9 @@ pub fn solve_with(instance: &AcrrInstance, options: &MilpOptions) -> Result<Allo
         milp.mark_integer(*v);
     }
     milp.set_options(options.clone());
+    if let Some(bound) = incumbent_bound {
+        milp.set_incumbent_bound(bound);
+    }
     let sol = match milp.solve()? {
         MilpOutcome::Optimal(s) => s,
         MilpOutcome::Infeasible => return Err(AcrrError::Infeasible),
@@ -216,6 +234,8 @@ pub fn solve_with(instance: &AcrrInstance, options: &MilpOptions) -> Result<Allo
             gap: 0.0,
             truncated: sol.truncated,
             lp: sol.lp_stats,
+            recycled_cuts: 0,
+            carry_cold_restarts: 0,
         },
     })
 }

@@ -43,8 +43,73 @@
 //! (`stats.factorization_reuses` counts the hits).
 
 use crate::problem::AcrrInstance;
-use ovnes_lp::{Basis, Cmp, ConsId, LpStats, Outcome, Problem, VarId};
+use ovnes_lp::{Basis, Cmp, ConsId, LpStats, Outcome, Problem, SimplexOptions, VarId};
 use std::collections::HashMap;
+
+/// Stable cross-epoch identity of a slave LP column. Instance-local leg
+/// indices reshuffle as tenants arrive and depart; the (global tenant id,
+/// BS, CU) triple does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColKey {
+    /// Reservation variable of the leg (tenant global id, BS, CU).
+    Leg(u32, usize, usize),
+    /// Domain deficit variable: 0 = radio, 1 = transport, 2 = compute.
+    Deficit(u8),
+}
+
+/// Stable cross-epoch identity of a slave LP row. Links are keyed by their
+/// graph-level id because the instance-local link list is rebuilt (and
+/// renumbered) from whatever paths the epoch's legs actually use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowKey {
+    /// CU capacity row (2/14).
+    Cu(usize),
+    /// Link capacity row (3/15), keyed by graph-level link id.
+    Link(usize),
+    /// BS radio row (4/16).
+    Bs(usize),
+}
+
+/// Cross-epoch warm-start baggage: the final basis of one epoch's slave LP
+/// together with the keyed layout it was built against, so the next epoch's
+/// (freshly built) slave can re-key it onto its own column/row order via
+/// [`Basis::remap`]. On a no-churn epoch the mapping is the identity and the
+/// persisted factorization rides along — the first re-solve then performs
+/// zero refactorizations.
+#[derive(Debug, Clone, Default)]
+pub struct LpCarry {
+    pub(crate) basis: Option<Basis>,
+    pub(crate) cols: Vec<ColKey>,
+    pub(crate) rows: Vec<RowKey>,
+}
+
+impl LpCarry {
+    /// True once a previous epoch has deposited a basis to resume from.
+    pub fn is_seeded(&self) -> bool {
+        self.basis.is_some()
+    }
+}
+
+/// A cut's raw dual certificate, keyed for cross-epoch recycling. Unlike a
+/// baked [`CutExpr`] — whose coefficients embed one epoch's forecasts, leg
+/// costs, and tenant indices — the raw multipliers can be re-priced against
+/// *any* later epoch's data and still yield a valid cut (see
+/// [`SlaveContext::price_recycled`]).
+#[derive(Debug, Clone)]
+pub struct RecycledCut {
+    /// True for an optimality cut's dual solution, false for a Farkas ray.
+    pub optimality: bool,
+    /// Nonzero row multipliers, keyed by stable row identity.
+    pub y: Vec<(RowKey, f64)>,
+}
+
+impl RecycledCut {
+    /// True when the certificate puts nonzero weight on `key`'s row —
+    /// the cut-invalidation predicate for infrastructure events.
+    pub fn touches(&self, key: &RowKey) -> bool {
+        self.y.iter().any(|(k, _)| k == key)
+    }
+}
 
 /// An affine function of the admission binaries: `g(u) = constant +
 /// Σ coeffs[(t,c)]·u_{t,c}`.
@@ -117,8 +182,22 @@ pub struct SlaveContext<'a> {
     /// Used to price reduced costs / Farkas residuals into cut
     /// coefficients without reaching into the LP's internals.
     leg_cols: Vec<Vec<(usize, f64)>>,
+    /// Stable identity per row of `rows`, in row order.
+    row_keys: Vec<RowKey>,
+    /// Inverse of `row_keys` for recycled-cut re-pricing and seeding.
+    row_lookup: HashMap<RowKey, usize>,
     basis: Option<Basis>,
     warm: bool,
+    /// Simplex options applied to every `solve_for` (budget pivot caps and
+    /// chaos fault injection thread through here; defaults are identical to
+    /// the plain `solve_warm` path).
+    simplex: SimplexOptions,
+    /// Raw dual certificate of the most recent `solve_for`, keyed for the
+    /// cross-epoch cut pool.
+    last_cut_duals: Option<RecycledCut>,
+    /// Whether the most recent `solve_for` certified a unique optimum and
+    /// unique optimal basis (see [`ovnes_lp::certify_unique_optimum`]).
+    last_unique: bool,
     /// Pivot statistics accumulated over every `solve_for` call.
     pub stats: LpStats,
 }
@@ -159,6 +238,7 @@ impl<'a> SlaveContext<'a> {
         });
 
         let mut rows: Vec<RowSpec> = Vec::new();
+        let mut row_keys: Vec<RowKey> = Vec::new();
 
         // (2/14) CU capacity.
         for c in 0..instance.n_cu {
@@ -183,6 +263,7 @@ impl<'a> SlaveContext<'a> {
                 }
             }
             let id = p.add_cons(&coeffs, Cmp::Le, instance.cu_cores[c]);
+            row_keys.push(RowKey::Cu(c));
             rows.push(RowSpec {
                 r0: instance.cu_cores[c],
                 u_coeffs,
@@ -213,6 +294,7 @@ impl<'a> SlaveContext<'a> {
                 leg_cols[li].push((rows.len(), instance.eta_transport));
             }
             let id = p.add_cons(&coeffs, Cmp::Le, cap);
+            row_keys.push(RowKey::Link(instance.link_graph_ids[e]));
             rows.push(RowSpec {
                 r0: cap,
                 u_coeffs: Vec::new(),
@@ -234,6 +316,7 @@ impl<'a> SlaveContext<'a> {
                 coeffs.push((dr, -1.0));
             }
             let id = p.add_cons(&coeffs, Cmp::Le, instance.bs_radio_mhz[b]);
+            row_keys.push(RowKey::Bs(b));
             rows.push(RowSpec {
                 r0: instance.bs_radio_mhz[b],
                 u_coeffs: Vec::new(),
@@ -243,6 +326,8 @@ impl<'a> SlaveContext<'a> {
 
         // (17)/(18) live as native bounds on `z_vars` — see the module docs.
 
+        let row_lookup: HashMap<RowKey, usize> =
+            row_keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
         SlaveContext {
             instance,
             problem: p,
@@ -251,8 +336,13 @@ impl<'a> SlaveContext<'a> {
             rows,
             leg_window,
             leg_cols,
+            row_keys,
+            row_lookup,
             basis: None,
             warm: true,
+            simplex: SimplexOptions::default(),
+            last_cut_duals: None,
+            last_unique: false,
             stats: LpStats::default(),
         }
     }
@@ -263,6 +353,191 @@ impl<'a> SlaveContext<'a> {
         if !warm {
             self.basis = None;
         }
+    }
+
+    /// Overrides the simplex options applied to every subsequent
+    /// [`SlaveContext::solve_for`] — how `SolveControls.lp_fault` (and, for
+    /// callers that want it, pivot caps) reach the slave LP instead of only
+    /// the master's node relaxations.
+    pub fn set_simplex_options(&mut self, options: SimplexOptions) {
+        self.simplex = options;
+    }
+
+    /// Stable column identities, in LP column order (legs first, then the
+    /// deficit triple when the instance is relaxed).
+    pub fn col_keys(&self) -> Vec<ColKey> {
+        let mut keys: Vec<ColKey> = self
+            .instance
+            .legs
+            .iter()
+            .map(|l| ColKey::Leg(self.instance.tenants[l.tenant].tenant, l.bs, l.cu))
+            .collect();
+        if self.deficit_vars.is_some() {
+            keys.extend([ColKey::Deficit(0), ColKey::Deficit(1), ColKey::Deficit(2)]);
+        }
+        keys
+    }
+
+    /// Seeds this (freshly built) context from a previous epoch's carry:
+    /// the old basis is re-keyed onto this LP's column/row layout with
+    /// [`Basis::remap`]. Columns and rows that only one epoch has start
+    /// exactly where a cold solve would place them. A no-churn epoch maps
+    /// identically and inherits the persisted factorization. Returns
+    /// whether a basis was actually installed (`false` for an empty carry
+    /// or a cold-start context) so callers know if the next solve is
+    /// genuinely warm-started.
+    pub fn seed_from_carry(&mut self, carry: &LpCarry) -> bool {
+        let Some(basis) = &carry.basis else {
+            return false;
+        };
+        if !self.warm {
+            return false;
+        }
+        let new_cols = self.col_keys();
+        let col_index: HashMap<ColKey, usize> =
+            new_cols.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        let col_map: Vec<Option<usize>> = carry
+            .cols
+            .iter()
+            .map(|k| col_index.get(k).copied())
+            .collect();
+        let row_map: Vec<Option<usize>> = carry
+            .rows
+            .iter()
+            .map(|k| self.row_lookup.get(k).copied())
+            .collect();
+        self.basis = Some(basis.remap(&col_map, new_cols.len(), &row_map, self.rows.len()));
+        true
+    }
+
+    /// Deposits this context's final basis and keyed layout into `carry`
+    /// for the next epoch's context to resume from.
+    pub fn save_carry(&self, carry: &mut LpCarry) {
+        carry.basis = self.basis.clone();
+        carry.cols = self.col_keys();
+        carry.rows = self.row_keys.clone();
+    }
+
+    /// Raw dual certificate of the most recent [`SlaveContext::solve_for`],
+    /// for the cross-epoch cut pool.
+    pub fn last_cut_duals(&self) -> Option<&RecycledCut> {
+        self.last_cut_duals.as_ref()
+    }
+
+    /// Whether the most recent [`SlaveContext::solve_for`] certified that
+    /// its optimum — *and* its optimal basis — are unique, i.e. that any
+    /// simplex start (a carried cross-epoch basis included) must terminate
+    /// in the identical state. `false` after an infeasible solve: Farkas
+    /// rays are never certified. This is the decision-identity gate of the
+    /// cross-epoch warm start: a carried first solve that cannot certify
+    /// uniqueness is discarded and re-run cold.
+    pub fn last_solve_certified_unique(&self) -> bool {
+        self.last_unique
+    }
+
+    /// Re-prices a recycled dual certificate against **this** epoch's data,
+    /// producing a cut valid for this epoch's master.
+    ///
+    /// Soundness: with the engine's dual sign convention, any sign-feasible
+    /// multiplier vector `y` yields the Lagrangian lower bound
+    /// `Σ_i y_i·rhs_i(u) + Σ_j inf_{box_j(u)} d_j·z_j ≤ slave_opt(u)`
+    /// (weak duality) — tightness needed the generating epoch, validity does
+    /// not. Rows the certificate priced that no longer exist simply drop
+    /// (`y_i := 0` preserves sign feasibility); rows and legs new to this
+    /// epoch are priced with this epoch's `q`, windows, and rhs. The deficit
+    /// columns need no window term: their reduced cost `m + Σ_{i∈rows(δ)} y_i`
+    /// was nonnegative at generation and only grows as (nonpositive) dropped
+    /// multipliers leave the sum, so their box-infimum stays 0. Farkas rays
+    /// recycle the same way with the `sup` over the box — the resulting
+    /// `cut(u) ≤ 0` remains a necessary feasibility condition.
+    pub fn price_recycled(&self, cut: &RecycledCut) -> CutExpr {
+        let mut mult = vec![0.0; self.problem.num_cons()];
+        for &(key, y) in &cut.y {
+            if let Some(&ri) = self.row_lookup.get(&key) {
+                mult[self.rows[ri].id.index()] = y;
+            }
+        }
+        let mut out = self.row_cut(&mult);
+        if cut.optimality {
+            self.optimality_window(&mut out, &mult);
+        } else {
+            self.feasibility_window(&mut out, &mult);
+        }
+        out
+    }
+
+    /// Row part of a cut: `Σ_i y_i·rhs_i(u)`, identical for optimality and
+    /// feasibility cuts.
+    fn row_cut(&self, multipliers: &[f64]) -> CutExpr {
+        let mut cut = CutExpr::default();
+        for spec in &self.rows {
+            let y = multipliers[spec.id.index()];
+            if y == 0.0 {
+                continue;
+            }
+            cut.constant += y * spec.r0;
+            for &(pair, w) in &spec.u_coeffs {
+                *cut.coeffs.entry(pair).or_insert(0.0) += y * w;
+            }
+        }
+        cut
+    }
+
+    /// Residual `h_j = Σ_i y_i·a_ij` of a leg column against a row
+    /// multiplier vector.
+    fn residual(&self, multipliers: &[f64], li: usize) -> f64 {
+        self.leg_cols[li]
+            .iter()
+            .map(|&(ri, a)| multipliers[self.rows[ri].id.index()] * a)
+            .sum()
+    }
+
+    /// Window part of an optimality cut: the Lagrangian `inf` over the box.
+    /// A leg with reduced cost `d = c_j − y'A_j` contributes `d·λ̂·u` when
+    /// `d ≥ 0` (rests at the lower edge) and `d·Λ·u` when `d < 0` (upper
+    /// edge); strong duality makes the cut tight at the generating
+    /// admission.
+    fn optimality_window(&self, cut: &mut CutExpr, multipliers: &[f64]) {
+        for (li, leg) in self.instance.legs.iter().enumerate() {
+            let d = -self.instance.leg_q(leg) - self.residual(multipliers, li);
+            if d.abs() <= BOUND_DUAL_TOL {
+                continue;
+            }
+            let (lam_hat, lam) = self.leg_window[li];
+            let w = if d > 0.0 { d * lam_hat } else { d * lam };
+            if w != 0.0 {
+                *cut.coeffs.entry((leg.tenant, leg.cu)).or_insert(0.0) += w;
+            }
+        }
+    }
+
+    /// Window part of a feasibility cut: subtract the `sup` over the box of
+    /// the certificate residuals, so `g(u) ≤ 0` stays necessary for
+    /// feasibility while the generating admission is still cut off.
+    fn feasibility_window(&self, cut: &mut CutExpr, multipliers: &[f64]) {
+        for (li, leg) in self.instance.legs.iter().enumerate() {
+            let h = self.residual(multipliers, li);
+            if h.abs() <= BOUND_DUAL_TOL {
+                continue;
+            }
+            let (lam_hat, lam) = self.leg_window[li];
+            let w = if h > 0.0 { h * lam } else { h * lam_hat };
+            if w != 0.0 {
+                *cut.coeffs.entry((leg.tenant, leg.cu)).or_insert(0.0) -= w;
+            }
+        }
+    }
+
+    /// Extracts the nonzero row multipliers keyed by stable row identity.
+    fn keyed_duals(&self, multipliers: &[f64]) -> Vec<(RowKey, f64)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(ri, spec)| {
+                let y = multipliers[spec.id.index()];
+                (y != 0.0).then(|| (self.row_keys[ri], y))
+            })
+            .collect()
     }
 
     /// Prices the admission vector `assigned` (CU per tenant, `None` =
@@ -298,62 +573,28 @@ impl<'a> SlaveContext<'a> {
             }
         }
 
-        let ws = self.problem.solve_warm(self.basis.as_ref())?;
+        let ws = self
+            .problem
+            .solve_warm_with(self.basis.as_ref(), &self.simplex)?;
         self.stats.absorb(&ws.stats);
         if self.warm {
             self.basis = Some(ws.basis);
         }
 
-        // Row part of a cut: `Σ_i y_i·rhs_i(u)`, identical for optimality
-        // and feasibility cuts.
-        let row_cut = |multipliers: &[f64]| -> CutExpr {
-            let mut cut = CutExpr::default();
-            for spec in &self.rows {
-                let y = multipliers[spec.id.index()];
-                if y == 0.0 {
-                    continue;
-                }
-                cut.constant += y * spec.r0;
-                for &(pair, w) in &spec.u_coeffs {
-                    *cut.coeffs.entry(pair).or_insert(0.0) += y * w;
-                }
-            }
-            cut
-        };
-        // Residual `h_j = Σ_i y_i·a_ij` of a leg column against a row
-        // multiplier vector.
-        let residual = |multipliers: &[f64], li: usize| -> f64 {
-            self.leg_cols[li]
-                .iter()
-                .map(|&(ri, a)| multipliers[self.rows[ri].id.index()] * a)
-                .sum()
-        };
-        const BOUND_DUAL_TOL: f64 = 1e-9;
-
         match ws.outcome {
             Outcome::Optimal(sol) => {
+                self.last_unique = ovnes_lp::certify_unique_optimum(&self.problem, &sol);
                 let z: Vec<f64> = self.z_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
                 let deficit = self
                     .deficit_vars
                     .map(|(r, b, c)| (sol.value(r), sol.value(b), sol.value(c)))
                     .unwrap_or((0.0, 0.0, 0.0));
-                // Window part of the optimality cut: the Lagrangian `inf`
-                // over the box. A leg with reduced cost `d = c_j − y'A_j`
-                // contributes `d·λ̂·u` when `d ≥ 0` (rests at the lower
-                // edge) and `d·Λ·u` when `d < 0` (upper edge); strong
-                // duality makes the cut tight at the generating admission.
-                let mut cut = row_cut(&sol.duals);
-                for (li, leg) in self.instance.legs.iter().enumerate() {
-                    let d = -self.instance.leg_q(leg) - residual(&sol.duals, li);
-                    if d.abs() <= BOUND_DUAL_TOL {
-                        continue;
-                    }
-                    let (lam_hat, lam) = self.leg_window[li];
-                    let w = if d > 0.0 { d * lam_hat } else { d * lam };
-                    if w != 0.0 {
-                        *cut.coeffs.entry((leg.tenant, leg.cu)).or_insert(0.0) += w;
-                    }
-                }
+                let mut cut = self.row_cut(&sol.duals);
+                self.optimality_window(&mut cut, &sol.duals);
+                self.last_cut_duals = Some(RecycledCut {
+                    optimality: true,
+                    y: self.keyed_duals(&sol.duals),
+                });
                 Ok(SlaveResult::Feasible {
                     value: sol.objective,
                     z,
@@ -362,28 +603,23 @@ impl<'a> SlaveContext<'a> {
                 })
             }
             Outcome::Infeasible(farkas) => {
-                // Window part of the feasibility cut: subtract the `sup`
-                // over the box of the certificate residuals, so `g(u) ≤ 0`
-                // stays necessary for feasibility while the generating
-                // admission is still cut off.
-                let mut cut = row_cut(&farkas.row_multipliers);
-                for (li, leg) in self.instance.legs.iter().enumerate() {
-                    let h = residual(&farkas.row_multipliers, li);
-                    if h.abs() <= BOUND_DUAL_TOL {
-                        continue;
-                    }
-                    let (lam_hat, lam) = self.leg_window[li];
-                    let w = if h > 0.0 { h * lam } else { h * lam_hat };
-                    if w != 0.0 {
-                        *cut.coeffs.entry((leg.tenant, leg.cu)).or_insert(0.0) -= w;
-                    }
-                }
+                self.last_unique = false;
+                let mut cut = self.row_cut(&farkas.row_multipliers);
+                self.feasibility_window(&mut cut, &farkas.row_multipliers);
+                self.last_cut_duals = Some(RecycledCut {
+                    optimality: false,
+                    y: self.keyed_duals(&farkas.row_multipliers),
+                });
                 Ok(SlaveResult::Infeasible { cut })
             }
             Outcome::Unbounded => unreachable!("slave objective is bounded (q ≥ 0, z ≤ Λ)"),
         }
     }
 }
+
+/// Reduced costs / residuals below this are treated as zero when pricing
+/// window contributions into cut coefficients.
+const BOUND_DUAL_TOL: f64 = 1e-9;
 
 /// One-shot convenience: builds a fresh context and prices `assigned` cold.
 /// Iterating callers (Benders, KAC) should hold a [`SlaveContext`] instead.

@@ -172,7 +172,7 @@ pub mod revised;
 mod simplex;
 pub mod sparse;
 
-pub use model::{Cmp, ConsId, Problem, VarId};
+pub use model::{certify_unique_optimum, Cmp, ConsId, Problem, VarId};
 pub use revised::{Basis, LpStats, WarmSolve, Workspace};
 pub use simplex::{
     fault_injection_active, Farkas, FaultConfig, Outcome, SimplexOptions, Solution, SolveError,

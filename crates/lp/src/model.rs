@@ -1,7 +1,7 @@
 //! Problem builder: variables with bounds, sparse linear constraints, and a
 //! linear minimisation objective.
 
-use crate::simplex::{self, Outcome, SimplexOptions, SolveError};
+use crate::simplex::{self, Outcome, SimplexOptions, Solution, SolveError};
 use crate::sparse::SparseMatrix;
 
 /// Handle to a decision variable, returned by [`Problem::add_var`].
@@ -110,6 +110,28 @@ impl Problem {
             rhs,
         });
         ConsId(self.cons.len() - 1)
+    }
+
+    /// Adds a variable together with its coefficients in *existing*
+    /// constraints — the column-growth dual of [`Problem::add_cons`]. The
+    /// cross-epoch solver uses this to append an arriving tenant's
+    /// reservation columns to a persistent program without rebuilding any
+    /// rows, keeping every previously stored [`Basis`](crate::Basis)
+    /// adaptable (the new column enters nonbasic on a bound).
+    ///
+    /// Duplicate constraint entries are allowed and are summed.
+    ///
+    /// # Panics
+    /// Panics on NaN/inverted bounds, a non-finite objective or coefficient,
+    /// or an unknown constraint handle.
+    pub fn add_column(&mut self, lb: f64, ub: f64, obj: f64, coeffs: &[(ConsId, f64)]) -> VarId {
+        let v = self.add_var(lb, ub, obj);
+        for &(c, a) in coeffs {
+            assert!(a.is_finite(), "column coefficient must be finite");
+            assert!(c.0 < self.cons.len(), "unknown constraint in column");
+            self.cons[c.0].coeffs.push((v.0, a));
+        }
+        v
     }
 
     /// Adds `k` to the objective function (useful to keep reported objective
@@ -236,4 +258,60 @@ impl Problem {
     ) -> Result<crate::WarmSolve, SolveError> {
         crate::revised::solve_warm_in(self, warm, options, ws)
     }
+}
+
+/// Certifies that `s` is the **unique** optimum of `p` *and* that its
+/// optimal basis is unique — the precondition for basis-start-independent
+/// re-solves (any simplex path, warm or cold, must then terminate in the
+/// identical state).
+///
+/// The check is conservative (sufficient, not necessary): it demands
+/// strict complementarity at the KKT point —
+///
+/// * every variable resting on a bound has a strictly nonzero reduced cost
+///   `d_j = c_j − y'A_j` (dual nondegeneracy: no zero-cost direction into
+///   the feasible box, and a basic-at-bound column — whose `d_j` is zero —
+///   is rejected as primal-degenerate);
+/// * every tight inequality row carries a strictly nonzero multiplier
+///   (a tight row with `y_i ≈ 0` either admits an alternative optimum or
+///   hides a degenerate basic slack).
+///
+/// Fixed variables (`lb == ub`) and equality rows have no freedom and are
+/// skipped. Returns `false` whenever uniqueness cannot be certified; a
+/// `false` from a genuinely unique optimum only costs the caller a
+/// fallback, never correctness.
+pub fn certify_unique_optimum(p: &Problem, s: &Solution) -> bool {
+    const TOL: f64 = 1e-7;
+    // Reduced costs in one sweep over the nonzeros.
+    let mut d: Vec<f64> = p.vars.iter().map(|v| v.obj).collect();
+    for (i, cons) in p.cons.iter().enumerate() {
+        let y = s.duals[i];
+        if y != 0.0 {
+            for &(j, a) in &cons.coeffs {
+                d[j] -= y * a;
+            }
+        }
+    }
+    for (j, v) in p.vars.iter().enumerate() {
+        if v.lb == v.ub {
+            continue;
+        }
+        let x = s.x[j];
+        let at_lower = v.lb.is_finite() && (x - v.lb).abs() <= TOL * (1.0 + v.lb.abs());
+        let at_upper = v.ub.is_finite() && (v.ub - x).abs() <= TOL * (1.0 + v.ub.abs());
+        if (at_lower || at_upper) && d[j].abs() <= TOL * (1.0 + v.obj.abs()) {
+            return false;
+        }
+    }
+    for (i, cons) in p.cons.iter().enumerate() {
+        if matches!(cons.cmp, Cmp::Eq) {
+            continue;
+        }
+        let activity: f64 = cons.coeffs.iter().map(|&(j, a)| a * s.x[j]).sum();
+        let tight = (activity - cons.rhs).abs() <= TOL * (1.0 + cons.rhs.abs());
+        if tight && s.duals[i].abs() <= TOL {
+            return false;
+        }
+    }
+    true
 }

@@ -43,6 +43,14 @@ pub struct Canon {
     pub b: Vec<f64>,
     /// User objective constant.
     pub obj_constant: f64,
+    /// Structure-only CSR pattern of `a`: `row_cols[row_ptr[i]..row_ptr[i+1]]`
+    /// are the structural columns with a nonzero in row `i`, ascending. The
+    /// dual ratio test scans only these (plus the row's logical) for rows
+    /// where the BTRAN pivot row is nonzero — every other column's pivot-row
+    /// entry is structurally zero.
+    pub row_ptr: Vec<u32>,
+    /// Column ids backing `row_ptr` (see there).
+    pub row_cols: Vec<u32>,
 }
 
 impl Canon {
@@ -75,15 +83,40 @@ impl Canon {
             cost.push(0.0);
         }
 
+        let a = p.structural_matrix();
+        // Transpose the CSC pattern into a CSR pattern (values dropped).
+        // Visiting columns in ascending order keeps each row's column list
+        // ascending, which the dual candidate scan relies on.
+        let mut row_ptr = vec![0u32; m + 1];
+        for j in 0..n {
+            for (i, _) in a.col_iter(j) {
+                row_ptr[i as usize + 1] += 1;
+            }
+        }
+        for i in 0..m {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut fill: Vec<u32> = row_ptr[..m].to_vec();
+        let mut row_cols = vec![0u32; row_ptr[m] as usize];
+        for j in 0..n {
+            for (i, _) in a.col_iter(j) {
+                let slot = &mut fill[i as usize];
+                row_cols[*slot as usize] = j as u32;
+                *slot += 1;
+            }
+        }
+
         Canon {
             n,
             m,
-            a: p.structural_matrix(),
+            a,
             lb,
             ub,
             cost,
             b,
             obj_constant: p.obj_constant,
+            row_ptr,
+            row_cols,
         }
     }
 

@@ -125,6 +125,15 @@ pub struct Workspace {
     plist: Vec<usize>,
     /// Scratch buffer of eligible dual-ratio-test breakpoints.
     dual_cand: Vec<DualCand>,
+    /// Dual-side candidate list: columns with a structurally-nonzero
+    /// pivot-row entry, rebuilt per dual iteration from the canonical
+    /// form's row pattern.
+    dual_cols: Vec<u32>,
+    /// Per-column stamps de-duplicating `dual_cols` across the pivot row's
+    /// nonzero rows.
+    col_stamp: Vec<u64>,
+    /// Generation counter backing `col_stamp`.
+    stamp_gen: u64,
     /// Scratch column accumulating the aggregated bound-flip delta.
     flipbuf: Vec<f64>,
 }
@@ -153,6 +162,10 @@ impl Workspace {
         self.dual_devex.resize(m, 1.0);
         self.plist.clear();
         self.dual_cand.clear();
+        self.dual_cols.clear();
+        self.col_stamp.clear();
+        self.col_stamp.resize(n_total, 0);
+        self.stamp_gen = 0;
         self.flipbuf.clear();
         self.flipbuf.resize(m, 0.0);
     }
@@ -819,7 +832,6 @@ impl<'a> Engine<'a> {
     /// rule the classic shortest-step test is used unchanged (the
     /// anti-cycling argument needs it).
     pub fn dual(&mut self) -> Result<DualEnd, SolveError> {
-        let n_total = self.c.n + self.c.m;
         let m = self.c.m;
         let mut local_iters = 0usize;
         // Fresh dual reference framework per dual pass.
@@ -891,8 +903,41 @@ impl<'a> Engine<'a> {
             // cost feasible.
             let mut cand = std::mem::take(&mut self.ws.dual_cand);
             cand.clear();
-            self.stats.pricing_scans += n_total;
-            for j in 0..n_total {
+            // Dual-side candidate list (the mirror of primal partial
+            // pricing): only a column with a structural nonzero in some row
+            // where ρ ≠ 0 — or that row's own logical — can have α_rj ≠ 0;
+            // every other column would fail the pivot-tolerance test below
+            // without ever being a breakpoint. Collect exactly those columns
+            // from the structure-only row pattern, ascending, and compute
+            // α_rj with the very same `col_dot` as a full scan would — the
+            // candidate set, its order, and every downstream pivot are
+            // bit-identical to scanning all `n_total` columns.
+            let mut cols = std::mem::take(&mut self.ws.dual_cols);
+            cols.clear();
+            self.ws.stamp_gen += 1;
+            let gen = self.ws.stamp_gen;
+            for (i, &ri) in rho.iter().enumerate() {
+                if ri == 0.0 {
+                    continue;
+                }
+                let s = self.c.row_ptr[i] as usize;
+                let e = self.c.row_ptr[i + 1] as usize;
+                for k in s..e {
+                    let j = self.c.row_cols[k];
+                    let stamp = &mut self.ws.col_stamp[j as usize];
+                    if *stamp != gen {
+                        *stamp = gen;
+                        cols.push(j);
+                    }
+                }
+                // A logical column is the unit vector of its own row: a
+                // candidate exactly when that row's ρ entry is nonzero.
+                cols.push((self.c.n + i) as u32);
+            }
+            cols.sort_unstable();
+            self.stats.pricing_scans += cols.len();
+            for &ju in cols.iter() {
+                let j = ju as usize;
                 let st = self.status[j];
                 if st == VarStatus::Basic || self.c.lb[j] == self.c.ub[j] {
                     continue;
@@ -931,6 +976,7 @@ impl<'a> Engine<'a> {
                     ratio: (d / arow).abs(),
                 });
             }
+            self.ws.dual_cols = cols;
             self.ws.ybuf = y;
 
             if cand.is_empty() {

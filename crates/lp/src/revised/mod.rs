@@ -44,9 +44,16 @@
 //!   falling back to primal iterations when the old basis is no longer dual
 //!   feasible.
 //!
-//! Adding *variables* invalidates a basis; `solve_warm` detects the shape
-//! mismatch and silently performs a cold solve (counted in
-//! [`LpStats::cold_starts`]).
+//! * appending new variables (`Problem::add_column`) — the new structural
+//!   columns enter nonbasic on a bound; the constraint matrix changes, so
+//!   the persisted factorization is rebuilt once, but the basic set itself
+//!   survives and the dual warm restart proceeds as usual.
+//!
+//! *Removing* variables or constraints invalidates a basis; `solve_warm`
+//! detects the shape mismatch and silently performs a cold solve (counted
+//! in [`LpStats::cold_starts`]). The cross-epoch consumers therefore never
+//! remove columns — a departed tenant's columns are clamped to `[0, 0]`
+//! with `set_bounds` instead.
 //!
 //! The solver's outcomes, dual values, and Farkas certificates follow the
 //! same conventions as the dense engine (see the crate-level docs).
@@ -157,6 +164,122 @@ impl Basis {
     pub fn num_vars(&self) -> usize {
         self.n_vars
     }
+
+    /// Re-keys this basis onto a **rebuilt** problem whose columns and rows
+    /// are an injective mapping of the originals — the cross-epoch warm-start
+    /// primitive. `col_map[j]`/`row_map[i]` give the new index of old
+    /// structural column `j` / old row `i`, or `None` for columns/rows that
+    /// no longer exist (departed tenants, vanished link rows). New columns
+    /// and rows of the rebuilt problem that no old index maps onto start
+    /// exactly where a cold start would place them (nonbasic on a bound /
+    /// that row's logical basic).
+    ///
+    /// Surviving basic assignments are preserved (old row order, capped at
+    /// the new row count), rows left without a basic column receive their
+    /// own logical, and the returned status vector is always consistent
+    /// with the returned basic set, so the engine can resume from it
+    /// directly. Statuses referencing bounds that changed finiteness are
+    /// repaired by the usual `solve_warm` adaptation.
+    ///
+    /// When both maps are the identity and the shape is unchanged, the
+    /// basis — **including its persisted factorization** — is returned
+    /// as-is: a rebuilt-but-structurally-identical program (the no-churn
+    /// epoch) then re-solves with zero refactorizations. Any genuine
+    /// remapping drops the factorization (the basis matrix changed), so the
+    /// next solve refactorizes once and proceeds with dual warm pivots.
+    ///
+    /// # Panics
+    /// Panics if a map's length disagrees with this basis's shape or a
+    /// mapped index is out of range for the new shape. Maps must be
+    /// injective (two old columns never merge); violations are not detected
+    /// here but produce a basis the engine will reject as singular and
+    /// replace with a cold start.
+    pub fn remap(
+        &self,
+        col_map: &[Option<usize>],
+        new_n: usize,
+        row_map: &[Option<usize>],
+        new_m: usize,
+    ) -> Basis {
+        assert_eq!(col_map.len(), self.n_vars, "col_map length != num_vars");
+        assert_eq!(
+            row_map.len(),
+            self.basic.len(),
+            "row_map length != num_rows"
+        );
+        let identity = new_n == self.n_vars
+            && new_m == self.basic.len()
+            && col_map.iter().enumerate().all(|(j, m)| *m == Some(j))
+            && row_map.iter().enumerate().all(|(i, m)| *m == Some(i));
+        if identity {
+            return self.clone();
+        }
+
+        let total = new_n + new_m;
+        let map_col = |j: usize| -> Option<usize> {
+            if j < self.n_vars {
+                let nj = col_map[j];
+                assert!(nj.is_none_or(|nj| nj < new_n), "col_map index out of range");
+                nj
+            } else {
+                let ni = row_map[j - self.n_vars];
+                assert!(ni.is_none_or(|ni| ni < new_m), "row_map index out of range");
+                ni.map(|ni| new_n + ni)
+            }
+        };
+
+        // New columns default to a bound; `solve_warm`'s adaptation repairs
+        // any whose lower bound turns out non-finite.
+        let mut status = vec![VarStatus::AtLower; total];
+        for (j, st) in self.status.iter().enumerate() {
+            if let Some(nj) = map_col(j) {
+                status[nj] = *st;
+            }
+        }
+
+        // Carry surviving basic columns in old row order; rows whose basic
+        // column vanished (and any new rows) get their own logical.
+        let mut basic: Vec<usize> = Vec::with_capacity(new_m);
+        let mut in_basis = vec![false; total];
+        for &j in &self.basic {
+            if basic.len() == new_m {
+                break;
+            }
+            if let Some(nj) = map_col(j) {
+                if !in_basis[nj] {
+                    in_basis[nj] = true;
+                    basic.push(nj);
+                }
+            }
+        }
+        for i in 0..new_m {
+            if basic.len() == new_m {
+                break;
+            }
+            let l = new_n + i;
+            if !in_basis[l] {
+                in_basis[l] = true;
+                basic.push(l);
+            }
+        }
+
+        // Status ↔ basic consistency is an engine invariant; enforce it.
+        for (nj, st) in status.iter_mut().enumerate() {
+            if in_basis[nj] {
+                *st = VarStatus::Basic;
+            } else if *st == VarStatus::Basic {
+                *st = VarStatus::AtLower;
+            }
+        }
+
+        Basis {
+            n_vars: new_n,
+            status,
+            basic,
+            fact: None,
+            matrix_fp: 0,
+        }
+    }
 }
 
 /// Pivot-level solver statistics, accumulated across warm-started solves.
@@ -254,18 +377,40 @@ fn cold_state(c: &Canon) -> (Vec<VarStatus>, Vec<usize>) {
     (status, basic)
 }
 
-/// Adapts a stored basis to the (possibly grown) canonical form. Returns
-/// `None` when the shapes are incompatible and a cold start is required.
+/// Adapts a stored basis to the (possibly grown) canonical form: new rows'
+/// logicals join the basis, new structural columns enter nonbasic on a
+/// bound (exactly where a cold start would place them). Returns `None` when
+/// the shapes are incompatible (a *shrunk* problem) and a cold start is
+/// required.
 fn adapt_basis(c: &Canon, b: &Basis) -> Option<(Vec<VarStatus>, Vec<usize>)> {
-    if b.n_vars != c.n || b.basic.len() > c.m {
+    if b.n_vars > c.n || b.basic.len() > c.m {
         return None;
     }
+    let n_old = b.n_vars;
     let m_old = b.basic.len();
+    let grow = c.n - n_old;
     let mut status = Vec::with_capacity(c.n + c.m);
-    status.extend_from_slice(&b.status[..c.n]);
+    status.extend_from_slice(&b.status[..n_old]);
+    // New structural columns (appended since the basis was stored) enter
+    // nonbasic, preferring a finite lower bound.
+    for j in n_old..c.n {
+        status.push(if c.lb[j].is_finite() {
+            VarStatus::AtLower
+        } else if c.ub[j].is_finite() {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::Free
+        });
+    }
     // Old logicals keep their status; new rows' logicals enter the basis.
-    status.extend_from_slice(&b.status[c.n..]);
-    let mut basic = b.basic.clone();
+    status.extend_from_slice(&b.status[n_old..]);
+    // Structural indices are stable under column growth; logical indices
+    // shift by the number of appended structural columns.
+    let mut basic: Vec<usize> = b
+        .basic
+        .iter()
+        .map(|&j| if j >= n_old { j + grow } else { j })
+        .collect();
     for i in m_old..c.m {
         status.push(VarStatus::Basic);
         basic.push(c.n + i);

@@ -316,16 +316,59 @@ fn warm_start_detecting_infeasible_node() {
 }
 
 #[test]
-fn incompatible_basis_falls_back_to_cold() {
+fn grown_column_space_stays_warm() {
     let mut p = Problem::new();
     let x = p.add_var(0.0, 1.0, -1.0);
     p.add_cons(&[(x, 1.0)], Cmp::Le, 1.0);
     let first = p.solve_warm(None).unwrap();
 
-    // Adding a variable changes the column space.
+    // Adding a variable (and a row) grows the shape: the basis adapts —
+    // the new column enters nonbasic, the new row's logical joins the
+    // basis — instead of falling back to a cold start.
     let y = p.add_var(0.0, 1.0, -1.0);
     p.add_cons(&[(y, 1.0)], Cmp::Le, 1.0);
     let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_eq!(warm.stats.warm_starts, 1);
+    assert_eq!(warm.stats.cold_starts, 0);
+    let reference = solve_r(&p).unwrap_optimal().objective;
+    assert_close(warm.outcome.unwrap_optimal().objective, reference, 1e-7);
+}
+
+#[test]
+fn added_column_into_existing_rows_stays_warm() {
+    // The cross-epoch shape: a persistent program gains a column with
+    // coefficients in rows that already exist (an arriving tenant), and a
+    // previously useful column is clamped to zero (a departure).
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 4.0, -1.0);
+    let cap = p.add_cons(&[(x, 1.0)], Cmp::Le, 3.0);
+    let first = p.solve_warm(None).unwrap();
+    assert_close(first.outcome.clone().unwrap_optimal().objective, -3.0, 1e-9);
+
+    let y = p.add_column(0.0, 4.0, -2.0, &[(cap, 1.0)]);
+    p.set_bounds(x, 0.0, 0.0);
+    let warm = p.solve_warm(Some(&first.basis)).unwrap();
+    assert_eq!(warm.stats.warm_starts, 1);
+    let sol = warm.outcome.unwrap_optimal();
+    assert_close(sol.objective, -6.0, 1e-9);
+    assert_close(sol.x[y.index()], 3.0, 1e-9);
+    assert_close(sol.x[x.index()], 0.0, 1e-9);
+}
+
+#[test]
+fn incompatible_basis_falls_back_to_cold() {
+    // A basis from a problem with *more* variables than the one being
+    // solved cannot adapt: shrunk shapes force a cold start.
+    let mut big = Problem::new();
+    let x = big.add_var(0.0, 1.0, -1.0);
+    let y = big.add_var(0.0, 1.0, -1.0);
+    big.add_cons(&[(x, 1.0), (y, 1.0)], Cmp::Le, 1.0);
+    let first = big.solve_warm(None).unwrap();
+
+    let mut small = Problem::new();
+    let z = small.add_var(0.0, 1.0, -1.0);
+    small.add_cons(&[(z, 1.0)], Cmp::Le, 1.0);
+    let warm = small.solve_warm(Some(&first.basis)).unwrap();
     assert_eq!(warm.stats.cold_starts, 1);
     assert_eq!(warm.stats.warm_starts, 0);
     assert!(warm.outcome.is_optimal());
@@ -1194,4 +1237,119 @@ fn review_probe_free_var_bounds_become_finite() {
         }
         other => panic!("unexpected outcome: {other:?}"),
     }
+}
+
+// ------------------------------------------------- cross-epoch basis remap
+
+#[test]
+fn remap_identity_returns_basis_with_factorization() {
+    // The no-churn epoch: the rebuilt problem is structurally identical, so
+    // the identity remap must hand back the basis *with* its persisted
+    // factorization and the warm re-solve must pay zero refactorizations.
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, f64::INFINITY, -3.0);
+    let y = p.add_var(0.0, f64::INFINITY, -2.0);
+    let z = p.add_var(0.0, 6.0, -4.0);
+    p.add_cons(&[(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Le, 10.0);
+    p.add_cons(&[(x, 2.0), (y, 1.0)], Cmp::Le, 15.0);
+    let first = p.solve_warm(None).unwrap();
+
+    let id_cols: Vec<Option<usize>> = (0..2 + 1).map(Some).collect();
+    let id_rows: Vec<Option<usize>> = (0..2).map(Some).collect();
+    let remapped = first.basis.remap(&id_cols, 3, &id_rows, 2);
+    let warm = p.solve_warm(Some(&remapped)).unwrap();
+    if !crate::fault_injection_active() {
+        assert_eq!(
+            warm.stats.refactorizations, 0,
+            "identity remap must preserve the persisted factorization"
+        );
+        assert_eq!(warm.stats.factorization_reuses, 1);
+        assert_eq!(warm.stats.total_pivots(), 0, "nothing changed, no pivots");
+    }
+    assert_close(
+        warm.outcome.unwrap_optimal().objective,
+        first.outcome.unwrap_optimal().objective,
+        1e-9,
+    );
+}
+
+#[test]
+fn remap_permutation_restarts_rebuilt_problem() {
+    // A genuine re-keying: the rebuilt problem lists the same columns and
+    // rows in a different order. The remapped basis must restart it to the
+    // same optimum; the factorization is (correctly) dropped, so exactly
+    // one refactorization is paid.
+    let mut p1 = Problem::new();
+    let x = p1.add_var(0.0, f64::INFINITY, -3.0);
+    let y = p1.add_var(0.0, f64::INFINITY, -2.0);
+    let z = p1.add_var(0.0, 6.0, -4.0);
+    p1.add_cons(&[(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Le, 10.0);
+    p1.add_cons(&[(x, 2.0), (y, 1.0)], Cmp::Le, 15.0);
+    let w1 = p1.solve_warm(None).unwrap();
+
+    // Rebuild with column order (z, x, y) and the rows swapped.
+    let mut p2 = Problem::new();
+    let z2 = p2.add_var(0.0, 6.0, -4.0);
+    let x2 = p2.add_var(0.0, f64::INFINITY, -3.0);
+    let y2 = p2.add_var(0.0, f64::INFINITY, -2.0);
+    p2.add_cons(&[(x2, 2.0), (y2, 1.0)], Cmp::Le, 15.0);
+    p2.add_cons(&[(x2, 1.0), (y2, 1.0), (z2, 1.0)], Cmp::Le, 10.0);
+
+    let col_map = [Some(1), Some(2), Some(0)]; // x→1, y→2, z→0
+    let row_map = [Some(1), Some(0)];
+    let remapped = w1.basis.remap(&col_map, 3, &row_map, 2);
+    let w2 = p2.solve_warm(Some(&remapped)).unwrap();
+    if !crate::fault_injection_active() {
+        assert_eq!(w2.stats.warm_starts, 1);
+        assert_eq!(
+            w2.stats.factorization_reuses, 0,
+            "a permuted basis matrix must not replay stale factors"
+        );
+        assert!(w2.stats.refactorizations >= 1);
+    }
+    let reference = solve_r(&p2).unwrap_optimal().objective;
+    let warm_obj = w2.outcome.unwrap_optimal().objective;
+    assert_close(warm_obj, reference, 1e-7);
+    assert_close(warm_obj, w1.outcome.unwrap_optimal().objective, 1e-7);
+}
+
+#[test]
+fn remap_with_departures_and_arrivals_stays_solvable() {
+    // Churn: one column departs, one row vanishes, and the rebuilt problem
+    // gains a fresh column the map cannot know about. The remapped basis
+    // must still be accepted by the engine and reach the rebuilt problem's
+    // own optimum.
+    let mut p1 = Problem::new();
+    let x = p1.add_var(0.0, f64::INFINITY, -3.0);
+    let y = p1.add_var(0.0, f64::INFINITY, -2.0);
+    let z = p1.add_var(0.0, 6.0, -4.0);
+    p1.add_cons(&[(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Le, 10.0);
+    p1.add_cons(&[(x, 2.0), (y, 1.0)], Cmp::Le, 15.0);
+    p1.add_cons(&[(y, 1.0), (z, 3.0)], Cmp::Le, 12.0);
+    let w1 = p1.solve_warm(None).unwrap();
+
+    // y departs, the middle row vanishes, and a new column w arrives.
+    let mut p2 = Problem::new();
+    let x2 = p2.add_var(0.0, f64::INFINITY, -3.0);
+    let z2 = p2.add_var(0.0, 6.0, -4.0);
+    let w2v = p2.add_var(0.0, 4.0, -1.0);
+    p2.add_cons(&[(x2, 1.0), (z2, 1.0), (w2v, 1.0)], Cmp::Le, 10.0);
+    p2.add_cons(&[(z2, 3.0), (w2v, 2.0)], Cmp::Le, 12.0);
+
+    let col_map = [Some(0), None, Some(1)]; // x→0, y gone, z→1 (w is new)
+    let row_map = [Some(0), None, Some(1)];
+    let remapped = w1.basis.remap(&col_map, 3, &row_map, 2);
+    let warm = p2.solve_warm(Some(&remapped)).unwrap();
+    let reference = solve_r(&p2).unwrap_optimal().objective;
+    assert_close(warm.outcome.unwrap_optimal().objective, reference, 1e-7);
+}
+
+#[test]
+#[should_panic(expected = "col_map length != num_vars")]
+fn remap_rejects_mismatched_map_length() {
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 1.0, -1.0);
+    p.add_cons(&[(x, 1.0)], Cmp::Le, 1.0);
+    let w = p.solve_warm(None).unwrap();
+    let _ = w.basis.remap(&[Some(0), Some(1)], 2, &[Some(0)], 1);
 }

@@ -416,6 +416,13 @@ impl Milp {
         self.incumbent_bound = Some(objective);
     }
 
+    /// Removes a previously seeded incumbent bound so the next `solve`
+    /// starts from an open (`+∞`) cutoff again — e.g. after the problem was
+    /// edited in a way that invalidates the bound's provenance.
+    pub fn clear_incumbent_bound(&mut self) {
+        self.incumbent_bound = None;
+    }
+
     /// Mutable access to the wrapped problem (e.g. to add Benders cuts
     /// between solves).
     pub fn problem_mut(&mut self) -> &mut Problem {

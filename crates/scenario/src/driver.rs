@@ -79,6 +79,13 @@ pub struct ScenarioSpec {
     /// and `lp_fault_seed` (if set) arms LP warm-path fault injection on
     /// the MILP-backed epoch solves.
     pub faults: Option<FaultPlan>,
+    /// Run the horizon through the persistent cross-epoch
+    /// [`EpochSolver`](ovnes::solver::epoch::EpochSolver): bases,
+    /// factorizations, Benders cuts and incumbents carry from epoch to
+    /// epoch. Admission decisions (and the report's
+    /// [`decision_fingerprint`](ScenarioReport::decision_fingerprint)) are
+    /// unchanged; LP-path telemetry shrinks to `O(churn)`.
+    pub incremental: bool,
 }
 
 impl ScenarioSpec {
@@ -108,6 +115,7 @@ impl ScenarioSpec {
                 seed: 7,
                 budget: SolveBudget::default(),
                 faults: None,
+                incremental: false,
             },
         }
     }
@@ -228,6 +236,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Cross-epoch incremental re-optimization on/off (see
+    /// [`ScenarioSpec::incremental`]).
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.spec.incremental = on;
+        self
+    }
+
     /// Finalises the spec.
     pub fn build(self) -> ScenarioSpec {
         self.spec
@@ -280,6 +295,7 @@ pub fn run_scenario_on(
         round_width: spec.round_width.max(1),
         seed: spec.seed,
         budget: spec.budget,
+        incremental: spec.incremental,
         ..Default::default()
     };
     if spec.threads >= 1 {
@@ -318,6 +334,10 @@ pub fn run_scenario_on(
     let mut link_res_sum: HashMap<usize, f64> = HashMap::new();
     let mut lp_solves = 0usize;
     let mut lp_pivots = 0usize;
+    let mut lp_refactorizations = 0usize;
+    let mut incremental_cold_epochs = 0usize;
+    let mut recycled_cuts = 0usize;
+    let mut carry_cold_restarts = 0usize;
     let mut degraded_epochs = 0usize;
     let mut deferred_epochs = 0usize;
     let mut evictions = 0usize;
@@ -326,6 +346,7 @@ pub fn run_scenario_on(
     let mut infra_events = 0usize;
     let mut solver_errors = 0usize;
     let mut max_decision_seconds = 0.0f64;
+    let mut decision_seconds_sum = 0.0f64;
 
     // Epoch loop with *batched* submission: each epoch receives only its
     // own arrivals, so the orchestrator's pending queue holds re-applicants
@@ -357,6 +378,12 @@ pub fn run_scenario_on(
         }
         lp_solves += out.solver_stats.lp_solves;
         lp_pivots += out.solver_stats.lp.total_pivots();
+        lp_refactorizations += out.solver_stats.lp.refactorizations;
+        recycled_cuts += out.solver_stats.recycled_cuts;
+        carry_cold_restarts += out.solver_stats.carry_cold_restarts;
+        if let Some(inc) = &out.incremental {
+            incremental_cold_epochs += usize::from(inc.cold_fallback);
+        }
         if out.degradation != Degradation::None {
             degraded_epochs += 1;
         }
@@ -369,6 +396,7 @@ pub fn run_scenario_on(
         infra_events += out.infra_events;
         solver_errors += usize::from(out.solver_error.is_some());
         max_decision_seconds = max_decision_seconds.max(out.decision_seconds);
+        decision_seconds_sum += out.decision_seconds;
     };
     for epoch in 0..spec.horizon_epochs as u32 {
         while arrival_stream
@@ -431,6 +459,11 @@ pub fn run_scenario_on(
         link_utilisation: CdfSummary::from_samples(link_util),
         lp_solves,
         lp_pivots,
+        lp_refactorizations,
+        incremental: spec.incremental,
+        incremental_cold_epochs,
+        recycled_cuts,
+        carry_cold_restarts,
         degraded_epochs,
         deferred_epochs,
         evictions,
@@ -440,6 +473,7 @@ pub fn run_scenario_on(
         solver_errors,
         deterministic: spec.budget.is_deterministic(),
         max_decision_seconds,
+        mean_decision_seconds: decision_seconds_sum / epochs,
         wall_seconds: t0.elapsed().as_secs_f64(),
     })
 }

@@ -102,6 +102,25 @@ pub struct ScenarioReport {
     pub lp_solves: usize,
     /// Simplex pivots across every epoch's AC-RR.
     pub lp_pivots: usize,
+    /// Basis refactorizations across every epoch's AC-RR. The headline
+    /// observable of cross-epoch incremental mode: a no-churn epoch whose
+    /// carried basis (and factorization) re-keys as the identity pays
+    /// **zero** of these.
+    pub lp_refactorizations: usize,
+    /// The spec ran with the persistent cross-epoch [`EpochSolver`]
+    /// (`ScenarioSpec::incremental`).
+    pub incremental: bool,
+    /// Incremental epochs that degraded to a from-scratch cold solve
+    /// (carried state invalid or a fault hit the incremental path).
+    pub incremental_cold_epochs: usize,
+    /// Recycled Benders cuts re-priced into epoch masters, summed over the
+    /// horizon.
+    pub recycled_cuts: usize,
+    /// Carried warm solves discarded mid-epoch because the LP uniqueness
+    /// certificate failed, forcing an in-solve cold restart (KAC only).
+    /// Unlike `incremental_cold_epochs` these are part of normal clean
+    /// operation, not fault degradation.
+    pub carry_cold_restarts: usize,
     /// Epochs whose decision was degraded below a clean full solve
     /// (incumbent, greedy fallback or deferral).
     pub degraded_epochs: usize,
@@ -125,15 +144,37 @@ pub struct ScenarioReport {
     /// Worst per-epoch decision latency in seconds — machine-dependent,
     /// **excluded** from the fingerprint.
     pub max_decision_seconds: f64,
+    /// Mean per-epoch decision latency in seconds — machine-dependent,
+    /// **excluded** from the fingerprint.
+    pub mean_decision_seconds: f64,
     /// Wall-clock of the run in seconds — machine-dependent, **excluded**
     /// from the fingerprint.
     pub wall_seconds: f64,
 }
 
 impl ScenarioReport {
-    /// Folds every deterministic field (not `wall_seconds` or
-    /// `max_decision_seconds`) into `h`.
+    /// Folds every deterministic field (not `wall_seconds`,
+    /// `max_decision_seconds` or `mean_decision_seconds`) into `h`: the
+    /// decision trail plus the solver-path telemetry.
     pub fn hash_into(&self, h: &mut Fnv64) {
+        self.hash_decision_into(h);
+        h.write_u64(self.lp_solves as u64);
+        h.write_u64(self.lp_pivots as u64);
+        h.write_u64(self.lp_refactorizations as u64);
+        h.write_u64(u64::from(self.incremental));
+        h.write_u64(self.incremental_cold_epochs as u64);
+        h.write_u64(self.recycled_cuts as u64);
+        h.write_u64(self.carry_cold_restarts as u64);
+    }
+
+    /// Folds only the fields determined by the *admission decisions* —
+    /// everything in [`ScenarioReport::hash_into`] except the solver-path
+    /// telemetry (LP solves/pivots/refactorizations, recycled cuts, the
+    /// incremental markers). An incremental run and a from-scratch run of
+    /// the same spec make identical decisions by contract, so their
+    /// decision fingerprints must match bit-for-bit even though their
+    /// solve paths (and full fingerprints) legitimately differ.
+    pub fn hash_decision_into(&self, h: &mut Fnv64) {
         h.write_bytes(self.name.as_bytes());
         h.write_u64(self.epochs as u64);
         h.write_u64(self.arrivals as u64);
@@ -155,8 +196,6 @@ impl ScenarioReport {
         self.bs_utilisation.hash_into(h);
         self.cu_utilisation.hash_into(h);
         self.link_utilisation.hash_into(h);
-        h.write_u64(self.lp_solves as u64);
-        h.write_u64(self.lp_pivots as u64);
         h.write_u64(self.degraded_epochs as u64);
         h.write_u64(self.deferred_epochs as u64);
         h.write_u64(self.evictions as u64);
@@ -171,6 +210,15 @@ impl ScenarioReport {
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv64::new();
         self.hash_into(&mut h);
+        h.finish()
+    }
+
+    /// Fingerprint of the admission-decision trail only (see
+    /// [`ScenarioReport::hash_decision_into`]) — the bit-identity contract
+    /// between incremental and from-scratch runs of the same spec.
+    pub fn decision_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.hash_decision_into(&mut h);
         h.finish()
     }
 }

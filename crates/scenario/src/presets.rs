@@ -16,7 +16,7 @@ use ovnes::testbed;
 use ovnes_topology::operators::{CuKind, Operator};
 
 /// Every preset name [`preset`] resolves.
-pub const PRESET_NAMES: [&str; 12] = [
+pub const PRESET_NAMES: [&str; 15] = [
     "testbed-day",
     "fig5-n1",
     "fig5-n2",
@@ -29,6 +29,9 @@ pub const PRESET_NAMES: [&str; 12] = [
     "chaos-outage-n1",
     "chaos-budget-n1",
     "chaos-lpfault-n1",
+    "incremental-n1",
+    "chaos-incremental-n1",
+    "incremental-steady-n1",
 ];
 
 /// Resolves a named preset.
@@ -46,6 +49,9 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
         "chaos-outage-n1" => chaos_outage(),
         "chaos-budget-n1" => chaos_budget(),
         "chaos-lpfault-n1" => chaos_lpfault(),
+        "incremental-n1" => incremental_n1(),
+        "chaos-incremental-n1" => chaos_incremental(),
+        "incremental-steady-n1" => incremental_steady(),
         _ => return None,
     })
 }
@@ -304,9 +310,112 @@ pub fn chaos_lpfault() -> ScenarioSpec {
         .build()
 }
 
-/// The three chaos presets as one sweep (the CI chaos-smoke leg).
+/// The cross-epoch incremental workhorse on N1: a slow-churn KAC run —
+/// modest arrivals, long-lived slices — where most epochs differ from the
+/// previous by a handful of tenants, exactly the regime the persistent
+/// [`EpochSolver`](ovnes::solver::epoch::EpochSolver) turns into a few
+/// warm dual pivots. The scratch twin (`.incremental(false)`, same name)
+/// must produce a bit-identical decision fingerprint — the tests and the
+/// `scenario_incremental` bench probe both assert it.
+pub fn incremental_n1() -> ScenarioSpec {
+    ScenarioSpec::builder("incremental-n1")
+        .operator(Operator::Romanian, 0.025)
+        .days(2)
+        .tune_workload(|w| {
+            w.arrivals = ArrivalProcess::Poisson { rate: 0.8 };
+            w.duration.mean_epochs = 16.0;
+            w.population.alpha = (0.15, 0.3);
+            w.population.sigma_frac = (0.0, 0.4);
+        })
+        .reapply_epochs(6)
+        .seed(99)
+        .incremental(true)
+        .build()
+}
+
+/// [`incremental_n1`] under chaos: background BS/link/CU faults invalidate
+/// recycled cuts and force revalidation epochs, and seeded LP fault
+/// injection poisons carried bases — every such epoch must degrade cleanly
+/// to a cold solve (never an error) while the decision trail stays
+/// bit-identical to the from-scratch twin. Deliberately **unbudgeted**:
+/// pivot-metered budgets would truncate warm and scratch runs at different
+/// algorithmic points, making decision identity impossible by design.
+pub fn chaos_incremental() -> ScenarioSpec {
+    let mut plan = FaultPlan {
+        seed: 991,
+        ..FaultPlan::default()
+    };
+    plan.lp_fault_seed = Some(5151);
+    ScenarioSpec::builder("chaos-incremental-n1")
+        .operator(Operator::Romanian, 0.025)
+        .days(1)
+        .tune_workload(|w| {
+            w.arrivals = ArrivalProcess::Poisson { rate: 0.8 };
+            w.duration.mean_epochs = 12.0;
+            w.population.alpha = (0.15, 0.3);
+        })
+        .reapply_epochs(6)
+        .seed(101)
+        .faults(plan)
+        .incremental(true)
+        .build()
+}
+
+/// The O(churn) showcase: an opening flash of long-lived slices (every
+/// burst slice outlives the horizon), then **zero** arrivals and zero
+/// departures for the rest of the run — after the settle window every
+/// epoch is a pure no-churn revalidation of the same forced tenant set.
+/// On those epochs the carried basis re-keys as the identity, the
+/// persisted factorization is reused (zero refactorizations), and the
+/// only simplex work is the handful of dual pivots that forecast drift
+/// (an RHS-only perturbation) demands. The `scenario_incremental` bench
+/// probe measures the steady window by running a settle-length prefix and
+/// subtracting.
+pub fn incremental_steady() -> ScenarioSpec {
+    ScenarioSpec::builder("incremental-steady-n1")
+        .operator(Operator::Romanian, 0.025)
+        .horizon(64)
+        .tune_workload(|w| {
+            w.arrivals = ArrivalProcess::Poisson { rate: 0.0 };
+            // One wave per epoch with a distinct (class, α): identical
+            // requests would build exchangeable LP columns whose ties leave
+            // the vetting optimum non-unique — uncertifiable, so the carry
+            // would cold-restart every epoch instead of warm-starting.
+            w.bursts = [
+                (SliceClass::Embb, 0.31),
+                (SliceClass::Mmtc, 0.17),
+                (SliceClass::Urllc, 0.26),
+                (SliceClass::Embb, 0.22),
+                (SliceClass::Mmtc, 0.29),
+                (SliceClass::Urllc, 0.19),
+            ]
+            .iter()
+            .enumerate()
+            .map(|(k, &(class, alpha))| BurstEvent {
+                start_epoch: k as u32,
+                duration_epochs: 1,
+                extra_rate: 1.5,
+                class,
+                alpha,
+                // Outlives the horizon: no slice ever departs.
+                slice_epochs: 64,
+            })
+            .collect();
+        })
+        .reapply_epochs(2)
+        .seed(202)
+        .incremental(true)
+        .build()
+}
+
+/// The chaos presets as one sweep (the CI chaos-smoke leg).
 pub fn chaos_sweep() -> Vec<ScenarioSpec> {
-    vec![chaos_outage(), chaos_budget(), chaos_lpfault()]
+    vec![
+        chaos_outage(),
+        chaos_budget(),
+        chaos_lpfault(),
+        chaos_incremental(),
+    ]
 }
 
 /// A short CI-smoke preset per operator: one simulated half-day at tiny

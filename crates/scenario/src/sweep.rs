@@ -46,6 +46,8 @@ pub struct SweepReport {
     pub total_lp_solves: usize,
     /// Simplex pivots across every epoch of every scenario.
     pub total_lp_pivots: usize,
+    /// Basis refactorizations across every epoch of every scenario.
+    pub total_lp_refactorizations: usize,
     /// Degraded epochs (incumbent / greedy / deferred) across scenarios.
     pub total_degraded_epochs: usize,
     /// Infrastructure-shrinkage evictions across scenarios.
@@ -79,6 +81,7 @@ impl SweepReport {
         h.write_u64(self.total_samples as u64);
         h.write_u64(self.total_lp_solves as u64);
         h.write_u64(self.total_lp_pivots as u64);
+        h.write_u64(self.total_lp_refactorizations as u64);
         h.write_u64(self.total_degraded_epochs as u64);
         h.write_u64(self.total_evictions as u64);
         h.write_u64(self.total_infra_events as u64);
@@ -122,7 +125,7 @@ impl SweepReport {
         }
         out.push_str(&format!(
             "total: {} arrivals, {} accepted ({:.1}%), net revenue {:.2}, \
-             violation rate {:.4}%, {} LP solves / {} pivots\n",
+             violation rate {:.4}%, {} LP solves / {} pivots / {} refactorizations\n",
             self.total_arrivals,
             self.total_accepted,
             100.0 * self.acceptance_ratio,
@@ -130,6 +133,7 @@ impl SweepReport {
             100.0 * self.violation_rate,
             self.total_lp_solves,
             self.total_lp_pivots,
+            self.total_lp_refactorizations,
         ));
         if self.total_infra_events > 0 || self.total_degraded_epochs > 0 {
             out.push_str(&format!(
@@ -182,6 +186,7 @@ pub fn run_sweep(specs: &[ScenarioSpec], workers: usize) -> Result<SweepReport, 
     let mut total_net_revenue = 0.0;
     let mut total_lp_solves = 0usize;
     let mut total_lp_pivots = 0usize;
+    let mut total_lp_refactorizations = 0usize;
     let mut total_degraded_epochs = 0usize;
     let mut total_evictions = 0usize;
     let mut total_infra_events = 0usize;
@@ -189,6 +194,7 @@ pub fn run_sweep(specs: &[ScenarioSpec], workers: usize) -> Result<SweepReport, 
         total_net_revenue += s.net_revenue;
         total_lp_solves += s.lp_solves;
         total_lp_pivots += s.lp_pivots;
+        total_lp_refactorizations += s.lp_refactorizations;
         total_degraded_epochs += s.degraded_epochs;
         total_evictions += s.evictions;
         total_infra_events += s.infra_events;
@@ -213,6 +219,7 @@ pub fn run_sweep(specs: &[ScenarioSpec], workers: usize) -> Result<SweepReport, 
         },
         total_lp_solves,
         total_lp_pivots,
+        total_lp_refactorizations,
         total_degraded_epochs,
         total_evictions,
         total_infra_events,

@@ -34,7 +34,14 @@ Run by the CI bench-smoke job. Validates that the snapshot
   outage storm with the storm actually biting: infrastructure events
   applied, at least one degraded epoch (the starved solve budget bound),
   at least one eviction with its SLA-break penalty booked, and a
-  bit-identical replay (deterministic flag + fingerprint).
+  bit-identical replay (deterministic flag + fingerprint), and
+* shows the cross-epoch incremental probe (`scenario_incremental`)
+  honouring the O(churn) contract: decisions bit-identical to the
+  from-scratch driver at every worker count, zero cold fallbacks and
+  zero uniqueness-certificate restarts on the fault-free steady run, a
+  >= 3x steady-window pivot reduction, and zero refactorizations across
+  the no-churn steady epochs (the identity basis remap must keep the
+  persisted factorization).
 
 Exit code 0 on success, 1 with a message per violation otherwise.
 """
@@ -160,6 +167,27 @@ REQUIRED_FIELDS = {
         "deterministic",
         "fingerprint",
         "wall_seconds",
+    ],
+    "scenario_incremental": [
+        "scale",
+        "name",
+        "epochs",
+        "steady_epochs",
+        "decision_match",
+        "worker_invariant",
+        "carry_cold_restarts",
+        "incremental_cold_epochs",
+        "steady_warm_pivots",
+        "steady_cold_pivots",
+        "pivot_ratio",
+        "steady_warm_refactorizations",
+        "steady_cold_refactorizations",
+        "warm_mean_decision_seconds",
+        "warm_max_decision_seconds",
+        "cold_mean_decision_seconds",
+        "cold_max_decision_seconds",
+        "warm_wall_seconds",
+        "cold_wall_seconds",
     ],
 }
 
@@ -336,6 +364,45 @@ def main() -> int:
             if not (isinstance(fp, str) and fp.startswith("0x") and len(fp) == 18):
                 errors.append(f"{tag}: fingerprint '{fp}' is not a 64-bit hex string")
 
+        if bench == "scenario_incremental":
+            if entry.get("decision_match") is not True:
+                errors.append(
+                    f"{tag}: incremental decisions diverged from the "
+                    "from-scratch driver (bit-identity contract broken)"
+                )
+            if entry.get("worker_invariant") is not True:
+                errors.append(
+                    f"{tag}: incremental run diverged across worker counts"
+                )
+            if entry.get("incremental_cold_epochs", 1) != 0:
+                errors.append(
+                    f"{tag}: a fault-free steady run fell back to "
+                    f"{entry.get('incremental_cold_epochs')} cold epochs"
+                )
+            if entry.get("carry_cold_restarts", 1) != 0:
+                errors.append(
+                    f"{tag}: {entry.get('carry_cold_restarts')} carried solves "
+                    "failed the uniqueness certificate — the steady workload "
+                    "has degenerate vetting optima"
+                )
+            if entry.get("steady_epochs", 0) < 32:
+                errors.append(
+                    f"{tag}: steady window {entry.get('steady_epochs')} epochs "
+                    "is too short to dominate the horizon"
+                )
+            ratio = entry.get("pivot_ratio", 0.0)
+            if ratio < 3.0:
+                errors.append(
+                    f"{tag}: steady-window pivot reduction x{ratio:.2f} is "
+                    "below the 3x O(churn) floor"
+                )
+            if entry.get("steady_warm_refactorizations", 1) != 0:
+                errors.append(
+                    f"{tag}: {entry.get('steady_warm_refactorizations')} "
+                    "refactorizations on no-churn epochs — the identity "
+                    "basis remap lost the persisted factorization"
+                )
+
         if bench == "scenario_sweep":
             if entry.get("deterministic") is not True:
                 errors.append(
@@ -371,6 +438,7 @@ def main() -> int:
             "scenario_day",
             "scenario_sweep",
             "scenario_outage",
+            "scenario_incremental",
         ):
             want = {"paper"}
         elif bench == "benders_bnb":
