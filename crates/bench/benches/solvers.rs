@@ -583,12 +583,15 @@ fn emit_snapshot() {
                 "\"carry_cold_restarts\": {}, \"incremental_cold_epochs\": {}, ",
                 "\"steady_warm_pivots\": {}, \"steady_cold_pivots\": {}, ",
                 "\"pivot_ratio\": {:.2}, ",
+                "\"carry_certified\": {}, \"carry_certified_perturbed\": {}, ",
+                "\"churn_carry_attempts\": {}, ",
                 "\"steady_warm_refactorizations\": {}, ",
                 "\"steady_cold_refactorizations\": {}, ",
                 "\"warm_mean_decision_seconds\": {:.6}, ",
                 "\"warm_max_decision_seconds\": {:.6}, ",
                 "\"cold_mean_decision_seconds\": {:.6}, ",
                 "\"cold_max_decision_seconds\": {:.6}, ",
+                "\"decision_slo_seconds\": {}, \"slo_violations\": {}, ",
                 "\"warm_wall_seconds\": {:.6}, \"cold_wall_seconds\": {:.6}}}"
             ),
             warm_full.name,
@@ -601,14 +604,78 @@ fn emit_snapshot() {
             steady_warm_pivots,
             steady_cold_pivots,
             steady_cold_pivots as f64 / steady_warm_pivots.max(1) as f64,
+            warm_full.carry_certified,
+            warm_full.carry_certified_perturbed,
+            warm_full.churn_carry_attempts,
             steady_warm_refactorizations,
             steady_cold_refactorizations,
             warm_full.mean_decision_seconds,
             warm_full.max_decision_seconds,
             cold_full.mean_decision_seconds,
             cold_full.max_decision_seconds,
+            warm_full
+                .decision_slo_seconds
+                .map_or("null".to_string(), |s| format!("{s:.6}")),
+            warm_full.slo_violations,
             t_warm,
             t_cold,
+        ));
+
+        // The degenerate-optimum probe: the homogeneous
+        // `incremental-degenerate-n1` preset, whose engineered
+        // tight-but-slack CU row fails strict complementarity on every
+        // steady epoch. The observables are the perturbation certificate's
+        // work (perturbed-only certifications, churn-epoch first-shed carry
+        // attempts, cold restarts reduced below certifications) plus the
+        // decision-latency SLO the preset declares; `check_bench_snapshot.py`
+        // gates them per-name.
+        let degen = ovnes_scenario::presets::incremental_degenerate();
+        let t0 = Instant::now();
+        let degen_warm = ovnes_scenario::run_scenario(&degen).expect("degenerate probe");
+        let t_degen_warm = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let degen_cold =
+            ovnes_scenario::run_scenario(&scratch(&degen)).expect("degenerate scratch");
+        let t_degen_cold = t0.elapsed().as_secs_f64();
+        let degen_match = degen_warm.decision_fingerprint() == degen_cold.decision_fingerprint();
+        assert!(degen_match, "degenerate decisions diverged from scratch");
+        let degen_invariant = [2usize, 4].iter().all(|&threads| {
+            let mut spec = degen.clone();
+            spec.threads = threads;
+            let par = ovnes_scenario::run_scenario(&spec).expect("degenerate workers");
+            par.fingerprint() == degen_warm.fingerprint()
+        });
+        assert!(degen_invariant, "degenerate run diverged across workers");
+        entries.push(format!(
+            concat!(
+                "  {{\"bench\": \"scenario_incremental\", \"scale\": \"paper\", ",
+                "\"name\": \"{}\", \"epochs\": {}, ",
+                "\"decision_match\": {}, \"worker_invariant\": {}, ",
+                "\"carry_cold_restarts\": {}, \"incremental_cold_epochs\": {}, ",
+                "\"carry_certified\": {}, \"carry_certified_perturbed\": {}, ",
+                "\"churn_carry_attempts\": {}, ",
+                "\"warm_mean_decision_seconds\": {:.6}, ",
+                "\"warm_max_decision_seconds\": {:.6}, ",
+                "\"decision_slo_seconds\": {}, \"slo_violations\": {}, ",
+                "\"warm_wall_seconds\": {:.6}, \"cold_wall_seconds\": {:.6}}}"
+            ),
+            degen_warm.name,
+            degen_warm.epochs,
+            degen_match,
+            degen_invariant,
+            degen_warm.carry_cold_restarts,
+            degen_warm.incremental_cold_epochs,
+            degen_warm.carry_certified,
+            degen_warm.carry_certified_perturbed,
+            degen_warm.churn_carry_attempts,
+            degen_warm.mean_decision_seconds,
+            degen_warm.max_decision_seconds,
+            degen_warm
+                .decision_slo_seconds
+                .map_or("null".to_string(), |s| format!("{s:.6}")),
+            degen_warm.slo_violations,
+            t_degen_warm,
+            t_degen_cold,
         ));
     }
 

@@ -364,6 +364,19 @@ pub struct SolveStats {
     /// exactly the from-scratch decisions — this only records that the
     /// carry bought nothing that epoch.
     pub carry_cold_restarts: usize,
+    /// Carried-basis warm solves that stood: the seeded solve certified at
+    /// least a unique optimal decision (cross-epoch incremental KAC only).
+    pub carry_certified: usize,
+    /// Subset of [`SolveStats::carry_certified`] certified only by the
+    /// perturbation certificate — degenerate optima the strict
+    /// complementarity test rejects (see
+    /// [`ovnes_lp::certify_unique_optimum_perturbed`]).
+    pub carry_certified_perturbed: usize,
+    /// Churn epochs' first-shed carry attempts: the carried basis was
+    /// seeded into a shed/re-pack iteration because the carried objective
+    /// predicted the packed set feasible (cross-epoch incremental KAC
+    /// only).
+    pub churn_carry_attempts: usize,
 }
 
 impl SolveStats {

@@ -48,22 +48,47 @@ pub fn solve(instance: &AcrrInstance, options: &KacOptions) -> Result<Allocation
 }
 
 /// [`solve`] with an optional cross-epoch LP carry: the vetting slave seeds
-/// its first solve from the previous epoch's re-keyed basis and deposits its
-/// final basis back on success.
+/// a solve from the previous epoch's re-keyed basis and deposits its final
+/// basis back on success.
 ///
-/// **Decision-identity contract.** KAC's decisions consume the vetting
-/// LP's *certificates* (reservations `z`, Farkas rays), which are only
-/// start-point-independent when the optimum — and its basis — are unique.
-/// The carried first solve is therefore gated on
-/// [`SlaveContext::last_solve_certified_unique`]: certified ⇒ the warm
-/// solve terminated in exactly the state a cold solve reaches, and every
-/// subsequent within-epoch solve (warm-chained identically in both
-/// drivers) follows the same trajectory; not certified (including an
-/// infeasible first vet, whose ray is never certified) ⇒ the carried
-/// attempt is discarded and the whole solve restarts cold, reproducing the
-/// from-scratch path verbatim (`stats.carry_cold_restarts` counts the
-/// discards). Either way the decisions are bit-identical to
-/// [`solve`] — the carry can only change how many pivots they cost.
+/// **Decision-identity contract (two certificates).** KAC's decisions
+/// consume the vetting LP's *certificates* (reservations `z`, Farkas
+/// rays), which are only start-point-independent when the optimal decision
+/// is unique. A carried (seeded) solve therefore only stands if it is
+/// feasible and certifies at least decision uniqueness:
+///
+/// * **strict** ([`SlaveContext::last_solve_certified_unique`]) — optimum
+///   *and* optimal basis unique; the warm solve terminated in exactly the
+///   state a cold solve reaches, so the rest of the epoch's warm chain
+///   follows the from-scratch trajectory with no further checks;
+/// * **perturbed** ([`SlaveContext::last_solve_certified_decision`]) — the
+///   decision is unique but the basis may not be (degenerate optima from
+///   homogeneous requests). The decisions agree with a cold solve, but the
+///   chain's terminal basis may differ from scratch, so every *subsequent*
+///   solve of the epoch must also certify decision uniqueness until one
+///   certifies strictly (which pins the basis and re-synchronizes the
+///   chain).
+///
+/// A solve that fails its required certificate — including an infeasible
+/// seeded vet, whose Farkas ray is never certified — discards the carried
+/// attempt and restarts the whole epoch cold, reproducing the from-scratch
+/// path verbatim (`stats.carry_cold_restarts` counts the discards). Either
+/// way the decisions are bit-identical to [`solve`] — the carry can only
+/// change how many pivots they cost.
+///
+/// **Where the carry is attempted.** On an all-forced epoch (no churn to
+/// admit), the opening forced-only vet is seeded directly — the O(churn)
+/// fast path. On a churn epoch the opening all-in vet is left cold (it is
+/// usually infeasible, and identical to scratch anyway); once the first
+/// cut arrives, the first shed/re-pack iteration is seeded instead,
+/// provided (a) the carried objective predicts the packed set within last
+/// epoch's proven risk budget, (b) the packed set equals the carried
+/// optimum's support ([`LpCarry::supports`] — a non-identity seed pays a
+/// remap refactorization, worthwhile only when the seeded LP is the
+/// carried optimum's own program), and (c) the packed floors fit every
+/// capacity row ([`SlaveContext::floors_fit`], an exact feasibility
+/// predicate — a seeded vet can then never land on an uncertifiable
+/// Farkas ray). `stats.churn_carry_attempts` counts these attempts.
 pub fn solve_carried(
     instance: &AcrrInstance,
     options: &KacOptions,
@@ -95,14 +120,24 @@ pub fn solve_carried(
     // solve cost, so it is folded into the returned stats.
     let mut wasted = ovnes_lp::LpStats::default();
     let mut restarts = 0usize;
-    // Attempt the carried basis only on epochs whose first vet is
-    // *predictably* feasible: with optional applicants present, the opening
-    // all-in vet is usually infeasible, and an infeasible carried solve can
-    // never certify (Farkas rays are start-dependent) — the attempt would
-    // be discarded every time, paying pivots for nothing. An all-forced
-    // epoch (no churn to admit) is the O(churn) fast path the carry exists
-    // for: one forced-only LP, identity-remapped onto the previous basis.
-    let mut use_carry = carry.is_some() && instance.tenants.iter().all(|t| t.must_accept);
+    let mut churn_attempts = 0usize;
+    // Where to attempt the carried basis. An all-forced epoch (no churn to
+    // admit) seeds the opening forced-only vet directly — the O(churn)
+    // fast path, identity-remapped onto the previous basis. A churn epoch
+    // leaves the opening all-in vet cold: it is usually infeasible, an
+    // infeasible carried solve can never certify (Farkas rays are
+    // start-dependent), and an unseeded solve is trivially identical to
+    // scratch. Instead the first shed/re-pack iteration after a cut is
+    // seeded, gated on the carried objective predicting the packed set
+    // within budget (`carry_predicts_feasible`), the packed set matching
+    // the carried support (`LpCarry::supports`), and the packed floors
+    // fitting the capacities (`SlaveContext::floors_fit`).
+    let all_forced = instance.tenants.iter().all(|t| t.must_accept);
+    let mut use_carry = carry.is_some() && all_forced;
+    let carried_objective = carry.as_deref().and_then(|c| c.objective);
+    let mut try_churn_carry = !all_forced
+        && carried_objective.is_some()
+        && carry.as_deref().is_some_and(|c| c.is_seeded());
     'attempt: loop {
         // One persistent strict-slave LP per attempt: every vetting solve
         // below re-prices the RHS and warm-starts from the previous
@@ -110,10 +145,18 @@ pub fn solve_carried(
         // a cold restart replays the from-scratch path exactly.
         let mut slave = SlaveContext::new(&strict);
         slave.set_simplex_options(options.simplex.clone());
-        let mut must_certify = false;
+        // The next solve runs from a carried (seeded) basis and must
+        // certify decision uniqueness to stand.
+        let mut seeded = false;
+        // A seeded solve certified only the perturbed (decision-level)
+        // certificate: the chain's basis may differ from scratch, so every
+        // later solve must keep certifying until one certifies strictly.
+        let mut verify_chain = false;
+        // The one churn-epoch carry attempt was already spent.
+        let mut churn_seeded = false;
         if use_carry {
             if let Some(c) = carry.as_deref() {
-                must_certify = slave.seed_from_carry(c);
+                seeded = slave.seed_from_carry(c);
             }
         }
 
@@ -133,24 +176,66 @@ pub fn solve_carried(
             stats.iterations += 1;
             let assigned = greedy_pack(instance, &gammas, &w_bar, cap_bar, have_cuts, &banned);
 
+            // Churn-epoch carry: the opening all-in vet went infeasible and
+            // was re-packed under its cut — seed this first shed iteration
+            // from the carried basis, once per epoch, when three gates all
+            // hold: the carried objective predicts the packed set within
+            // last epoch's proven risk budget, the packed set has returned
+            // to exactly the carried optimum's support (`supports` — any
+            // other set makes the basis re-price legs it never packed, so
+            // the remap refactorization a non-identity seed pays would buy
+            // almost nothing), and the packed floors actually fit the
+            // capacities (`floors_fit` decides the vet's feasibility
+            // exactly, so the seeded solve can never land on an
+            // uncertifiable Farkas ray).
+            if try_churn_carry && have_cuts && !churn_seeded {
+                churn_seeded = true;
+                if carry_predicts_feasible(&strict, &assigned, carried_objective.unwrap_or(0.0))
+                    && carry
+                        .as_deref()
+                        .is_some_and(|c| c.supports(&strict, &assigned))
+                    && slave.floors_fit(&assigned)
+                {
+                    if let Some(c) = carry.as_deref() {
+                        if slave.seed_from_carry(c) {
+                            seeded = true;
+                            churn_attempts += 1;
+                        }
+                    }
+                }
+            }
+
             stats.lp_solves += 1;
             let result = slave.solve_for(&assigned)?;
-            if must_certify {
-                // The carried first solve only stands if its optimum (and
-                // optimal basis) are provably unique — otherwise the warm
-                // start may have landed on a different vertex / Farkas ray
-                // than a cold solve would, and every certificate-consuming
-                // decision downstream could diverge. Discard and restart
-                // cold; the from-scratch trajectory is restored verbatim.
-                must_certify = false;
+            if seeded || verify_chain {
+                // A carried solve (and, after a perturbed-only
+                // certification, every later solve of the chain) only
+                // stands if its optimal decision is provably unique —
+                // otherwise the warm start may have landed on a different
+                // vertex / Farkas ray than a cold solve would, and every
+                // certificate-consuming decision downstream could diverge.
+                // Discard and restart cold; the from-scratch trajectory is
+                // restored verbatim.
                 let certified = matches!(result, SlaveResult::Feasible { .. })
-                    && slave.last_solve_certified_unique();
+                    && slave.last_solve_certified_decision();
                 if !certified {
                     wasted.absorb(&slave.stats);
                     restarts += 1;
                     use_carry = false;
+                    try_churn_carry = false;
                     continue 'attempt;
                 }
+                if seeded {
+                    stats.carry_certified += 1;
+                    if !slave.last_solve_certified_unique() {
+                        stats.carry_certified_perturbed += 1;
+                    }
+                    seeded = false;
+                }
+                // A strict certification pins the terminal basis itself, so
+                // the chain is re-synchronized with the from-scratch
+                // trajectory and needs no further verification.
+                verify_chain = !slave.last_solve_certified_unique();
             }
             match result {
                 SlaveResult::Feasible {
@@ -179,6 +264,16 @@ pub fn solve_carried(
                                 deficit: d2,
                                 ..
                             } => {
+                                // A perturbed-only chain keeps verifying
+                                // through the improvement pass too.
+                                if verify_chain && !slave.last_solve_certified_decision() {
+                                    wasted.absorb(&slave.stats);
+                                    restarts += 1;
+                                    use_carry = false;
+                                    try_churn_carry = false;
+                                    continue 'attempt;
+                                }
+                                verify_chain = verify_chain && !slave.last_solve_certified_unique();
                                 value = v2;
                                 z = z2;
                                 deficit = d2;
@@ -204,6 +299,7 @@ pub fn solve_carried(
                     stats.lp.absorb(&slave.stats);
                     stats.lp.absorb(&wasted);
                     stats.carry_cold_restarts = restarts;
+                    stats.churn_carry_attempts = churn_attempts;
                     if let Some(c) = carry.as_deref_mut() {
                         slave.save_carry(c);
                     }
@@ -255,6 +351,7 @@ pub fn solve_carried(
                                 stats.lp.absorb(&slave.stats);
                                 stats.lp.absorb(&wasted);
                                 stats.carry_cold_restarts = restarts;
+                                stats.churn_carry_attempts = churn_attempts;
                                 if let Some(c) = carry.as_deref_mut() {
                                     slave.save_carry(c);
                                 }
@@ -265,6 +362,7 @@ pub fn solve_carried(
                             stats.lp.absorb(&slave.stats);
                             stats.lp.absorb(&wasted);
                             stats.carry_cold_restarts = restarts;
+                            stats.churn_carry_attempts = churn_attempts;
                             if let Some(c) = carry.as_deref_mut() {
                                 slave.save_carry(c);
                             }
@@ -275,6 +373,28 @@ pub fn solve_carried(
             }
         }
     }
+}
+
+/// Feasibility predictor for the churn-epoch carry: the packed set's
+/// minimal risk-weighted reservation mass (`Σ q·λ̂` over its legs) must fit
+/// inside the mass the previous epoch's optimum provably packed (the
+/// carried objective's magnitude). Purely advisory — a wrong prediction
+/// costs a discarded attempt (absorbed by the cold restart), never
+/// correctness — but it keeps the carry off packed sets that are obviously
+/// heavier than anything the carried basis ever supported.
+fn carry_predicts_feasible(
+    instance: &AcrrInstance,
+    assigned: &[Option<usize>],
+    carried_objective: f64,
+) -> bool {
+    let budget = carried_objective.abs();
+    let mut mass = 0.0;
+    for leg in &instance.legs {
+        if assigned[leg.tenant] == Some(leg.cu) {
+            mass += instance.leg_q(leg) * instance.leg_forecast(leg);
+        }
+    }
+    mass <= budget + 1e-9
 }
 
 /// Finds the admitted, non-forced tenant whose expected risk at its current

@@ -236,6 +236,9 @@ pub fn solve_with_incumbent(
             lp: sol.lp_stats,
             recycled_cuts: 0,
             carry_cold_restarts: 0,
+            carry_certified: 0,
+            carry_certified_perturbed: 0,
+            churn_carry_attempts: 0,
         },
     })
 }

@@ -82,9 +82,9 @@ impl Forecaster for Holt {
         }
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
-        let (level, trend) = self.state.expect("fit before forecast");
-        (1..=horizon).map(|h| level + h as f64 * trend).collect()
+    fn forecast(&self, horizon: usize) -> Option<Vec<f64>> {
+        let (level, trend) = self.state?;
+        Some((1..=horizon).map(|h| level + h as f64 * trend).collect())
     }
 
     fn fit_rmse(&self) -> Option<f64> {

@@ -231,19 +231,21 @@ impl Forecaster for HoltWinters {
         }
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
-        let st = self.state.as_ref().expect("fit before forecast");
+    fn forecast(&self, horizon: usize) -> Option<Vec<f64>> {
+        let st = self.state.as_ref()?;
         let m = self.season;
-        (0..horizon)
-            .map(|h| {
-                let base = st.level + (h + 1) as f64 * st.trend;
-                let s = st.seasonal[(st.next_pos + h) % m];
-                match self.mode {
-                    Seasonality::Additive => base + s,
-                    Seasonality::Multiplicative => base * s,
-                }
-            })
-            .collect()
+        Some(
+            (0..horizon)
+                .map(|h| {
+                    let base = st.level + (h + 1) as f64 * st.trend;
+                    let s = st.seasonal[(st.next_pos + h) % m];
+                    match self.mode {
+                        Seasonality::Additive => base + s,
+                        Seasonality::Multiplicative => base * s,
+                    }
+                })
+                .collect(),
+        )
     }
 
     fn fit_rmse(&self) -> Option<f64> {

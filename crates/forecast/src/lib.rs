@@ -30,7 +30,7 @@
 //!     .collect();
 //! let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
 //! hw.fit(&series);
-//! let next = hw.forecast(1)[0];
+//! let next = hw.forecast(1).expect("fitted above")[0];
 //! assert!((next - 100.0).abs() < 30.0); // follows the cycle back up
 //! ```
 
@@ -49,8 +49,9 @@ pub trait Forecaster {
     fn fit(&mut self, series: &[f64]);
 
     /// Forecasts the next `horizon` values after the end of the fitted
-    /// series. Must be called after `fit`.
-    fn forecast(&self, horizon: usize) -> Vec<f64>;
+    /// series. Returns `None` when no state is fitted — `fit` was never
+    /// called, or the last call saw an empty series.
+    fn forecast(&self, horizon: usize) -> Option<Vec<f64>>;
 
     /// Root-mean-square of one-step-ahead fit errors, if available.
     /// `None` before `fit` or when the series was too short to estimate.
@@ -102,7 +103,10 @@ pub fn predict_next(series: &[f64], season: usize, min_sigma: f64) -> Prediction
             },
         );
         hw.fit_grid(series);
-        (hw.forecast(1)[0], hw.fit_rmse())
+        match hw.forecast(1) {
+            Some(f) => (f[0], hw.fit_rmse()),
+            None => (series[series.len() - 1], None),
+        }
     } else {
         // Short history: a level-only smoother. (Holt's trend term chases
         // noise on short peak series and wildly inflates the fit error,
@@ -110,7 +114,10 @@ pub fn predict_next(series: &[f64], season: usize, min_sigma: f64) -> Prediction
         // conservative during the learning phase.)
         let mut s = ses::Ses::new(0.3);
         s.fit(series);
-        (s.forecast(1)[0], s.fit_rmse())
+        match s.forecast(1) {
+            Some(f) => (f[0], s.fit_rmse()),
+            None => (series[series.len() - 1], None),
+        }
     };
 
     let sigma = uncertainty::sigma_from_rmse(rmse, series, min_sigma);

@@ -64,9 +64,8 @@ impl Forecaster for Ses {
         }
     }
 
-    fn forecast(&self, horizon: usize) -> Vec<f64> {
-        let level = self.level.expect("fit before forecast");
-        vec![level; horizon]
+    fn forecast(&self, horizon: usize) -> Option<Vec<f64>> {
+        self.level.map(|level| vec![level; horizon])
     }
 
     fn fit_rmse(&self) -> Option<f64> {

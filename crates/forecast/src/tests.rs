@@ -18,7 +18,7 @@ fn diurnal(n: usize, period: usize, mean: f64, amp: f64) -> Vec<f64> {
 fn ses_constant_series() {
     let mut s = Ses::default();
     s.fit(&[7.0; 20]);
-    assert!((s.forecast(3)[2] - 7.0).abs() < 1e-9);
+    assert!((s.forecast(3).unwrap()[2] - 7.0).abs() < 1e-9);
     assert!(s.fit_rmse().unwrap() < 1e-9);
 }
 
@@ -28,7 +28,10 @@ fn ses_converges_toward_recent_level() {
     series.extend(vec![10.0; 30]);
     let mut s = Ses::new(0.5);
     s.fit(&series);
-    assert!(s.forecast(1)[0] > 9.5, "SES should track the regime change");
+    assert!(
+        s.forecast(1).unwrap()[0] > 9.5,
+        "SES should track the regime change"
+    );
 }
 
 #[test]
@@ -36,8 +39,9 @@ fn ses_empty_and_single() {
     let mut s = Ses::default();
     s.fit(&[]);
     assert!(s.level().is_none());
+    assert!(s.forecast(1).is_none());
     s.fit(&[3.0]);
-    assert_eq!(s.forecast(2), vec![3.0, 3.0]);
+    assert_eq!(s.forecast(2).unwrap(), vec![3.0, 3.0]);
     assert!(s.fit_rmse().is_none());
 }
 
@@ -52,7 +56,7 @@ fn holt_tracks_linear_trend() {
     let series: Vec<f64> = (0..40).map(|t| 2.0 + 0.5 * t as f64).collect();
     let mut h = Holt::default();
     h.fit(&series);
-    let f = h.forecast(4);
+    let f = h.forecast(4).unwrap();
     // Next values continue the line: 2 + 0.5·40 = 22, then 22.5, …
     for (i, v) in f.iter().enumerate() {
         let expect = 2.0 + 0.5 * (40 + i) as f64;
@@ -64,7 +68,7 @@ fn holt_tracks_linear_trend() {
 fn holt_single_point() {
     let mut h = Holt::default();
     h.fit(&[4.0]);
-    assert_eq!(h.forecast(2), vec![4.0, 4.0]);
+    assert_eq!(h.forecast(2).unwrap(), vec![4.0, 4.0]);
 }
 
 #[test]
@@ -72,7 +76,7 @@ fn hw_multiplicative_learns_seasonality() {
     let series = diurnal(24 * 6, 24, 100.0, 40.0);
     let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
     hw.fit(&series);
-    let f = hw.forecast(24);
+    let f = hw.forecast(24).unwrap();
     // The forecast of the next full period should match the true cycle.
     for (h, v) in f.iter().enumerate() {
         let truth = 100.0 + 40.0 * (TAU * ((24 * 6 + h) % 24) as f64 / 24.0).sin();
@@ -87,7 +91,7 @@ fn hw_additive_learns_seasonality_with_negatives() {
     let series = diurnal(12 * 8, 12, 0.0, 5.0); // oscillates around zero
     let mut hw = HoltWinters::new(12, Seasonality::Additive);
     hw.fit(&series);
-    let f = hw.forecast(12);
+    let f = hw.forecast(12).unwrap();
     for (h, v) in f.iter().enumerate() {
         let truth = 5.0 * (TAU * ((12 * 8 + h) % 12) as f64 / 12.0).sin();
         assert!((v - truth).abs() < 2.5, "h={h}: {v} vs {truth}");
@@ -109,8 +113,8 @@ fn hw_beats_holt_on_seasonal_data() {
             .sum::<f64>()
             .sqrt()
     };
-    let hw_err = err(&hw.forecast(24));
-    let holt_err = err(&h.forecast(24));
+    let hw_err = err(&hw.forecast(24).unwrap());
+    let holt_err = err(&h.forecast(24).unwrap());
     assert!(
         hw_err < holt_err,
         "Holt-Winters ({hw_err:.2}) should beat Holt ({holt_err:.2}) on seasonal data"
@@ -131,7 +135,7 @@ fn hw_grid_search_not_worse_than_default() {
 fn hw_short_history_falls_back() {
     let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
     hw.fit(&[5.0, 6.0, 7.0]); // < 2 seasons
-    let f = hw.forecast(2);
+    let f = hw.forecast(2).unwrap();
     assert!(
         f[0] > 6.0,
         "fallback should extrapolate the trend, got {}",
@@ -248,7 +252,7 @@ proptest! {
         let series = diurnal(season * 8, season, mean, amp);
         let mut hw = HoltWinters::new(season, Seasonality::Multiplicative);
         hw.fit(&series);
-        let f = hw.forecast(1)[0];
+        let f = hw.forecast(1).unwrap()[0];
         let truth = mean + amp * (TAU * ((season * 8) % season) as f64 / season as f64).sin();
         prop_assert!((f - truth).abs() < mean * 0.25,
             "forecast {f} too far from truth {truth}");
@@ -263,7 +267,7 @@ proptest! {
 fn hw_handles_constant_series() {
     let mut hw = HoltWinters::new(6, Seasonality::Multiplicative);
     hw.fit(&[10.0; 36]);
-    let f = hw.forecast(6);
+    let f = hw.forecast(6).unwrap();
     for v in f {
         assert!((v - 10.0).abs() < 1e-6);
     }
@@ -278,7 +282,7 @@ fn hw_additive_handles_zero_heavy_series() {
         .collect();
     let mut hw = HoltWinters::new(12, Seasonality::Additive);
     hw.fit(&series);
-    let f = hw.forecast(12);
+    let f = hw.forecast(12).unwrap();
     assert!(f.iter().all(|v| v.is_finite()));
     // The square wave should be roughly reproduced.
     assert!(f[2] < f[8], "quiet half must forecast below busy half");
@@ -305,7 +309,7 @@ fn holt_downtrend_extrapolates_below_last() {
     let series: Vec<f64> = (0..30).map(|t| 100.0 - 2.0 * t as f64).collect();
     let mut h = Holt::default();
     h.fit(&series);
-    let f = h.forecast(3);
+    let f = h.forecast(3).unwrap();
     assert!(f[0] < series[29]);
     assert!(f[2] < f[0], "trend continues downward");
 }
@@ -330,6 +334,25 @@ fn predict_next_sigma_respects_floor() {
 }
 
 #[test]
+fn forecast_before_fit_returns_none() {
+    // Regression: these used to panic on `.expect("fit before forecast")`,
+    // taking down an orchestrator epoch on a not-yet-warmed monitor stream.
+    assert!(Ses::default().forecast(3).is_none());
+    assert!(Holt::default().forecast(3).is_none());
+    assert!(HoltWinters::new(12, Seasonality::Multiplicative)
+        .forecast(3)
+        .is_none());
+    // Fitting on an empty series clears state rather than fabricating one.
+    let mut h = Holt::default();
+    h.fit(&[1.0, 2.0]);
+    h.fit(&[]);
+    assert!(h.forecast(1).is_none());
+    let mut hw = HoltWinters::new(4, Seasonality::Additive);
+    hw.fit(&[]);
+    assert!(hw.forecast(1).is_none());
+}
+
+#[test]
 fn forecaster_trait_objects_work() {
     // The orchestrator can swap methods through the trait.
     let series = diurnal(48, 12, 50.0, 10.0);
@@ -340,7 +363,7 @@ fn forecaster_trait_objects_work() {
     ];
     for m in methods.iter_mut() {
         m.fit(&series);
-        let f = m.forecast(4);
+        let f = m.forecast(4).unwrap();
         assert_eq!(f.len(), 4);
         assert!(f.iter().all(|v| v.is_finite()));
     }

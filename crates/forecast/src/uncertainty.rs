@@ -14,6 +14,10 @@
 /// Maps a fit RMSE to the paper's `σ̂ ∈ (0, 1]` scale.
 ///
 /// * `rmse = None` (series too short to measure) ⇒ maximum uncertainty 1.0.
+/// * A non-finite `rmse` or any non-finite series element (a poisoned
+///   monitor stream) ⇒ maximum uncertainty 1.0 — without this guard the
+///   NaN would survive `clamp` (`NaN.clamp(a, b)` is NaN) and poison the
+///   risk term downstream.
 /// * Otherwise `clamp(rmse / mean(|series|), min_sigma, 1.0)`.
 ///
 /// # Panics
@@ -27,6 +31,9 @@ pub fn sigma_from_rmse(rmse: Option<f64>, series: &[f64], min_sigma: f64) -> f64
         return 1.0;
     };
     if series.is_empty() {
+        return 1.0;
+    }
+    if !rmse.is_finite() || series.iter().any(|v| !v.is_finite()) {
         return 1.0;
     }
     let mean_abs: f64 = series.iter().map(|v| v.abs()).sum::<f64>() / series.len() as f64;
@@ -71,5 +78,20 @@ mod tests {
     #[should_panic(expected = "min_sigma")]
     fn rejects_bad_min_sigma() {
         sigma_from_rmse(Some(1.0), &[1.0], 0.0);
+    }
+
+    #[test]
+    fn non_finite_rmse_is_max_uncertainty() {
+        assert_eq!(sigma_from_rmse(Some(f64::NAN), &[1.0, 2.0], 0.05), 1.0);
+        assert_eq!(sigma_from_rmse(Some(f64::INFINITY), &[1.0, 2.0], 0.05), 1.0);
+    }
+
+    #[test]
+    fn non_finite_series_element_is_max_uncertainty() {
+        assert_eq!(sigma_from_rmse(Some(1.0), &[1.0, f64::NAN], 0.05), 1.0);
+        assert_eq!(
+            sigma_from_rmse(Some(1.0), &[f64::NEG_INFINITY, 1.0], 0.05),
+            1.0
+        );
     }
 }

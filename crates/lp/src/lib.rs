@@ -172,7 +172,9 @@ pub mod revised;
 mod simplex;
 pub mod sparse;
 
-pub use model::{certify_unique_optimum, Cmp, ConsId, Problem, VarId};
+pub use model::{
+    certify_unique_optimum, certify_unique_optimum_perturbed, Cmp, ConsId, Problem, VarId,
+};
 pub use revised::{Basis, LpStats, WarmSolve, Workspace};
 pub use simplex::{
     fault_injection_active, Farkas, FaultConfig, Outcome, SimplexOptions, Solution, SolveError,

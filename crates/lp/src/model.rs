@@ -315,3 +315,104 @@ pub fn certify_unique_optimum(p: &Problem, s: &Solution) -> bool {
     }
     true
 }
+
+/// Certifies that `s.x` is the **unique optimal decision** of `p`, without
+/// requiring the optimal *basis* to be unique — the perturbation-style
+/// widening of [`certify_unique_optimum`] for degenerate optima.
+///
+/// Degeneracy is the normal case for LPs built from exchangeable columns
+/// (many identical requests): a capacity row can sit exactly tight with a
+/// zero multiplier, or a basic variable can rest on its bound, so strict
+/// complementarity fails even though every optimum has the same `x`. This
+/// certificate reasons about the optimal *face* instead, mimicking what an
+/// infinitesimal lexicographic perturbation of the bounds would reveal:
+///
+/// 1. Complementary slackness with the one known optimal dual `y` holds
+///    between *every* primal optimum and *every* dual optimum, so a
+///    variable with a strictly nonzero reduced cost `d_j = c_j − y'A_j` is
+///    pinned to the bound it currently rests on at every optimum. Fixed
+///    variables (`lb == ub`) are pinned trivially.
+/// 2. Equality rows, and inequality rows with `|y_i| > tol`, are tight at
+///    every optimum (the optimal face lies inside them).
+/// 3. A face row whose nonzeros cover exactly one unpinned column
+///    determines that column; propagate to a fixed point.
+///
+/// Certification succeeds iff every variable ends up pinned. A tight row
+/// with a zero dual — the classic degenerate pattern strict
+/// complementarity rejects — is simply *not* a face row here and costs
+/// nothing, while genuine alternative optima (exchangeable columns sharing
+/// a binding row with equal costs) leave columns unpinned and are refused.
+///
+/// **Scope:** this certifies the primal decision only. The optimal basis,
+/// and hence the dual vector, may still be non-unique — consumers of dual
+/// certificates (e.g. Benders optimality cuts) must keep using
+/// [`certify_unique_optimum`].
+pub fn certify_unique_optimum_perturbed(p: &Problem, s: &Solution) -> bool {
+    const TOL: f64 = 1e-7;
+    let n = p.vars.len();
+    let mut d: Vec<f64> = p.vars.iter().map(|v| v.obj).collect();
+    for (i, cons) in p.cons.iter().enumerate() {
+        let y = s.duals[i];
+        if y != 0.0 {
+            for &(j, a) in &cons.coeffs {
+                d[j] -= y * a;
+            }
+        }
+    }
+    let mut pinned = vec![false; n];
+    let mut unpinned = 0usize;
+    for (j, v) in p.vars.iter().enumerate() {
+        if v.lb == v.ub {
+            pinned[j] = true;
+            continue;
+        }
+        if d[j].abs() > TOL * (1.0 + v.obj.abs()) {
+            let x = s.x[j];
+            let at_lower = v.lb.is_finite() && (x - v.lb).abs() <= TOL * (1.0 + v.lb.abs());
+            let at_upper = v.ub.is_finite() && (v.ub - x).abs() <= TOL * (1.0 + v.ub.abs());
+            if at_lower || at_upper {
+                pinned[j] = true;
+                continue;
+            }
+            // A strictly nonzero reduced cost away from both bounds
+            // contradicts optimality — numerically suspect, refuse.
+            return false;
+        }
+        unpinned += 1;
+    }
+    if unpinned == 0 {
+        return true;
+    }
+    // Rows tight at every optimum: the optimal face lives inside them.
+    let face: Vec<usize> = p
+        .cons
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| matches!(c.cmp, Cmp::Eq) || s.duals[*i].abs() > TOL)
+        .map(|(i, _)| i)
+        .collect();
+    loop {
+        let mut progress = false;
+        for &i in &face {
+            let mut free = 0usize;
+            let mut last = usize::MAX;
+            for &(j, a) in &p.cons[i].coeffs {
+                if a != 0.0 && !pinned[j] {
+                    free += 1;
+                    last = j;
+                }
+            }
+            if free == 1 {
+                pinned[last] = true;
+                unpinned -= 1;
+                progress = true;
+            }
+        }
+        if unpinned == 0 {
+            return true;
+        }
+        if !progress {
+            return false;
+        }
+    }
+}

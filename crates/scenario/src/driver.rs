@@ -79,6 +79,11 @@ pub struct ScenarioSpec {
     /// and `lp_fault_seed` (if set) arms LP warm-path fault injection on
     /// the MILP-backed epoch solves.
     pub faults: Option<FaultPlan>,
+    /// Decision-latency SLO in seconds: epochs whose solve takes longer
+    /// are counted as SLO violations in the report. Like the latency
+    /// itself, this is wall-clock telemetry — excluded from both
+    /// fingerprints. `None` disables the count.
+    pub decision_slo_seconds: Option<f64>,
     /// Run the horizon through the persistent cross-epoch
     /// [`EpochSolver`](ovnes::solver::epoch::EpochSolver): bases,
     /// factorizations, Benders cuts and incumbents carry from epoch to
@@ -115,6 +120,7 @@ impl ScenarioSpec {
                 seed: 7,
                 budget: SolveBudget::default(),
                 faults: None,
+                decision_slo_seconds: None,
                 incremental: false,
             },
         }
@@ -243,6 +249,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Per-epoch decision-latency SLO in seconds (see
+    /// [`ScenarioSpec::decision_slo_seconds`]).
+    pub fn decision_slo_seconds(mut self, slo: f64) -> Self {
+        self.spec.decision_slo_seconds = Some(slo);
+        self
+    }
+
     /// Finalises the spec.
     pub fn build(self) -> ScenarioSpec {
         self.spec
@@ -338,6 +351,9 @@ pub fn run_scenario_on(
     let mut incremental_cold_epochs = 0usize;
     let mut recycled_cuts = 0usize;
     let mut carry_cold_restarts = 0usize;
+    let mut carry_certified = 0usize;
+    let mut carry_certified_perturbed = 0usize;
+    let mut churn_carry_attempts = 0usize;
     let mut degraded_epochs = 0usize;
     let mut deferred_epochs = 0usize;
     let mut evictions = 0usize;
@@ -347,6 +363,7 @@ pub fn run_scenario_on(
     let mut solver_errors = 0usize;
     let mut max_decision_seconds = 0.0f64;
     let mut decision_seconds_sum = 0.0f64;
+    let mut slo_violations = 0usize;
 
     // Epoch loop with *batched* submission: each epoch receives only its
     // own arrivals, so the orchestrator's pending queue holds re-applicants
@@ -381,6 +398,9 @@ pub fn run_scenario_on(
         lp_refactorizations += out.solver_stats.lp.refactorizations;
         recycled_cuts += out.solver_stats.recycled_cuts;
         carry_cold_restarts += out.solver_stats.carry_cold_restarts;
+        carry_certified += out.solver_stats.carry_certified;
+        carry_certified_perturbed += out.solver_stats.carry_certified_perturbed;
+        churn_carry_attempts += out.solver_stats.churn_carry_attempts;
         if let Some(inc) = &out.incremental {
             incremental_cold_epochs += usize::from(inc.cold_fallback);
         }
@@ -397,6 +417,12 @@ pub fn run_scenario_on(
         solver_errors += usize::from(out.solver_error.is_some());
         max_decision_seconds = max_decision_seconds.max(out.decision_seconds);
         decision_seconds_sum += out.decision_seconds;
+        if spec
+            .decision_slo_seconds
+            .is_some_and(|slo| out.decision_seconds > slo)
+        {
+            slo_violations += 1;
+        }
     };
     for epoch in 0..spec.horizon_epochs as u32 {
         while arrival_stream
@@ -464,6 +490,9 @@ pub fn run_scenario_on(
         incremental_cold_epochs,
         recycled_cuts,
         carry_cold_restarts,
+        carry_certified,
+        carry_certified_perturbed,
+        churn_carry_attempts,
         degraded_epochs,
         deferred_epochs,
         evictions,
@@ -474,6 +503,8 @@ pub fn run_scenario_on(
         deterministic: spec.budget.is_deterministic(),
         max_decision_seconds,
         mean_decision_seconds: decision_seconds_sum / epochs,
+        decision_slo_seconds: spec.decision_slo_seconds,
+        slo_violations,
         wall_seconds: t0.elapsed().as_secs_f64(),
     })
 }

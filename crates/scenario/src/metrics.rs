@@ -121,6 +121,17 @@ pub struct ScenarioReport {
     /// Unlike `incremental_cold_epochs` these are part of normal clean
     /// operation, not fault degradation.
     pub carry_cold_restarts: usize,
+    /// Carried warm solves that stood: the seeded solve certified at least
+    /// a unique optimal decision (KAC only).
+    pub carry_certified: usize,
+    /// Subset of [`ScenarioReport::carry_certified`] certified only by the
+    /// perturbation certificate — degenerate epochs the strict
+    /// complementarity test would have restarted cold.
+    pub carry_certified_perturbed: usize,
+    /// Churn epochs whose first shed/re-pack iteration attempted the
+    /// carried basis (the carried objective predicted the packed set
+    /// feasible).
+    pub churn_carry_attempts: usize,
     /// Epochs whose decision was degraded below a clean full solve
     /// (incumbent, greedy fallback or deferral).
     pub degraded_epochs: usize,
@@ -147,15 +158,22 @@ pub struct ScenarioReport {
     /// Mean per-epoch decision latency in seconds — machine-dependent,
     /// **excluded** from the fingerprint.
     pub mean_decision_seconds: f64,
+    /// The spec's decision-latency SLO, echoed for reporting (`None` = no
+    /// SLO). Wall-clock telemetry — **excluded** from the fingerprint.
+    pub decision_slo_seconds: Option<f64>,
+    /// Epochs whose decision latency exceeded the SLO — machine-dependent,
+    /// **excluded** from the fingerprint.
+    pub slo_violations: usize,
     /// Wall-clock of the run in seconds — machine-dependent, **excluded**
     /// from the fingerprint.
     pub wall_seconds: f64,
 }
 
 impl ScenarioReport {
-    /// Folds every deterministic field (not `wall_seconds`,
-    /// `max_decision_seconds` or `mean_decision_seconds`) into `h`: the
-    /// decision trail plus the solver-path telemetry.
+    /// Folds every deterministic field (not the wall-clock telemetry:
+    /// `wall_seconds`, `max_decision_seconds`, `mean_decision_seconds`,
+    /// `decision_slo_seconds`, `slo_violations`) into `h`: the decision
+    /// trail plus the solver-path telemetry.
     pub fn hash_into(&self, h: &mut Fnv64) {
         self.hash_decision_into(h);
         h.write_u64(self.lp_solves as u64);
@@ -165,6 +183,9 @@ impl ScenarioReport {
         h.write_u64(self.incremental_cold_epochs as u64);
         h.write_u64(self.recycled_cuts as u64);
         h.write_u64(self.carry_cold_restarts as u64);
+        h.write_u64(self.carry_certified as u64);
+        h.write_u64(self.carry_certified_perturbed as u64);
+        h.write_u64(self.churn_carry_attempts as u64);
     }
 
     /// Folds only the fields determined by the *admission decisions* —

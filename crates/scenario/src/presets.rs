@@ -6,17 +6,17 @@
 //! to the full-scale Figs. 5–6 setup it reproduces (pass `scale = 1.0`
 //! through the builder to run the paper-size instance).
 
-use crate::driver::{build_model, ScenarioSpec};
+use crate::driver::{build_model, ScenarioSpec, Workload};
 use crate::faults::FaultPlan;
 use crate::workload::{ArrivalProcess, BurstEvent, ClassMix, DiurnalProfile};
 use ovnes::orchestrator::{InfraEvent, InfraEventKind};
-use ovnes::slice::SliceClass;
+use ovnes::slice::{SliceClass, SliceTemplate};
 use ovnes::solver::{SolveBudget, SolverKind};
 use ovnes::testbed;
 use ovnes_topology::operators::{CuKind, Operator};
 
 /// Every preset name [`preset`] resolves.
-pub const PRESET_NAMES: [&str; 15] = [
+pub const PRESET_NAMES: [&str; 16] = [
     "testbed-day",
     "fig5-n1",
     "fig5-n2",
@@ -32,6 +32,7 @@ pub const PRESET_NAMES: [&str; 15] = [
     "incremental-n1",
     "chaos-incremental-n1",
     "incremental-steady-n1",
+    "incremental-degenerate-n1",
 ];
 
 /// Resolves a named preset.
@@ -52,6 +53,7 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
         "incremental-n1" => incremental_n1(),
         "chaos-incremental-n1" => chaos_incremental(),
         "incremental-steady-n1" => incremental_steady(),
+        "incremental-degenerate-n1" => incremental_degenerate(),
         _ => return None,
     })
 }
@@ -406,6 +408,104 @@ pub fn incremental_steady() -> ScenarioSpec {
         .seed(202)
         .incremental(true)
         .build()
+}
+
+/// The degenerate-optimum showcase: a homogeneous burst of **identical**
+/// uRLLC slices (same class, same α, σ = 0 — deterministic traffic), all
+/// pinned to the single delay-feasible edge CU, plus a scripted capacity
+/// loss that shrinks that CU to within certificate tolerance (≈1e−9
+/// relative slack, well inside the 1e−7 tightness test) of the steady
+/// optimum's exact compute load. Every steady epoch then solves to the
+/// same all-at-Λ vertex with the CU row *tight but slack-basic* (zero
+/// multiplier): strict complementarity fails — under the old single
+/// certificate the carry cold-restarted every epoch — while the
+/// perturbation certificate pins every leg to its bound and lets the
+/// carried basis stand. A mid-horizon flash of short-lived identical
+/// requests overflows the shrunken CU's reservation floors, so the first
+/// all-in vet goes infeasible and the churn-epoch first-shed carry path
+/// gets exercised (the binding-row ties those epochs create are genuine
+/// alternative optima, which both certificates must keep refusing).
+pub fn incremental_degenerate() -> ScenarioSpec {
+    let base = ScenarioSpec::builder("incremental-degenerate-n1")
+        .operator(Operator::Romanian, 0.025)
+        .horizon(64)
+        .tune_workload(|w| {
+            w.arrivals = ArrivalProcess::Poisson { rate: 0.0 };
+            // Flat deterministic traffic: σ = 0 and no diurnal swing, so
+            // identical requests stay bit-identical LP columns for the
+            // whole horizon.
+            w.population.sigma_frac = (0.0, 0.0);
+            w.traffic_diurnal = None;
+            w.bursts = vec![
+                // The incumbents: identical long-lived uRLLC slices whose
+                // 5 ms budget pins them all to the edge CU.
+                BurstEvent {
+                    start_epoch: 0,
+                    duration_epochs: 1,
+                    extra_rate: 3.0,
+                    class: SliceClass::Urllc,
+                    alpha: 0.3,
+                    slice_epochs: 64,
+                },
+                // The churn wave: identical short-lived requests that
+                // (once past the operator prior) overflow the shrunken
+                // CU's forecast floors and force shed iterations.
+                BurstEvent {
+                    start_epoch: 30,
+                    duration_epochs: 1,
+                    extra_rate: 10.0,
+                    class: SliceClass::Urllc,
+                    alpha: 0.3,
+                    slice_epochs: 4,
+                },
+            ];
+        })
+        .reapply_epochs(6)
+        .seed(303)
+        .incremental(true)
+        .decision_slo_seconds(0.25)
+        .build();
+    // Engineer the degeneracy: shrink the edge CU to (1 + 1e−9)× the
+    // incumbents' exact full-SLA compute load. The margin keeps the
+    // all-at-Λ vertex strictly feasible (the row never *binds*, so the
+    // optimum stays the unique exact-bound vertex) while sitting far
+    // inside the certificates' 1e−7 relative tightness tolerance.
+    let model = build_model(&base);
+    let incumbents = match &base.workload {
+        Workload::Generated(w) => w
+            .generate(base.seed, base.horizon_epochs)
+            .iter()
+            .filter(|r| r.duration_epochs as usize >= base.horizon_epochs)
+            .count(),
+        Workload::Explicit(_) => unreachable!("degenerate preset generates its workload"),
+    };
+    let urllc = SliceTemplate::urllc();
+    let n_bs = model.base_stations.len() as f64;
+    let full_load_cores = incumbents as f64 * n_bs * urllc.service.cores_per_mbps * urllc.sla_mbps;
+    let (edge_cu, edge_cores) = model
+        .compute_units
+        .iter()
+        .enumerate()
+        .find(|(_, u)| u.kind == CuKind::Edge)
+        .map(|(i, u)| (i, u.cores))
+        .expect("generated topologies always carry an edge CU");
+    let factor = full_load_cores * (1.0 + 1e-9) / edge_cores;
+    assert!(
+        factor < 1.0,
+        "degenerate preset needs the incumbents to underfill the edge CU \
+         (got {incumbents} incumbents, factor {factor})"
+    );
+    let plan = FaultPlan::scripted_only(vec![InfraEvent {
+        epoch: 10,
+        kind: InfraEventKind::CuCapacityLoss {
+            cu: edge_cu,
+            factor,
+        },
+    }]);
+    ScenarioSpec {
+        faults: Some(plan),
+        ..base
+    }
 }
 
 /// The chaos presets as one sweep (the CI chaos-smoke leg).

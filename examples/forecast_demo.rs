@@ -40,23 +40,23 @@ fn main() {
     println!(
         "{:<22} {:>12.2}",
         "Holt-Winters (mult.)",
-        rmse(&hw.forecast(24))
+        rmse(&hw.forecast(24).expect("fitted"))
     );
     println!(
         "{:<22} {:>12.2}",
         "Holt (trend only)",
-        rmse(&holt.forecast(24))
+        rmse(&holt.forecast(24).expect("fitted"))
     );
     println!(
         "{:<22} {:>12.2}",
         "SES (level only)",
-        rmse(&ses.forecast(24))
+        rmse(&ses.forecast(24).expect("fitted"))
     );
 
     println!("\nHour-by-hour (first 8 h):");
     println!("{:>4} {:>8} {:>8} {:>8}", "h", "truth", "HW", "Holt");
-    let hwf = hw.forecast(24);
-    let hf = holt.forecast(24);
+    let hwf = hw.forecast(24).expect("fitted");
+    let hf = holt.forecast(24).expect("fitted");
     for h in 0..8 {
         println!("{:>4} {:>8.1} {:>8.1} {:>8.1}", h, test[h], hwf[h], hf[h]);
     }

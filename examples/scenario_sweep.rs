@@ -48,6 +48,7 @@ fn main() {
                 presets::incremental_n1(),
                 presets::chaos_incremental(),
                 presets::incremental_steady(),
+                presets::incremental_degenerate(),
             ],
             "incremental sweep",
         )

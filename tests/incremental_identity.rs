@@ -172,6 +172,63 @@ fn incremental_steady_no_churn_epochs_are_nearly_free() {
     );
 }
 
+/// The degenerate-optimum fix, observed end-to-end: on the homogeneous
+/// `incremental-degenerate-n1` preset the engineered tight-but-slack CU
+/// row makes strict complementarity fail on every steady epoch, so before
+/// the perturbation certificate the carry cold-restarted **every** one of
+/// them. Now the perturbed certificate must let the carried basis stand on
+/// the steady window (perturbed-only certifications > 0), churn epochs
+/// must attempt the first-shed carry, cold restarts must be the exception
+/// rather than the rule — and the decision trail must stay bit-identical
+/// to the from-scratch driver at 1, 2, and 4 workers.
+#[test]
+fn incremental_degenerate_certifies_perturbed_and_matches_scratch() {
+    let base = presets::incremental_degenerate();
+    let mut warm1 = None;
+    for threads in [1usize, 2, 4] {
+        let mut spec = base.clone();
+        spec.threads = threads;
+        let warm = run_scenario(&spec).expect("degenerate incremental run");
+        let cold = run_scenario(&scratch_twin(&spec)).expect("degenerate scratch run");
+        assert_eq!(
+            warm.decision_fingerprint(),
+            cold.decision_fingerprint(),
+            "degenerate incremental decisions diverged from scratch at {threads} workers"
+        );
+        if let Some(first) = &warm1 {
+            let first: &ovnes_scenario::ScenarioReport = first;
+            assert_eq!(
+                first.fingerprint(),
+                warm.fingerprint(),
+                "degenerate incremental trajectory diverged at {threads} workers"
+            );
+        } else {
+            warm1 = Some(warm);
+        }
+    }
+    let warm = warm1.expect("serial run recorded");
+    assert!(warm.accepted > 0, "the homogeneous burst admitted nothing");
+    assert!(warm.infra_events > 0, "the scripted CU shrink never fired");
+    assert!(
+        warm.carry_certified_perturbed > 0,
+        "no steady epoch certified through the perturbation certificate \
+         (the degenerate pathology is back to always-cold)"
+    );
+    assert!(
+        warm.churn_carry_attempts > 0,
+        "no churn epoch attempted the first-shed carry"
+    );
+    // The fix's headline: before the perturbation certificate every seeded
+    // steady epoch restarted cold; now certification is the common case
+    // and restarts the exception (genuine alternative-optima epochs).
+    assert!(
+        warm.carry_cold_restarts < warm.carry_certified,
+        "cold restarts ({}) not reduced below certifications ({})",
+        warm.carry_cold_restarts,
+        warm.carry_certified
+    );
+}
+
 fn tiny_model() -> NetworkModel {
     NetworkModel::generate(
         Operator::Romanian,

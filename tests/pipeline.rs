@@ -66,7 +66,7 @@ fn seasonal_demand_is_learnt_by_holt_winters() {
     let series = monitor.series((0, 0));
     let mut hw = HoltWinters::new(24, Seasonality::Multiplicative);
     hw.fit(series);
-    let forecast = hw.forecast(24);
+    let forecast = hw.forecast(24).expect("fitted on four days of peaks");
     // The forecast cycle must span a meaningful fraction of the true
     // amplitude (quiet vs busy hours differ by ~3x here).
     let lo = forecast.iter().cloned().fold(f64::INFINITY, f64::min);
