@@ -17,6 +17,7 @@ use ovnes::slice::{SliceClass, SliceTemplate};
 use ovnes::solver::slave::{solve_slave, SlaveContext};
 use ovnes::solver::{baseline, benders, kac, oneshot};
 use ovnes_lp::revised::gen::{random_bound_edit, random_lp, GenRng, LpGenConfig};
+use ovnes_lp::revised::SparseLu;
 use ovnes_lp::{Basis, LpStats};
 use ovnes_topology::operators::{GeneratorConfig, NetworkModel, Operator};
 use std::time::Instant;
@@ -57,12 +58,19 @@ fn instance(overbooking: bool, n_tenants: usize) -> AcrrInstance {
     instance_at(0.04, n_tenants, overbooking)
 }
 
-/// The three benchmark scales: (label, topology scale, tenants).
-const SCALES: [(&str, f64, usize); 3] = [
+/// The four benchmark scales: (label, topology scale, tenants).
+const SCALES: [(&str, f64, usize); 4] = [
     ("small", 0.02, 3),
     ("paper", 0.04, 6),
     ("10x_paper", 0.12, 20),
+    ("100x_paper", 0.4, 60),
 ];
+
+/// True for the big scales that run snapshot-only (no criterion loops, no
+/// full Benders): their cold chains are seconds-to-minutes each.
+fn snapshot_only(label: &str) -> bool {
+    label == "10x_paper" || label == "100x_paper"
+}
 
 /// A **feasible** admission sequence for the big-scale warm-chain probes:
 /// start from the KAC heuristic's capacity-vetted admission and drop a
@@ -191,11 +199,12 @@ fn bench_solvers(c: &mut Criterion) {
 }
 
 fn bench_warm_vs_cold(c: &mut Criterion) {
-    // Criterion loops cover the two smaller scales; the 10×-paper scale is
-    // measured once by the snapshot below (its cold chain alone is tens of
-    // seconds — a multi-sample loop would blow the micro-benchmark budget).
+    // Criterion loops cover the two smaller scales; the 10×- and 100×-paper
+    // scales are measured once by the snapshot below (their cold chains
+    // alone are tens of seconds — a multi-sample loop would blow the
+    // micro-benchmark budget).
     for (label, scale, tenants) in SCALES {
-        if label == "10x_paper" {
+        if snapshot_only(label) {
             continue;
         }
         let inst = instance_at(scale, tenants, true);
@@ -227,11 +236,15 @@ fn emit_snapshot() {
 
     for (label, scale, tenants) in SCALES {
         let inst = instance_at(scale, tenants, true);
-        let steps = if label == "10x_paper" { 8 } else { 16 };
-        // The big scale runs the ROADMAP's feasible chain (bound-heavy
+        let steps = match label {
+            "10x_paper" => 8,
+            "100x_paper" => 4,
+            _ => 16,
+        };
+        // The big scales run the ROADMAP's feasible chain (bound-heavy
         // re-solves); the smaller scales keep the historical rotating mix
         // (which stays feasible there) for snapshot continuity.
-        let seq = if label == "10x_paper" {
+        let seq = if snapshot_only(label) {
             feasible_admission_sequence(&inst, steps)
         } else {
             admission_sequence(&inst, steps)
@@ -249,6 +262,8 @@ fn emit_snapshot() {
                 "\"warm_bound_flips\": {}, \"cold_bound_flips\": {}, ",
                 "\"warm_pricing_scans\": {}, \"cold_pricing_scans\": {}, ",
                 "\"warm_candidate_refreshes\": {}, ",
+                "\"warm_eta_compressions\": {}, \"warm_hypersparse_ftrans\": {}, ",
+                "\"warm_hypersparse_btrans\": {}, \"warm_pivot_scan_work\": {}, ",
                 "\"pivot_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
             ),
             label,
@@ -267,6 +282,10 @@ fn emit_snapshot() {
             sw.pricing_scans,
             sc.pricing_scans,
             sw.candidate_refreshes,
+            sw.eta_compressions,
+            sw.hypersparse_ftrans,
+            sw.hypersparse_btrans,
+            sw.pivot_scan_work,
             sc.total_pivots() as f64 / sw.total_pivots().max(1) as f64,
             tc / tw.max(1e-12),
         ));
@@ -292,6 +311,7 @@ fn emit_snapshot() {
                 "\"resolve_refactorizations\": {}, \"resolve_factorization_reuses\": {}, ",
                 "\"resolve_pivots\": {}, \"resolve_bound_flips\": {}, ",
                 "\"resolve_pricing_scans\": {}, ",
+                "\"resolve_eta_compressions\": {}, \"resolve_hypersparse_ftrans\": {}, ",
                 "\"cold_pivots\": {}, \"time_speedup\": {:.2}}}"
             ),
             label,
@@ -302,11 +322,13 @@ fn emit_snapshot() {
             after.total_pivots() - before.total_pivots(),
             after.bound_flips - before.bound_flips,
             after.pricing_scans - before.pricing_scans,
+            after.eta_compressions - before.eta_compressions,
+            after.hypersparse_ftrans - before.hypersparse_ftrans,
             cold_ctx.stats.total_pivots(),
             t_cold / t_resolve.max(1e-12),
         ));
 
-        if label != "10x_paper" {
+        if !snapshot_only(label) {
             let t0 = Instant::now();
             let aw = benders::solve(&inst, &benders_opts(true)).expect("benders warm");
             let tw = t0.elapsed().as_secs_f64();
@@ -330,6 +352,7 @@ fn emit_snapshot() {
                     "\"warm_bound_flips\": {}, \"cold_bound_flips\": {}, ",
                     "\"warm_pricing_scans\": {}, \"cold_pricing_scans\": {}, ",
                     "\"warm_candidate_refreshes\": {}, ",
+                    "\"warm_eta_compressions\": {}, \"warm_hypersparse_ftrans\": {}, ",
                     "\"warm_hits\": {}, \"pivot_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
                 ),
                 label,
@@ -348,9 +371,77 @@ fn emit_snapshot() {
                 aw.stats.lp.pricing_scans,
                 ac.stats.lp.pricing_scans,
                 aw.stats.lp.candidate_refreshes,
+                aw.stats.lp.eta_compressions,
+                aw.stats.lp.hypersparse_ftrans,
                 aw.stats.lp.warm_starts,
                 ac.stats.lp.total_pivots() as f64 / aw.stats.lp.total_pivots().max(1) as f64,
                 tc / tw.max(1e-12),
+            ));
+        }
+
+        // The factorization probe: bucketed-Markowitz `factor` vs the
+        // retained full-rescan baseline on a basis-shaped matrix whose
+        // dimension tracks the instance (legs + CU + radio + link rows —
+        // the row count the slave LP's bases live in). The shape is the
+        // near-triangular banded-plus-coupling pattern real LP bases have,
+        // so elimination cost is small and the probe isolates exactly what
+        // the bucketed rewrite removed: the Θ(m²) per-stage pivot rescan.
+        {
+            let m = inst.legs.len() + inst.n_cu + inst.n_bs + inst.link_caps.len();
+            let mut rng = GenRng::new(0x1A0_FAC7 ^ m as u64);
+            let mut cols: Vec<Vec<(u32, f64)>> = Vec::with_capacity(m);
+            for j in 0..m {
+                let mut col = vec![(j as u32, 4.0 + rng.next_f64())];
+                for d in 1..=2usize {
+                    if j >= d && rng.chance(0.6) {
+                        col.push(((j - d) as u32, rng.uniform(-1.0, 1.0)));
+                    }
+                }
+                if rng.chance(0.02) {
+                    let i = rng.index(m);
+                    if i != j {
+                        col.push((i as u32, rng.uniform(-1.0, 1.0)));
+                    }
+                }
+                col.sort_by_key(|&(i, _)| i);
+                col.dedup_by_key(|&mut (i, _)| i);
+                cols.push(col);
+            }
+            let nnz: usize = cols.iter().map(Vec::len).sum();
+            let time_min = |f: &dyn Fn() -> SparseLu| {
+                (0..3)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        let lu = f();
+                        (t0.elapsed().as_secs_f64(), lu)
+                    })
+                    .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+                    .expect("three factor passes")
+            };
+            let (t_fast, fast) =
+                time_min(&|| SparseLu::factor_cols(m, &cols).expect("nonsingular"));
+            let (t_slow, slow) = time_min(&|| {
+                SparseLu::factor_rescan(m, |pos, buf| buf.extend_from_slice(&cols[pos]))
+                    .expect("nonsingular")
+            });
+            entries.push(format!(
+                concat!(
+                    "  {{\"bench\": \"lu_factor\", \"scale\": \"{}\", ",
+                    "\"dim\": {}, \"nnz\": {}, \"fill_in\": {}, ",
+                    "\"bucketed_seconds\": {:.6}, \"rescan_seconds\": {:.6}, ",
+                    "\"bucketed_scan_work\": {}, \"rescan_scan_work\": {}, ",
+                    "\"scan_reduction\": {:.2}, \"time_speedup\": {:.2}}}"
+                ),
+                label,
+                m,
+                nnz,
+                fast.fill_in(),
+                t_fast,
+                t_slow,
+                fast.pivot_scan_work(),
+                slow.pivot_scan_work(),
+                slow.pivot_scan_work() as f64 / fast.pivot_scan_work().max(1) as f64,
+                t_slow / t_fast.max(1e-12),
             ));
         }
     }

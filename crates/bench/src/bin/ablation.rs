@@ -172,7 +172,7 @@ fn main() {
     // ---- Ablation 4: warm-start engine ------------------------------------
     println!("\nAblation 4 — revised-simplex warm starts on the Benders hot path\n");
     let header = format!(
-        "{:<8} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>10} {:>9} {:>12}",
+        "{:<8} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12}",
         "mode",
         "pivots",
         "phase1",
@@ -181,6 +181,8 @@ fn main() {
         "warm hits",
         "refactor",
         "reused",
+        "ft-compr",
+        "hs-f/b",
         "scans",
         "refresh",
         "seconds"
@@ -223,7 +225,7 @@ fn main() {
         let alloc = ovnes::solver::benders::solve(&inst, &opts).expect("benders");
         let secs = t0.elapsed().as_secs_f64();
         println!(
-            "{:<8} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>10} {:>9} {:>12.4}",
+            "{:<8} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12.4}",
             mode,
             alloc.stats.lp.total_pivots(),
             alloc.stats.lp.phase1_pivots,
@@ -232,6 +234,11 @@ fn main() {
             alloc.stats.lp.warm_starts,
             alloc.stats.lp.refactorizations,
             alloc.stats.lp.factorization_reuses,
+            alloc.stats.lp.eta_compressions,
+            format!(
+                "{}/{}",
+                alloc.stats.lp.hypersparse_ftrans, alloc.stats.lp.hypersparse_btrans
+            ),
             alloc.stats.lp.pricing_scans,
             alloc.stats.lp.candidate_refreshes,
             secs,

@@ -41,11 +41,12 @@ pub struct OrchestratorConfig {
     /// (the `OVNES_MILP_THREADS` environment variable, or 1).
     pub threads: usize,
     /// Branch-and-bound nodes per deterministic round for the epoch solves
-    /// (see [`ovnes_milp::MilpOptions::round_width`]). Unlike `threads`,
-    /// different widths walk different (each internally deterministic)
-    /// search sequences, so callers that fingerprint solver telemetry pin
-    /// this explicitly. Defaults to [`ovnes_milp::default_round_width`]
-    /// (the `OVNES_MILP_ROUND_WIDTH` environment variable, or 8).
+    /// (see [`ovnes_milp::MilpOptions::round_width`]; 0 ⇒ the engine
+    /// default — `OVNES_MILP_ROUND_WIDTH` when set, otherwise adaptive in
+    /// the round-start queue depth). Unlike `threads`, different width
+    /// policies walk different (each internally deterministic) search
+    /// sequences, so callers that fingerprint solver telemetry pin this
+    /// explicitly.
     pub round_width: usize,
     /// Overbooking on/off (off ⇒ the no-overbooking baseline semantics).
     pub overbooking: bool,
@@ -122,7 +123,7 @@ impl Default for OrchestratorConfig {
         Self {
             solver: SolverKind::Benders,
             threads: ovnes_milp::default_threads(),
-            round_width: ovnes_milp::default_round_width(),
+            round_width: 0,
             overbooking: true,
             samples_per_epoch: 12,
             season_epochs: 6,
@@ -694,6 +695,7 @@ impl Orchestrator {
             round_width: self.config.round_width,
             budget: self.config.budget,
             lp_fault: self.config.lp_fault,
+            refactor_interval: 0,
         };
         let solve_started = Instant::now();
         let (controlled, incremental) = match self.epoch_solver.as_mut() {

@@ -384,7 +384,8 @@ impl SolveStats {
     pub fn lp_summary(&self) -> String {
         format!(
             "pivots {} (p1 {} / p2 {} / dual {}), flips {}, warm {} / cold {}, \
-             refactor {} (reused {}, fill {}, etas-at-end {}), \
+             refactor {} (reused {}, fill {}, scan-work {}, compressions {}, \
+             etas-at-end {}), hyper-sparse {} ftran / {} btran, \
              pricing scans {} (list refreshes {})",
             self.lp.total_pivots(),
             self.lp.phase1_pivots,
@@ -396,7 +397,11 @@ impl SolveStats {
             self.lp.refactorizations,
             self.lp.factorization_reuses,
             self.lp.fill_in,
+            self.lp.pivot_scan_work,
+            self.lp.eta_compressions,
             self.lp.eta_len_end,
+            self.lp.hypersparse_ftrans,
+            self.lp.hypersparse_btrans,
             self.lp.pricing_scans,
             self.lp.candidate_refreshes,
         )

@@ -27,17 +27,18 @@ pub fn solve_threaded(instance: &AcrrInstance, threads: usize) -> Result<Allocat
     solve_tuned(instance, threads, ovnes_milp::default_round_width())
 }
 
-/// [`solve_threaded`] with the nodes-per-round window also explicit (see
+/// [`solve_threaded`] with the nodes-per-round window also explicit
+/// (`None` ⇒ queue-depth adaptive, see
 /// [`ovnes_milp::MilpOptions::round_width`]); results are deterministic in
-/// `threads` for any fixed `round_width`.
+/// `threads` for any fixed `round_width` policy.
 pub fn solve_tuned(
     instance: &AcrrInstance,
     threads: usize,
-    round_width: usize,
+    round_width: Option<usize>,
 ) -> Result<Allocation, AcrrError> {
     let options = MilpOptions {
         threads: threads.max(1),
-        round_width: round_width.max(1),
+        round_width: round_width.map(|w| w.max(1)),
         ..Default::default()
     };
     solve_with(instance, &options)

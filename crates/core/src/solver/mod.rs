@@ -90,16 +90,19 @@ pub fn solve_threaded(
     kind: SolverKind,
     threads: usize,
 ) -> Result<Allocation, AcrrError> {
-    solve_tuned(instance, kind, threads, ovnes_milp::default_round_width())
+    // round_width 0: the engine default — `OVNES_MILP_ROUND_WIDTH` when
+    // set, otherwise the queue-depth-adaptive policy.
+    solve_tuned(instance, kind, threads, 0)
 }
 
 /// Dispatches with both branch-and-bound knobs explicit: `threads` (purely
 /// a wall-clock lever, results identical at any value) and `round_width`
-/// (the nodes-per-deterministic-round window — results are bit-identical
-/// at any worker count *for a fixed width*, but different widths walk
-/// different search sequences). Callers that fingerprint solver telemetry
-/// (the scenario sweeps) pin `round_width` so their reports never depend
-/// on the ambient `OVNES_MILP_ROUND_WIDTH`.
+/// (the nodes-per-deterministic-round window; 0 ⇒ the engine default,
+/// which is queue-depth adaptive — results are bit-identical at any worker
+/// count *for a fixed width policy*, but different policies walk different
+/// search sequences). Callers that fingerprint solver telemetry (the
+/// scenario sweeps) pin `round_width` so their reports never depend on the
+/// ambient `OVNES_MILP_ROUND_WIDTH` or the adaptive policy.
 pub fn solve_tuned(
     instance: &AcrrInstance,
     kind: SolverKind,
@@ -172,7 +175,9 @@ pub struct SolveControls {
     pub kind: SolverKind,
     /// Branch-and-bound worker threads (0 ⇒ engine default).
     pub threads: usize,
-    /// Nodes-per-deterministic-round window (0 ⇒ engine default).
+    /// Nodes-per-deterministic-round window (0 ⇒ engine default: the
+    /// `OVNES_MILP_ROUND_WIDTH` environment variable when set, otherwise
+    /// adaptive in the round-start queue depth).
     pub round_width: usize,
     /// Compute budget; default unlimited.
     pub budget: SolveBudget,
@@ -187,6 +192,12 @@ pub struct SolveControls {
     /// pure function of (seed, matrix fingerprint, basis summary), so it is
     /// thread-count invariant.
     pub lp_fault: Option<ovnes_lp::FaultConfig>,
+    /// LP basis refactorization interval — Forrest–Tomlin updates folded
+    /// into a factorization before the engine rebuilds it from scratch
+    /// (0 ⇒ engine default: `OVNES_LP_REFACTOR_INTERVAL` or 128). Threaded
+    /// into every rung of the ladder, like `lp_fault`. A numerical-drift
+    /// bound, not a cost bound; results are identical at any interval.
+    pub refactor_interval: usize,
 }
 
 impl SolveControls {
@@ -200,6 +211,9 @@ impl SolveControls {
         let mut simplex = ovnes_lp::SimplexOptions::default();
         if self.lp_fault.is_some() {
             simplex.fault = self.lp_fault;
+        }
+        if self.refactor_interval > 0 {
+            simplex.refactor_interval = self.refactor_interval;
         }
         kac::KacOptions {
             simplex,
@@ -279,16 +293,19 @@ pub(crate) fn milp_options_for(controls: &SolveControls) -> ovnes_milp::MilpOpti
     let round_width = if controls.round_width == 0 {
         ovnes_milp::default_round_width()
     } else {
-        controls.round_width
+        Some(controls.round_width)
     };
     let mut milp_options = ovnes_milp::MilpOptions {
         threads: threads.max(1),
-        round_width: round_width.max(1),
+        round_width: round_width.map(|w| w.max(1)),
         ..Default::default()
     };
     controls.budget.apply_milp(&mut milp_options);
     if controls.lp_fault.is_some() {
         milp_options.simplex.fault = controls.lp_fault;
+    }
+    if controls.refactor_interval > 0 {
+        milp_options.simplex.refactor_interval = controls.refactor_interval;
     }
     milp_options
 }

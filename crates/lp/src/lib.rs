@@ -28,11 +28,12 @@
 //! blowup), and the linear algebra is **sparse end to end**. The structural
 //! constraint matrix is stored in compressed-sparse-column form
 //! ([`SparseMatrix`], built by [`Problem::structural_matrix`]); the basis is
-//! kept factorized by a **sparse LU with Markowitz pivoting** —
+//! kept factorized by a **sparse LU with bucketed Markowitz pivoting** —
 //! fewest-nonzeros pivot selection under a threshold-partial-pivoting
 //! stability test, with drop-tolerance handling so roundoff noise never
-//! becomes structural fill — plus a sparse product-form eta file and
-//! periodic refactorization. FTRAN exploits right-hand-side sparsity (the
+//! becomes structural fill — plus **Forrest–Tomlin updates** folding each
+//! pivot into the factors and periodic refactorization (see *Factorization
+//! internals* below). FTRAN exploits right-hand-side sparsity (the
 //! entering column touches a handful of rows), pricing runs **devex**
 //! reference weights instead of Dantzig's rule (which stalls on degenerate
 //! slave LPs) over a **candidate list** on large problems (partial pricing:
@@ -85,8 +86,63 @@
 //!
 //! Pivot-level counters ([`LpStats`]) accumulate across warm chains so
 //! callers can report phase-1/phase-2/dual pivots, warm-start hits,
-//! refactorizations, factorization reuses, sparse-LU fill-in, and
-//! end-of-solve eta-file length.
+//! refactorizations, factorization reuses, sparse-LU fill-in,
+//! Forrest–Tomlin compressions ([`LpStats::eta_compressions`]),
+//! hyper-sparse solves ([`LpStats::hypersparse_ftrans`] /
+//! [`LpStats::hypersparse_btrans`]), and Markowitz candidate-scan work
+//! ([`LpStats::pivot_scan_work`]).
+//!
+//! ## Factorization internals
+//!
+//! Three mechanisms keep the per-pivot linear algebra sublinear in the
+//! basis dimension `m`; each has a slow twin retained as its oracle.
+//!
+//! **Bucketed Markowitz pivot selection.** The factorization maintains,
+//! per elimination stage, a column → active-rows adjacency (the transpose
+//! view of the active submatrix) and an array of buckets indexed by active
+//! column count, so the fewest-nonzeros candidate column pops off the
+//! lowest non-empty bucket instead of being found by rescanning every
+//! remaining column (the old Θ(m²) inner loop). Counts are patched
+//! incrementally as eliminations annihilate entries. The selection rule is
+//! *identical* to the retained rescan path — same tie-breaks, same
+//! threshold-partial-pivoting stability test — so both produce bitwise-equal
+//! factors; the proptest suite asserts exactly that, and
+//! [`LpStats::pivot_scan_work`] counts candidate inspections so benches can
+//! show the asymptotic win (the `lu_factor` probe in `BENCH_solvers.json`).
+//!
+//! **Forrest–Tomlin updates.** A basis change replaces one column of the
+//! basis matrix. Instead of appending a product-form eta (whose file grows
+//! without compression until the next refactorization), the update is
+//! folded into the factor replay: the FTRAN image of the entering column —
+//! already computed for the ratio test — becomes the spike, and the update
+//! is compressed into the stored representation
+//! ([`LpStats::eta_compressions`] counts these). An update that fails the
+//! stability test is *refused* and the caller refactorizes from the
+//! already-updated basis instead — refusal is a performance event, never a
+//! correctness event. Scheduled refactorization is governed by
+//! [`SimplexOptions::refactor_interval`] (default 128, overridable via
+//! `OVNES_LP_REFACTOR_INTERVAL`): with compressed updates the interval
+//! bounds numerical drift, not eta-file cost, so it can sit far past the
+//! old product-form sweet spot. Warm/cold answers are identical at any
+//! interval; CI runs a leg at interval 8 to hammer the refusal seam.
+//!
+//! **Hyper-sparse FTRAN/BTRAN.** When the right-hand side has few nonzeros
+//! relative to `m` (branch-bound column updates, unit vectors for row
+//! pricing), the triangular solves walk an index worklist of reachable
+//! rows instead of scanning all `m` positions. The dense path remains the
+//! fallback (and the oracle: results are bitwise identical); the cutoff is
+//! density-based, so dense RHS or small bases never pay the worklist
+//! overhead. Callers pass the nonzero pattern as a per-call hint through
+//! the solve scratch; the hint is consumed by each solve, never persisted.
+//!
+//! **Copy-on-compress sharing.** Because compression *mutates* the stored
+//! representation, the persisted factorization splits into an immutable
+//! `Arc`-shared sparse-LU core and a per-owner update state: cloning a
+//! basis for a branch-and-bound child shares the factors but deep-copies
+//! the update state, so a worker folding updates can never leak them into
+//! a sibling's (or the parent's) view. The cross-check suite drives four
+//! workers through divergent update chains off one shared parent to pin
+//! this down.
 //!
 //! ## Threading contract
 //!
@@ -177,7 +233,8 @@ pub use model::{
 };
 pub use revised::{Basis, LpStats, WarmSolve, Workspace};
 pub use simplex::{
-    fault_injection_active, Farkas, FaultConfig, Outcome, SimplexOptions, Solution, SolveError,
+    default_refactor_interval, fault_injection_active, Farkas, FaultConfig, Outcome,
+    SimplexOptions, Solution, SolveError,
 };
 pub use sparse::SparseMatrix;
 

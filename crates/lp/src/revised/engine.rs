@@ -2,7 +2,7 @@
 //! a dual simplex for warm restarts.
 //!
 //! All three phases share one state: a factorized basis (`lu.rs`, sparse LU
-//! plus a sparse eta file), a status per column (`Basic` / `AtLower` /
+//! with Forrest–Tomlin updates), a status per column (`Basic` / `AtLower` /
 //! `AtUpper` / `Free`), and the dense vector of basic values `x_B`. Nonbasic
 //! columns sit exactly on a bound (or at 0 when free), so the full primal
 //! point is implied.
@@ -75,7 +75,7 @@
 //! traffic.
 
 use super::canon::Canon;
-use super::lu::{Factorization, SparseLu};
+use super::lu::{Factorization, SolveScratch, SparseLu};
 use super::{LpStats, VarStatus};
 use crate::simplex::{Farkas, SolveError};
 use crate::SimplexOptions;
@@ -86,8 +86,6 @@ const PIVOT_TOL: f64 = 1e-9;
 const FEAS_TOL: f64 = 1e-7;
 /// Reduced-cost (dual feasibility) tolerance.
 const DUAL_TOL: f64 = 1e-7;
-/// Refactorize after this many eta updates (accuracy + FTRAN/BTRAN cost).
-const REFACTOR_EVERY: usize = 64;
 /// Devex weights above this trigger a reference-framework reset.
 const DEVEX_RESET: f64 = 1e8;
 
@@ -108,9 +106,12 @@ const PARTIAL_PRICING_MIN_COLS: usize = 256;
 /// `Arc<Factorization>` read-only and keep all mutation in here.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    /// Triangular-solve scratch for the sparse LU (was hidden inside
-    /// `SparseLu` when the engine was single-threaded).
-    lu: Vec<f64>,
+    /// Triangular-solve scratch for the factorization: worklist heaps,
+    /// stamp arrays, and the Forrest–Tomlin spike (was a bare dense buffer
+    /// when the solves had no hyper-sparse path). Before a solve, the
+    /// engine loads `lu.rhs_nz` with the RHS nonzero pattern so the solve
+    /// can pick the worklist path; the pattern is consumed per call.
+    lu: SolveScratch,
     /// Scratch column buffer (entering column / FTRAN image).
     alpha: Vec<f64>,
     /// Scratch row buffer (BTRAN rows in the dual simplex / devex updates).
@@ -148,8 +149,9 @@ impl Workspace {
     /// `n_total` columns. Called by the engine on construction — after this
     /// no trace of any previous solve remains.
     fn prepare(&mut self, m: usize, n_total: usize) {
-        self.lu.clear();
-        self.lu.resize(m, 0.0);
+        self.lu.rhs_nz.clear();
+        // Discard hyper-sparse counts a failed previous solve never drained.
+        let _ = self.lu.take_hypersparse_counts();
         self.alpha.clear();
         self.alpha.resize(m, 0.0);
         self.rowbuf.clear();
@@ -168,6 +170,20 @@ impl Workspace {
         self.stamp_gen = 0;
         self.flipbuf.clear();
         self.flipbuf.resize(m, 0.0);
+    }
+}
+
+/// Loads `scratch.rhs_nz` with the nonzero pattern of `v` so the next
+/// solve can take the hyper-sparse worklist path when the pattern is
+/// sparse enough (an O(m) scan, negligible next to the solve it enables;
+/// the solve consumes the pattern either way and falls back to the dense
+/// sweep on dense patterns).
+fn hint_nonzeros(scratch: &mut SolveScratch, v: &[f64]) {
+    scratch.rhs_nz.clear();
+    for (i, &x) in v.iter().enumerate() {
+        if x != 0.0 {
+            scratch.rhs_nz.push(i as u32);
+        }
     }
 }
 
@@ -262,8 +278,10 @@ impl<'a> Engine<'a> {
         };
         match reuse {
             Some(f) if f.dim() == m => {
-                // Cheap: the LU factors are Arc-shared, only the (short) eta
-                // file is copied into this engine's private state.
+                // Cheap: the LU factors are Arc-shared; only the updatable
+                // `U` working copy is deep-copied, so compressions folded in
+                // here stay private to this engine (copy-on-compress — a
+                // sibling worker holding the same basis never sees them).
                 eng.fact = f.clone();
                 eng.stats.factorization_reuses += 1;
             }
@@ -306,6 +324,7 @@ impl<'a> Engine<'a> {
         match lu {
             Some(lu) => {
                 self.stats.fill_in += lu.fill_in();
+                self.stats.pivot_scan_work += lu.pivot_scan_work();
                 self.fact = Factorization::new(lu);
                 self.stats.refactorizations += 1;
                 true
@@ -333,6 +352,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        hint_nonzeros(&mut self.ws.lu, &rhs);
         self.fact.ftran(&mut rhs, &mut self.ws.lu);
         self.xb = rhs;
     }
@@ -358,6 +378,7 @@ impl<'a> Engine<'a> {
         for (pos, &j) in self.basic.iter().enumerate() {
             cb[pos] = self.c.cost[j];
         }
+        hint_nonzeros(&mut self.ws.lu, &cb);
         self.fact.btran(&mut cb, &mut self.ws.lu);
         cb
     }
@@ -371,9 +392,12 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    /// Refactorizes when the eta file has grown past the threshold.
+    /// Refactorizes when enough Forrest–Tomlin updates have accumulated
+    /// (the interval is a numerical-drift bound, not an eta-file cost bound:
+    /// compressed updates keep solve cost flat, see
+    /// [`SimplexOptions::refactor_interval`]).
     fn maybe_refactorize(&mut self) -> Result<(), SolveError> {
-        if self.fact.eta_count() >= REFACTOR_EVERY {
+        if self.fact.update_count() >= self.opts.refactor_interval.max(1) {
             if !self.refactorize() {
                 return Err(SolveError::Numerical);
             }
@@ -383,9 +407,17 @@ impl<'a> Engine<'a> {
     }
 
     /// Executes a primal pivot: entering `q` (FTRAN image already in
-    /// `self.alpha`) moves by `sigma * t`, the basic variable at position `r`
-    /// leaves to `leave_status`.
-    fn primal_pivot(&mut self, q: usize, sigma: f64, t: f64, r: usize, leave_status: VarStatus) {
+    /// `self.alpha`, spike captured in the solve scratch) moves by
+    /// `sigma * t`, the basic variable at position `r` leaves to
+    /// `leave_status`.
+    fn primal_pivot(
+        &mut self,
+        q: usize,
+        sigma: f64,
+        t: f64,
+        r: usize,
+        leave_status: VarStatus,
+    ) -> Result<(), SolveError> {
         let entering_val = self.nb_val(q) + sigma * t;
         let step = sigma * t;
         if step != 0.0 {
@@ -398,7 +430,39 @@ impl<'a> Engine<'a> {
         self.status[q] = VarStatus::Basic;
         self.basic[r] = q;
         self.xb[r] = entering_val;
-        self.fact.push_eta(r, &self.ws.alpha);
+        self.absorb_pivot(r)
+    }
+
+    /// Folds the just-committed basis change at position `r` into the
+    /// factorization: a Forrest–Tomlin compression when the updated
+    /// diagonal is stable, otherwise a refactorization of the (already
+    /// updated) basic set. `x_B` was updated incrementally by the caller
+    /// either way; only the refactorization path recomputes it (fresh
+    /// factors, cleaner numbers).
+    fn absorb_pivot(&mut self, r: usize) -> Result<(), SolveError> {
+        if self.fact.push_update(r, &mut self.ws.lu) {
+            self.stats.eta_compressions += 1;
+            return Ok(());
+        }
+        if !self.refactorize() {
+            return Err(SolveError::Numerical);
+        }
+        self.compute_xb();
+        Ok(())
+    }
+
+    /// FTRANs entering column `q` into `self.ws.alpha`, capturing the
+    /// Forrest–Tomlin spike in the solve scratch for the
+    /// [`Engine::absorb_pivot`] that may follow. No other solve runs
+    /// between capture and push overwrites the spike (plain `ftran` /
+    /// `btran` never touch it).
+    fn ftran_entering_col(&mut self, q: usize) {
+        self.ws.alpha.iter_mut().for_each(|v| *v = 0.0);
+        self.c.scatter_col(q, &mut self.ws.alpha);
+        let ws = &mut *self.ws;
+        hint_nonzeros(&mut ws.lu, &ws.alpha);
+        self.fact
+            .ftran_entering(&mut self.ws.alpha, &mut self.ws.lu);
     }
 
     /// Devex weight update after deciding to pivot entering `q` against row
@@ -424,6 +488,8 @@ impl<'a> Engine<'a> {
         rho.clear();
         rho.resize(m, 0.0);
         rho[r] = 1.0;
+        self.ws.lu.rhs_nz.clear();
+        self.ws.lu.rhs_nz.push(r as u32);
         self.fact.btran(&mut rho, &mut self.ws.lu);
 
         let wq = self.ws.devex[q].max(1.0);
@@ -645,6 +711,7 @@ impl<'a> Engine<'a> {
                     y[pos] = self.c.cost[j];
                 }
             }
+            hint_nonzeros(&mut self.ws.lu, &y);
             self.fact.btran(&mut y, &mut self.ws.lu);
 
             // Entering column: best devex-weighted improvement `d²/w` over
@@ -707,10 +774,9 @@ impl<'a> Engine<'a> {
                 _ => 1.0,
             };
 
-            // FTRAN the entering column.
-            self.ws.alpha.iter_mut().for_each(|v| *v = 0.0);
-            self.c.scatter_col(q, &mut self.ws.alpha);
-            self.fact.ftran(&mut self.ws.alpha, &mut self.ws.lu);
+            // FTRAN the entering column (capturing the Forrest–Tomlin
+            // spike for the pivot that may follow).
+            self.ftran_entering_col(q);
 
             // Ratio test. Basic value rates: dx_B/dt = −σ·α.
             let mut t_best = if self.status[q] == VarStatus::Free {
@@ -809,7 +875,7 @@ impl<'a> Engine<'a> {
                     if !use_bland {
                         self.update_devex(q, r);
                     }
-                    self.primal_pivot(q, sigma, t_best, r, st);
+                    self.primal_pivot(q, sigma, t_best, r, st)?;
                 }
             }
         }
@@ -888,6 +954,8 @@ impl<'a> Engine<'a> {
             rho.clear();
             rho.resize(m, 0.0);
             rho[r] = 1.0;
+            self.ws.lu.rhs_nz.clear();
+            self.ws.lu.rhs_nz.push(r as u32);
             self.fact.btran(&mut rho, &mut self.ws.lu);
             let mut y = std::mem::take(&mut self.ws.ybuf);
             y.clear();
@@ -895,6 +963,7 @@ impl<'a> Engine<'a> {
             for (pos, &j) in self.basic.iter().enumerate() {
                 y[pos] = self.c.cost[j];
             }
+            hint_nonzeros(&mut self.ws.lu, &y);
             self.fact.btran(&mut y, &mut self.ws.lu);
 
             // Collect every eligible dual-ratio-test breakpoint. The leaving
@@ -1048,11 +1117,9 @@ impl<'a> Engine<'a> {
                 (cand[best].j, chosen)
             };
 
-            // FTRAN the entering column and validate the pivot before any
-            // state changes.
-            self.ws.alpha.iter_mut().for_each(|v| *v = 0.0);
-            self.c.scatter_col(q, &mut self.ws.alpha);
-            self.fact.ftran(&mut self.ws.alpha, &mut self.ws.lu);
+            // FTRAN the entering column (capturing the Forrest–Tomlin
+            // spike) and validate the pivot before any state changes.
+            self.ftran_entering_col(q);
             let alpha_r = self.ws.alpha[r];
             if alpha_r.abs() <= PIVOT_TOL {
                 // The FTRAN image disagrees with the BTRAN row estimate:
@@ -1089,6 +1156,7 @@ impl<'a> Engine<'a> {
                     }
                     self.status[c.j] = st;
                 }
+                hint_nonzeros(&mut self.ws.lu, &w);
                 self.fact.ftran(&mut w, &mut self.ws.lu);
                 for (i, x) in self.xb.iter_mut().enumerate() {
                     *x -= w[i];
@@ -1120,7 +1188,7 @@ impl<'a> Engine<'a> {
             self.status[q] = VarStatus::Basic;
             self.basic[r] = q;
             self.xb[r] = entering_val;
-            self.fact.push_eta(r, &self.ws.alpha);
+            self.absorb_pivot(r)?;
         }
     }
 
@@ -1209,9 +1277,13 @@ impl<'a> Engine<'a> {
 
     /// Consumes the engine, returning the final factorization (for the
     /// persisted warm-start state) and the accumulated statistics, with the
-    /// end-of-solve eta-file length folded in.
+    /// end-of-solve update count and the scratch's hyper-sparse counters
+    /// folded in.
     pub fn into_parts(mut self) -> (Factorization, LpStats) {
-        self.stats.eta_len_end += self.fact.eta_count();
+        self.stats.eta_len_end += self.fact.update_count();
+        let (hf, hb) = self.ws.lu.take_hypersparse_counts();
+        self.stats.hypersparse_ftrans += hf as usize;
+        self.stats.hypersparse_btrans += hb as usize;
         (self.fact, self.stats)
     }
 }

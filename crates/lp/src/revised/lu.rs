@@ -1,5 +1,5 @@
-//! Basis factorization: sparse LU with Markowitz pivoting plus a sparse
-//! product-form eta file for cheap updates between refactorizations.
+//! Basis factorization: sparse LU with bucketed Markowitz pivoting,
+//! Forrest–Tomlin update compression, and hyper-sparse triangular solves.
 //!
 //! The revised simplex needs two linear solves per iteration:
 //!
@@ -7,12 +7,14 @@
 //! * **BTRAN** — `Bᵀ·y = c` (price rows / extract duals).
 //!
 //! `B` changes by one column per pivot. Refactorizing every pivot would be
-//! wasteful, so we factorize periodically and represent the pivots since the
-//! last refactorization as *eta matrices*: after a pivot that replaces the
-//! basis column at position `r` with a column whose FTRAN image is `α`, the
-//! new basis is `B' = B·E` with `E = I` except `E[:, r] = α`. FTRAN applies
-//! the eta inverses after the LU solve; BTRAN applies them (transposed)
-//! before it, in reverse order.
+//! wasteful, so we factorize periodically and fold each pivot *into the
+//! factors* with a Forrest–Tomlin update (see [`Factorization`]): the spike
+//! column replaces a row/column of `U` and a short *row eta* records the
+//! elimination of the displaced row. Update cost is proportional to the
+//! spike's nonzeros, and — unlike the product-form eta file this replaces —
+//! the representation does not grow a factor-sized tail per pivot, which is
+//! what lets the refactorization interval be tuned well past the old
+//! hard-coded 64 (see `SimplexOptions::refactor_interval`).
 //!
 //! ## Sparse LU ([`SparseLu`])
 //!
@@ -23,27 +25,54 @@
 //! threshold-partial-pivoting test `|a| ≥ τ·max|column|` (stability) and the
 //! relative singularity floor. This (r−1)(c−1)-style cost function keeps
 //! **fill-in** — new nonzeros created by elimination — near the structural
-//! minimum, which is what makes factorizing a 95%-sparse slice-reservation
-//! basis cheap. Update terms whose magnitude falls below a **drop
-//! tolerance** (relative to the matrix's largest entry) are discarded
-//! instead of stored, so roundoff noise cannot masquerade as structural
-//! fill.
+//! minimum. Update terms whose magnitude falls below a **drop tolerance**
+//! (relative to the matrix's largest entry) are discarded instead of stored.
+//!
+//! **Pivot selection is bucketed**: a column→candidate-rows adjacency is
+//! maintained incrementally (appended on fill-in, validated lazily against
+//! the live rows), and column counts live in per-count min-heaps of column
+//! indices. Each count change pushes a fresh entry; stale entries are
+//! discarded when popped (an entry is live iff the column is active and its
+//! count still equals the bucket index). Popping therefore yields the
+//! lowest-index column of minimum count — the *same* pivot the old
+//! full-rescan selection chose, in O(log m) amortized instead of Θ(m) per
+//! stage. The rescan implementation is retained as
+//! [`SparseLu::factor_rescan`] as the bench baseline and test oracle; both
+//! report their selection effort through [`SparseLu::pivot_scan_work`].
 //!
 //! Singularity is declared *relative to the matrix scale*: a pivot candidate
 //! must exceed [`SINGULAR_TOL`]`·max|B|`, so a badly scaled but perfectly
 //! nonsingular basis (all entries tiny) factorizes fine, while a genuinely
 //! rank-deficient one is rejected at any scale.
 //!
+//! ## Hyper-sparse solves
+//!
+//! When the caller declares the RHS nonzeros (`SolveScratch::rhs_nz`) and
+//! they are few relative to `m`, the triangular solves are driven by an
+//! index worklist instead of a dense stage sweep: starting from the stages
+//! of the nonzero entries, each processed stage schedules exactly the
+//! stages its writes can reach (graph reachability over the factor
+//! structure). Four adjacency maps make every pass O(reached): row→stage
+//! and row→referencing-stages on the `L` side ([`SparseLu`]), and
+//! position→slot plus position→referencing-slots on the `U` side
+//! ([`Factorization`]'s dynamic state). Both paths skip exact-zero
+//! contributions and guard every division on a zero numerator, so the
+//! worklist path is **bitwise identical** to the dense fallback — the dense
+//! sweep remains both the fallback above the density cutoff and the oracle
+//! the property tests compare against.
+//!
 //! ## Threading contract
 //!
 //! A [`SparseLu`] is **immutable once factorized**: the triangular solves
-//! take `&self` and write only into a caller-supplied scratch buffer, so a
-//! single factorization can be replayed concurrently from any number of
-//! threads (each with its own scratch — see the engine's
-//! [`Workspace`](super::Workspace)). [`Factorization`] therefore holds its
-//! `SparseLu` behind an [`Arc`]: cloning a factorization (which every
-//! branch-and-bound child does through its parent [`Basis`](super::Basis))
-//! shares the factors and copies only the short eta file.
+//! take `&self` and write only into caller-supplied scratch, so a single
+//! factorization can be replayed concurrently from any number of threads.
+//! [`Factorization`] holds its `SparseLu` behind an [`Arc`] and keeps the
+//! *mutable* Forrest–Tomlin state (`U` working copy + row etas) by value:
+//! cloning a factorization — which every branch-and-bound child does
+//! through its parent `Basis` — shares the immutable factors and deep-copies
+//! only the dynamic state, so an update applied in one worker can never leak
+//! into a sibling's solves (copy-on-compress). All solve intermediates live
+//! in the caller's [`SolveScratch`].
 //!
 //! The classic dense LU ([`Lu`]) is retained as the slow-path oracle for
 //! tests and cross-checks.
@@ -66,6 +95,15 @@ const MARKOWITZ_TAU: f64 = 0.1;
 /// fill-in. Chosen well below the engine's pivot tolerance so dropping never
 /// changes a simplex decision.
 const DROP_TOL: f64 = 1e-14;
+
+/// Hyper-sparse cutoff: the worklist solve path is taken when the declared
+/// RHS nonzeros satisfy `nnz × HYPERSPARSE_RATIO ≤ m` (and `m` is at least
+/// [`HYPERSPARSE_DIM_MIN`]). Below that dimension the dense sweep's linear
+/// scan is already cheaper than heap traffic.
+const HYPERSPARSE_RATIO: usize = 16;
+
+/// Minimum dimension for the hyper-sparse path (see [`HYPERSPARSE_RATIO`]).
+const HYPERSPARSE_DIM_MIN: usize = 64;
 
 /// Dense LU factorization `P·B = L·U` with partial pivoting.
 ///
@@ -185,12 +223,150 @@ impl Lu {
     }
 }
 
+/// Binary min-heap push on a raw `Vec<u32>` (bucket heaps).
+fn heap_push_u32(h: &mut Vec<u32>, v: u32) {
+    h.push(v);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let p = (i - 1) / 2;
+        if h[p] <= h[i] {
+            break;
+        }
+        h.swap(p, i);
+        i = p;
+    }
+}
+
+/// Binary min-heap pop on a raw `Vec<u32>`.
+fn heap_pop_u32(h: &mut Vec<u32>) -> Option<u32> {
+    let n = h.len();
+    if n == 0 {
+        return None;
+    }
+    h.swap(0, n - 1);
+    let top = h.pop();
+    let n = h.len();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut s = i;
+        if l < n && h[l] < h[s] {
+            s = l;
+        }
+        if r < n && h[r] < h[s] {
+            s = r;
+        }
+        if s == i {
+            break;
+        }
+        h.swap(i, s);
+        i = s;
+    }
+    top
+}
+
+/// Binary min-heap push on a raw `Vec<u64>` (worklist keys; descending
+/// passes push the bitwise complement of the key).
+fn heap_push_u64(h: &mut Vec<u64>, v: u64) {
+    h.push(v);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let p = (i - 1) / 2;
+        if h[p] <= h[i] {
+            break;
+        }
+        h.swap(p, i);
+        i = p;
+    }
+}
+
+/// Binary min-heap pop on a raw `Vec<u64>`.
+fn heap_pop_u64(h: &mut Vec<u64>) -> Option<u64> {
+    let n = h.len();
+    if n == 0 {
+        return None;
+    }
+    h.swap(0, n - 1);
+    let top = h.pop();
+    let n = h.len();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut s = i;
+        if l < n && h[l] < h[s] {
+            s = l;
+        }
+        if r < n && h[r] < h[s] {
+            s = r;
+        }
+        if s == i {
+            break;
+        }
+        h.swap(i, s);
+        i = s;
+    }
+    top
+}
+
+/// Lazy min-count buckets over column indices: one min-heap of column
+/// indices per count value. Every count change pushes a fresh entry; pops
+/// validate against the live count and discard stale entries, so the first
+/// live pop is the lowest-index column of minimum count.
+struct CountBuckets {
+    heaps: Vec<Vec<u32>>,
+    /// Lower bound on the smallest non-empty bucket with a live entry.
+    min: usize,
+}
+
+impl CountBuckets {
+    fn new(m: usize) -> CountBuckets {
+        CountBuckets {
+            heaps: vec![Vec::new(); m + 1],
+            min: 0,
+        }
+    }
+
+    fn push(&mut self, count: usize, col: usize) {
+        heap_push_u32(&mut self.heaps[count], col as u32);
+        if count < self.min {
+            self.min = count;
+        }
+    }
+
+    /// Pops the lowest-index live column of minimum count, advancing past
+    /// stale entries. `work` tallies entries examined. `None` = no active
+    /// column remains.
+    fn pop_live(
+        &mut self,
+        col_active: &[bool],
+        col_count: &[usize],
+        work: &mut u64,
+    ) -> Option<usize> {
+        loop {
+            while self.min < self.heaps.len() && self.heaps[self.min].is_empty() {
+                self.min += 1;
+            }
+            if self.min >= self.heaps.len() {
+                return None;
+            }
+            let j = heap_pop_u32(&mut self.heaps[self.min])? as usize;
+            *work += 1;
+            if col_active[j] && col_count[j] == self.min {
+                return Some(j);
+            }
+            // Stale: the column moved buckets or was retired since the push.
+        }
+    }
+}
+
 /// Sparse LU factorization with Markowitz pivoting and drop-tolerance
 /// handling (see the module docs).
 ///
 /// The elimination is recorded stage by stage in terms of the *original*
 /// row indices and column positions, so the triangular solves are simple
-/// replays: no explicit permutation matrices are materialized.
+/// replays: no explicit permutation matrices are materialized. The
+/// row-indexed adjacency (`stage_of_row`, `lrow_stages`) backs the
+/// hyper-sparse `L` passes.
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     m: usize,
@@ -208,19 +384,277 @@ pub struct SparseLu {
     urows: Vec<Vec<(u32, f64)>>,
     /// Nonzeros of the input matrix (for the fill-in statistic).
     nnz_input: usize,
+    /// Stage that pivoted each original row (inverse of `perm_row`).
+    stage_of_row: Vec<u32>,
+    /// Stages whose `L` column references each original row.
+    lrow_stages: Vec<Vec<u32>>,
+    /// Scale-relative singularity floor captured at factor time, reused by
+    /// the Forrest–Tomlin update's pivot acceptance test.
+    sing_tol: f64,
+    /// Scale-relative drop tolerance captured at factor time (spike entries
+    /// below it are not folded into the update).
+    drop_tol: f64,
+    /// Pivot-selection effort: candidate entries examined while choosing
+    /// pivots (bucket pops + adjacency gathers here; full rescans in
+    /// [`SparseLu::factor_rescan`]).
+    pivot_scan_work: u64,
 }
 
 impl SparseLu {
     /// Factorizes the `m × m` matrix whose column at position `pos` is
-    /// produced by `col(pos, &mut buf)` as sorted `(row, value)` pairs.
+    /// produced by `col(pos, &mut buf)` as sorted `(row, value)` pairs,
+    /// selecting pivots through the bucketed-Markowitz structures.
     ///
     /// Returns `None` when the matrix is singular relative to its scale.
+    /// Chooses the *identical* pivot sequence to [`SparseLu::factor_rescan`]
+    /// (lowest-index column of minimum count; shortest eligible row), so the
+    /// two produce bitwise-equal factors — only the selection cost differs.
     pub fn factor<F>(m: usize, mut col: F) -> Option<SparseLu>
     where
         F: FnMut(usize, &mut Vec<(u32, f64)>),
     {
         // Assemble the working matrix as sparse rows (sorted by column:
-        // columns are visited in increasing order, so pushes stay sorted).
+        // columns are visited in increasing order, so pushes stay sorted),
+        // mirrored by the column→candidate-rows adjacency.
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+        let mut col_rows: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut col_count = vec![0usize; m];
+        let mut buf: Vec<(u32, f64)> = Vec::new();
+        let mut max_abs = 0.0f64;
+        let mut nnz_input = 0usize;
+        for pos in 0..m {
+            buf.clear();
+            col(pos, &mut buf);
+            for &(i, v) in &buf {
+                debug_assert!((i as usize) < m);
+                if v != 0.0 {
+                    rows[i as usize].push((pos as u32, v));
+                    col_rows[pos].push(i);
+                    col_count[pos] += 1;
+                    max_abs = max_abs.max(v.abs());
+                    nnz_input += 1;
+                }
+            }
+        }
+        if m > 0 && max_abs == 0.0 {
+            return None;
+        }
+        let sing_tol = SINGULAR_TOL * max_abs;
+        let drop_tol = DROP_TOL * max_abs;
+
+        let mut lu = SparseLu {
+            m,
+            perm_row: Vec::with_capacity(m),
+            perm_col: Vec::with_capacity(m),
+            pivots: Vec::with_capacity(m),
+            lcols: Vec::with_capacity(m),
+            urows: Vec::with_capacity(m),
+            nnz_input,
+            stage_of_row: Vec::new(),
+            lrow_stages: Vec::new(),
+            sing_tol,
+            drop_tol,
+            pivot_scan_work: 0,
+        };
+        let mut row_active = vec![true; m];
+        let mut col_active = vec![true; m];
+        let mut buckets = CountBuckets::new(m);
+        for (j, &cnt) in col_count.iter().enumerate() {
+            buckets.push(cnt, j);
+        }
+        // Entries of the current pivot column: (row, value) among active rows.
+        let mut pivcol: Vec<(usize, f64)> = Vec::new();
+        // Scratch for merged row updates.
+        let mut merged: Vec<(u32, f64)> = Vec::new();
+        // Columns found numerically deficient *this stage* (entries may grow
+        // back through later updates, so the exclusion is per-stage only:
+        // they re-enter the buckets once the stage's pivot is fixed).
+        let mut deferred: Vec<u32> = Vec::new();
+        // Gather dedup (the adjacency may hold duplicate candidates for a
+        // row that dropped and re-grew an entry).
+        let mut row_seen = vec![0u32; m];
+        let mut seen_gen = 0u32;
+        let mut work = 0u64;
+
+        for _stage in 0..m {
+            // ---- pivot column: fewest active nonzeros, numerically alive.
+            let (c, colmax) = loop {
+                let Some(j) = buckets.pop_live(&col_active, &col_count, &mut work) else {
+                    return None; // every remaining column is numerically dead
+                };
+                if col_count[j] == 0 {
+                    return None; // structurally singular
+                }
+                // Gather column j's live entries through the adjacency,
+                // deduplicating and compacting it in passing.
+                seen_gen += 1;
+                pivcol.clear();
+                let mut colmax = 0.0f64;
+                let mut cand = std::mem::take(&mut col_rows[j]);
+                work += cand.len() as u64;
+                cand.retain(|&i| {
+                    let iu = i as usize;
+                    if row_seen[iu] == seen_gen || !row_active[iu] {
+                        return false;
+                    }
+                    row_seen[iu] = seen_gen;
+                    match rows[iu].binary_search_by_key(&(j as u32), |&(c, _)| c) {
+                        Ok(k) => {
+                            let v = rows[iu][k].1;
+                            pivcol.push((iu, v));
+                            colmax = colmax.max(v.abs());
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                });
+                col_rows[j] = cand;
+                if colmax > sing_tol {
+                    // Old-code parity: candidates in ascending row order.
+                    pivcol.sort_unstable_by_key(|&(i, _)| i);
+                    break (j, colmax);
+                }
+                deferred.push(j as u32); // numerically dead at this stage
+            };
+            for j in deferred.drain(..) {
+                if col_active[j as usize] {
+                    buckets.push(col_count[j as usize], j as usize);
+                }
+            }
+
+            // ---- pivot row: shortest eligible row (Markowitz), tie on |a|.
+            let threshold = MARKOWITZ_TAU * colmax;
+            let mut best: Option<(usize, f64)> = None; // (row, value)
+            let mut best_len = usize::MAX;
+            for &(i, v) in &pivcol {
+                if v.abs() < threshold || v.abs() <= sing_tol {
+                    continue;
+                }
+                let len = rows[i].len();
+                let better = match best {
+                    None => true,
+                    Some((_, bv)) => len < best_len || (len == best_len && v.abs() > bv.abs()),
+                };
+                if better {
+                    best = Some((i, v));
+                    best_len = len;
+                }
+            }
+            let (r, p) = best.expect("colmax passed the threshold, so a row exists");
+
+            // ---- retire the pivot row and column.
+            row_active[r] = false;
+            col_active[c] = false;
+            let mut prow = std::mem::take(&mut rows[r]);
+            for &(j, _) in &prow {
+                let ju = j as usize;
+                col_count[ju] -= 1;
+                if col_active[ju] {
+                    buckets.push(col_count[ju], ju);
+                }
+            }
+            let pk = prow
+                .iter()
+                .position(|&(j, _)| j as usize == c)
+                .expect("pivot entry is in the pivot row");
+            prow.remove(pk);
+
+            // ---- eliminate: row_i ← row_i − (a_ic / p)·prow.
+            let mut lcol: Vec<(u32, f64)> = Vec::new();
+            for &(i, a_ic) in &pivcol {
+                if i == r {
+                    continue;
+                }
+                let l = a_ic / p;
+                lcol.push((i as u32, l));
+                let row = std::mem::take(&mut rows[i]);
+                merged.clear();
+                merged.reserve(row.len() + prow.len());
+                let mut a = row.iter().peekable();
+                let mut b = prow.iter().peekable();
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(&&(ja, va)), Some(&&(jb, vb))) => {
+                            if ja < jb {
+                                if ja as usize != c {
+                                    merged.push((ja, va));
+                                }
+                                a.next();
+                            } else if jb < ja {
+                                // Fill-in candidate.
+                                let nv = -l * vb;
+                                if nv.abs() > drop_tol {
+                                    merged.push((jb, nv));
+                                    let jbu = jb as usize;
+                                    col_count[jbu] += 1;
+                                    col_rows[jb as usize].push(i as u32);
+                                    buckets.push(col_count[jbu], jbu);
+                                }
+                                b.next();
+                            } else {
+                                if ja as usize != c {
+                                    let nv = va - l * vb;
+                                    if nv.abs() > drop_tol {
+                                        merged.push((ja, nv));
+                                    } else {
+                                        let jau = ja as usize;
+                                        col_count[jau] -= 1;
+                                        buckets.push(col_count[jau], jau);
+                                    }
+                                }
+                                a.next();
+                                b.next();
+                            }
+                        }
+                        (Some(&&(ja, va)), None) => {
+                            if ja as usize != c {
+                                merged.push((ja, va));
+                            }
+                            a.next();
+                        }
+                        (None, Some(&&(jb, vb))) => {
+                            let nv = -l * vb;
+                            if nv.abs() > drop_tol {
+                                merged.push((jb, nv));
+                                let jbu = jb as usize;
+                                col_count[jbu] += 1;
+                                col_rows[jbu].push(i as u32);
+                                buckets.push(col_count[jbu], jbu);
+                            }
+                            b.next();
+                        }
+                        (None, None) => break,
+                    }
+                }
+                // Install the merged row and recycle the old allocation as
+                // the next merge scratch.
+                rows[i] = std::mem::take(&mut merged);
+                merged = row;
+            }
+
+            lu.perm_row.push(r as u32);
+            lu.perm_col.push(c as u32);
+            lu.pivots.push(p);
+            lu.lcols.push(lcol);
+            lu.urows.push(prow);
+        }
+        lu.pivot_scan_work = work;
+        lu.build_adjacency();
+        Some(lu)
+    }
+
+    /// The pre-bucketing factorization: identical elimination and pivot
+    /// rule, but pivot selection rescans every active column (Θ(m) per
+    /// stage) and gathers the pivot column by probing every active row.
+    ///
+    /// Retained as the `lu_factor` bench baseline and as the equivalence
+    /// oracle for the bucketed path's property tests; its selection effort
+    /// is likewise reported through [`SparseLu::pivot_scan_work`].
+    #[cfg_attr(not(any(test, feature = "testgen")), allow(dead_code))]
+    pub fn factor_rescan<F>(m: usize, mut col: F) -> Option<SparseLu>
+    where
+        F: FnMut(usize, &mut Vec<(u32, f64)>),
+    {
         let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
         let mut col_count = vec![0usize; m];
         let mut buf: Vec<(u32, f64)> = Vec::new();
@@ -253,16 +687,18 @@ impl SparseLu {
             lcols: Vec::with_capacity(m),
             urows: Vec::with_capacity(m),
             nnz_input,
+            stage_of_row: Vec::new(),
+            lrow_stages: Vec::new(),
+            sing_tol,
+            drop_tol,
+            pivot_scan_work: 0,
         };
         let mut row_active = vec![true; m];
         let mut col_active = vec![true; m];
-        // Entries of the current pivot column: (row, value) among active rows.
         let mut pivcol: Vec<(usize, f64)> = Vec::new();
-        // Scratch for merged row updates.
         let mut merged: Vec<(u32, f64)> = Vec::new();
-        // Columns found numerically deficient *this stage* (entries may grow
-        // back through later updates, so the exclusion is per-stage only).
         let mut tried = vec![false; m];
+        let mut work = 0u64;
 
         for _stage in 0..m {
             // ---- pivot column: fewest active nonzeros, numerically alive.
@@ -272,6 +708,7 @@ impl SparseLu {
                     if !col_active[j] || tried[j] {
                         continue;
                     }
+                    work += 1;
                     if best.is_none_or(|(cnt, _)| col_count[j] < cnt) {
                         best = Some((col_count[j], j));
                     }
@@ -289,6 +726,7 @@ impl SparseLu {
                     if !row_active[i] {
                         continue;
                     }
+                    work += 1;
                     if let Ok(k) = row.binary_search_by_key(&(j as u32), |&(c, _)| c) {
                         let v = row[k].1;
                         pivcol.push((i, v));
@@ -359,7 +797,6 @@ impl SparseLu {
                                 }
                                 a.next();
                             } else if jb < ja {
-                                // Fill-in candidate.
                                 let nv = -l * vb;
                                 if nv.abs() > drop_tol {
                                     merged.push((jb, nv));
@@ -396,8 +833,6 @@ impl SparseLu {
                         (None, None) => break,
                     }
                 }
-                // Install the merged row and recycle the old allocation as
-                // the next merge scratch.
                 rows[i] = std::mem::take(&mut merged);
                 merged = row;
             }
@@ -408,7 +843,26 @@ impl SparseLu {
             lu.lcols.push(lcol);
             lu.urows.push(prow);
         }
+        lu.pivot_scan_work = work;
+        lu.build_adjacency();
         Some(lu)
+    }
+
+    /// Builds the row-indexed adjacency that backs the hyper-sparse `L`
+    /// passes: `stage_of_row` (inverse pivot-row permutation) and
+    /// `lrow_stages` (which stages' `L` columns reference each row).
+    fn build_adjacency(&mut self) {
+        let m = self.m;
+        self.stage_of_row = vec![0; m];
+        for (k, &r) in self.perm_row.iter().enumerate() {
+            self.stage_of_row[r as usize] = k as u32;
+        }
+        self.lrow_stages = vec![Vec::new(); m];
+        for (k, lcol) in self.lcols.iter().enumerate() {
+            for &(i, _) in lcol {
+                self.lrow_stages[i as usize].push(k as u32);
+            }
+        }
     }
 
     /// Factorizes from explicit per-position sparse columns (test helper and
@@ -435,13 +889,20 @@ impl SparseLu {
         self.nnz_factors().saturating_sub(self.nnz_input)
     }
 
+    /// Pivot-selection effort spent factorizing (see the module docs): the
+    /// number of candidate entries examined while choosing pivot columns.
+    pub fn pivot_scan_work(&self) -> u64 {
+        self.pivot_scan_work
+    }
+
     /// Solves `B·x = v` in place (`v` becomes `x`), skipping elimination
-    /// stages whose pivot-row value is exactly zero — the sparse-RHS fast
-    /// path for FTRANs of sparse entering columns.
+    /// stages whose pivot-row value is exactly zero — the dense replay used
+    /// directly by tests and as the `U`-side oracle.
     ///
     /// The factors are immutable: all intermediate state goes into
     /// `scratch` (resized as needed, every read position written first), so
     /// concurrent solves of one factorization only need distinct scratches.
+    #[cfg_attr(not(any(test, feature = "testgen")), allow(dead_code))]
     pub fn solve(&self, v: &mut [f64], scratch: &mut Vec<f64>) {
         let m = self.m;
         debug_assert_eq!(v.len(), m);
@@ -460,7 +921,8 @@ impl SparseLu {
         // Back substitution into a column-indexed result. Every position of
         // the scratch is written exactly once (the pivot columns form a
         // permutation) and entries are only read after their own stage, so
-        // no zeroing is needed.
+        // no zeroing is needed. Zero numerators short-circuit the division
+        // so the result is bitwise comparable with the worklist path.
         let x = &mut scratch[..m];
         for k in (0..m).rev() {
             let mut s = v[self.perm_row[k] as usize];
@@ -470,7 +932,7 @@ impl SparseLu {
                     s -= u * xj;
                 }
             }
-            x[self.perm_col[k] as usize] = s / self.pivots[k];
+            x[self.perm_col[k] as usize] = if s == 0.0 { 0.0 } else { s / self.pivots[k] };
         }
         v.copy_from_slice(x);
     }
@@ -480,6 +942,7 @@ impl SparseLu {
     ///
     /// Same contract as [`SparseLu::solve`]: immutable factors, all state in
     /// the caller's scratch.
+    #[cfg_attr(not(any(test, feature = "testgen")), allow(dead_code))]
     pub fn solve_t(&self, w: &mut [f64], scratch: &mut Vec<f64>) {
         let m = self.m;
         debug_assert_eq!(w.len(), m);
@@ -491,60 +954,576 @@ impl SparseLu {
         // every pivot row is written before any backward-pass read.
         let t = &mut scratch[..m];
         for k in 0..m {
-            let tk = w[self.perm_col[k] as usize] / self.pivots[k];
-            t[self.perm_row[k] as usize] = tk;
-            if tk != 0.0 {
+            let wk = w[self.perm_col[k] as usize];
+            if wk == 0.0 {
+                t[self.perm_row[k] as usize] = 0.0;
+            } else {
+                let tk = wk / self.pivots[k];
+                t[self.perm_row[k] as usize] = tk;
                 for &(j, u) in &self.urows[k] {
                     w[j as usize] -= u * tk;
                 }
             }
         }
-        // Backward pass: apply the transposed eliminations in reverse.
+        // Backward pass: apply the transposed eliminations in reverse,
+        // skipping exact-zero contributions (worklist-path parity).
         for k in (0..m).rev() {
             let mut s = t[self.perm_row[k] as usize];
             for &(i, l) in &self.lcols[k] {
-                s -= l * t[i as usize];
+                let ti = t[i as usize];
+                if ti != 0.0 {
+                    s -= l * ti;
+                }
             }
             t[self.perm_row[k] as usize] = s;
         }
         w.copy_from_slice(t);
     }
+
+    /// Forward `L` replay on a row-indexed RHS (the first half of FTRAN),
+    /// dense sweep.
+    fn l_forward_dense(&self, v: &mut [f64]) {
+        for k in 0..self.m {
+            let vk = v[self.perm_row[k] as usize];
+            if vk != 0.0 {
+                for &(i, l) in &self.lcols[k] {
+                    v[i as usize] -= l * vk;
+                }
+            }
+        }
+    }
+
+    /// Worklist forward `L` replay: visits only stages reachable from the
+    /// seed rows. Every row whose value may have changed (seeds plus
+    /// scattered rows) is appended to `nzrows` exactly once. Bitwise
+    /// identical to [`SparseLu::l_forward_dense`].
+    ///
+    /// `row_mark`/`mark_gen` deduplicate rows, `heap` orders pending stages
+    /// ascending.
+    fn l_forward_sparse(
+        &self,
+        v: &mut [f64],
+        seeds: &[u32],
+        nzrows: &mut Vec<u32>,
+        row_mark: &mut [u32],
+        mark_gen: u32,
+        heap: &mut Vec<u64>,
+    ) {
+        debug_assert!(heap.is_empty());
+        for &r in seeds {
+            let ru = r as usize;
+            if row_mark[ru] != mark_gen {
+                row_mark[ru] = mark_gen;
+                nzrows.push(r);
+                heap_push_u64(heap, self.stage_of_row[ru] as u64);
+            }
+        }
+        while let Some(k) = heap_pop_u64(heap) {
+            let k = k as usize;
+            let vk = v[self.perm_row[k] as usize];
+            if vk == 0.0 {
+                continue;
+            }
+            for &(i, l) in &self.lcols[k] {
+                let iu = i as usize;
+                v[iu] -= l * vk;
+                if row_mark[iu] != mark_gen {
+                    row_mark[iu] = mark_gen;
+                    nzrows.push(i);
+                    heap_push_u64(heap, self.stage_of_row[iu] as u64);
+                }
+            }
+        }
+    }
+
+    /// Backward transposed-`L` replay on a row-indexed vector (the second
+    /// half of BTRAN), dense sweep. Skips exact-zero contributions for
+    /// worklist-path parity.
+    fn lt_backward_dense(&self, t: &mut [f64]) {
+        for k in (0..self.m).rev() {
+            let mut s = t[self.perm_row[k] as usize];
+            for &(i, l) in &self.lcols[k] {
+                let ti = t[i as usize];
+                if ti != 0.0 {
+                    s -= l * ti;
+                }
+            }
+            t[self.perm_row[k] as usize] = s;
+        }
+    }
+
+    /// Worklist backward transposed-`L` replay: a stage must run when its
+    /// pivot row or any row its `L` column references is nonzero, so
+    /// activating a row schedules its own stage plus every referencing
+    /// stage (`lrow_stages`). Descending stage order via complemented keys.
+    /// Bitwise identical to [`SparseLu::lt_backward_dense`].
+    fn lt_backward_sparse(
+        &self,
+        t: &mut [f64],
+        seeds: &[u32],
+        row_mark: &mut [u32],
+        mark_gen: u32,
+        heap: &mut Vec<u64>,
+    ) {
+        debug_assert!(heap.is_empty());
+        // Activation: schedule the row's stage and its referencing stages.
+        macro_rules! activate {
+            ($row:expr) => {{
+                let ru = $row as usize;
+                if row_mark[ru] != mark_gen {
+                    row_mark[ru] = mark_gen;
+                    heap_push_u64(heap, !(self.stage_of_row[ru] as u64));
+                    for &k in &self.lrow_stages[ru] {
+                        heap_push_u64(heap, !(k as u64));
+                    }
+                }
+            }};
+        }
+        for &r in seeds {
+            if t[r as usize] != 0.0 {
+                activate!(r);
+            }
+        }
+        let mut last = u64::MAX;
+        while let Some(key) = heap_pop_u64(heap) {
+            let k = (!key) as usize;
+            if key == last {
+                continue; // duplicate stage (activated via several rows)
+            }
+            last = key;
+            let pr = self.perm_row[k] as usize;
+            let mut s = t[pr];
+            for &(i, l) in &self.lcols[k] {
+                let ti = t[i as usize];
+                if ti != 0.0 {
+                    s -= l * ti;
+                }
+            }
+            t[pr] = s;
+            if s != 0.0 {
+                activate!(pr as u32);
+            }
+        }
+    }
 }
 
-/// One product-form update: the basis column at position `r` was replaced by
-/// a column whose FTRAN image (through everything to its left) is `α`,
-/// stored sparsely.
+/// Should a solve with `nnz` declared RHS nonzeros take the worklist path?
+#[inline]
+fn use_hypersparse(m: usize, nnz: usize) -> bool {
+    nnz > 0 && m >= HYPERSPARSE_DIM_MIN && nnz * HYPERSPARSE_RATIO <= m
+}
+
+/// Packs a worklist key: logical order (`seq`) in the high bits, slot id in
+/// the low 21, so heap order is elimination order and the slot rides along.
+#[inline]
+fn wl_key(seq: u64, slot: u32) -> u64 {
+    debug_assert!((slot as u64) < (1 << 21) && seq < (1 << 43));
+    (seq << 21) | slot as u64
+}
+
+/// Slot id bits of a worklist key (see [`wl_key`]).
+const WL_SLOT_MASK: u64 = (1 << 21) - 1;
+
+/// Caller-owned scratch for [`Factorization`] solves and updates: worklist
+/// heaps, stamp arrays, the zero-maintained dense accumulators, and the
+/// captured spike. One per thread (it lives in the engine's `Workspace`);
+/// the factors themselves are never written during a solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    /// Nonzero indices of the *next* solve's RHS, set by the caller (rows
+    /// for FTRAN, positions for BTRAN). Empty ⇒ the RHS is treated as
+    /// dense. Consumed (cleared) by every solve.
+    pub rhs_nz: Vec<u32>,
+    /// Hyper-sparse FTRANs taken (drained into `LpStats`).
+    pub hs_ftrans: u64,
+    /// Hyper-sparse BTRANs taken (drained into `LpStats`).
+    pub hs_btrans: u64,
+    /// Zero-maintained dense accumulator (positions in FTRAN, rows in
+    /// BTRAN). Invariant: all-zero between calls.
+    dense: Vec<f64>,
+    /// Worklist keys (see [`wl_key`]); complemented for descending passes.
+    heap: Vec<u64>,
+    /// Row dedup stamps (`mark_gen` generations).
+    row_mark: Vec<u32>,
+    /// Slot dedup stamps.
+    slot_mark: Vec<u32>,
+    mark_gen: u32,
+    /// Rows touched by the forward half of a solve (seeds + scatters).
+    nzrows: Vec<u32>,
+    /// Slots processed by a worklist `U` pass (for result scatter/re-zero).
+    touched: Vec<u32>,
+    /// Spike captured by [`Factorization::ftran_entering`]: the entering
+    /// column after `L⁻¹` and the row etas, sorted by row.
+    spike: Vec<(u32, f64)>,
+    /// Forrest–Tomlin elimination accumulator, by slot.
+    acc: Vec<f64>,
+    acc_mark: Vec<u32>,
+    /// Spike values scattered by slot during an update.
+    spk: Vec<f64>,
+    spk_mark: Vec<u32>,
+}
+
+impl SolveScratch {
+    /// Fresh scratch (buffers grow on demand).
+    #[cfg_attr(not(any(test, feature = "testgen")), allow(dead_code))]
+    pub fn new() -> SolveScratch {
+        SolveScratch::default()
+    }
+
+    /// Grows the row/position-indexed buffers to dimension `m` and the
+    /// slot-indexed buffers to `slots`.
+    fn ensure(&mut self, m: usize, slots: usize) {
+        if self.dense.len() < m {
+            self.dense.resize(m, 0.0);
+        }
+        if self.row_mark.len() < m {
+            self.row_mark.resize(m, 0);
+        }
+        if self.slot_mark.len() < slots {
+            self.slot_mark.resize(slots, 0);
+        }
+        if self.acc.len() < slots {
+            self.acc.resize(slots, 0.0);
+            self.acc_mark.resize(slots, 0);
+            self.spk.resize(slots, 0.0);
+            self.spk_mark.resize(slots, 0);
+        }
+    }
+
+    /// Next stamp generation (wraps safely by resetting every mark array).
+    fn next_gen(&mut self) -> u32 {
+        if self.mark_gen == u32::MAX {
+            self.row_mark.fill(0);
+            self.slot_mark.fill(0);
+            self.acc_mark.fill(0);
+            self.spk_mark.fill(0);
+            self.mark_gen = 0;
+        }
+        self.mark_gen += 1;
+        self.mark_gen
+    }
+
+    /// Drains the hyper-sparse counters (for `LpStats` folding).
+    pub fn take_hypersparse_counts(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.hs_ftrans),
+            std::mem::take(&mut self.hs_btrans),
+        )
+    }
+}
+
+/// One Forrest–Tomlin row eta: eliminating the displaced `U` row wrote
+/// `v[target] -= Σ μᵢ·v[sourceᵢ]` into the update sequence. FTRAN applies
+/// the etas in recording order after the `L` pass; BTRAN applies the
+/// transposes in reverse (`v[sourceᵢ] -= μᵢ·v[target]`).
 #[derive(Debug, Clone)]
-pub struct Eta {
-    /// Basis position that pivoted.
-    pub r: usize,
-    /// Pivot element `α_r`.
-    pub diag: f64,
-    /// Off-pivot nonzeros of `α` as `(position, value)`.
-    pub nz: Vec<(u32, f64)>,
+struct RowEta {
+    /// Original row index of the displaced pivot row.
+    target: u32,
+    /// `(source original row, multiplier)` pairs, in elimination order.
+    terms: Vec<(u32, f64)>,
 }
 
-/// A factorized basis: `B = LU · E₁ · E₂ · … · E_k`.
+/// The dynamic (updatable) `U` factor: a working copy of the triangular
+/// stages that Forrest–Tomlin updates rewrite in place, owned by exactly
+/// one [`Factorization`] (never behind the shared [`Arc`] — that is the
+/// copy-on-compress contract).
 ///
-/// The LU factors sit behind an [`Arc`]: cloning a `Factorization` shares
-/// them (they are immutable after [`SparseLu::factor`]) and copies only the
-/// eta file, so handing a persisted factorization to every branch-and-bound
-/// child is cheap and thread-safe. The solves ([`Factorization::ftran`] /
-/// [`Factorization::btran`]) take `&self`; mutation is confined to
-/// [`Factorization::push_eta`], which only grows the owner's private eta
-/// file.
+/// Stages live in *slots*; `order` lists the live slots in elimination
+/// order (ascending `seq`, which is also heap-key order for the worklist
+/// solves). An update kills the displaced slot and appends a fresh one, so
+/// stale slot ids in the lazy `ucols` adjacency are detected by `alive`.
+#[derive(Debug, Clone)]
+struct FtState {
+    /// Original pivot row per slot.
+    prow: Vec<u32>,
+    /// Basis position per slot.
+    pos: Vec<u32>,
+    /// Pivot value per slot.
+    pivot: Vec<f64>,
+    /// Logical elimination order key per slot (monotone across updates).
+    seq: Vec<u64>,
+    /// Off-diagonal `U` row per slot: `(position, value)`, all positions
+    /// pivoting at later slots.
+    urow: Vec<Vec<(u32, f64)>>,
+    /// Slot liveness (updates kill and append slots).
+    alive: Vec<bool>,
+    /// Live slots in elimination order.
+    order: Vec<u32>,
+    /// Position → live slot pivoting it.
+    slot_of_pos: Vec<u32>,
+    /// Original row → live slot pivoting it.
+    slot_of_row: Vec<u32>,
+    /// Position → slots whose `urow` *may* contain it (complete but lazily
+    /// stale: dead or pruned slots are skipped on use).
+    ucols: Vec<Vec<u32>>,
+    /// Row etas accumulated since the last refactorization.
+    row_etas: Vec<RowEta>,
+    /// Updates applied since the last refactorization.
+    updates: usize,
+    next_seq: u64,
+}
+
+impl FtState {
+    /// Copies the immutable factor's `U` into slot form (slot `k` = stage
+    /// `k`). This is the per-refactorization cost of updatability: O(nnz U).
+    fn materialize(lu: &SparseLu) -> FtState {
+        let m = lu.m;
+        let mut ucols: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for (k, urow) in lu.urows.iter().enumerate() {
+            for &(p, _) in urow {
+                ucols[p as usize].push(k as u32);
+            }
+        }
+        let mut slot_of_pos = vec![0u32; m];
+        let mut slot_of_row = vec![0u32; m];
+        for k in 0..m {
+            slot_of_pos[lu.perm_col[k] as usize] = k as u32;
+            slot_of_row[lu.perm_row[k] as usize] = k as u32;
+        }
+        FtState {
+            prow: lu.perm_row.clone(),
+            pos: lu.perm_col.clone(),
+            pivot: lu.pivots.clone(),
+            seq: (0..m as u64).collect(),
+            urow: lu.urows.clone(),
+            alive: vec![true; m],
+            order: (0..m as u32).collect(),
+            slot_of_pos,
+            slot_of_row,
+            ucols,
+            row_etas: Vec::new(),
+            updates: 0,
+            next_seq: m as u64,
+        }
+    }
+
+    /// Applies the row etas to a row-indexed vector (forward direction,
+    /// recording order). Newly touched rows are marked and appended to
+    /// `nzrows` when tracking is on (`track_rows`).
+    fn apply_row_etas(
+        &self,
+        v: &mut [f64],
+        nzrows: &mut Vec<u32>,
+        row_mark: &mut [u32],
+        mark_gen: u32,
+        track_rows: bool,
+    ) {
+        for eta in &self.row_etas {
+            let tu = eta.target as usize;
+            let mut s = v[tu];
+            for &(src, mu) in &eta.terms {
+                let vs = v[src as usize];
+                if vs != 0.0 {
+                    s -= mu * vs;
+                }
+            }
+            v[tu] = s;
+            if track_rows && s != 0.0 && row_mark[tu] != mark_gen {
+                row_mark[tu] = mark_gen;
+                nzrows.push(eta.target);
+            }
+        }
+    }
+
+    /// Applies the transposed row etas to a row-indexed vector (reverse
+    /// order). Newly touched rows are tracked as in
+    /// [`FtState::apply_row_etas`].
+    fn apply_row_etas_t(
+        &self,
+        v: &mut [f64],
+        nzrows: &mut Vec<u32>,
+        row_mark: &mut [u32],
+        mark_gen: u32,
+        track_rows: bool,
+    ) {
+        for eta in self.row_etas.iter().rev() {
+            let tv = v[eta.target as usize];
+            if tv == 0.0 {
+                continue;
+            }
+            for &(src, mu) in &eta.terms {
+                let su = src as usize;
+                v[su] -= mu * tv;
+                if track_rows && row_mark[su] != mark_gen {
+                    row_mark[su] = mark_gen;
+                    nzrows.push(src);
+                }
+            }
+        }
+    }
+
+    /// Dense `U` back substitution (the second half of FTRAN): row-indexed
+    /// input in `v`, position-indexed result written back into `v`.
+    fn u_backsub_dense(&self, v: &mut [f64], scratch: &mut SolveScratch) {
+        let m = v.len();
+        let x = &mut scratch.dense;
+        for &slot in self.order.iter().rev() {
+            let su = slot as usize;
+            let mut s = v[self.prow[su] as usize];
+            for &(p, u) in &self.urow[su] {
+                let xp = x[p as usize];
+                if xp != 0.0 {
+                    s -= u * xp;
+                }
+            }
+            x[self.pos[su] as usize] = if s == 0.0 { 0.0 } else { s / self.pivot[su] };
+        }
+        v.copy_from_slice(&x[..m]);
+        x[..m].fill(0.0); // restore the all-zero invariant
+    }
+
+    /// Worklist `U` back substitution: seeds from the nonzero rows left by
+    /// the forward half, schedules through `ucols` reachability, descending
+    /// elimination order. Bitwise identical to [`FtState::u_backsub_dense`].
+    fn u_backsub_sparse(&self, v: &mut [f64], scratch: &mut SolveScratch, mark_gen: u32) {
+        debug_assert!(scratch.heap.is_empty());
+        scratch.touched.clear();
+        for &r in &scratch.nzrows {
+            if v[r as usize] == 0.0 {
+                continue;
+            }
+            let slot = self.slot_of_row[r as usize];
+            if scratch.slot_mark[slot as usize] != mark_gen {
+                scratch.slot_mark[slot as usize] = mark_gen;
+                heap_push_u64(&mut scratch.heap, !wl_key(self.seq[slot as usize], slot));
+            }
+        }
+        while let Some(key) = heap_pop_u64(&mut scratch.heap) {
+            let slot = ((!key) & WL_SLOT_MASK) as usize;
+            let mut s = v[self.prow[slot] as usize];
+            for &(p, u) in &self.urow[slot] {
+                let xp = scratch.dense[p as usize];
+                if xp != 0.0 {
+                    s -= u * xp;
+                }
+            }
+            let xv = if s == 0.0 { 0.0 } else { s / self.pivot[slot] };
+            let pos = self.pos[slot] as usize;
+            scratch.dense[pos] = xv;
+            scratch.touched.push(slot as u32);
+            if xv != 0.0 {
+                for &s2 in &self.ucols[pos] {
+                    let s2u = s2 as usize;
+                    if self.alive[s2u] && scratch.slot_mark[s2u] != mark_gen {
+                        scratch.slot_mark[s2u] = mark_gen;
+                        heap_push_u64(&mut scratch.heap, !wl_key(self.seq[s2u], s2));
+                    }
+                }
+            }
+        }
+        // Scatter the position-indexed result and restore the zero invariant.
+        v.fill(0.0);
+        for &slot in &scratch.touched {
+            let pos = self.pos[slot as usize] as usize;
+            v[pos] = scratch.dense[pos];
+            scratch.dense[pos] = 0.0;
+        }
+    }
+
+    /// Dense transposed-`U` forward pass (the first half of BTRAN):
+    /// position-indexed input in `w`, row-indexed result written back.
+    fn ut_forward_dense(&self, w: &mut [f64], scratch: &mut SolveScratch) {
+        let m = w.len();
+        let t = &mut scratch.dense;
+        for &slot in self.order.iter() {
+            let su = slot as usize;
+            let wk = w[self.pos[su] as usize];
+            if wk == 0.0 {
+                t[self.prow[su] as usize] = 0.0;
+            } else {
+                let tk = wk / self.pivot[su];
+                t[self.prow[su] as usize] = tk;
+                for &(p, u) in &self.urow[su] {
+                    w[p as usize] -= u * tk;
+                }
+            }
+        }
+        w.copy_from_slice(&t[..m]);
+        t[..m].fill(0.0);
+    }
+
+    /// Worklist transposed-`U` forward pass: seeds from the declared
+    /// nonzero positions, scatters schedule the receiving position's slot,
+    /// ascending elimination order. Rows written are marked into `nzrows`
+    /// for the following `Lᵀ` pass. Bitwise identical to
+    /// [`FtState::ut_forward_dense`].
+    fn ut_forward_sparse(&self, w: &mut [f64], scratch: &mut SolveScratch, mark_gen: u32) {
+        debug_assert!(scratch.heap.is_empty());
+        scratch.nzrows.clear();
+        for i in 0..scratch.rhs_nz.len() {
+            let p = scratch.rhs_nz[i] as usize;
+            if w[p] == 0.0 {
+                continue;
+            }
+            let slot = self.slot_of_pos[p];
+            if scratch.slot_mark[slot as usize] != mark_gen {
+                scratch.slot_mark[slot as usize] = mark_gen;
+                heap_push_u64(&mut scratch.heap, wl_key(self.seq[slot as usize], slot));
+            }
+        }
+        while let Some(key) = heap_pop_u64(&mut scratch.heap) {
+            let slot = (key & WL_SLOT_MASK) as usize;
+            let wk = w[self.pos[slot] as usize];
+            if wk == 0.0 {
+                continue;
+            }
+            let tk = wk / self.pivot[slot];
+            let pr = self.prow[slot] as usize;
+            scratch.dense[pr] = tk;
+            if scratch.row_mark[pr] != mark_gen {
+                scratch.row_mark[pr] = mark_gen;
+                scratch.nzrows.push(pr as u32);
+            }
+            for &(p, u) in &self.urow[slot] {
+                let pu = p as usize;
+                w[pu] -= u * tk;
+                let s2 = self.slot_of_pos[pu];
+                if scratch.slot_mark[s2 as usize] != mark_gen {
+                    scratch.slot_mark[s2 as usize] = mark_gen;
+                    heap_push_u64(&mut scratch.heap, wl_key(self.seq[s2 as usize], s2));
+                }
+            }
+        }
+        // Scatter the row-indexed result and restore the zero invariant.
+        w.fill(0.0);
+        for &r in &scratch.nzrows {
+            w[r as usize] = scratch.dense[r as usize];
+            scratch.dense[r as usize] = 0.0;
+        }
+    }
+}
+
+/// Forrest–Tomlin pivot acceptance: the updated diagonal must exceed both
+/// the factor's scale-relative singularity floor and this fraction of the
+/// spike's largest magnitude, else the update is refused and the caller
+/// refactorizes. Conservative: a refused update costs one refactorization,
+/// an accepted bad one poisons every later solve.
+const FT_PIVOT_REL: f64 = 1e-10;
+
+/// A factorized basis: immutable `L` (and the pristine `U`) behind an
+/// [`Arc`], plus the owned Forrest–Tomlin state ([`FtState`]) that updates
+/// rewrite.
+///
+/// Cloning shares the `Arc` and deep-copies the dynamic state, so a basis
+/// handed to several branch-and-bound workers can be updated independently
+/// in each without any cross-talk (**copy-on-compress**: an update mutates
+/// only the owner's private `U` working copy and row etas, never the shared
+/// factors). The solves take `&self`; mutation is confined to
+/// [`Factorization::push_update`].
 #[derive(Debug, Clone)]
 pub struct Factorization {
     lu: Arc<SparseLu>,
-    etas: Vec<Eta>,
+    ft: FtState,
 }
 
 impl Factorization {
-    /// Wraps a fresh LU factorization with an empty eta file.
+    /// Wraps a fresh LU factorization, materializing the updatable `U`.
     pub fn new(lu: SparseLu) -> Self {
+        let ft = FtState::materialize(&lu);
         Factorization {
             lu: Arc::new(lu),
-            etas: Vec::new(),
+            ft,
         }
     }
 
@@ -558,57 +1537,249 @@ impl Factorization {
         self.lu.dim()
     }
 
-    /// Number of eta updates accumulated since the last refactorization.
-    pub fn eta_count(&self) -> usize {
-        self.etas.len()
+    /// Forrest–Tomlin updates folded in since the last refactorization.
+    pub fn update_count(&self) -> usize {
+        self.ft.updates
     }
 
-    /// Records a pivot: position `r` now holds a column with the dense FTRAN
-    /// image `alpha` (as returned by [`Factorization::ftran`] *before* the
-    /// pivot). Only the nonzeros are stored.
-    pub fn push_eta(&mut self, r: usize, alpha: &[f64]) {
-        let nz: Vec<(u32, f64)> = alpha
-            .iter()
-            .enumerate()
-            .filter(|&(i, &v)| i != r && v != 0.0)
-            .map(|(i, &v)| (i as u32, v))
-            .collect();
-        self.etas.push(Eta {
-            r,
-            diag: alpha[r],
-            nz,
-        });
+    /// The immutable factors (for fill-in / scan-work statistics; used by
+    /// the bench `lu_factor` probe through the `testgen` feature).
+    #[allow(dead_code)]
+    pub fn sparse_lu(&self) -> &SparseLu {
+        &self.lu
     }
 
-    /// FTRAN: solves `B·x = v` in place. The factors stay immutable; all
-    /// intermediate state lives in `scratch`.
-    pub fn ftran(&self, v: &mut [f64], scratch: &mut Vec<f64>) {
-        self.lu.solve(v, scratch);
-        // B = LU·E₁·…·E_k ⇒ x = E_k⁻¹·…·E₁⁻¹·(LU)⁻¹·v.
-        for eta in &self.etas {
-            let xr = v[eta.r] / eta.diag;
-            if xr != 0.0 {
-                for &(i, a) in &eta.nz {
-                    v[i as usize] -= a * xr;
+    /// FTRAN: solves `B·x = v` in place. Set `scratch.rhs_nz` to the
+    /// nonzero rows of `v` to enable the hyper-sparse path (consumed
+    /// either way); results are bitwise identical across paths.
+    pub fn ftran(&self, v: &mut [f64], scratch: &mut SolveScratch) {
+        self.ftran_impl(v, scratch, false);
+    }
+
+    /// FTRAN of an *entering column*: identical solve, but additionally
+    /// captures the spike — the column after `L⁻¹` and the row etas, i.e.
+    /// the partially transformed column a following
+    /// [`Factorization::push_update`] folds into `U`.
+    pub fn ftran_entering(&self, v: &mut [f64], scratch: &mut SolveScratch) {
+        self.ftran_impl(v, scratch, true);
+    }
+
+    fn ftran_impl(&self, v: &mut [f64], scratch: &mut SolveScratch, capture: bool) {
+        let m = self.lu.dim();
+        debug_assert_eq!(v.len(), m);
+        scratch.ensure(m, self.ft.prow.len());
+        if use_hypersparse(m, scratch.rhs_nz.len()) {
+            scratch.hs_ftrans += 1;
+            let gen = scratch.next_gen();
+            scratch.nzrows.clear();
+            let seeds = std::mem::take(&mut scratch.rhs_nz);
+            self.lu.l_forward_sparse(
+                v,
+                &seeds,
+                &mut scratch.nzrows,
+                &mut scratch.row_mark,
+                gen,
+                &mut scratch.heap,
+            );
+            scratch.rhs_nz = seeds;
+            self.ft
+                .apply_row_etas(v, &mut scratch.nzrows, &mut scratch.row_mark, gen, true);
+            if capture {
+                scratch.spike.clear();
+                for &r in &scratch.nzrows {
+                    let val = v[r as usize];
+                    if val != 0.0 {
+                        scratch.spike.push((r, val));
+                    }
+                }
+                // Ascending row order: path-independent capture.
+                scratch.spike.sort_unstable_by_key(|e| e.0);
+            }
+            self.ft.u_backsub_sparse(v, scratch, gen);
+        } else {
+            self.lu.l_forward_dense(v);
+            self.ft
+                .apply_row_etas(v, &mut scratch.nzrows, &mut scratch.row_mark, 0, false);
+            if capture {
+                scratch.spike.clear();
+                for (i, &val) in v.iter().enumerate() {
+                    if val != 0.0 {
+                        scratch.spike.push((i as u32, val));
+                    }
                 }
             }
-            v[eta.r] = xr;
+            self.ft.u_backsub_dense(v, scratch);
         }
+        scratch.rhs_nz.clear();
     }
 
-    /// BTRAN: solves `Bᵀ·y = w` in place. Same scratch contract as
-    /// [`Factorization::ftran`].
-    pub fn btran(&self, w: &mut [f64], scratch: &mut Vec<f64>) {
-        // Bᵀ = E_kᵀ·…·E₁ᵀ·(LU)ᵀ ⇒ peel the eta transposes first, newest
-        // outermost, then finish with the LU transpose solve.
-        for eta in self.etas.iter().rev() {
-            let mut s = w[eta.r];
-            for &(i, a) in &eta.nz {
-                s -= a * w[i as usize];
-            }
-            w[eta.r] = s / eta.diag;
+    /// BTRAN: solves `Bᵀ·y = w` in place (`w` indexed by basis position on
+    /// entry, by row on exit). Set `scratch.rhs_nz` to the nonzero
+    /// positions of `w` to enable the hyper-sparse path (consumed either
+    /// way); results are bitwise identical across paths.
+    pub fn btran(&self, w: &mut [f64], scratch: &mut SolveScratch) {
+        let m = self.lu.dim();
+        debug_assert_eq!(w.len(), m);
+        scratch.ensure(m, self.ft.prow.len());
+        if use_hypersparse(m, scratch.rhs_nz.len()) {
+            scratch.hs_btrans += 1;
+            let gen = scratch.next_gen();
+            self.ft.ut_forward_sparse(w, scratch, gen);
+            self.ft
+                .apply_row_etas_t(w, &mut scratch.nzrows, &mut scratch.row_mark, gen, true);
+            // The Lᵀ pass re-marks from a fresh generation: forward-pass
+            // marks mean "row touched", activation means "stages scheduled".
+            let gen2 = scratch.next_gen();
+            let seeds = std::mem::take(&mut scratch.nzrows);
+            self.lu
+                .lt_backward_sparse(w, &seeds, &mut scratch.row_mark, gen2, &mut scratch.heap);
+            scratch.nzrows = seeds;
+        } else {
+            self.ft.ut_forward_dense(w, scratch);
+            self.ft
+                .apply_row_etas_t(w, &mut scratch.nzrows, &mut scratch.row_mark, 0, false);
+            self.lu.lt_backward_dense(w);
         }
-        self.lu.solve_t(w, scratch);
+        scratch.rhs_nz.clear();
+    }
+
+    /// Folds a pivot into the factors: basis position `r` now holds the
+    /// column whose spike was captured by the immediately preceding
+    /// [`Factorization::ftran_entering`] (held in `scratch.spike`,
+    /// consumed here).
+    ///
+    /// Returns `false` — leaving the factorization *unchanged* — when the
+    /// updated diagonal fails the stability test; the caller must then
+    /// refactorize from the updated basis instead. Cost is proportional to
+    /// the spike nnz plus the displaced row's fill, not to the basis
+    /// dimension.
+    pub fn push_update(&mut self, r: usize, scratch: &mut SolveScratch) -> bool {
+        let m = self.lu.dim();
+        debug_assert!(r < m);
+        let nslots = self.ft.prow.len();
+        scratch.ensure(m, nslots + 1);
+        let drop_tol = self.lu.drop_tol;
+        let sing_tol = self.lu.sing_tol;
+        let ft = &mut self.ft;
+        let t_slot = ft.slot_of_pos[r] as usize;
+        let t_seq = ft.seq[t_slot];
+
+        // ---- scatter the spike by slot (diagonal value split off).
+        let spk_gen = scratch.next_gen();
+        scratch.touched.clear();
+        let mut v_t = 0.0f64;
+        let mut spike_max = 0.0f64;
+        for &(row, val) in &scratch.spike {
+            if val.abs() <= drop_tol {
+                continue;
+            }
+            spike_max = spike_max.max(val.abs());
+            let s = ft.slot_of_row[row as usize] as usize;
+            if s == t_slot {
+                v_t = val;
+            } else {
+                scratch.spk[s] = val;
+                scratch.spk_mark[s] = spk_gen;
+                scratch.touched.push(s as u32);
+            }
+        }
+
+        // ---- eliminate the displaced row: its entries (the old U row at
+        // later stages) are cancelled in ascending elimination order,
+        // each cancellation scattering fill from that stage's row.
+        let acc_gen = scratch.next_gen();
+        debug_assert!(scratch.heap.is_empty());
+        for &(p, u) in &ft.urow[t_slot] {
+            let s = ft.slot_of_pos[p as usize] as usize;
+            debug_assert!(ft.seq[s] > t_seq);
+            scratch.acc[s] = u;
+            scratch.acc_mark[s] = acc_gen;
+            heap_push_u64(&mut scratch.heap, wl_key(ft.seq[s], s as u32));
+        }
+        let mut new_pivot = v_t;
+        let mut terms: Vec<(u32, f64)> = Vec::new();
+        while let Some(key) = heap_pop_u64(&mut scratch.heap) {
+            let s = (key & WL_SLOT_MASK) as usize;
+            let val = scratch.acc[s];
+            if val == 0.0 || val.abs() <= drop_tol {
+                continue; // cancelled or below the factor's drop policy
+            }
+            let mu = val / ft.pivot[s];
+            terms.push((ft.prow[s], mu));
+            if scratch.spk_mark[s] == spk_gen && scratch.spk[s] != 0.0 {
+                new_pivot -= mu * scratch.spk[s];
+            }
+            for &(p2, u2) in &ft.urow[s] {
+                let s2 = ft.slot_of_pos[p2 as usize] as usize;
+                if scratch.acc_mark[s2] != acc_gen {
+                    scratch.acc_mark[s2] = acc_gen;
+                    scratch.acc[s2] = 0.0;
+                    heap_push_u64(&mut scratch.heap, wl_key(ft.seq[s2], s2 as u32));
+                }
+                scratch.acc[s2] -= mu * u2;
+            }
+        }
+
+        // ---- stability acceptance (see FT_PIVOT_REL).
+        if !new_pivot.is_finite() || new_pivot.abs() <= sing_tol.max(FT_PIVOT_REL * spike_max) {
+            scratch.spike.clear();
+            return false;
+        }
+
+        // ---- commit. 1) prune the replaced column from surviving rows.
+        let mut col_slots = std::mem::take(&mut ft.ucols[r]);
+        for &s2 in &col_slots {
+            let s2u = s2 as usize;
+            if ft.alive[s2u] {
+                ft.urow[s2u].retain(|&(p, _)| p as usize != r);
+            }
+        }
+        col_slots.clear();
+        ft.ucols[r] = col_slots;
+        // 2) kill the displaced slot and drop it from the order.
+        ft.alive[t_slot] = false;
+        let idx = ft
+            .order
+            .iter()
+            .position(|&s| s as usize == t_slot)
+            .expect("live slot is listed in order");
+        ft.order.remove(idx);
+        let target_row = ft.prow[t_slot];
+        // 3) append the replacement slot: same pivot row, now pivoting
+        // position r, last in elimination order.
+        let nt = ft.prow.len() as u32;
+        assert!((nt as u64) < (1 << 21), "Forrest–Tomlin slot id overflow");
+        ft.prow.push(target_row);
+        ft.pos.push(r as u32);
+        ft.pivot.push(new_pivot);
+        ft.seq.push(ft.next_seq);
+        ft.next_seq += 1;
+        ft.urow.push(Vec::new());
+        ft.alive.push(true);
+        ft.order.push(nt);
+        ft.slot_of_pos[r] = nt;
+        ft.slot_of_row[target_row as usize] = nt;
+        // 4) fold the spike entries into the surviving rows at column r
+        // (the replacement slot has the latest order key, so every entry
+        // still references a later stage).
+        for &s in &scratch.touched {
+            let su = s as usize;
+            let val = scratch.spk[su];
+            if val != 0.0 {
+                ft.urow[su].push((r as u32, val));
+                ft.ucols[r].push(s);
+            }
+        }
+        // 5) record the elimination as a row eta.
+        if !terms.is_empty() {
+            ft.row_etas.push(RowEta {
+                target: target_row,
+                terms,
+            });
+        }
+        ft.updates += 1;
+        scratch.spike.clear();
+        true
     }
 }
 
@@ -638,6 +1809,34 @@ mod tests {
                     .collect()
             })
             .collect()
+    }
+
+    /// Seeded xorshift for fixture matrices (self-contained; the shared
+    /// `gen` module builds Problems, not matrices).
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Random sparse diagonally-weighted matrix: nonsingular with high
+    /// probability, sparse enough to exercise the worklist paths.
+    fn random_sparse(rng: &mut Rng, m: usize, extra_per_row: usize) -> Vec<f64> {
+        let mut a = vec![0.0; m * m];
+        for i in 0..m {
+            a[i * m + i] = 3.0 + 4.0 * rng.next();
+            for _ in 0..extra_per_row {
+                let j = (rng.next() * m as f64) as usize % m;
+                if j != i {
+                    a[i * m + j] = 2.0 * rng.next() - 1.0;
+                }
+            }
+        }
+        a
     }
 
     #[test]
@@ -685,6 +1884,9 @@ mod tests {
         assert!(SparseLu::factor_cols(m, &dense_to_cols(&a, m)).is_none());
         // Structurally singular: an empty column.
         assert!(SparseLu::factor_cols(2, &[vec![(0, 1.0), (1, 1.0)], vec![]]).is_none());
+        // The rescan baseline must agree.
+        let cols = dense_to_cols(&a, m);
+        assert!(SparseLu::factor_rescan(m, |pos, buf| buf.extend_from_slice(&cols[pos])).is_none());
     }
 
     #[test]
@@ -747,7 +1949,46 @@ mod tests {
     }
 
     #[test]
-    fn eta_updates_match_refactorization() {
+    fn bucketed_factor_matches_rescan_exactly() {
+        // The bucketed selection is engineered to choose the identical
+        // pivot sequence (lowest-index column of minimum count, same row
+        // rule), so the factors must be *bitwise* equal — while the
+        // selection effort must not exceed the rescan's.
+        let mut rng = Rng(0x0005_eed1_u64);
+        for m in [1usize, 2, 5, 17, 48, 96] {
+            for extra in [0usize, 2, 6] {
+                let a = random_sparse(&mut rng, m, extra);
+                let cols = dense_to_cols(&a, m);
+                let fast = SparseLu::factor_cols(m, &cols);
+                let slow = SparseLu::factor_rescan(m, |pos, buf| buf.extend_from_slice(&cols[pos]));
+                assert_eq!(
+                    fast.is_some(),
+                    slow.is_some(),
+                    "singularity verdicts diverge at m={m}"
+                );
+                let (Some(fast), Some(slow)) = (fast, slow) else {
+                    continue;
+                };
+                assert_eq!(fast.perm_row, slow.perm_row, "pivot rows diverge at m={m}");
+                assert_eq!(fast.perm_col, slow.perm_col, "pivot cols diverge at m={m}");
+                assert_eq!(fast.pivots, slow.pivots, "pivot values diverge at m={m}");
+                assert_eq!(fast.lcols, slow.lcols, "L factors diverge at m={m}");
+                assert_eq!(fast.urows, slow.urows, "U factors diverge at m={m}");
+                if m >= 48 {
+                    assert!(
+                        fast.pivot_scan_work() < slow.pivot_scan_work(),
+                        "bucketed selection should examine fewer candidates \
+                         (m={m}: {} vs {})",
+                        fast.pivot_scan_work(),
+                        slow.pivot_scan_work()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ft_updates_match_refactorization() {
         // Start from B = I, replace columns one at a time, and check FTRAN /
         // BTRAN against a direct factorization of the updated matrix.
         let m = 4;
@@ -756,7 +1997,7 @@ mod tests {
             b[i * m + i] = 1.0;
         }
         let mut fact = Factorization::new(SparseLu::factor_cols(m, &dense_to_cols(&b, m)).unwrap());
-        let mut scratch = Vec::new();
+        let mut scratch = SolveScratch::new();
 
         let replacements: Vec<(usize, Vec<f64>)> = vec![
             (2, vec![1.0, 0.5, 2.0, -1.0]),
@@ -765,29 +2006,190 @@ mod tests {
         ];
         for (r, col) in replacements {
             let mut alpha = col.clone();
-            fact.ftran(&mut alpha, &mut scratch);
-            fact.push_eta(r, &alpha);
+            fact.ftran_entering(&mut alpha, &mut scratch);
+            assert!(fact.push_update(r, &mut scratch), "update must be stable");
             for i in 0..m {
                 b[i * m + r] = col[i];
             }
             let direct = Lu::factor(b.clone(), m).unwrap();
 
             let v0 = vec![1.0, 2.0, -1.0, 0.5];
-            let mut via_eta = v0.clone();
-            fact.ftran(&mut via_eta, &mut scratch);
+            let mut via_ft = v0.clone();
+            fact.ftran(&mut via_ft, &mut scratch);
             let mut via_direct = v0.clone();
             direct.solve(&mut via_direct);
-            for (a, c) in via_eta.iter().zip(&via_direct) {
+            for (a, c) in via_ft.iter().zip(&via_direct) {
                 assert!((a - c).abs() < 1e-9, "ftran {a} vs {c}");
             }
 
-            let mut wt_eta = v0.clone();
-            fact.btran(&mut wt_eta, &mut scratch);
+            let mut wt_ft = v0.clone();
+            fact.btran(&mut wt_ft, &mut scratch);
             let mut wt_direct = v0;
             direct.solve_t(&mut wt_direct);
-            for (a, c) in wt_eta.iter().zip(&wt_direct) {
+            for (a, c) in wt_ft.iter().zip(&wt_direct) {
                 assert!((a - c).abs() < 1e-9, "btran {a} vs {c}");
             }
+        }
+    }
+
+    #[test]
+    fn ft_long_update_chain_stays_accurate() {
+        // ≥64 consecutive folded pivots on a sparse basis, checked against
+        // a from-scratch factorization after every update — the compression
+        // must not let error accumulate past solve tolerance, and the
+        // update count must be visible for the engine's interval logic.
+        let m = 24;
+        let mut rng = Rng(0xfeed_beefu64);
+        let mut b = random_sparse(&mut rng, m, 3);
+        let mut fact = Factorization::new(SparseLu::factor_cols(m, &dense_to_cols(&b, m)).unwrap());
+        let mut scratch = SolveScratch::new();
+        let mut applied = 0usize;
+        let mut step = 0usize;
+        while applied < 70 {
+            let r = step % m;
+            step += 1;
+            // Diagonally dominated replacement keeps the chain stable.
+            let mut col = vec![0.0; m];
+            col[r] = 4.0 + rng.next();
+            for _ in 0..3 {
+                let i = (rng.next() * m as f64) as usize % m;
+                if i != r {
+                    col[i] = rng.next() - 0.5;
+                }
+            }
+            let mut alpha = col.clone();
+            fact.ftran_entering(&mut alpha, &mut scratch);
+            if !fact.push_update(r, &mut scratch) {
+                // Legitimate refusal: refactorize from the updated matrix,
+                // exactly as the engine would.
+                for i in 0..m {
+                    b[i * m + r] = col[i];
+                }
+                fact = Factorization::new(
+                    SparseLu::factor_cols(m, &dense_to_cols(&b, m)).expect("nonsingular"),
+                );
+                continue;
+            }
+            applied += 1;
+            for i in 0..m {
+                b[i * m + r] = col[i];
+            }
+            let direct = Lu::factor(b.clone(), m).expect("nonsingular");
+            let v0: Vec<f64> = (0..m).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+            let mut via_ft = v0.clone();
+            fact.ftran(&mut via_ft, &mut scratch);
+            let mut via_direct = v0.clone();
+            direct.solve(&mut via_direct);
+            for (a, c) in via_ft.iter().zip(&via_direct) {
+                assert!(
+                    (a - c).abs() < 1e-7,
+                    "ftran after {applied} updates: {a} vs {c}"
+                );
+            }
+            let mut wt_ft = v0.clone();
+            fact.btran(&mut wt_ft, &mut scratch);
+            let mut wt_direct = v0;
+            direct.solve_t(&mut wt_direct);
+            for (a, c) in wt_ft.iter().zip(&wt_direct) {
+                assert!(
+                    (a - c).abs() < 1e-7,
+                    "btran after {applied} updates: {a} vs {c}"
+                );
+            }
+        }
+        assert!(fact.update_count() >= 1);
+    }
+
+    #[test]
+    fn hypersparse_solves_bitwise_match_dense() {
+        // Same factorization, same RHS: one solve through the dense sweep
+        // (no declared nonzeros), one through the worklist path. Results
+        // must agree to the bit, on unit vectors, sparse RHS, and (as a
+        // cutoff check) a dense RHS that must fall back.
+        let m = 96; // past HYPERSPARSE_DIM_MIN
+        let mut rng = Rng(0xabcdu64);
+        let b = random_sparse(&mut rng, m, 2);
+        let mut fact = Factorization::new(SparseLu::factor_cols(m, &dense_to_cols(&b, m)).unwrap());
+        let mut scratch = SolveScratch::new();
+        // Fold a few updates in so the FT row etas are exercised too.
+        for r in [5usize, 40, 77] {
+            let mut col = vec![0.0; m];
+            col[r] = 5.0;
+            col[(r + 9) % m] = 0.25;
+            let mut alpha = col.clone();
+            fact.ftran_entering(&mut alpha, &mut scratch);
+            assert!(fact.push_update(r, &mut scratch));
+        }
+
+        let cases: Vec<Vec<u32>> = vec![
+            vec![17],
+            vec![3, 50, 90],
+            vec![0, 1, 2, 3],
+            (0..m as u32).collect(), // dense: cutoff must refuse the worklist
+        ];
+        for nz in cases {
+            let mut v = vec![0.0; m];
+            for &i in &nz {
+                v[i as usize] = 1.0 + (i as f64) / 7.0;
+            }
+            // FTRAN both ways.
+            let mut dense_v = v.clone();
+            fact.ftran(&mut dense_v, &mut scratch);
+            let mut sparse_v = v.clone();
+            scratch.rhs_nz = nz.clone();
+            fact.ftran(&mut sparse_v, &mut scratch);
+            for (i, (a, c)) in sparse_v.iter().zip(&dense_v).enumerate() {
+                assert!(
+                    a.to_bits() == c.to_bits(),
+                    "ftran nnz={} row {i}: {a:e} vs {c:e}",
+                    nz.len()
+                );
+            }
+            // BTRAN both ways.
+            let mut dense_w = v.clone();
+            fact.btran(&mut dense_w, &mut scratch);
+            let mut sparse_w = v.clone();
+            scratch.rhs_nz = nz.clone();
+            fact.btran(&mut sparse_w, &mut scratch);
+            for (i, (a, c)) in sparse_w.iter().zip(&dense_w).enumerate() {
+                assert!(
+                    a.to_bits() == c.to_bits(),
+                    "btran nnz={} row {i}: {a:e} vs {c:e}",
+                    nz.len()
+                );
+            }
+        }
+        // The sparse cases took the worklist path; the dense case did not.
+        let (hf, hb) = scratch.take_hypersparse_counts();
+        assert_eq!(hf, 3, "three FTRANs should have gone hyper-sparse");
+        assert_eq!(hb, 3, "three BTRANs should have gone hyper-sparse");
+    }
+
+    #[test]
+    fn cloned_factorization_updates_do_not_leak() {
+        // Copy-on-compress: folding an update into one clone must leave a
+        // sibling clone solving with the original basis.
+        let m = 4;
+        let mut b = vec![0.0; m * m];
+        for i in 0..m {
+            b[i * m + i] = 2.0;
+        }
+        let base = Factorization::new(SparseLu::factor_cols(m, &dense_to_cols(&b, m)).unwrap());
+        let mut worker_a = base.clone();
+        let worker_b = base.clone();
+        let mut scratch = SolveScratch::new();
+        let col = vec![1.0, 1.0, 3.0, 0.0];
+        let mut alpha = col.clone();
+        worker_a.ftran_entering(&mut alpha, &mut scratch);
+        assert!(worker_a.push_update(2, &mut scratch));
+        assert_eq!(worker_a.update_count(), 1);
+        assert_eq!(worker_b.update_count(), 0, "sibling saw the update");
+        // Sibling still solves the *original* diagonal system.
+        let mut v = vec![2.0, 4.0, 6.0, 8.0];
+        worker_b.btran(&mut v, &mut scratch);
+        for (i, got) in v.iter().enumerate() {
+            let want = (2.0 * (i as f64 + 1.0)) / 2.0;
+            assert!((got - want).abs() < 1e-12, "row {i}: {got} vs {want}");
         }
     }
 }

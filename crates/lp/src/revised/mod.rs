@@ -90,11 +90,18 @@ mod engine;
 pub mod gen;
 pub(crate) mod lu;
 
+/// The sparse LU kernel, exposed for benches and cross-check suites (the
+/// bucketed factor, its rescan baseline, the Forrest–Tomlin update wrapper,
+/// and the caller-owned solve scratch).
+#[cfg(any(test, feature = "testgen"))]
+pub use lu::{Factorization, SolveScratch, SparseLu};
+
 use crate::model::Problem;
 use crate::simplex::{Outcome, SimplexOptions, Solution, SolveError};
 use canon::Canon;
 pub use engine::Workspace;
 use engine::{DualEnd, Engine, PrimalEnd};
+#[cfg(not(any(test, feature = "testgen")))]
 use lu::Factorization;
 use std::sync::Arc;
 
@@ -320,6 +327,19 @@ pub struct LpStats {
     /// Candidate-list rebuilds: the rotating pricing bucket went stale (no
     /// attractive column left in it) and was refreshed from a wider scan.
     pub candidate_refreshes: usize,
+    /// Pivots folded into the factors as Forrest–Tomlin compressions (the
+    /// replacement for product-form eta pushes). A pivot that is *not*
+    /// counted here forced a refactorization instead (stability refusal).
+    pub eta_compressions: usize,
+    /// FTRANs that took the hyper-sparse (index-worklist) path instead of
+    /// the dense triangular sweep.
+    pub hypersparse_ftrans: usize,
+    /// BTRANs that took the hyper-sparse (index-worklist) path.
+    pub hypersparse_btrans: usize,
+    /// Column-candidate inspections performed by Markowitz pivot selection
+    /// across all refactorizations — the bucketed factor's analogue of the
+    /// old per-stage rescan cost (which was Θ(m²) per factor).
+    pub pivot_scan_work: u64,
 }
 
 impl LpStats {
@@ -342,6 +362,10 @@ impl LpStats {
         self.bound_flips += other.bound_flips;
         self.pricing_scans += other.pricing_scans;
         self.candidate_refreshes += other.candidate_refreshes;
+        self.eta_compressions += other.eta_compressions;
+        self.hypersparse_ftrans += other.hypersparse_ftrans;
+        self.hypersparse_btrans += other.hypersparse_btrans;
+        self.pivot_scan_work += other.pivot_scan_work;
     }
 }
 

@@ -53,6 +53,14 @@ pub struct SimplexOptions {
     /// Defaults to [`FaultConfig::from_env`] — `None` unless the
     /// `OVNES_LP_FAULT_SEED` environment variable is set.
     pub fault: Option<FaultConfig>,
+    /// Refactorize after this many Forrest–Tomlin updates have been folded
+    /// into the basis factorization (revised engine). Compressed updates
+    /// keep FTRAN/BTRAN cost flat as the count grows, so the default sits
+    /// well past the old product-form eta limit of 64; lower it to bound
+    /// numerical drift on ill-conditioned bases. Defaults to
+    /// [`default_refactor_interval`] — the `OVNES_LP_REFACTOR_INTERVAL`
+    /// environment variable, or 128 when unset.
+    pub refactor_interval: usize,
 }
 
 impl Default for SimplexOptions {
@@ -63,8 +71,24 @@ impl Default for SimplexOptions {
             ratio_tie_tol: 1e-10,
             flip_tol: 1e-9,
             fault: FaultConfig::from_env(),
+            refactor_interval: default_refactor_interval(),
         }
     }
+}
+
+/// The ambient refactorization interval: the `OVNES_LP_REFACTOR_INTERVAL`
+/// environment variable (clamped to ≥ 1), or 128 when unset or unparsable.
+/// Read once per process.
+pub fn default_refactor_interval() -> usize {
+    use std::sync::OnceLock;
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("OVNES_LP_REFACTOR_INTERVAL")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|v| v.max(1))
+            .unwrap_or(128)
+    })
 }
 
 /// Seeded fault injection on the warm-start path of the revised engine.

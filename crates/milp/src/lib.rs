@@ -94,12 +94,27 @@ const INT_EPS: f64 = 1e-6;
 /// root is always applied first).
 const ROOT_ID: u64 = 0;
 
-/// Fallback nodes-per-round when neither [`MilpOptions::round_width`] nor
-/// `OVNES_MILP_ROUND_WIDTH` says otherwise. Sized a little above the worker
-/// counts we historically deploy (2–8) so the window keeps every core fed;
-/// oversizing only risks solving a few end-of-search nodes an incumbent
-/// discovered mid-round would have pruned.
+/// Floor of the adaptive nodes-per-round window. Sized a little above the
+/// worker counts we historically deploy (2–8) so the window keeps every
+/// core fed even when the open queue is shallow; oversizing only risks
+/// solving a few end-of-search nodes an incumbent discovered mid-round
+/// would have pruned.
 const FALLBACK_ROUND_WIDTH: usize = 8;
+
+/// Ceiling of the adaptive nodes-per-round window: past this, wider rounds
+/// mostly solve nodes a mid-round incumbent would have pruned.
+const MAX_ADAPTIVE_ROUND_WIDTH: usize = 64;
+
+/// The adaptive nodes-per-round window for an open queue of `open` nodes:
+/// half the queue, clamped to `[8, 64]`. A **pure function of the
+/// round-start queue length** — never of worker count, thread timing, or
+/// in-flight results — so round membership (and therefore every search
+/// decision) stays bit-identical at any parallelism. Deep queues get wide
+/// rounds (more parallel work, fewer round barriers); shallow end-of-search
+/// queues shrink back so incumbent pruning reacts quickly.
+pub fn adaptive_round_width(open: usize) -> usize {
+    (open / 2).clamp(FALLBACK_ROUND_WIDTH, MAX_ADAPTIVE_ROUND_WIDTH)
+}
 
 /// Default branch-and-bound worker count: the `OVNES_MILP_THREADS`
 /// environment variable when set to a positive integer, otherwise 1.
@@ -116,21 +131,23 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Default nodes per deterministic round: the `OVNES_MILP_ROUND_WIDTH`
-/// environment variable when set to a positive integer, otherwise 8.
+/// Default nodes per deterministic round: `Some(w)` (a pinned width) when
+/// the `OVNES_MILP_ROUND_WIDTH` environment variable is set to a positive
+/// integer, otherwise `None` — the [`adaptive_round_width`] policy keyed on
+/// the round-start queue depth.
 ///
 /// The round width is a hardware-tuning lever: wider rounds keep more
 /// cores fed on big machines at the cost of occasionally solving
 /// end-of-search nodes a mid-round incumbent would have pruned. Unlike
-/// [`default_threads`], changing the width changes *which* canonical
+/// [`default_threads`], changing the width policy changes *which* canonical
 /// search sequence is walked — results are bit-identical at any worker
-/// count **for a fixed width**, not across widths.
-pub fn default_round_width() -> usize {
+/// count **for a fixed policy**, not across policies. Callers that
+/// fingerprint telemetry pin an explicit width.
+pub fn default_round_width() -> Option<usize> {
     std::env::var("OVNES_MILP_ROUND_WIDTH")
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&w| w >= 1)
-        .unwrap_or(FALLBACK_ROUND_WIDTH)
 }
 
 /// Options controlling the branch-and-bound search.
@@ -159,15 +176,17 @@ pub struct MilpOptions {
     /// deterministic in this knob; it is purely a wall-clock lever.
     /// Defaults to [`default_threads`].
     pub threads: usize,
-    /// Nodes per deterministic round (clamped to ≥ 1): the active window
-    /// workers draw from. Never derived from the worker count, so the round
-    /// decomposition — and therefore every result — is identical at any
-    /// parallelism. Widen it on many-core hardware to keep every worker
-    /// fed; note that different widths walk different (each internally
-    /// deterministic) search sequences. Defaults to
-    /// [`default_round_width`] (the `OVNES_MILP_ROUND_WIDTH` environment
-    /// variable, or 8).
-    pub round_width: usize,
+    /// Nodes per deterministic round: the active window workers draw from.
+    /// `Some(w)` pins a fixed width (clamped to ≥ 1); `None` sizes each
+    /// round by [`adaptive_round_width`] of the round-start queue depth.
+    /// Either way the width is never derived from the worker count, so the
+    /// round decomposition — and therefore every result — is identical at
+    /// any parallelism. Pin it on many-core hardware to tune feeding, or
+    /// when fingerprinting telemetry (different width policies walk
+    /// different, each internally deterministic, search sequences).
+    /// Defaults to [`default_round_width`] (the `OVNES_MILP_ROUND_WIDTH`
+    /// environment variable when set, otherwise adaptive).
+    pub round_width: Option<usize>,
     /// Optional wall-clock budget per `solve` call. When it expires the
     /// search stops at the next canonical application point and returns the
     /// best incumbent flagged `truncated` (or `Infeasible` when none was
@@ -401,12 +420,12 @@ impl Milp {
         self.options.threads = threads.max(1);
     }
 
-    /// Sets only the nodes-per-round window (see
+    /// Pins the nodes-per-round window to a fixed width (see
     /// [`MilpOptions::round_width`]). Callers that fingerprint solver
     /// telemetry pin this so results never depend on the ambient
-    /// `OVNES_MILP_ROUND_WIDTH`.
+    /// `OVNES_MILP_ROUND_WIDTH` or the adaptive policy.
     pub fn set_round_width(&mut self, round_width: usize) {
-        self.options.round_width = round_width.max(1);
+        self.options.round_width = Some(round_width.max(1));
     }
 
     /// Provides a known feasible objective value to prune against from the
@@ -593,8 +612,14 @@ impl Milp {
             let Some(&id) = st.round.front() else {
                 // Round drained: form the next one from the queue front,
                 // skipping (discarding) nodes already prunable. Membership
-                // depends only on the search state — never on workers.
-                while st.round.len() < ctx.options.round_width.max(1) {
+                // (including the adaptive width, a function of the
+                // round-start queue depth alone) depends only on the search
+                // state — never on workers.
+                let width = match ctx.options.round_width {
+                    Some(w) => w.max(1),
+                    None => adaptive_round_width(st.queue.len()),
+                };
+                while st.round.len() < width {
                     let Some((&key, front)) = st.queue.first_key_value() else {
                         break;
                     };

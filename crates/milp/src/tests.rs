@@ -1,6 +1,6 @@
 //! Tests for branch-and-bound, cross-checked against brute-force enumeration.
 
-use crate::{Milp, MilpOptions, MilpOutcome, MilpSolution};
+use crate::{adaptive_round_width, Milp, MilpOptions, MilpOutcome, MilpSolution};
 use ovnes_lp::{Cmp, Problem, VarId};
 use proptest::prelude::*;
 
@@ -332,7 +332,7 @@ fn worker_count_never_changes_results() {
 fn round_width_preserves_optimum_and_per_width_determinism() {
     let values: Vec<f64> = (0..14).map(|i| 10.0 + (i as f64) * 0.618).collect();
     let weights: Vec<f64> = (0..14).map(|i| 7.0 + ((i * 37) % 11) as f64).collect();
-    let solve = |round_width: usize, threads: usize| {
+    let solve = |round_width: Option<usize>, threads: usize| {
         let mut m = knapsack_milp(&values, &weights, 40.0);
         m.set_options(MilpOptions {
             round_width,
@@ -341,12 +341,13 @@ fn round_width_preserves_optimum_and_per_width_determinism() {
         });
         m.solve().unwrap().unwrap_optimal()
     };
-    let reference = solve(8, 1);
-    for width in [1usize, 2, 4, 16, 64] {
+    let reference = solve(Some(8), 1);
+    for width in [Some(1usize), Some(2), Some(4), Some(16), Some(64), None] {
+        let width_label = width.map_or("adaptive".to_string(), |w| w.to_string());
         let serial = solve(width, 1);
         assert!(
             (serial.objective - reference.objective).abs() < 1e-9,
-            "width {width}: objective {} vs {}",
+            "width {width_label}: objective {} vs {}",
             serial.objective,
             reference.objective
         );
@@ -354,18 +355,62 @@ fn round_width_preserves_optimum_and_per_width_determinism() {
         assert_eq!(
             serial.objective.to_bits(),
             parallel.objective.to_bits(),
-            "width {width}: objective differs at 4 workers"
+            "width {width_label}: objective differs at 4 workers"
         );
-        assert_eq!(serial.x, parallel.x, "width {width}: solution differs");
+        assert_eq!(
+            serial.x, parallel.x,
+            "width {width_label}: solution differs"
+        );
         assert_eq!(
             serial.nodes, parallel.nodes,
-            "width {width}: node count differs"
+            "width {width_label}: node count differs"
         );
         assert_eq!(
             serial.lp_stats, parallel.lp_stats,
-            "width {width}: pivot stats differ"
+            "width {width_label}: pivot stats differ"
         );
     }
+}
+
+/// The adaptive round-width policy (`round_width: None`) must be a pure
+/// function of the round-start queue depth: the node count, objective, and
+/// pivot statistics are bit-identical at 1, 2, and 4 workers.
+#[test]
+fn adaptive_round_width_is_worker_count_invariant() {
+    let values: Vec<f64> = (0..16).map(|i| 9.0 + (i as f64) * 0.731).collect();
+    let weights: Vec<f64> = (0..16).map(|i| 6.0 + ((i * 29) % 13) as f64).collect();
+    let solve = |threads: usize| {
+        let mut m = knapsack_milp(&values, &weights, 47.0);
+        m.set_options(MilpOptions {
+            round_width: None,
+            threads,
+            ..MilpOptions::default()
+        });
+        m.solve().unwrap().unwrap_optimal()
+    };
+    let one = solve(1);
+    for threads in [2usize, 4] {
+        let multi = solve(threads);
+        assert_eq!(
+            one.objective.to_bits(),
+            multi.objective.to_bits(),
+            "adaptive width: objective differs at {threads} workers"
+        );
+        assert_eq!(one.x, multi.x, "adaptive width: solution differs");
+        assert_eq!(
+            one.nodes, multi.nodes,
+            "adaptive width: node count differs at {threads} workers"
+        );
+        assert_eq!(
+            one.lp_stats, multi.lp_stats,
+            "adaptive width: pivot stats differ at {threads} workers"
+        );
+    }
+    // The policy itself: clamped halving of the open-queue depth.
+    assert_eq!(adaptive_round_width(0), 8);
+    assert_eq!(adaptive_round_width(16), 8);
+    assert_eq!(adaptive_round_width(40), 20);
+    assert_eq!(adaptive_round_width(1000), 64);
 }
 
 /// Truncation by the node budget is part of the deterministic contract too.

@@ -74,6 +74,10 @@ REQUIRED_FIELDS = {
         "warm_pricing_scans",
         "cold_pricing_scans",
         "warm_candidate_refreshes",
+        "warm_eta_compressions",
+        "warm_hypersparse_ftrans",
+        "warm_hypersparse_btrans",
+        "warm_pivot_scan_work",
         "time_speedup",
     ],
     "benders_bnb": [
@@ -92,6 +96,8 @@ REQUIRED_FIELDS = {
         "warm_pricing_scans",
         "cold_pricing_scans",
         "warm_candidate_refreshes",
+        "warm_eta_compressions",
+        "warm_hypersparse_ftrans",
         "time_speedup",
     ],
     "slave_resolve": [
@@ -103,7 +109,21 @@ REQUIRED_FIELDS = {
         "resolve_pivots",
         "resolve_bound_flips",
         "resolve_pricing_scans",
+        "resolve_eta_compressions",
+        "resolve_hypersparse_ftrans",
         "cold_pivots",
+    ],
+    "lu_factor": [
+        "scale",
+        "dim",
+        "nnz",
+        "fill_in",
+        "bucketed_seconds",
+        "rescan_seconds",
+        "bucketed_scan_work",
+        "rescan_scan_work",
+        "scan_reduction",
+        "time_speedup",
     ],
     "milp_parallel": [
         "scale",
@@ -208,7 +228,7 @@ SCENARIO_INCREMENTAL_EXTRA = {
     ],
 }
 
-EXPECTED_SCALES = {"small", "paper", "10x_paper"}
+EXPECTED_SCALES = {"small", "paper", "10x_paper", "100x_paper"}
 
 # Wall-clock tolerance for the parallel B&B probe: deterministic rounds do
 # the identical LP work at any worker count, so on a single-core machine
@@ -229,14 +249,27 @@ SWEEP_SLACK = 1.10
 # pivot-wise, than the engine that produced these numbers.
 PRIOR_WARM_PIVOTS = {
     ("slave_chain", "small"): 13,
-    ("slave_chain", "paper"): 166,
+    ("slave_chain", "paper"): 165,
     ("slave_chain", "10x_paper"): 222,
+    ("slave_chain", "100x_paper"): 59,
     ("benders_bnb", "small"): 21,
     ("benders_bnb", "paper"): 62,
     ("slave_resolve", "small"): 0,
-    ("slave_resolve", "paper"): 14,
+    ("slave_resolve", "paper"): 16,
     ("slave_resolve", "10x_paper"): 24,
+    ("slave_resolve", "100x_paper"): 1,
 }
+
+# Scales big enough for the Forrest-Tomlin and hyper-sparse machinery to be
+# *required* to fire on the warm slave chain: the basis dimension is past
+# the hyper-sparse cutoff and the chains run many pivots between
+# refactorizations.
+FT_HYPERSPARSE_SCALES = {"10x_paper", "100x_paper"}
+
+# The bucketed-Markowitz factor must beat the retained full-rescan baseline
+# by at least this wall-clock factor at the 100x-paper dimension (the PR-9
+# acceptance bar; the measured value is >100x).
+LU_FACTOR_MIN_SPEEDUP_100X = 3.0
 
 
 def main() -> int:
@@ -295,6 +328,47 @@ def main() -> int:
                     f"{tag}: re-solve performed no bound flips — the "
                     "long-step dual ratio test is not engaging on the "
                     "bound-native slave"
+                )
+
+        if bench == "slave_chain":
+            if entry.get("warm_refactorizations", 1 << 30) >= entry.get(
+                "cold_refactorizations", 0
+            ):
+                errors.append(
+                    f"{tag}: warm chain refactorized as often as cold "
+                    f"({entry.get('warm_refactorizations')} vs "
+                    f"{entry.get('cold_refactorizations')}) — the raised "
+                    "refactor interval / FT updates are not holding"
+                )
+            if entry.get("scale") in FT_HYPERSPARSE_SCALES:
+                if entry.get("warm_eta_compressions", 0) <= 0:
+                    errors.append(
+                        f"{tag}: no Forrest-Tomlin eta compressions on a "
+                        "big-scale warm chain — pivots are not being folded "
+                        "into the factors"
+                    )
+                if entry.get("warm_hypersparse_ftrans", 0) <= 0:
+                    errors.append(
+                        f"{tag}: no hyper-sparse FTRANs on a big-scale warm "
+                        "chain — the worklist solves are not engaging"
+                    )
+
+        if bench == "lu_factor":
+            if entry.get("dim", 0) <= 0 or entry.get("nnz", 0) <= 0:
+                errors.append(f"{tag}: degenerate probe matrix")
+            if entry.get("scan_reduction", 0.0) < 1.0:
+                errors.append(
+                    f"{tag}: bucketed selection examined more candidates "
+                    f"than the rescan (x{entry.get('scan_reduction')})"
+                )
+            if (
+                entry.get("scale") == "100x_paper"
+                and entry.get("time_speedup", 0.0) < LU_FACTOR_MIN_SPEEDUP_100X
+            ):
+                errors.append(
+                    f"{tag}: factor-time speedup x{entry.get('time_speedup')} "
+                    f"below the x{LU_FACTOR_MIN_SPEEDUP_100X} floor at the "
+                    "100x-paper dimension"
                 )
 
         if bench == "milp_parallel":
@@ -501,7 +575,7 @@ def main() -> int:
         ):
             want = {"paper"}
         elif bench == "benders_bnb":
-            want = EXPECTED_SCALES - {"10x_paper"}
+            want = EXPECTED_SCALES - {"10x_paper", "100x_paper"}
         else:
             want = EXPECTED_SCALES
         missing = want - scales

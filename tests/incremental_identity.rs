@@ -165,11 +165,17 @@ fn incremental_steady_no_churn_epochs_are_nearly_free() {
         steady_cold as f64 >= 3.0 * steady_warm.max(1) as f64,
         "steady-window pivot reduction below 3x: warm {steady_warm} vs cold {steady_cold}"
     );
-    assert_eq!(
-        warm_full.lp_refactorizations - warm_settle.lp_refactorizations,
-        0,
-        "a no-churn steady epoch refactorized: the identity remap lost the factorization"
-    );
+    // Exact path counter: seeded LP fault injection deliberately drops
+    // factorizations mid-chain (changing the path, never the answer — the
+    // decision-fingerprint assert above still holds), so only check it on
+    // uninjected runs.
+    if !ovnes_lp::fault_injection_active() {
+        assert_eq!(
+            warm_full.lp_refactorizations - warm_settle.lp_refactorizations,
+            0,
+            "a no-churn steady epoch refactorized: the identity remap lost the factorization"
+        );
+    }
 }
 
 /// The degenerate-optimum fix, observed end-to-end: on the homogeneous

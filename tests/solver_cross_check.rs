@@ -362,3 +362,178 @@ fn overbooking_admits_superset_revenue() {
     assert!(ours.accepted() >= base.accepted());
     assert!(ours.expected_net_revenue() >= base.expected_net_revenue() - 1e-6);
 }
+
+/// Copy-on-compress audit for the Forrest–Tomlin path (PR 9 bugfix): a
+/// `Factorization` cloned out of a shared handle — exactly what
+/// `Engine::new` does with the `Arc`-shared factorization persisted in a
+/// [`Basis`] — must keep its compressed updates private. Sibling workers
+/// fold distinct update chains concurrently; the parent's factors must stay
+/// bitwise untouched, and every sibling must track its own basis exactly.
+#[test]
+fn ft_updates_stay_private_to_each_worker() {
+    use ovnes_lp::revised::{Factorization, SolveScratch, SparseLu};
+    use std::sync::Arc;
+
+    let m = 32usize;
+    let mut rng = GenRng::new(0xC0FF_EE00_AB1E_0007);
+    // Diagonally dominant sparse parent basis (always factorizable).
+    let mut dense = vec![0.0f64; m * m];
+    for i in 0..m {
+        for j in 0..m {
+            if i != j && rng.chance(0.2) {
+                dense[i * m + j] = rng.uniform(-2.0, 2.0);
+            }
+        }
+    }
+    for i in 0..m {
+        let row: f64 = (0..m)
+            .filter(|&j| j != i)
+            .map(|j| dense[i * m + j].abs())
+            .sum();
+        dense[i * m + i] = row + 1.5;
+    }
+    let cols: Vec<Vec<(u32, f64)>> = (0..m)
+        .map(|j| {
+            (0..m)
+                .filter(|&i| dense[i * m + j] != 0.0)
+                .map(|i| (i as u32, dense[i * m + j]))
+                .collect()
+        })
+        .collect();
+    let parent = Arc::new(Factorization::new(
+        SparseLu::factor_cols(m, &cols).expect("diagonally dominant"),
+    ));
+
+    // Parent fingerprint before the siblings run.
+    let rhs: Vec<f64> = (0..m).map(|i| ((i * 13 + 5) % 17) as f64 - 8.0).collect();
+    let mut scratch = SolveScratch::new();
+    let mut before_f = rhs.clone();
+    parent.ftran(&mut before_f, &mut scratch);
+    let mut before_b = rhs.clone();
+    parent.btran(&mut before_b, &mut scratch);
+
+    let handles: Vec<_> = (0..4u64)
+        .map(|w| {
+            let shared = Arc::clone(&parent);
+            let base_cols = cols.clone();
+            std::thread::spawn(move || {
+                // The engine's reuse step: a private copy off the shared
+                // handle; the LU factors stay Arc-shared underneath.
+                let mut fact = (*shared).clone();
+                let mut cols = base_cols;
+                let mut scratch = SolveScratch::new();
+                let mut rng = GenRng::new(0xBEEF_0000_0000_0000 + w);
+                for _ in 0..12 {
+                    let slot = rng.index(m);
+                    let mut col = vec![0.0; m];
+                    col[slot] = 4.0 + rng.next_f64();
+                    col[(slot + 1 + w as usize) % m] = rng.uniform(-0.5, 0.5);
+                    cols[slot] = col
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &x)| x != 0.0)
+                        .map(|(i, &x)| (i as u32, x))
+                        .collect();
+                    let mut alpha = col;
+                    fact.ftran_entering(&mut alpha, &mut scratch);
+                    if !fact.push_update(slot, &mut scratch) {
+                        fact = Factorization::new(
+                            SparseLu::factor_cols(m, &cols).expect("refactorizable"),
+                        );
+                    }
+                }
+                // The private copy must track the worker's own basis.
+                let fresh =
+                    Factorization::new(SparseLu::factor_cols(m, &cols).expect("nonsingular"));
+                let probe: Vec<f64> = (0..m).map(|i| (i as f64) - 11.0).collect();
+                let mut via_ft = probe.clone();
+                fact.ftran(&mut via_ft, &mut scratch);
+                let mut via_fresh = probe.clone();
+                fresh.ftran(&mut via_fresh, &mut scratch);
+                for j in 0..m {
+                    assert!(
+                        (via_ft[j] - via_fresh[j]).abs() <= 1e-6 * (1.0 + via_fresh[j].abs()),
+                        "worker {w}: private updates drifted at {j}: {} vs {}",
+                        via_ft[j],
+                        via_fresh[j]
+                    );
+                }
+                fact.update_count()
+            })
+        })
+        .collect();
+    let mut folded = 0usize;
+    for h in handles {
+        folded += h.join().expect("worker panicked");
+    }
+    assert!(
+        folded > 0,
+        "no FT updates were folded — the audit is vacuous"
+    );
+
+    // The parent must be bitwise where it started: zero updates, identical
+    // solves.
+    assert_eq!(
+        parent.update_count(),
+        0,
+        "sibling updates leaked into the parent"
+    );
+    let mut after_f = rhs.clone();
+    parent.ftran(&mut after_f, &mut scratch);
+    let mut after_b = rhs;
+    parent.btran(&mut after_b, &mut scratch);
+    for j in 0..m {
+        assert_eq!(
+            before_f[j].to_bits(),
+            after_f[j].to_bits(),
+            "parent FTRAN changed at {j} after sibling updates"
+        );
+        assert_eq!(
+            before_b[j].to_bits(),
+            after_b[j].to_bits(),
+            "parent BTRAN changed at {j} after sibling updates"
+        );
+    }
+
+    // End-to-end flavor of the same property: sibling warm solves off one
+    // shared Basis (each with its own bound edits) must not perturb what a
+    // later solve from that same basis returns.
+    let mut rng = GenRng::new(0x511B_11A6_5EED_0042);
+    let cfg = LpGenConfig::torture();
+    let p = random_lp(&mut rng, &cfg);
+    let first = p.solve_warm(None).expect("root solve");
+    let control = p
+        .solve_warm(Some(&first.basis))
+        .expect("control re-solve")
+        .stats;
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let basis = &first.basis;
+            let mut edited = p.clone();
+            s.spawn(move || {
+                let mut rng = GenRng::new(0xD00D_0000_0000_0000 + w);
+                for _ in 0..3 {
+                    random_bound_edit(&mut rng, &mut edited);
+                }
+                edited.solve_warm(Some(basis)).expect("sibling warm solve");
+            });
+        }
+    });
+    let replay = p
+        .solve_warm(Some(&first.basis))
+        .expect("replay re-solve")
+        .stats;
+    assert_eq!(
+        (
+            control.total_pivots(),
+            control.refactorizations,
+            control.factorization_reuses
+        ),
+        (
+            replay.total_pivots(),
+            replay.refactorizations,
+            replay.factorization_reuses
+        ),
+        "sibling warm solves perturbed the shared basis"
+    );
+}
