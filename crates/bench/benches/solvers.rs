@@ -627,9 +627,23 @@ fn emit_snapshot() {
         let full = ovnes_scenario::presets::incremental_steady();
         let mut settle = full.clone();
         settle.horizon_epochs = SETTLE;
+        // Observability rides along on this probe: spans record the warm
+        // run (and stay hot through the scratch and worker-count re-runs,
+        // so the bit-identity asserts below double as the
+        // tracing-never-perturbs oracle), and the folded totals give the
+        // span-derived per-phase share of the epoch loop.
+        ovnes_obs::set_enabled(true);
+        let _ = ovnes_obs::trace::drain();
         let t0 = Instant::now();
         let warm_full = ovnes_scenario::run_scenario(&full).expect("incremental probe");
         let t_warm = t0.elapsed().as_secs_f64();
+        let warm_trace = ovnes_obs::trace::drain();
+        let scenario_ns = warm_trace.total_ns("scenario");
+        let span_coverage = scenario_ns as f64 / (t_warm * 1e9).max(1.0);
+        let phase_share = |phase: &str| {
+            warm_trace.total_ns(&format!("scenario;epoch;{phase}")) as f64
+                / scenario_ns.max(1) as f64
+        };
         let warm_settle = ovnes_scenario::run_scenario(&settle).expect("incremental settle");
         let scratch = |spec: &ovnes_scenario::ScenarioSpec| {
             let mut twin = spec.clone();
@@ -659,6 +673,9 @@ fn emit_snapshot() {
             par.fingerprint() == warm_full.fingerprint()
         });
         assert!(worker_invariant, "incremental run diverged across workers");
+        ovnes_obs::set_enabled(false);
+        let _ = ovnes_obs::trace::drain();
+        let _ = ovnes_obs::metrics::drain_global();
         let steady_epochs = full.horizon_epochs - SETTLE;
         let steady_warm_pivots = warm_full.lp_pivots - warm_settle.lp_pivots;
         let steady_cold_pivots = cold_full.lp_pivots - cold_settle.lp_pivots;
@@ -683,6 +700,10 @@ fn emit_snapshot() {
                 "\"cold_mean_decision_seconds\": {:.6}, ",
                 "\"cold_max_decision_seconds\": {:.6}, ",
                 "\"decision_slo_seconds\": {}, \"slo_violations\": {}, ",
+                "\"obs_enabled\": true, \"span_coverage\": {:.3}, ",
+                "\"phase_revalidate_share\": {:.4}, \"phase_forecast_share\": {:.4}, ",
+                "\"phase_solve_share\": {:.4}, \"phase_admit_share\": {:.4}, ",
+                "\"phase_simulate_share\": {:.4}, ",
                 "\"warm_wall_seconds\": {:.6}, \"cold_wall_seconds\": {:.6}}}"
             ),
             warm_full.name,
@@ -708,6 +729,12 @@ fn emit_snapshot() {
                 .decision_slo_seconds
                 .map_or("null".to_string(), |s| format!("{s:.6}")),
             warm_full.slo_violations,
+            span_coverage,
+            phase_share("revalidate"),
+            phase_share("forecast"),
+            phase_share("solve"),
+            phase_share("admit"),
+            phase_share("simulate"),
             t_warm,
             t_cold,
         ));

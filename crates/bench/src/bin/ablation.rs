@@ -171,24 +171,6 @@ fn main() {
 
     // ---- Ablation 4: warm-start engine ------------------------------------
     println!("\nAblation 4 — revised-simplex warm starts on the Benders hot path\n");
-    let header = format!(
-        "{:<8} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12}",
-        "mode",
-        "pivots",
-        "phase1",
-        "dual",
-        "flips",
-        "warm hits",
-        "refactor",
-        "reused",
-        "ft-compr",
-        "hs-f/b",
-        "scans",
-        "refresh",
-        "seconds"
-    );
-    println!("{header}");
-    ovnes_bench::rule(&header);
     let n_bs = model.base_stations.len();
     let tenants: Vec<ovnes::problem::TenantInput> = (0..8)
         .map(|i| {
@@ -215,7 +197,11 @@ fn main() {
         true,
         None,
     );
+    // The counter columns come straight from `LpStats::named_counters` —
+    // the shared name list every renderer in the workspace uses — plus a
+    // wall-clock column local to this ablation.
     let mut allocs = Vec::new();
+    let mut rows = Vec::new();
     for (mode, warm) in [("warm", true), ("cold", false)] {
         let opts = ovnes::solver::benders::BendersOptions {
             warm_start: warm,
@@ -224,27 +210,18 @@ fn main() {
         let t0 = std::time::Instant::now();
         let alloc = ovnes::solver::benders::solve(&inst, &opts).expect("benders");
         let secs = t0.elapsed().as_secs_f64();
-        println!(
-            "{:<8} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12.4}",
-            mode,
-            alloc.stats.lp.total_pivots(),
-            alloc.stats.lp.phase1_pivots,
-            alloc.stats.lp.dual_pivots,
-            alloc.stats.lp.bound_flips,
-            alloc.stats.lp.warm_starts,
-            alloc.stats.lp.refactorizations,
-            alloc.stats.lp.factorization_reuses,
-            alloc.stats.lp.eta_compressions,
-            format!(
-                "{}/{}",
-                alloc.stats.lp.hypersparse_ftrans, alloc.stats.lp.hypersparse_btrans
-            ),
-            alloc.stats.lp.pricing_scans,
-            alloc.stats.lp.candidate_refreshes,
-            secs,
-        );
+        let mut cells: Vec<(&'static str, String)> = alloc
+            .stats
+            .lp
+            .named_counters()
+            .into_iter()
+            .map(|(name, value)| (name, value.to_string()))
+            .collect();
+        cells.push(("seconds", format!("{secs:.4}")));
+        rows.push((mode.to_string(), cells));
         allocs.push(alloc);
     }
+    print!("{}", ovnes_obs::report::counter_table("mode", &rows));
     println!(
         "\nidentical objectives: {} ({}  vs  {})",
         (allocs[0].objective - allocs[1].objective).abs() < 1e-6,

@@ -214,6 +214,53 @@ struct ActiveSlice {
     reservations: Vec<f64>,
 }
 
+/// Wall-clock seconds spent in each orchestrator phase of one epoch
+/// (the `revalidate → forecast → solve → admit → simulate` pipeline of
+/// [`Orchestrator::step`]). Captured only while `ovnes-obs` is enabled —
+/// all-zero otherwise, except [`EpochPhaseSeconds::solve`], which always
+/// mirrors [`EpochOutcome::decision_seconds`]. **Not deterministic** —
+/// scenario fingerprints must never include these.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochPhaseSeconds {
+    /// Infra event application + active-set revalidation (step 0).
+    pub revalidate: f64,
+    /// Tenant-input assembly incl. per-tenant forecasts (step 2).
+    pub forecast: f64,
+    /// The admission solve ladder (step 3) — `decision_seconds`.
+    pub solve: f64,
+    /// Decision application: active set + queue bookkeeping (step 4).
+    pub admit: f64,
+    /// Middlebox data-plane simulation (step 5).
+    pub simulate: f64,
+}
+
+impl EpochPhaseSeconds {
+    /// Accumulate another epoch's phase breakdown (driver aggregation).
+    pub fn accumulate(&mut self, other: &EpochPhaseSeconds) {
+        self.revalidate += other.revalidate;
+        self.forecast += other.forecast;
+        self.solve += other.solve;
+        self.admit += other.admit;
+        self.simulate += other.simulate;
+    }
+}
+
+/// Starts a wall-clock only when observability is on; `stop` writes the
+/// elapsed seconds into the phase slot (no clock read when off).
+struct PhaseTimer(Option<Instant>);
+
+impl PhaseTimer {
+    fn start(enabled: bool) -> Self {
+        PhaseTimer(enabled.then(Instant::now))
+    }
+
+    fn stop(self, slot: &mut f64) {
+        if let Some(started) = self.0 {
+            *slot = started.elapsed().as_secs_f64();
+        }
+    }
+}
+
 /// Everything that happened in one epoch.
 #[derive(Debug, Clone)]
 pub struct EpochOutcome {
@@ -280,6 +327,10 @@ pub struct EpochOutcome {
     /// Wall-clock seconds spent in the admission solve (the ladder, end to
     /// end). **Not deterministic** — scenario fingerprints exclude it.
     pub decision_seconds: f64,
+    /// Per-phase wall-clock breakdown of this epoch (see
+    /// [`EpochPhaseSeconds`]). Zeros (except `solve`) unless `ovnes-obs`
+    /// is enabled. **Not deterministic** — fingerprints exclude it.
+    pub phase_seconds: EpochPhaseSeconds,
     /// Cross-epoch incremental telemetry; `None` when the orchestrator runs
     /// with [`OrchestratorConfig::incremental`] off.
     pub incremental: Option<IncrementalReport>,
@@ -617,12 +668,21 @@ impl Orchestrator {
     pub fn step(&mut self) -> Result<EpochOutcome, AcrrError> {
         let epoch = self.epoch;
         let n_bs = self.model.base_stations.len();
+        let _epoch_span = ovnes_obs::span!("epoch", epoch = epoch as i64);
+        let obs_on = ovnes_obs::enabled();
+        let mut phase_seconds = EpochPhaseSeconds::default();
 
         // 0. Infrastructure: apply due events, then revalidate the active
         // set against the shrunken model (re-home / evict / trim) so the
         // admission solve below starts from an enforceable state.
-        let infra_events = self.apply_due_events(epoch);
-        let (evicted, rehomed, eviction_penalty) = self.revalidate_active();
+        let (infra_events, (evicted, rehomed, eviction_penalty)) = {
+            let _span = ovnes_obs::span!("revalidate");
+            let timer = PhaseTimer::start(obs_on);
+            let infra_events = self.apply_due_events(epoch);
+            let revalidated = self.revalidate_active();
+            timer.stop(&mut phase_seconds.revalidate);
+            (infra_events, revalidated)
+        };
 
         // 1. Arrivals: requests whose time has come move into consideration.
         let mut pending: Vec<SliceRequest> = Vec::new();
@@ -639,6 +699,8 @@ impl Orchestrator {
 
         // 2. Assemble tenant inputs: active slices first (forced), then
         // pending requests.
+        let forecast_span = ovnes_obs::span!("forecast");
+        let forecast_timer = PhaseTimer::start(obs_on);
         let mut tenants: Vec<TenantInput> = Vec::new();
         let mut req_of: Vec<SliceRequest> = Vec::new();
         for a in &self.active {
@@ -675,6 +737,8 @@ impl Orchestrator {
             });
             req_of.push(r.clone());
         }
+        forecast_timer.stop(&mut phase_seconds.forecast);
+        drop(forecast_span);
 
         // 3. Solve AC-RR through the degradation ladder — never aborts.
         let instance = AcrrInstance::build(
@@ -697,6 +761,7 @@ impl Orchestrator {
             lp_fault: self.config.lp_fault,
             refactor_interval: 0,
         };
+        let solve_span = ovnes_obs::span!("solve");
         let solve_started = Instant::now();
         let (controlled, incremental) = match self.epoch_solver.as_mut() {
             Some(es) => {
@@ -707,6 +772,8 @@ impl Orchestrator {
             None => (solver::solve_controlled(&instance, &controls), None),
         };
         let decision_seconds = solve_started.elapsed().as_secs_f64();
+        phase_seconds.solve = decision_seconds;
+        drop(solve_span);
         let degradation = controlled.degradation;
         let solver_error = controlled.error.as_ref().map(|e| e.to_string());
         let allocation = controlled.allocation;
@@ -717,6 +784,8 @@ impl Orchestrator {
         // solver's z is an upper envelope of it). On a deferred epoch there
         // is no decision: active slices keep their previous reservations and
         // every pending request is rejected (re-applying under its patience).
+        let admit_span = ovnes_obs::span!("admit");
+        let admit_timer = PhaseTimer::start(obs_on);
         let n_active_before = self.active.len();
         let mut admitted = Vec::new();
         let mut newly_admitted = Vec::new();
@@ -784,11 +853,16 @@ impl Orchestrator {
             }
         }
 
+        admit_timer.stop(&mut phase_seconds.admit);
+        drop(admit_span);
+
         // 5. Simulate the epoch through the middlebox. When
         // `monitor_rejected` is on (the paper's simulation semantics), the
         // demand of rejected tenants is also sampled so their load patterns
         // can be learnt — with reservation = SLA so they never register as
         // violations and never enter utilisation/revenue accounting.
+        let simulate_span = ovnes_obs::span!("simulate");
+        let simulate_timer = PhaseTimer::start(obs_on);
         let mut flows = Vec::new();
         let mk_gen = |req: &SliceRequest| {
             let mut gen = TrafficGenerator::gaussian(req.true_mean_mbps, req.true_sigma_mbps);
@@ -826,6 +900,8 @@ impl Orchestrator {
             &mut self.rng,
         );
         self.sample_index = report.next_sample_index;
+        simulate_timer.stop(&mut phase_seconds.simulate);
+        drop(simulate_span);
 
         // 6. Monitoring feedback: record per-flow peaks.
         for f in &report.flows {
@@ -959,6 +1035,7 @@ impl Orchestrator {
             degradation,
             solver_error,
             decision_seconds,
+            phase_seconds,
             incremental,
             overcommit: (over_radio, over_link, over_cu),
         })

@@ -380,30 +380,11 @@ pub struct SolveStats {
 }
 
 impl SolveStats {
-    /// Human-oriented one-line summary of the pivot-level counters.
+    /// Human-oriented one-line summary of the pivot-level counters,
+    /// rendered through the shared `ovnes-obs` formatter so the counter
+    /// names come from [`ovnes_lp::LpStats::named_counters`] — the one
+    /// source of truth every binary shares.
     pub fn lp_summary(&self) -> String {
-        format!(
-            "pivots {} (p1 {} / p2 {} / dual {}), flips {}, warm {} / cold {}, \
-             refactor {} (reused {}, fill {}, scan-work {}, compressions {}, \
-             etas-at-end {}), hyper-sparse {} ftran / {} btran, \
-             pricing scans {} (list refreshes {})",
-            self.lp.total_pivots(),
-            self.lp.phase1_pivots,
-            self.lp.phase2_pivots,
-            self.lp.dual_pivots,
-            self.lp.bound_flips,
-            self.lp.warm_starts,
-            self.lp.cold_starts,
-            self.lp.refactorizations,
-            self.lp.factorization_reuses,
-            self.lp.fill_in,
-            self.lp.pivot_scan_work,
-            self.lp.eta_compressions,
-            self.lp.eta_len_end,
-            self.lp.hypersparse_ftrans,
-            self.lp.hypersparse_btrans,
-            self.lp.pricing_scans,
-            self.lp.candidate_refreshes,
-        )
+        ovnes_obs::report::counter_line(&self.lp.named_counters())
     }
 }

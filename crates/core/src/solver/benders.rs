@@ -238,6 +238,7 @@ pub fn solve_carried(
     }
 
     for iter in 0..options.max_iterations {
+        let _span = ovnes_obs::span!("benders_round", round = iter as i64);
         stats.iterations = iter + 1;
         // Mid-loop failures (budget-starved or fault-injected master) fall
         // back to the incumbent: a valid admission evaluated by the slave,

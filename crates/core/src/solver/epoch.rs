@@ -108,17 +108,31 @@ impl EpochSolver {
         controls: &SolveControls,
         touched: &[RowKey],
     ) -> (ControlledOutcome, IncrementalReport) {
+        let _span = ovnes_obs::span!("epoch_solve");
         let mut report = IncrementalReport {
             invalidated_cuts: self.invalidate(touched),
             carried_basis: self.carry.is_seeded(),
             ..IncrementalReport::default()
         };
+        if report.carried_basis {
+            ovnes_obs::metrics::global_counter_add("epoch.carry_attempts", 1);
+        }
         match self.try_incremental(instance, controls) {
             Ok(outcome) => {
                 report.recycled_cuts = outcome
                     .allocation
                     .as_ref()
                     .map_or(0, |a| a.stats.recycled_cuts);
+                if let Some(alloc) = outcome.allocation.as_ref() {
+                    ovnes_obs::metrics::global_counter_add(
+                        "epoch.carry_certified",
+                        alloc.stats.carry_certified as u64,
+                    );
+                    ovnes_obs::metrics::global_counter_add(
+                        "epoch.carry_cold_restarts",
+                        alloc.stats.carry_cold_restarts as u64,
+                    );
+                }
                 self.remember(instance, &outcome);
                 (outcome, report)
             }
@@ -126,6 +140,7 @@ impl EpochSolver {
                 self.reset();
                 report.cold_fallback = true;
                 report.carried_basis = false;
+                ovnes_obs::metrics::global_counter_add("epoch.cold_fallbacks", 1);
                 let outcome = solve_controlled(instance, controls);
                 self.remember(instance, &outcome);
                 (outcome, report)

@@ -94,6 +94,7 @@ pub fn solve_carried(
     options: &KacOptions,
     mut carry: Option<&mut LpCarry>,
 ) -> Result<Allocation, AcrrError> {
+    let _span = ovnes_obs::span!("kac");
     if !instance.forced_feasible() {
         return Err(AcrrError::ForcedInfeasible);
     }
@@ -495,6 +496,7 @@ fn greedy_pack(
     have_cuts: bool,
     banned: &[bool],
 ) -> Vec<Option<usize>> {
+    let _span = ovnes_obs::span!("kac_pack");
     const EPS_W: f64 = 1e-9;
     let n_t = instance.tenants.len();
     let mut assigned: Vec<Option<usize>> = vec![None; n_t];

@@ -642,6 +642,7 @@ impl<'a> SlaveContext<'a> {
         &mut self,
         assigned: &[Option<usize>],
     ) -> Result<SlaveResult, ovnes_lp::SolveError> {
+        let _span = ovnes_obs::span!("slave_lp");
         assert_eq!(assigned.len(), self.instance.tenants.len());
 
         // Re-price the rows: every RHS is affine in u.

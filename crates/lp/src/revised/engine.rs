@@ -318,6 +318,7 @@ impl<'a> Engine<'a> {
     /// Rebuilds the (sparse) LU factorization from the current basic set.
     /// Returns false when the basis matrix is singular.
     fn refactorize(&mut self) -> bool {
+        let _span = ovnes_obs::span!("lp_factor");
         let m = self.c.m;
         let (canon, basic) = (self.c, &self.basic);
         let lu = SparseLu::factor(m, |pos, out| canon.push_col(basic[pos], out));
@@ -595,6 +596,7 @@ impl<'a> Engine<'a> {
         phase1: bool,
         list_cap: usize,
     ) -> (usize, Option<(usize, f64, f64)>) {
+        let _span = ovnes_obs::span!("lp_pricing");
         let n_total = self.c.n + self.c.m;
         let collect_cap = 8 * list_cap;
         let start = self.plist_cursor % n_total.max(1);
@@ -671,6 +673,7 @@ impl<'a> Engine<'a> {
     /// (with re-priced composite costs); `phase1 = false` minimises the true
     /// objective and requires a primal-feasible start.
     pub fn primal(&mut self, phase1: bool) -> Result<PrimalEnd, SolveError> {
+        let _span = ovnes_obs::span!("lp_primal", phase1 = phase1 as i64);
         let n_total = self.c.n + self.c.m;
         let m = self.c.m;
         let mut local_iters = 0usize;
@@ -898,6 +901,7 @@ impl<'a> Engine<'a> {
     /// rule the classic shortest-step test is used unchanged (the
     /// anti-cycling argument needs it).
     pub fn dual(&mut self) -> Result<DualEnd, SolveError> {
+        let _span = ovnes_obs::span!("lp_dual");
         let m = self.c.m;
         let mut local_iters = 0usize;
         // Fresh dual reference framework per dual pass.

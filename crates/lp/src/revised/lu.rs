@@ -1565,6 +1565,7 @@ impl Factorization {
     }
 
     fn ftran_impl(&self, v: &mut [f64], scratch: &mut SolveScratch, capture: bool) {
+        let _span = ovnes_obs::span!("lp_ftran");
         let m = self.lu.dim();
         debug_assert_eq!(v.len(), m);
         scratch.ensure(m, self.ft.prow.len());
@@ -1618,6 +1619,7 @@ impl Factorization {
     /// positions of `w` to enable the hyper-sparse path (consumed either
     /// way); results are bitwise identical across paths.
     pub fn btran(&self, w: &mut [f64], scratch: &mut SolveScratch) {
+        let _span = ovnes_obs::span!("lp_btran");
         let m = self.lu.dim();
         debug_assert_eq!(w.len(), m);
         scratch.ensure(m, self.ft.prow.len());

@@ -367,6 +367,32 @@ impl LpStats {
         self.hypersparse_btrans += other.hypersparse_btrans;
         self.pivot_scan_work += other.pivot_scan_work;
     }
+
+    /// The canonical ordered `(name, value)` view of these counters —
+    /// the single source of truth for counter names. Every renderer
+    /// (`SolveStats::lp_summary`, the `ablation`/`table1` binaries, obs
+    /// registries) formats this list instead of naming fields itself.
+    pub fn named_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("pivots", self.total_pivots() as u64),
+            ("phase1", self.phase1_pivots as u64),
+            ("phase2", self.phase2_pivots as u64),
+            ("dual", self.dual_pivots as u64),
+            ("flips", self.bound_flips as u64),
+            ("warm", self.warm_starts as u64),
+            ("cold", self.cold_starts as u64),
+            ("refactor", self.refactorizations as u64),
+            ("reused", self.factorization_reuses as u64),
+            ("fill", self.fill_in as u64),
+            ("scan_work", self.pivot_scan_work),
+            ("compressions", self.eta_compressions as u64),
+            ("etas_end", self.eta_len_end as u64),
+            ("hs_ftran", self.hypersparse_ftrans as u64),
+            ("hs_btran", self.hypersparse_btrans as u64),
+            ("scans", self.pricing_scans as u64),
+            ("refreshes", self.candidate_refreshes as u64),
+        ]
+    }
 }
 
 /// Result of a warm-capable solve: the outcome, the final basis (reusable

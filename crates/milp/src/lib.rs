@@ -464,6 +464,7 @@ impl Milp {
     /// node count, pivot statistics — are deterministic in the worker
     /// count; see the crate docs.
     pub fn solve(&mut self) -> Result<MilpOutcome, SolveError> {
+        let _span = ovnes_obs::span!("milp_solve");
         let threads = self.options.threads.max(1);
         let warm = self.options.warm_start;
         let root_basis = if warm { self.root_basis.take() } else { None };
@@ -527,7 +528,15 @@ impl Milp {
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|| Self::worker(&ctx));
+                    scope.spawn(|| {
+                        Self::worker(&ctx);
+                        // Scoped joins can outrun TLS destructors; flush
+                        // span buffers so a drain right after the solve
+                        // sees every worker's nodes.
+                        if ovnes_obs::enabled() {
+                            ovnes_obs::trace::flush_thread();
+                        }
+                    });
                 }
             });
         }
@@ -619,6 +628,12 @@ impl Milp {
                     Some(w) => w.max(1),
                     None => adaptive_round_width(st.queue.len()),
                 };
+                // Round barrier: telemetry only (counters and a
+                // high-water gauge — no wall clock, no search effect).
+                if ovnes_obs::enabled() && !st.queue.is_empty() {
+                    ovnes_obs::metrics::global_counter_add("milp.rounds", 1);
+                    ovnes_obs::metrics::global_gauge_max("milp.queue_depth", st.queue.len() as f64);
+                }
                 while st.round.len() < width {
                     let Some((&key, front)) = st.queue.first_key_value() else {
                         break;
@@ -813,6 +828,7 @@ impl Milp {
         ws: &mut Workspace,
         work: &WorkItem,
     ) -> Result<WarmSolve, SolveError> {
+        let _span = ovnes_obs::span!("milp_node", depth = work.path.len() as i64);
         for &(v, lb, ub) in &work.path {
             local.set_bounds(v, lb, ub);
         }

@@ -1,0 +1,54 @@
+//! Counter-set formatters. Binaries that print solver counters
+//! (`ablation`, `table1`, `SolveStats::lp_summary`) all render through
+//! here, so counter names have one source of truth (the producing
+//! crate's `named_counters()`), not per-binary format strings.
+
+/// One-line `name=value` rendering of an ordered counter set.
+pub fn counter_line(counters: &[(&'static str, u64)]) -> String {
+    counters
+        .iter()
+        .map(|(name, value)| format!("{name}={value}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Aligned multi-row counter table. Each row is a label plus an ordered
+/// `(column, rendered value)` list; the header is derived from the first
+/// row's column names, and every row must carry the same columns in the
+/// same order.
+pub fn counter_table(label_header: &str, rows: &[(String, Vec<(&'static str, String)>)]) -> String {
+    let Some((_, first)) = rows.first() else {
+        return String::new();
+    };
+    let columns: Vec<&'static str> = first.iter().map(|(name, _)| *name).collect();
+    let mut widths: Vec<usize> = columns.iter().map(|name| name.len()).collect();
+    let mut label_width = label_header.len();
+    for (label, cells) in rows {
+        assert_eq!(
+            cells.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            columns,
+            "counter_table rows must share one column set"
+        );
+        label_width = label_width.max(label.len());
+        for (idx, (_, value)) in cells.iter().enumerate() {
+            widths[idx] = widths[idx].max(value.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{label_header:<label_width$}"));
+    for (idx, name) in columns.iter().enumerate() {
+        out.push_str(&format!(" {:>width$}", name, width = widths[idx]));
+    }
+    out.push('\n');
+    let rule_len = label_width + widths.iter().map(|w| w + 1).sum::<usize>();
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for (label, cells) in rows {
+        out.push_str(&format!("{label:<label_width$}"));
+        for (idx, (_, value)) in cells.iter().enumerate() {
+            out.push_str(&format!(" {:>width$}", value, width = widths[idx]));
+        }
+        out.push('\n');
+    }
+    out
+}

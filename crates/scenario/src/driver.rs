@@ -280,7 +280,11 @@ pub fn run_scenario_on(
     spec: &ScenarioSpec,
     model: NetworkModel,
 ) -> Result<ScenarioReport, AcrrError> {
+    let _scenario_span = ovnes_obs::span!("scenario");
+    let obs_on = ovnes_obs::enabled();
     let t0 = Instant::now();
+    let generate_span = ovnes_obs::span!("generate");
+    let generate_started = obs_on.then(Instant::now);
     let mut requests: Vec<SliceRequest> = match &spec.workload {
         Workload::Generated(w) => w.generate(spec.seed, spec.horizon_epochs),
         Workload::Explicit(reqs) => reqs
@@ -293,6 +297,9 @@ pub fn run_scenario_on(
     // already sorted; explicit lists may not be).
     requests.sort_by_key(|r| r.arrival_epoch);
     let arrivals = requests.len();
+    let phase_generate_seconds =
+        generate_started.map_or(0.0, |started| started.elapsed().as_secs_f64());
+    drop(generate_span);
 
     // Static capacities, captured before the model moves into the
     // orchestrator.
@@ -364,6 +371,12 @@ pub fn run_scenario_on(
     let mut max_decision_seconds = 0.0f64;
     let mut decision_seconds_sum = 0.0f64;
     let mut slo_violations = 0usize;
+    // Latency percentiles come from an obs histogram fed with the same
+    // `decision_seconds` the mean/max already use — recorded always (the
+    // clock read exists regardless), so percentiles are present even with
+    // observability off. Wall-clock telemetry: never fingerprinted.
+    let mut decision_latency = ovnes_obs::Histogram::new();
+    let mut phase_seconds = ovnes::orchestrator::EpochPhaseSeconds::default();
 
     // Epoch loop with *batched* submission: each epoch receives only its
     // own arrivals, so the orchestrator's pending queue holds re-applicants
@@ -417,6 +430,8 @@ pub fn run_scenario_on(
         solver_errors += usize::from(out.solver_error.is_some());
         max_decision_seconds = max_decision_seconds.max(out.decision_seconds);
         decision_seconds_sum += out.decision_seconds;
+        decision_latency.record_secs(out.decision_seconds);
+        phase_seconds.accumulate(&out.phase_seconds);
         if spec
             .decision_slo_seconds
             .is_some_and(|slo| out.decision_seconds > slo)
@@ -503,6 +518,14 @@ pub fn run_scenario_on(
         deterministic: spec.budget.is_deterministic(),
         max_decision_seconds,
         mean_decision_seconds: decision_seconds_sum / epochs,
+        decision_latency_percentiles: [
+            decision_latency.quantile_secs(0.50),
+            decision_latency.quantile_secs(0.90),
+            decision_latency.quantile_secs(0.99),
+            decision_latency.quantile_secs(0.999),
+        ],
+        phase_generate_seconds,
+        phase_seconds,
         decision_slo_seconds: spec.decision_slo_seconds,
         slo_violations,
         wall_seconds: t0.elapsed().as_secs_f64(),

@@ -20,6 +20,12 @@ pub struct CdfSummary {
     pub p50: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// 99th percentile. Derived from the same sorted sample vector as
+    /// the hashed quantiles but **excluded** from [`CdfSummary`]'s hash:
+    /// every pre-existing fingerprint gate (bench snapshot, CI sweep
+    /// assertions) pins hashes computed without it, and the sample
+    /// vector's identity is already pinned by count/mean/p50/p90/max.
+    pub p99: f64,
     /// Maximum.
     pub max: f64,
 }
@@ -33,6 +39,7 @@ impl CdfSummary {
                 mean: 0.0,
                 p50: 0.0,
                 p90: 0.0,
+                p99: 0.0,
                 max: 0.0,
             };
         }
@@ -44,10 +51,14 @@ impl CdfSummary {
             mean: xs.iter().sum::<f64>() / n as f64,
             p50: q(0.5),
             p90: q(0.9),
+            p99: q(0.99),
             max: xs[n - 1],
         }
     }
 
+    /// Hash ordering is **append-only** (count, mean, p50, p90, max) so
+    /// every previously committed fingerprint stays comparable; `p99` is
+    /// deliberately not hashed (see its field doc).
     fn hash_into(&self, h: &mut Fnv64) {
         h.write_u64(self.count as u64);
         h.write_f64(self.mean);
@@ -158,6 +169,20 @@ pub struct ScenarioReport {
     /// Mean per-epoch decision latency in seconds — machine-dependent,
     /// **excluded** from the fingerprint.
     pub mean_decision_seconds: f64,
+    /// Decision-latency percentiles over the horizon's epochs, seconds,
+    /// from an `ovnes-obs` log-linear histogram (p50 / p90 / p99 / p999
+    /// in that order). Machine-dependent, **excluded** from the
+    /// fingerprint.
+    pub decision_latency_percentiles: [f64; 4],
+    /// Wall-clock spent generating/expanding the workload before the
+    /// horizon ran. Captured only when `ovnes-obs` is enabled; zero
+    /// otherwise. **Excluded** from the fingerprint.
+    pub phase_generate_seconds: f64,
+    /// Per-phase orchestrator wall-clock summed over the horizon
+    /// (revalidate / forecast / solve / admit / simulate — the epoch
+    /// breakdown the flamegraph folds to). Only `solve` is populated
+    /// when `ovnes-obs` is off. **Excluded** from the fingerprint.
+    pub phase_seconds: ovnes::orchestrator::EpochPhaseSeconds,
     /// The spec's decision-latency SLO, echoed for reporting (`None` = no
     /// SLO). Wall-clock telemetry — **excluded** from the fingerprint.
     pub decision_slo_seconds: Option<f64>,
@@ -172,8 +197,11 @@ pub struct ScenarioReport {
 impl ScenarioReport {
     /// Folds every deterministic field (not the wall-clock telemetry:
     /// `wall_seconds`, `max_decision_seconds`, `mean_decision_seconds`,
-    /// `decision_slo_seconds`, `slo_violations`) into `h`: the decision
-    /// trail plus the solver-path telemetry.
+    /// `decision_slo_seconds`, `slo_violations`,
+    /// `decision_latency_percentiles`, `phase_generate_seconds`,
+    /// `phase_seconds`) into `h`: the decision trail plus the solver-path
+    /// telemetry. The wall-clock-never-in-fingerprints invariant lives
+    /// here: deterministic counters may be appended, timing never.
     pub fn hash_into(&self, h: &mut Fnv64) {
         self.hash_decision_into(h);
         h.write_u64(self.lp_solves as u64);

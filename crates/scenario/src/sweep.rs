@@ -159,13 +159,20 @@ pub fn run_sweep(specs: &[ScenarioSpec], workers: usize) -> Result<SweepReport, 
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
+            scope.spawn(|| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let result = run_scenario(&specs[i]);
+                    *slots[i].lock().expect("sweep slot") = Some(result);
                 }
-                let result = run_scenario(&specs[i]);
-                *slots[i].lock().expect("sweep slot") = Some(result);
+                // Scoped joins can outrun TLS destructors, so hand the
+                // span buffers to the sink before the closure returns.
+                if ovnes_obs::enabled() {
+                    ovnes_obs::trace::flush_thread();
+                }
             });
         }
     });

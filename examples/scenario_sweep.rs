@@ -20,6 +20,12 @@
 //!   incremental-smoke leg).
 //! * `--workers N` — parallel sweep workers for the second pass
 //!   (default 4; the first pass is always serial for the comparison).
+//! * `--trace-out DIR` — force observability on and write the merged
+//!   span trace to `DIR/journal.jsonl` (one JSON event per span) and
+//!   `DIR/folded.txt` (flamegraph.pl folded stacks). The run asserts
+//!   that span totals account for at least 80% of the measured horizon
+//!   wall-clock, so the trace is a faithful breakdown rather than a
+//!   sample.
 
 use ovnes_scenario::presets;
 use ovnes_scenario::sweep::run_sweep;
@@ -39,6 +45,12 @@ fn main() {
     let workers: usize = arg_value("--workers")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
+    let trace_out = arg_value("--trace-out").map(std::path::PathBuf::from);
+    if trace_out.is_some() {
+        // Tracing must see every epoch, so flip the switch before the
+        // first sweep runs (this overrides OVNES_OBS for the process).
+        ovnes_obs::set_enabled(true);
+    }
 
     let (specs, label): (Vec<_>, _) = if chaos {
         (presets::chaos_sweep(), "chaos sweep")
@@ -107,6 +119,15 @@ fn main() {
         );
     }
 
+    // Horizon wall-clock actually traced, for the `--trace-out` coverage
+    // gate: every scenario run in this process contributes spans.
+    let mut traced_wall_seconds: f64 = serial
+        .scenarios
+        .iter()
+        .chain(parallel.scenarios.iter())
+        .map(|s| s.wall_seconds)
+        .sum();
+
     if incremental {
         // The decision-identity contract, end to end: every incremental
         // scenario's decision fingerprint must match its from-scratch
@@ -120,6 +141,11 @@ fn main() {
             })
             .collect();
         let scratch = run_sweep(&twins, workers).expect("scratch sweep");
+        traced_wall_seconds += scratch
+            .scenarios
+            .iter()
+            .map(|s| s.wall_seconds)
+            .sum::<f64>();
         for (warm, cold) in parallel.scenarios.iter().zip(scratch.scenarios.iter()) {
             assert_eq!(
                 warm.decision_fingerprint(),
@@ -142,6 +168,47 @@ fn main() {
             scratch.total_lp_pivots as f64 / parallel.total_lp_pivots.max(1) as f64,
             parallel.total_lp_refactorizations,
             scratch.total_lp_refactorizations,
+        );
+    }
+
+    if let Some(dir) = trace_out {
+        let trace = ovnes_obs::trace::drain();
+        assert!(
+            !trace.is_empty(),
+            "--trace-out produced an empty trace — spans were never recorded"
+        );
+        std::fs::create_dir_all(&dir).expect("create trace dir");
+
+        let journal_path = dir.join("journal.jsonl");
+        let mut journal =
+            std::io::BufWriter::new(std::fs::File::create(&journal_path).expect("create journal"));
+        trace.write_journal(&mut journal).expect("write journal");
+        std::io::Write::flush(&mut journal).expect("flush journal");
+
+        let folded_path = dir.join("folded.txt");
+        let mut folded =
+            std::io::BufWriter::new(std::fs::File::create(&folded_path).expect("create folded"));
+        trace.write_folded(&mut folded).expect("write folded");
+        std::io::Write::flush(&mut folded).expect("flush folded");
+
+        // The trace must be a faithful breakdown of where the horizon
+        // went, not a sample: the `scenario` root span has to cover at
+        // least 80% of the wall-clock the scenario drivers measured.
+        // (B&B workers open their own root stacks, so the all-roots
+        // total would double-count their time against the solve phase.)
+        let coverage = trace.total_ns("scenario") as f64 / (traced_wall_seconds * 1e9).max(1.0);
+        println!(
+            "\ntrace: coverage {:.1}% of {:.2}s measured horizon wall-clock \
+             (journal: {}, folded: {})",
+            100.0 * coverage,
+            traced_wall_seconds,
+            journal_path.display(),
+            folded_path.display(),
+        );
+        assert!(
+            coverage >= 0.80,
+            "span totals cover only {:.1}% of the measured horizon wall-clock",
+            100.0 * coverage
         );
     }
 }

@@ -225,8 +225,25 @@ SCENARIO_INCREMENTAL_EXTRA = {
         "steady_cold_refactorizations",
         "cold_mean_decision_seconds",
         "cold_max_decision_seconds",
+        "obs_enabled",
+        "span_coverage",
+        "phase_revalidate_share",
+        "phase_forecast_share",
+        "phase_solve_share",
+        "phase_admit_share",
+        "phase_simulate_share",
     ],
 }
+
+# Span-derived phase-share columns of the obs-enabled steady probe: each
+# is a fraction of the traced `scenario` root span.
+PHASE_SHARE_FIELDS = [
+    "phase_revalidate_share",
+    "phase_forecast_share",
+    "phase_solve_share",
+    "phase_admit_share",
+    "phase_simulate_share",
+]
 
 EXPECTED_SCALES = {"small", "paper", "10x_paper", "100x_paper"}
 
@@ -488,6 +505,38 @@ def main() -> int:
                         f"the {slo}s SLO"
                     )
             if name == "incremental-steady-n1":
+                # The steady probe runs with observability recording hot:
+                # its decision_match / worker_invariant gates above are
+                # also the tracing-never-perturbs-results oracle, so the
+                # probe must actually have traced.
+                if entry.get("obs_enabled") is not True:
+                    errors.append(
+                        f"{tag}: steady probe ran without observability "
+                        "enabled — the obs-on bit-identity oracle is dead"
+                    )
+                if entry.get("span_coverage", 0.0) < 0.8:
+                    errors.append(
+                        f"{tag}: span coverage {entry.get('span_coverage')} "
+                        "below 0.8 — the trace no longer accounts for the "
+                        "warm run's wall-clock"
+                    )
+                share_sum = 0.0
+                for field in PHASE_SHARE_FIELDS:
+                    share = entry.get(field, -1.0)
+                    if not 0.0 <= share <= 1.0:
+                        errors.append(f"{tag}: {field} {share} outside [0, 1]")
+                    else:
+                        share_sum += share
+                if share_sum > 1.05:
+                    errors.append(
+                        f"{tag}: phase shares sum to {share_sum:.3f} — "
+                        "phases overlap or the root span shrank"
+                    )
+                if entry.get("phase_solve_share", 0.0) <= 0.0:
+                    errors.append(
+                        f"{tag}: solve phase share is zero — the epoch "
+                        "solve span went missing"
+                    )
                 if entry.get("carry_cold_restarts", 1) != 0:
                     errors.append(
                         f"{tag}: {entry.get('carry_cold_restarts')} carried "

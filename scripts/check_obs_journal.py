@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate an `ovnes-obs` JSONL span journal (and optional folded file).
+
+Run by the CI obs-smoke job against the output of
+`scenario_sweep --trace-out <dir>`. Checks that
+
+* the first line is a meta header (`type`, `version`, `spans`, `dropped`)
+  and every following line is a span event,
+* the meta span count matches the number of span lines exactly,
+* every span carries `path`, `name`, `depth`, `start_ns`, `dur_ns`; the
+  name is the last `;`-segment of the path; the depth equals the path's
+  segment count minus one; times are non-negative integers,
+* span names follow the naming convention (static lowercase snake_case
+  atoms — dynamic data belongs in `attr`, never in the name),
+* at least one root (depth-0) span was recorded, and
+* when a folded-stack file is given as the second argument, each line is
+  `path self_ns`, its paths are unique and sorted, and every journal path
+  appears in the folded set.
+
+Usage: check_obs_journal.py JOURNAL.jsonl [FOLDED.txt]
+
+Exit code 0 on success, 1 with a message per violation otherwise.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+SPAN_FIELDS = ("path", "name", "depth", "start_ns", "dur_ns")
+
+
+def check_journal(path: Path, errors: list) -> set:
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        errors.append(f"cannot read journal {path}: {exc}")
+        return set()
+    if not lines:
+        errors.append("journal is empty — no meta header")
+        return set()
+
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        errors.append(f"meta line is not JSON: {exc}")
+        return set()
+    if meta.get("type") != "meta":
+        errors.append(f"first line has type {meta.get('type')!r}, wanted 'meta'")
+    if meta.get("version") != 1:
+        errors.append(f"unsupported journal version {meta.get('version')!r}")
+    if not isinstance(meta.get("dropped"), int) or meta.get("dropped", -1) < 0:
+        errors.append(f"meta.dropped {meta.get('dropped')!r} is not a count")
+
+    paths = set()
+    spans = 0
+    roots = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not JSON: {exc}")
+            continue
+        if event.get("type") != "span":
+            errors.append(f"line {lineno}: type {event.get('type')!r} != 'span'")
+            continue
+        spans += 1
+        missing = [f for f in SPAN_FIELDS if f not in event]
+        if missing:
+            errors.append(f"line {lineno}: missing fields {missing}")
+            continue
+        segments = event["path"].split(";")
+        for segment in segments:
+            if not NAME_RE.fullmatch(segment):
+                errors.append(
+                    f"line {lineno}: path segment {segment!r} breaks the "
+                    "snake_case naming convention"
+                )
+        if event["name"] != segments[-1]:
+            errors.append(
+                f"line {lineno}: name {event['name']!r} is not the path leaf "
+                f"{segments[-1]!r}"
+            )
+        if event["depth"] != len(segments) - 1:
+            errors.append(
+                f"line {lineno}: depth {event['depth']} does not match the "
+                f"{len(segments)}-segment path"
+            )
+        for field in ("depth", "start_ns", "dur_ns"):
+            value = event[field]
+            if not isinstance(value, int) or value < 0:
+                errors.append(f"line {lineno}: {field} {value!r} is not a count")
+        attr = event.get("attr")
+        if attr is not None and (
+            not isinstance(attr, dict)
+            or not all(
+                NAME_RE.fullmatch(k) and isinstance(v, int) for k, v in attr.items()
+            )
+        ):
+            errors.append(f"line {lineno}: malformed attr {attr!r}")
+        if event["depth"] == 0:
+            roots += 1
+        paths.add(event["path"])
+
+    if spans == 0:
+        errors.append("journal contains no span events")
+    if roots == 0:
+        errors.append("journal contains no root (depth-0) span")
+    if meta.get("spans") != spans:
+        errors.append(f"meta.spans {meta.get('spans')!r} != {spans} span lines")
+    return paths
+
+
+def check_folded(path: Path, journal_paths: set, errors: list) -> None:
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        errors.append(f"cannot read folded file {path}: {exc}")
+        return
+    if not lines:
+        errors.append("folded file is empty")
+        return
+    folded_paths = []
+    for lineno, line in enumerate(lines, start=1):
+        stack, _, weight = line.rpartition(" ")
+        if not stack or not weight.isdigit():
+            errors.append(f"folded line {lineno}: {line!r} is not 'path self_ns'")
+            continue
+        folded_paths.append(stack)
+    if folded_paths != sorted(folded_paths):
+        errors.append("folded paths are not sorted (deterministic export broken)")
+    if len(folded_paths) != len(set(folded_paths)):
+        errors.append("folded paths are not unique (merge-by-path broken)")
+    unfolded = journal_paths - set(folded_paths)
+    if unfolded:
+        errors.append(f"journal paths missing from folded stacks: {sorted(unfolded)}")
+
+
+def main(argv: list) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 1
+    errors = []
+    journal_paths = check_journal(Path(argv[1]), errors)
+    if len(argv) == 3:
+        check_folded(Path(argv[2]), journal_paths, errors)
+    if errors:
+        for e in errors:
+            print(f"obs journal sanity: {e}", file=sys.stderr)
+        return 1
+    print(f"obs journal sanity: {len(journal_paths)} span paths OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
